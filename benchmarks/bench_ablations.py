@@ -1,0 +1,149 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Collective algorithm for the inter-CG allreduce (ring vs tree vs
+   recursive doubling) on the execute backend.
+2. Supernode-aware vs strided CG-group placement (paper section III.C).
+3. Distance kernel: direct sum-of-squared-diffs vs expanded GEMM form.
+4. Element type float32 vs float64 in the performance model (the LDM
+   element budget halves, shifting Level 2's memory wall).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core._common import squared_distances, squared_distances_expanded
+from repro.core.level3 import run_level3
+from repro.data.synthetic import gaussian_blobs
+from repro.machine.machine import toy_machine
+from repro.machine.specs import sunway_spec
+from repro.perfmodel.model import PerformanceModel
+from repro.perfmodel.params import ModelParams
+
+
+@pytest.fixture(scope="module")
+def workload():
+    X, _ = gaussian_blobs(n=1200, k=16, d=64, seed=21)
+    C0 = np.array(X[:16], dtype=np.float64)
+    return X, C0
+
+
+@pytest.mark.parametrize("algorithm", ["ring", "tree", "recursive-doubling"])
+def test_collective_algorithm(benchmark, workload, algorithm):
+    """Same run, different inter-CG collective; modelled time must differ
+    only in the network phase (results identical)."""
+    X, C0 = workload
+    machine = toy_machine(n_nodes=4, cgs_per_node=2, mesh=4,
+                          ldm_bytes=16 * 1024)
+
+    def run():
+        return run_level3(X, C0, machine, max_iter=2,
+                          collective_algorithm=algorithm)
+
+    result = benchmark(run)
+    assert result.n_iter >= 1
+    assert result.ledger.total_by_category()["network"] > 0
+
+
+@pytest.mark.parametrize("supernode_aware", [True, False])
+def test_placement(benchmark, workload, supernode_aware):
+    """Supernode-aware CG-group placement vs strided placement.
+
+    On the toy machine (4 nodes/supernode) strided groups span supernodes
+    and pay the derated bandwidth; results stay identical.
+    """
+    X, C0 = workload
+    machine = toy_machine(n_nodes=8, cgs_per_node=2, mesh=4,
+                          ldm_bytes=2 * 1024)
+
+    def run():
+        return run_level3(X, C0, machine, max_iter=2,
+                          supernode_aware=supernode_aware)
+
+    result = benchmark(run)
+    assert result.n_iter >= 1
+
+
+def test_placement_supernode_aware_is_faster(workload):
+    """The paper's placement rule: in-supernode groups beat strided ones."""
+    X, C0 = workload
+    machine = toy_machine(n_nodes=8, cgs_per_node=2, mesh=4,
+                          ldm_bytes=2 * 1024)
+    aware = run_level3(X, C0, machine, max_iter=3, supernode_aware=True)
+    strided = run_level3(X, C0, machine, max_iter=3, supernode_aware=False)
+    np.testing.assert_array_equal(aware.assignments, strided.assignments)
+    assert (aware.mean_iteration_seconds()
+            <= strided.mean_iteration_seconds())
+
+
+@pytest.mark.parametrize("kernel", ["direct", "expanded"])
+def test_distance_kernel(benchmark, kernel):
+    """Direct vs expanded distance formulation (same argmin, different cost)."""
+    rng = np.random.default_rng(5)
+    X = rng.normal(size=(4000, 128))
+    C = rng.normal(size=(96, 128))
+    fn = squared_distances if kernel == "direct" else squared_distances_expanded
+
+    d2 = benchmark(fn, X, C)
+    reference = np.argmin(squared_distances(X, C), axis=1)
+    assert np.array_equal(np.argmin(d2, axis=1), reference)
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_dtype_model(benchmark, dtype):
+    """float64 halves the LDM element budget: Level 2's d-wall moves from
+    4096 to 2048 on the model backend."""
+    params = ModelParams(dtype=np.dtype(dtype))
+    model = PerformanceModel(sunway_spec(128), params)
+
+    def run():
+        return {d: model.predict(2, 1_265_723, 2000, d).total
+                for d in (1024, 2048, 4096)}
+
+    times = benchmark(run)
+    if np.dtype(dtype) == np.float32:
+        assert math.isfinite(times[4096])
+    else:
+        assert math.isfinite(times[2048])
+        assert math.isinf(times[4096])
+
+
+@pytest.mark.parametrize("overlap", [False, True])
+def test_dma_compute_overlap(benchmark, workload, overlap):
+    """Double-buffered DMA: overlap hides the shorter of stream/compute."""
+    X, C0 = workload
+    machine = toy_machine(n_nodes=4, cgs_per_node=2, mesh=4,
+                          ldm_bytes=16 * 1024)
+
+    def run():
+        return run_level3(X, C0, machine, max_iter=2, overlap_dma=overlap)
+
+    result = benchmark(run)
+    assert result.n_iter >= 1
+
+
+def test_overlap_reduces_modelled_time(workload):
+    X, C0 = workload
+    machine = toy_machine(n_nodes=4, cgs_per_node=2, mesh=4,
+                          ldm_bytes=16 * 1024)
+    plain = run_level3(X, C0, machine, max_iter=2)
+    overlapped = run_level3(X, C0, machine, max_iter=2, overlap_dma=True)
+    assert (overlapped.mean_iteration_seconds()
+            < plain.mean_iteration_seconds())
+
+
+@pytest.mark.parametrize("streaming", [False, True])
+def test_streaming_mode(benchmark, streaming):
+    """Resident vs streaming Level-2 plans on a resident-feasible workload."""
+    machine = toy_machine(n_nodes=2, cgs_per_node=2, mesh=2,
+                          ldm_bytes=8 * 1024)
+    X, _ = gaussian_blobs(n=600, k=8, d=200, seed=5)
+    C0 = np.array(X[:8], dtype=np.float64)
+    from repro.core.level2 import run_level2
+
+    def run():
+        return run_level2(X, C0, machine, max_iter=2, streaming=streaming)
+
+    result = benchmark(run)
+    assert result.n_iter >= 1

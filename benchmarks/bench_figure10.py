@@ -1,0 +1,11 @@
+"""Bench: Figure 10 — land-cover classification application, end to end."""
+
+from conftest import assert_all_checks
+
+from repro.experiments import figure10
+
+
+def test_figure10_land_cover(benchmark):
+    out = benchmark(figure10.run)
+    assert_all_checks(out)
+    print("\n" + out.text)

@@ -1,0 +1,17 @@
+"""Bench: Figures 1 and 2 — architecture/partition diagram regeneration."""
+
+from conftest import assert_all_checks
+
+from repro.experiments import run_experiment
+
+
+def test_figure1_processor_architecture(benchmark):
+    out = benchmark(run_experiment, "figure1")
+    assert_all_checks(out)
+    print("\n" + out.text)
+
+
+def test_figure2_partition_design(benchmark):
+    out = benchmark(run_experiment, "figure2")
+    assert_all_checks(out)
+    print("\n" + out.text)

@@ -1,0 +1,34 @@
+"""Bench: Figure 3 — Level 1 (dataflow partition) on the UCI datasets.
+
+Model backend regenerates the figure at paper scale; the execute backend
+runs the same Level-1 algorithm for real at reduced scale.
+"""
+
+import numpy as np
+from conftest import assert_all_checks
+
+from repro.core.level1 import run_level1
+from repro.experiments import figure3
+
+
+def test_figure3_model(benchmark):
+    out = benchmark(figure3.run)
+    assert_all_checks(out)
+    print("\n" + out.text)
+
+
+def test_figure3_execute_level1(benchmark, exec_machine, exec_workload):
+    """One real Level-1 iteration sweep over k at reduced scale."""
+    X, _ = exec_workload
+
+    def run():
+        results = {}
+        for k in (4, 8, 16):
+            C0 = np.array(X[:k], dtype=np.float64)
+            r = run_level1(X, C0, exec_machine, max_iter=2)
+            results[k] = r.mean_iteration_seconds()
+        return results
+
+    times = benchmark(run)
+    # The paper's Figure-3 claim at reduced scale: time grows with k.
+    assert times[16] > times[4]

@@ -1,0 +1,29 @@
+"""Bench: Figure 4 — Level 2 (nk partition) on the UCI datasets."""
+
+import numpy as np
+from conftest import assert_all_checks
+
+from repro.core.level2 import run_level2
+from repro.experiments import figure4
+
+
+def test_figure4_model(benchmark):
+    out = benchmark(figure4.run)
+    assert_all_checks(out)
+    print("\n" + out.text)
+
+
+def test_figure4_execute_level2(benchmark, exec_machine, exec_workload):
+    """Real Level-2 iterations over a large-k range at reduced scale."""
+    X, _ = exec_workload
+
+    def run():
+        results = {}
+        for k in (16, 32, 64):
+            C0 = np.array(X[:k], dtype=np.float64)
+            r = run_level2(X, C0, exec_machine, max_iter=2)
+            results[k] = r.mean_iteration_seconds()
+        return results
+
+    times = benchmark(run)
+    assert times[64] > times[16]

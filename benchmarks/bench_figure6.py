@@ -1,0 +1,34 @@
+"""Bench: Figure 6 — Level 3 large-scale scaling in centroids and nodes."""
+
+import numpy as np
+from conftest import assert_all_checks
+
+from repro.core.level3 import run_level3
+from repro.experiments import figure6
+from repro.machine.machine import toy_machine
+
+
+def test_figure6_model(benchmark):
+    out = benchmark(figure6.run)
+    assert_all_checks(out)
+    print("\n" + out.text)
+
+
+def test_figure6_execute_node_scaling(benchmark):
+    """Real Level-3 strong scaling across toy-machine sizes."""
+    from repro.data.synthetic import gaussian_blobs
+    X, _ = gaussian_blobs(n=2000, k=16, d=64, seed=3)
+    C0 = np.array(X[:16], dtype=np.float64)
+
+    def run():
+        times = {}
+        for nodes in (1, 2, 4):
+            machine = toy_machine(n_nodes=nodes, cgs_per_node=2, mesh=4,
+                                  ldm_bytes=16 * 1024)
+            r = run_level3(X, C0, machine, max_iter=2)
+            times[nodes] = r.mean_iteration_seconds()
+        return times
+
+    times = benchmark(run)
+    # Strong scaling: more nodes => lower modelled per-iteration time.
+    assert times[4] < times[1]

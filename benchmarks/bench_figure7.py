@@ -1,0 +1,41 @@
+"""Bench: Figure 7 — Level 2 vs Level 3 over d (the crossover figure).
+
+The model backend regenerates the figure; the execute backend demonstrates
+the same phenomenon at reduced scale: Level 2 refuses configurations whose
+sample no longer fits one LDM while Level 3 keeps running.
+"""
+
+import numpy as np
+import pytest
+from conftest import assert_all_checks
+
+from repro.core.level2 import run_level2
+from repro.core.level3 import run_level3
+from repro.errors import PartitionError
+from repro.experiments import figure7
+from repro.machine.machine import toy_machine
+
+
+def test_figure7_model(benchmark):
+    out = benchmark(figure7.run)
+    assert_all_checks(out)
+    print("\n" + out.text)
+
+
+def test_figure7_execute_level2_memory_wall(benchmark):
+    """At d beyond the toy LDM, Level 2 fails to plan; Level 3 still runs."""
+    machine = toy_machine(n_nodes=2, cgs_per_node=2, mesh=4,
+                          ldm_bytes=4 * 1024)  # 512 f64 elements per CPE
+    # d=256: 3d+1 = 769 elements > 512 -> Level 2's C2 is violated.
+    from repro.data.synthetic import gaussian_blobs
+    X, _ = gaussian_blobs(n=600, k=8, d=256, seed=1)
+    C0 = np.array(X[:8], dtype=np.float64)
+
+    with pytest.raises(PartitionError):
+        run_level2(X, C0, machine, max_iter=1)
+
+    def run():
+        return run_level3(X, C0, machine, max_iter=2)
+
+    result = benchmark(run)
+    assert result.n_iter >= 1

@@ -1,0 +1,33 @@
+"""Bench: Figure 8 — Level 2 vs Level 3 over k at fixed d=4096."""
+
+import numpy as np
+from conftest import assert_all_checks
+
+from repro.core.level2 import run_level2
+from repro.core.level3 import run_level3
+from repro.experiments import figure8
+from repro.machine.machine import toy_machine
+
+
+def test_figure8_model(benchmark):
+    out = benchmark(figure8.run)
+    assert_all_checks(out)
+    print("\n" + out.text)
+
+
+def test_figure8_execute_levels_at_scaleddown_k(benchmark):
+    """Both levels run the same reduced workload; modelled L3 <= L2 when the
+    per-CPE centroid slices overflow at Level 2's granularity."""
+    machine = toy_machine(n_nodes=4, cgs_per_node=2, mesh=4,
+                          ldm_bytes=16 * 1024)
+    from repro.data.synthetic import gaussian_blobs
+    X, _ = gaussian_blobs(n=1500, k=48, d=96, seed=8)
+    C0 = np.array(X[:48], dtype=np.float64)
+
+    def run():
+        r2 = run_level2(X, C0, machine, max_iter=2)
+        r3 = run_level3(X, C0, machine, max_iter=2)
+        return r2.mean_iteration_seconds(), r3.mean_iteration_seconds()
+
+    t2, t3 = benchmark(run)
+    assert t2 > 0 and t3 > 0

@@ -1,0 +1,58 @@
+"""Microbenchmarks of the numerical kernels every level shares.
+
+These are the hot loops of the execute backend: assignment (distance +
+argmin), scatter accumulation, and the two distance formulations compared
+by the kernel ablation in DESIGN.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core._common import (
+    accumulate,
+    assign_chunked,
+    squared_distances,
+    squared_distances_expanded,
+    update_centroids,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(20_000, 64))
+    C = rng.normal(size=(64, 64))
+    return X, C
+
+
+def test_assign_chunked(benchmark, workload):
+    X, C = workload
+    out = benchmark(assign_chunked, X, C)
+    assert out.shape == (X.shape[0],)
+
+
+def test_squared_distances_direct(benchmark, workload):
+    X, C = workload
+    d2 = benchmark(squared_distances, X[:2000], C)
+    assert d2.shape == (2000, 64)
+
+
+def test_squared_distances_expanded(benchmark, workload):
+    X, C = workload
+    d2 = benchmark(squared_distances_expanded, X[:2000], C)
+    assert d2.shape == (2000, 64)
+
+
+def test_accumulate(benchmark, workload):
+    X, C = workload
+    assignments = assign_chunked(X, C)
+    sums, counts = benchmark(accumulate, X, assignments, C.shape[0])
+    assert counts.sum() == X.shape[0]
+
+
+def test_update_centroids(benchmark, workload):
+    X, C = workload
+    assignments = assign_chunked(X, C)
+    sums, counts = accumulate(X, assignments, C.shape[0])
+    new = benchmark(update_centroids, sums, counts, C)
+    assert new.shape == C.shape

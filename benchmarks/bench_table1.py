@@ -1,0 +1,11 @@
+"""Bench: regenerate Table I (capability envelope + feasibility proofs)."""
+
+from conftest import assert_all_checks
+
+from repro.experiments import table1
+
+
+def test_table1_capability_envelope(benchmark):
+    out = benchmark(table1.run)
+    assert_all_checks(out)
+    print("\n" + out.text)

@@ -1,0 +1,11 @@
+"""Bench: regenerate Table II (benchmark datasets + stand-in generators)."""
+
+from conftest import assert_all_checks
+
+from repro.experiments import table2
+
+
+def test_table2_datasets(benchmark):
+    out = benchmark(table2.run)
+    assert_all_checks(out)
+    print("\n" + out.text)

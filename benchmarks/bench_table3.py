@@ -1,0 +1,11 @@
+"""Bench: Table III — execution-time comparison against other systems."""
+
+from conftest import assert_all_checks
+
+from repro.experiments import table3
+
+
+def test_table3_architecture_comparison(benchmark):
+    out = benchmark(table3.run)
+    assert_all_checks(out)
+    print("\n" + out.text)

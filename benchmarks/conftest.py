@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table/figure has a bench module here.  Each module benchmarks
+two things where applicable:
+
+* the **model backend** regenerating the figure at full paper scale
+  (microseconds of wall time, asserts the figure's shape checks), and
+* the **execute backend** running the same partitioned algorithm for real
+  at laptop scale on a toy machine (same code path, reduced n/k/d).
+
+Run with: ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.init import init_centroids
+from repro.data.synthetic import gaussian_blobs
+from repro.machine.machine import toy_machine
+
+
+@pytest.fixture(scope="session")
+def exec_machine():
+    """A toy machine with real LDM budgets for execute-backend benches."""
+    return toy_machine(n_nodes=4, cgs_per_node=2, mesh=4, ldm_bytes=16 * 1024)
+
+
+@pytest.fixture(scope="session")
+def exec_workload():
+    """A reduced-scale workload reused by execute-backend benches."""
+    X, _ = gaussian_blobs(n=3000, k=24, d=32, seed=11)
+    C0 = init_centroids(X, 24, method="first")
+    return X, C0
+
+
+def assert_all_checks(output) -> None:
+    """Fail the benchmark if a paper shape check regressed."""
+    failed = [name for name, ok in output.checks.items() if not ok]
+    assert not failed, f"{output.exp_id} shape checks failed: {failed}"

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Capability planner: which partition level fits your workload?
+
+Feeds a grid of (k, d) workloads through the feasibility constraints and
+the level auto-selector, printing the level map — a practical rendering of
+the paper's Table I capability claims and section III.D flexibility story.
+
+Run: python examples/capability_planner.py
+"""
+
+import numpy as np
+
+from repro import PartitionError, select_level, toy_machine
+from repro.core import (
+    level1_feasibility,
+    level3_feasibility,
+    min_mprime_group_level3,
+)
+from repro.machine.specs import sunway_spec
+from repro.reporting import format_table
+
+
+def level_map() -> None:
+    """Which level the auto-selector picks across a (k, d) grid."""
+    machine = toy_machine(n_nodes=4, cgs_per_node=2, mesh=4,
+                          ldm_bytes=16 * 1024)
+    ks = [4, 32, 128, 512]
+    ds = [8, 64, 512, 2048]
+    rows = []
+    for k in ks:
+        cells = [f"k={k}"]
+        for d in ds:
+            try:
+                level = select_level(machine, n=10_000, k=k, d=d)
+                cells.append(f"L{level}")
+            except PartitionError:
+                cells.append("-")
+        rows.append(cells)
+    print(format_table([""] + [f"d={d}" for d in ds], rows,
+                       title="Auto-selected level per (k, d) "
+                             "(toy machine, 16 KB LDM)"))
+    print()
+
+
+def paper_extremes() -> None:
+    """Verify the paper's headline capability envelope on 4,096 nodes."""
+    spec = sunway_spec(4096)
+    cases = [
+        ("Figure 6 centroid extreme", 160_000, 3_072),
+        ("Figure 5/6 dimension extreme", 2_000, 196_608),
+        ("Kumar et al. envelope (Jaguar)", 1_000, 30),
+        ("Bender et al. envelope (Trinity)", 18, 140_256),
+    ]
+    rows = []
+    for name, k, d in cases:
+        l1 = level1_feasibility(k, d, spec, dtype=np.float32).feasible
+        mprime = min_mprime_group_level3(k, d, spec, dtype=np.float32)
+        l3 = (mprime is not None and
+              level3_feasibility(k, d, mprime, spec,
+                                 dtype=np.float32).feasible)
+        rows.append([name, f"{k:,}", f"{d:,}",
+                     "yes" if l1 else "no",
+                     f"yes (m'group={mprime})" if l3 else "no"])
+    print(format_table(
+        ["workload", "k", "d", "fits Level 1?", "fits Level 3?"], rows,
+        title="Capability check on the 4,096-node machine (float32)"))
+
+
+def main() -> None:
+    level_map()
+    paper_extremes()
+
+
+if __name__ == "__main__":
+    main()

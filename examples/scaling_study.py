@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Scaling study: regenerate the paper's comparison figures (7, 8, 9).
+
+Sweeps d, k, and node count with the performance model at full paper scale
+(ILSVRC2012 shapes, up to 256 nodes here) and prints the per-level series,
+sparkline trends, crossovers, and the headline prediction.
+
+Run: python examples/scaling_study.py
+"""
+
+from repro.data import TABLE_II
+from repro.machine.specs import sunway_spec
+from repro.perfmodel import PerformanceModel, sweep
+from repro.reporting import series_sparklines, series_table
+
+N = TABLE_II["ilsvrc2012"].n
+
+
+def study_dimensions() -> None:
+    """Figure 7: vary d at k=2000 on 128 nodes."""
+    ds = [512, 1024, 2048, 3072, 4096, 4608, 6144, 8192]
+    out = sweep("d", ds, levels=[2, 3], n=N, k=2000, d=0, nodes=128)
+    series = {"Level 2": out[2], "Level 3": out[3]}
+    print(series_table(series, "d",
+                       title="Varying d (k=2000, 128 nodes) — Figure 7"))
+    cross = out[3].crossover_with(out[2])
+    print(f"\nLevel 3 takes over at d = {cross:g} "
+          f"(paper reports 2,560); Level 2 is infeasible past d = 4,096")
+    print(series_sparklines(series), "\n")
+
+
+def study_centroids() -> None:
+    """Figure 8: vary k at d=4096 on 128 nodes."""
+    ks = [256, 1024, 4096, 16384, 65536, 131072]
+    out = sweep("k", ks, levels=[2, 3], n=N, k=0, d=4096, nodes=128)
+    series = {"Level 2": out[2], "Level 3": out[3]}
+    print(series_table(series, "k",
+                       title="Varying k (d=4096, 128 nodes) — Figure 8"))
+    gap = out[2].y[-1] / out[3].y[-1]
+    print(f"\nLevel 3 is {gap:.1f}x faster at k = {ks[-1]:,}\n")
+
+
+def study_nodes() -> None:
+    """Figure 9: vary the node count at k=2000, d=4096."""
+    nodes = [2, 8, 32, 128, 256]
+    out = sweep("nodes", nodes, levels=[2, 3], n=N, k=2000, d=4096, nodes=0)
+    series = {"Level 2": out[2], "Level 3": out[3]}
+    print(series_table(series, "nodes",
+                       title="Varying nodes (k=2000, d=4096) — Figure 9"))
+    print(f"\ngap: {out[2].y[0] / out[3].y[0]:.1f}x at {nodes[0]} nodes -> "
+          f"{out[2].y[-1] / out[3].y[-1]:.1f}x at {nodes[-1]} nodes\n")
+
+
+def headline() -> None:
+    """The abstract's claim: <18 s/iter at k=2000, d=196,608, 4096 nodes."""
+    model = PerformanceModel(sunway_spec(4096))
+    pred = model.predict(3, N, 2000, 196_608)
+    print(f"headline: {pred.total:.2f} s/iteration at k=2,000, d=196,608 "
+          f"on 4,096 nodes (paper: < 18 s)")
+    for phase, seconds in pred.phases.items():
+        print(f"  {phase:28s} {seconds:.4f} s")
+
+
+def main() -> None:
+    study_dimensions()
+    study_centroids()
+    study_nodes()
+    headline()
+
+
+if __name__ == "__main__":
+    main()

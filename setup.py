@@ -1,0 +1,16 @@
+"""Legacy setup shim so `pip install -e .` works with older setuptools."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Large-Scale Hierarchical k-means for "
+        "Heterogeneous Many-Core Supercomputers' (SC 2018)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

@@ -1,0 +1,75 @@
+"""repro — reproduction of *Large-Scale Hierarchical k-means for
+Heterogeneous Many-Core Supercomputers* (Li et al., SC 2018).
+
+The package implements the paper's three-level (nkd) partitioned k-means on
+a simulated Sunway TaihuLight: a machine model with the published SW26010
+parameters, a simulated DMA/register-communication/MPI runtime that charges
+modelled time while executing the real arithmetic, the Level 1/2/3
+algorithms, an analytic performance model for paper-scale predictions, and
+the experiment harness regenerating every table and figure.
+
+Quickstart
+----------
+>>> from repro import HierarchicalKMeans, sunway_machine
+>>> from repro.data import gaussian_blobs
+>>> X, _ = gaussian_blobs(n=5000, k=16, d=32, seed=1)
+>>> model = HierarchicalKMeans(n_clusters=16, machine=sunway_machine(1), seed=1)
+>>> result = model.fit(X)
+>>> print(result.summary())          # doctest: +SKIP
+"""
+
+from .core import (
+    HierarchicalKMeans,
+    KMeansResult,
+    Level1Executor,
+    Level2Executor,
+    Level3Executor,
+    init_centroids,
+    lloyd,
+    plan_level1,
+    plan_level2,
+    plan_level3,
+    run_level1,
+    run_level2,
+    run_level3,
+    select_level,
+)
+from .errors import (
+    CommunicatorError,
+    ConfigurationError,
+    DataShapeError,
+    LDMOverflowError,
+    PartitionError,
+    ReproError,
+)
+from .machine import Machine, machine_from_preset, sunway_machine, toy_machine
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "CommunicatorError",
+    "ConfigurationError",
+    "DataShapeError",
+    "HierarchicalKMeans",
+    "KMeansResult",
+    "LDMOverflowError",
+    "Level1Executor",
+    "Level2Executor",
+    "Level3Executor",
+    "Machine",
+    "PartitionError",
+    "ReproError",
+    "__version__",
+    "init_centroids",
+    "lloyd",
+    "machine_from_preset",
+    "plan_level1",
+    "plan_level2",
+    "plan_level3",
+    "run_level1",
+    "run_level2",
+    "run_level3",
+    "select_level",
+    "sunway_machine",
+    "toy_machine",
+]

@@ -1,0 +1,13 @@
+"""Model-selection and robustness analysis on top of the public API."""
+
+from .elbow import SweepResult, inertia_sweep, knee_point, silhouette_sweep
+from .stability import StabilityReport, bootstrap_stability
+
+__all__ = [
+    "StabilityReport",
+    "SweepResult",
+    "bootstrap_stability",
+    "inertia_sweep",
+    "knee_point",
+    "silhouette_sweep",
+]

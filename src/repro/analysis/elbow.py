@@ -1,0 +1,104 @@
+"""Choosing k: inertia sweeps and knee detection.
+
+The paper takes k as given (its subject is scale, not model selection),
+but a library user's first question is "what k?".  This module provides
+the standard answers:
+
+* :func:`inertia_sweep` — run k-means across a k range, collect the final
+  objective per k (optionally multi-restart),
+* :func:`knee_point` — the Kneedle-style maximum-distance-to-chord rule on
+  the inertia curve,
+* :func:`silhouette_sweep` — quality-based selection for small/medium n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.kmeans import HierarchicalKMeans
+from ..core.metrics import silhouette_score
+from ..errors import ConfigurationError
+from ..machine.machine import Machine
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a model-selection sweep over k."""
+
+    ks: List[int]
+    scores: List[float]
+    #: k suggested by the selection rule (knee / max silhouette).
+    best_k: Optional[int] = None
+    extras: Dict[int, object] = field(default_factory=dict)
+
+
+def _validate_ks(ks: Sequence[int], n: int) -> List[int]:
+    ks = [int(k) for k in ks]
+    if not ks:
+        raise ConfigurationError("ks must be non-empty")
+    if sorted(ks) != ks or len(set(ks)) != len(ks):
+        raise ConfigurationError("ks must be strictly increasing")
+    if ks[0] < 1 or ks[-1] > n:
+        raise ConfigurationError(f"ks must lie in [1, n={n}]")
+    return ks
+
+
+def inertia_sweep(X: np.ndarray, ks: Sequence[int],
+                  machine: Optional[Machine] = None, n_init: int = 1,
+                  seed: int = 0, max_iter: int = 60) -> SweepResult:
+    """Final inertia per k; ``best_k`` is the knee of the curve."""
+    X = np.asarray(X)
+    ks = _validate_ks(ks, X.shape[0])
+    scores: List[float] = []
+    for k in ks:
+        model = HierarchicalKMeans(k, machine=machine, init="kmeans++",
+                                   n_init=n_init, seed=seed,
+                                   max_iter=max_iter)
+        scores.append(model.fit(X).inertia)
+    best = knee_point(ks, scores) if len(ks) >= 3 else None
+    return SweepResult(ks=ks, scores=scores, best_k=best)
+
+
+def knee_point(ks: Sequence[int], inertias: Sequence[float]) -> int:
+    """Elbow rule: the k whose point is farthest below the first-last chord.
+
+    Works on any convex-ish decreasing curve; returns one of ``ks``.
+    """
+    if len(ks) != len(inertias) or len(ks) < 3:
+        raise ConfigurationError(
+            "need >= 3 aligned (k, inertia) points for a knee"
+        )
+    x = np.asarray(ks, dtype=np.float64)
+    y = np.asarray(inertias, dtype=np.float64)
+    # Normalise both axes so the chord geometry is scale-free.
+    x_n = (x - x[0]) / max(x[-1] - x[0], 1e-30)
+    y_n = (y - y[-1]) / max(y[0] - y[-1], 1e-30)
+    # Distance below the (0,1)-(1,0) chord: 1 - x - y, maximised at the knee.
+    gap = 1.0 - x_n - y_n
+    return int(x[int(np.argmax(gap))])
+
+
+def silhouette_sweep(X: np.ndarray, ks: Sequence[int],
+                     machine: Optional[Machine] = None, seed: int = 0,
+                     max_iter: int = 60,
+                     sample_size: Optional[int] = 1000) -> SweepResult:
+    """Mean silhouette per k; ``best_k`` maximises it.
+
+    ks must start at 2 or above (silhouette is undefined for one cluster).
+    """
+    X = np.asarray(X)
+    ks = _validate_ks(ks, X.shape[0])
+    if ks[0] < 2:
+        raise ConfigurationError("silhouette needs k >= 2")
+    scores: List[float] = []
+    for k in ks:
+        model = HierarchicalKMeans(k, machine=machine, init="kmeans++",
+                                   seed=seed, max_iter=max_iter)
+        result = model.fit(X)
+        scores.append(silhouette_score(X, result.assignments,
+                                       sample_size=sample_size, seed=seed))
+    best = ks[int(np.argmax(scores))]
+    return SweepResult(ks=list(ks), scores=scores, best_k=best)

@@ -1,0 +1,96 @@
+"""Clustering stability analysis via bootstrap resampling.
+
+A clustering that changes wholesale when the data is subsampled is not
+telling you about the data.  :func:`bootstrap_stability` quantifies this:
+fit on the full set, refit on bootstrap subsamples, and score the pairwise
+agreement (ARI) between each refit and the reference on the shared points.
+High mean ARI = stable structure; near-zero = k-means is carving noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core._common import assign_chunked
+from ..core.kmeans import HierarchicalKMeans
+from ..core.metrics import adjusted_rand_index
+from ..errors import ConfigurationError
+from ..machine.machine import Machine
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Bootstrap agreement scores for one (X, k) clustering."""
+
+    k: int
+    n_rounds: int
+    scores: List[float]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.scores))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.scores))
+
+    @property
+    def stable(self) -> bool:
+        """Rule of thumb: mean bootstrap ARI above 0.7."""
+        return self.mean > 0.7
+
+
+def bootstrap_stability(X: np.ndarray, k: int,
+                        machine: Optional[Machine] = None,
+                        n_rounds: int = 10, subsample: float = 0.8,
+                        seed: int = 0, max_iter: int = 50
+                        ) -> StabilityReport:
+    """Score clustering stability under bootstrap subsampling.
+
+    Parameters
+    ----------
+    n_rounds:
+        Number of bootstrap refits.
+    subsample:
+        Fraction of samples drawn (without replacement) per round.
+
+    Returns
+    -------
+    StabilityReport with one ARI per round: agreement between the
+    reference clustering's assignment of the subsample and the refit
+    clustering of that subsample.
+    """
+    X = np.asarray(X)
+    if X.ndim != 2:
+        raise ConfigurationError(f"X must be 2-D, got {X.shape}")
+    if n_rounds < 1:
+        raise ConfigurationError(f"n_rounds must be >= 1, got {n_rounds}")
+    if not 0.0 < subsample <= 1.0:
+        raise ConfigurationError(
+            f"subsample must be in (0, 1], got {subsample}"
+        )
+    n = X.shape[0]
+    m = max(k, int(round(subsample * n)))
+    if m > n:
+        raise ConfigurationError(
+            f"subsample of {m} exceeds n={n} (k={k} floor)"
+        )
+    rng = np.random.default_rng(seed)
+
+    reference = HierarchicalKMeans(k, machine=machine, init="kmeans++",
+                                   seed=seed, max_iter=max_iter).fit(X)
+
+    scores: List[float] = []
+    for round_i in range(n_rounds):
+        idx = rng.choice(n, size=m, replace=False)
+        sub = X[idx]
+        refit = HierarchicalKMeans(
+            k, machine=machine, init="kmeans++",
+            seed=seed + 1 + round_i, max_iter=max_iter,
+        ).fit(sub)
+        ref_labels = assign_chunked(sub, reference.centroids)
+        scores.append(adjusted_rand_index(refit.assignments, ref_labels))
+    return StabilityReport(k=k, n_rounds=n_rounds, scores=scores)

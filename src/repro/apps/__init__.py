@@ -1,0 +1,19 @@
+"""End-user applications built on the public k-means API."""
+
+from .landcover import (
+    LandCoverResult,
+    PAPER_D,
+    PAPER_K,
+    PAPER_N,
+    PAPER_NODES,
+    classify_land_cover,
+)
+
+__all__ = [
+    "LandCoverResult",
+    "PAPER_D",
+    "PAPER_K",
+    "PAPER_N",
+    "PAPER_NODES",
+    "classify_land_cover",
+]

@@ -1,0 +1,26 @@
+"""Single-node baseline algorithms the paper compares against or cites.
+
+Exact accelerations (identical trajectory to Lloyd, less distance work):
+
+* :func:`hamerly` — one upper + one lower bound per sample [Hamerly 2010],
+* :func:`yinyang` — group-filtered bounds [Ding et al. 2015], the engine
+  behind Table III's multi-core comparator row,
+* :func:`elkan`   — full n x k lower bounds [Elkan 2003].
+
+Inexact streaming baselines:
+
+* :func:`minibatch` — Sculley's mini-batch k-means (quality-for-throughput
+  trade-off; the family the paper cites via nested mini-batch k-means),
+* :func:`streaming_kmeans` — Guha et al.'s divide-and-conquer one-pass
+  algorithm, the ancestor of Bender et al.'s two-level-memory design the
+  paper compares against.
+"""
+
+from .elkan import elkan
+from .hamerly import BoundStats, hamerly
+from .minibatch import minibatch
+from .streaming import StreamingStats, streaming_kmeans
+from .yinyang import yinyang
+
+__all__ = ["BoundStats", "StreamingStats", "elkan", "hamerly", "minibatch",
+           "streaming_kmeans", "yinyang"]

@@ -1,0 +1,149 @@
+"""Hamerly's exact accelerated k-means [Hamerly, SDM 2010].
+
+One of the bound-based Lloyd accelerations the paper cites as related work
+(its notation follows Hamerly's).  The algorithm maintains, per sample,
+
+* an **upper bound** ``ub`` on the distance to its assigned centroid, and
+* a **lower bound** ``lb`` on the distance to its *second*-closest centroid,
+
+updated each iteration by the centroids' drift.  A sample whose
+``ub <= max(s[a], lb)`` — where ``s[j]`` is half the distance from centroid
+j to its nearest other centroid — provably cannot change assignment, so its
+k distance computations are skipped.  The trajectory is *identical* to
+Lloyd's (this is an exact method, not an approximation), which the tests
+assert; the point of having it in the repo is (a) an honest single-node
+baseline for the simulator's speedups, and (b) the bookkeeping statistics
+showing how much work bounds save on real data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..core._common import (
+    accumulate,
+    inertia,
+    max_centroid_shift,
+    squared_distances,
+    update_centroids,
+    validate_data,
+)
+from ..core.result import IterationStats, KMeansResult
+from ..errors import ConfigurationError
+
+
+@dataclass
+class BoundStats:
+    """Work accounting for a bound-based run."""
+
+    #: Distance evaluations actually performed (point-centroid pairs).
+    distances_computed: int = 0
+    #: Distance evaluations a naive Lloyd would have performed.
+    distances_naive: int = 0
+    #: Samples skipped entirely by the global bound test, per iteration.
+    skipped_per_iteration: List[int] = field(default_factory=list)
+
+    @property
+    def fraction_skipped(self) -> float:
+        if self.distances_naive == 0:
+            return 0.0
+        return 1.0 - self.distances_computed / self.distances_naive
+
+
+def hamerly(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
+            tol: float = 0.0) -> tuple[KMeansResult, BoundStats]:
+    """Run Hamerly's algorithm; returns (result, work statistics).
+
+    The result is bit-for-bit the Lloyd trajectory (same assignment rule,
+    same empty-cluster rule).
+    """
+    if max_iter < 1:
+        raise ConfigurationError(f"max_iter must be >= 1, got {max_iter}")
+    if tol < 0:
+        raise ConfigurationError(f"tol must be >= 0, got {tol}")
+    X, C = validate_data(X, np.array(centroids, copy=True))
+    n, d = X.shape
+    k = C.shape[0]
+    stats = BoundStats()
+
+    # Initial full assignment establishes the bounds.
+    d2 = squared_distances(X, C)
+    stats.distances_computed += n * k
+    dist = np.sqrt(np.maximum(d2, 0.0))
+    assignments = np.argmin(dist, axis=1)
+    order = np.argsort(dist, axis=1)
+    ub = dist[np.arange(n), order[:, 0]]
+    lb = dist[np.arange(n), order[:, 1]] if k > 1 else np.full(n, np.inf)
+
+    history: List[IterationStats] = []
+    converged = False
+    it = 0
+    prev_assignments = assignments.copy()
+    for it in range(1, max_iter + 1):
+        stats.distances_naive += n * k
+        # Half-distance to the nearest other centroid, per centroid.
+        if k > 1:
+            cc = np.sqrt(np.maximum(squared_distances(C, C), 0.0))
+            np.fill_diagonal(cc, np.inf)
+            s = 0.5 * cc.min(axis=1)
+        else:
+            s = np.zeros(1)
+
+        threshold = np.maximum(s[assignments], lb)
+        candidates = np.flatnonzero(ub > threshold)
+        if candidates.size:
+            # First tighten the upper bound with one exact distance.
+            exact = np.sqrt(np.maximum(np.einsum(
+                "nd,nd->n",
+                X[candidates] - C[assignments[candidates]],
+                X[candidates] - C[assignments[candidates]]), 0.0))
+            stats.distances_computed += candidates.size
+            ub[candidates] = exact
+            still = candidates[ub[candidates] > threshold[candidates]]
+            if still.size:
+                d2s = squared_distances(X[still], C)
+                stats.distances_computed += still.size * k
+                ds = np.sqrt(np.maximum(d2s, 0.0))
+                new_order = np.argsort(ds, axis=1)
+                assignments[still] = new_order[:, 0]
+                ub[still] = ds[np.arange(still.size), new_order[:, 0]]
+                lb[still] = (ds[np.arange(still.size), new_order[:, 1]]
+                             if k > 1 else np.inf)
+        stats.skipped_per_iteration.append(int(n - candidates.size))
+
+        sums, counts = accumulate(X, assignments, k)
+        new_C = update_centroids(sums, counts, C)
+
+        # Drift the bounds by centroid movement (triangle inequality).
+        drift = np.sqrt(np.maximum(((new_C - C) ** 2).sum(axis=1), 0.0))
+        ub += drift[assignments]
+        if k > 1:
+            lb -= drift.max()
+
+        shift = max_centroid_shift(C, new_C)
+        history.append(IterationStats(
+            iteration=it,
+            inertia=inertia(X, C, assignments),
+            centroid_shift=shift,
+            n_reassigned=int((assignments != prev_assignments).sum()),
+        ))
+        prev_assignments = assignments.copy()
+        C = new_C
+        if shift <= tol:
+            converged = True
+            break
+
+    result = KMeansResult(
+        centroids=C,
+        assignments=assignments,
+        inertia=inertia(X, C, assignments),
+        n_iter=it,
+        converged=converged,
+        history=history,
+        ledger=None,
+        level=0,
+    )
+    return result, stats

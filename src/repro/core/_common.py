@@ -1,0 +1,181 @@
+"""Shared numerical kernels for all k-means implementations.
+
+Every level (serial Lloyd, Level 1/2/3 executors) funnels its arithmetic
+through these helpers so that the partitioned implementations are numerically
+comparable to the baseline: the same distance formulation, the same
+tie-breaking (lowest centroid index wins), and the same empty-cluster rule
+(an empty cluster keeps its previous centroid).
+
+Kernels are vectorised NumPy with explicit chunking so the transient
+``n x k`` distance block never exceeds a bounded working set — the in-memory
+analogue of streaming samples through the LDM.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from ..errors import DataShapeError
+
+#: Number of distance-matrix elements a single chunk may hold.
+DEFAULT_CHUNK_ELEMENTS = 4_000_000
+
+
+def validate_data(X: np.ndarray, C: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Check sample/centroid matrices agree; return them as float ndarrays."""
+    X = np.ascontiguousarray(X)
+    C = np.ascontiguousarray(C)
+    if X.ndim != 2:
+        raise DataShapeError(f"X must be 2-D (n, d), got shape {X.shape}")
+    if C.ndim != 2:
+        raise DataShapeError(f"C must be 2-D (k, d), got shape {C.shape}")
+    if X.shape[1] != C.shape[1]:
+        raise DataShapeError(
+            f"dimension mismatch: samples have d={X.shape[1]}, "
+            f"centroids have d={C.shape[1]}"
+        )
+    if X.shape[0] == 0:
+        raise DataShapeError("X must contain at least one sample")
+    if C.shape[0] == 0:
+        raise DataShapeError("C must contain at least one centroid")
+    if not np.issubdtype(X.dtype, np.floating):
+        X = X.astype(np.float64)
+    if C.dtype != X.dtype:
+        C = C.astype(X.dtype)
+    return X, C
+
+
+def squared_distances(X: np.ndarray, C: np.ndarray) -> np.ndarray:
+    """Dense squared Euclidean distances, shape (n, k).
+
+    Uses the direct ``sum((x - c)^2)`` formulation (not the expanded
+    ``|x|^2 - 2 x.c + |c|^2``) because the direct form is what the partitioned
+    dimension slices compute and sum — keeping serial and Level-3 arithmetic
+    on the same path.  The expanded form is available separately for the
+    ablation benchmark.
+    """
+    # einsum keeps the temporaries small relative to broadcasting (n,k,d).
+    diff = X[:, None, :] - C[None, :, :]
+    return np.einsum("nkd,nkd->nk", diff, diff)
+
+
+def squared_distances_expanded(X: np.ndarray, C: np.ndarray) -> np.ndarray:
+    """Expanded-form distances ``|x|^2 - 2 x.c + |c|^2`` (ablation kernel).
+
+    One GEMM instead of an (n, k, d) temporary: faster, but numerically
+    different from the direct form (catastrophic cancellation for near ties).
+    """
+    x_sq = np.einsum("nd,nd->n", X, X)
+    c_sq = np.einsum("kd,kd->k", C, C)
+    d2 = x_sq[:, None] - 2.0 * (X @ C.T) + c_sq[None, :]
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def chunk_ranges(n: int, chunk: int) -> Iterator[Tuple[int, int]]:
+    """Yield (start, stop) covering [0, n) in blocks of at most ``chunk``."""
+    if chunk < 1:
+        raise DataShapeError(f"chunk must be >= 1, got {chunk}")
+    for start in range(0, n, chunk):
+        yield start, min(start + chunk, n)
+
+
+def assign_chunked(X: np.ndarray, C: np.ndarray,
+                   chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+                   expanded: bool = False) -> np.ndarray:
+    """Nearest-centroid assignment for every sample, bounded working set.
+
+    Returns int64 indices; ties go to the lowest centroid index (np.argmin
+    semantics), matching the deterministic hardware reduction trees of the
+    simulated machine.
+    """
+    X, C = validate_data(X, C)
+    n, k = X.shape[0], C.shape[0]
+    kernel = squared_distances_expanded if expanded else squared_distances
+    rows = max(1, chunk_elements // max(k, 1))
+    out = np.empty(n, dtype=np.int64)
+    for lo, hi in chunk_ranges(n, rows):
+        out[lo:hi] = np.argmin(kernel(X[lo:hi], C), axis=1)
+    return out
+
+
+def assign_with_distances(X: np.ndarray, C: np.ndarray,
+                          chunk_elements: int = DEFAULT_CHUNK_ELEMENTS
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+    """Assignments plus the squared distance to the winning centroid."""
+    X, C = validate_data(X, C)
+    n, k = X.shape[0], C.shape[0]
+    rows = max(1, chunk_elements // max(k, 1))
+    idx = np.empty(n, dtype=np.int64)
+    best = np.empty(n, dtype=X.dtype)
+    for lo, hi in chunk_ranges(n, rows):
+        d2 = squared_distances(X[lo:hi], C)
+        local = np.argmin(d2, axis=1)
+        idx[lo:hi] = local
+        best[lo:hi] = d2[np.arange(hi - lo), local]
+    return idx, best
+
+
+def accumulate(X: np.ndarray, assignments: np.ndarray, k: int
+               ) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-cluster vector sums and member counts.
+
+    Implements lines 11-12 of the paper's Algorithm 1 (the two accumulated
+    variables) with ``np.add.at`` scatter adds.
+    """
+    if assignments.shape[0] != X.shape[0]:
+        raise DataShapeError(
+            f"assignments length {assignments.shape[0]} != n {X.shape[0]}"
+        )
+    sums = np.zeros((k, X.shape[1]), dtype=np.float64)
+    counts = np.zeros(k, dtype=np.int64)
+    np.add.at(sums, assignments, X)
+    np.add.at(counts, assignments, 1)
+    return sums, counts
+
+
+def update_centroids(sums: np.ndarray, counts: np.ndarray,
+                     previous: np.ndarray) -> np.ndarray:
+    """New centroids = sums / counts; empty clusters keep their old centroid.
+
+    The paper's Algorithm 1 line 15 divides unconditionally; a real run never
+    hits count == 0 on its benchmarks, but a robust library must not emit
+    NaNs.  Every level shares this rule so their trajectories agree.
+    """
+    counts = np.asarray(counts)
+    new = np.array(previous, dtype=np.float64, copy=True)
+    nonempty = counts > 0
+    new[nonempty] = sums[nonempty] / counts[nonempty, None]
+    return new.astype(previous.dtype, copy=False)
+
+
+def inertia(X: np.ndarray, C: np.ndarray, assignments: np.ndarray) -> float:
+    """Objective O(C): mean squared distance of samples to their centroid."""
+    diff = X - C[assignments]
+    return float(np.einsum("nd,nd->", diff, diff) / X.shape[0])
+
+
+def max_centroid_shift(old: np.ndarray, new: np.ndarray) -> float:
+    """Largest per-centroid L2 movement between two centroid sets."""
+    return float(np.sqrt(((new - old) ** 2).sum(axis=1)).max())
+
+
+def even_slices(total: int, parts: int) -> List[Tuple[int, int]]:
+    """Split [0, total) into ``parts`` contiguous, balanced (start, stop).
+
+    The first ``total % parts`` slices get one extra element.  Slices may be
+    empty when parts > total — callers that cannot tolerate empty slices must
+    validate at plan time.
+    """
+    if parts < 1:
+        raise DataShapeError(f"parts must be >= 1, got {parts}")
+    base, extra = divmod(total, parts)
+    out: List[Tuple[int, int]] = []
+    start = 0
+    for p in range(parts):
+        size = base + (1 if p < extra else 0)
+        out.append((start, start + size))
+        start += size
+    return out

@@ -1,0 +1,195 @@
+"""The paper's LDM feasibility constraints C1/C2/C3 per partition level.
+
+All constraints are stated in *elements* (the paper's unit): an LDM of 64 KB
+holds ``65536 / itemsize`` elements.  The buffer set a CPE must hold is
+
+* one sample slice       — ``d`` elements at Level 1/2, ``d/64`` at Level 3,
+* the centroid slice     — ``k*d`` at Level 1, ``k*d/mgroup`` at Level 2, ...
+* the accumulator slice  — same size as the centroid slice,
+* the counter slice      — ``k`` (or the level's slice of it).
+
+The paper expresses these aggregated over the group, e.g. Level 2's
+``C1': d(1+2k)+k <= mgroup * LDM``; we implement the aggregated forms
+verbatim plus the per-CPE forms used by the LDM allocator.
+
+Also included: Bender et al.'s two-level-memory window ``Z < k*d < M``
+(section II.B.4), needed to reproduce the related-work comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..machine.specs import MachineSpec
+
+
+def ldm_elements(ldm_bytes: int, dtype: np.dtype | type = np.float64) -> int:
+    """LDM capacity in elements of ``dtype``."""
+    itemsize = np.dtype(dtype).itemsize
+    return ldm_bytes // itemsize
+
+
+@dataclass(frozen=True)
+class ConstraintCheck:
+    """Outcome of one constraint evaluation."""
+
+    name: str
+    satisfied: bool
+    #: Left-hand side (required elements) and right-hand side (available).
+    required: int
+    available: int
+
+    def __str__(self) -> str:
+        mark = "ok" if self.satisfied else "VIOLATED"
+        return f"{self.name}: {self.required} <= {self.available} [{mark}]"
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """All constraint checks for one (level, n, k, d, machine) combination."""
+
+    level: int
+    checks: List[ConstraintCheck]
+
+    @property
+    def feasible(self) -> bool:
+        return all(c.satisfied for c in self.checks)
+
+    def violated(self) -> List[ConstraintCheck]:
+        return [c for c in self.checks if not c.satisfied]
+
+    def __str__(self) -> str:
+        head = f"Level {self.level}: {'feasible' if self.feasible else 'infeasible'}"
+        return "\n".join([head] + [f"  {c}" for c in self.checks])
+
+
+def _check(name: str, required: int, available: int) -> ConstraintCheck:
+    return ConstraintCheck(name=name, satisfied=required <= available,
+                           required=int(required), available=int(available))
+
+
+def _validate_nkd(k: int, d: int) -> None:
+    if k < 1 or d < 1:
+        raise ConfigurationError(f"k and d must be >= 1, got k={k}, d={d}")
+
+
+def level1_feasibility(k: int, d: int, spec: MachineSpec,
+                       dtype: np.dtype | type = np.float64
+                       ) -> FeasibilityReport:
+    """Level 1 (n-partition): a CPE holds one sample and ALL k centroids.
+
+    C1: d(1+2k)+k <= LDM,  C2: 3d+1 <= LDM,  C3: 3k+1 <= LDM.
+    """
+    _validate_nkd(k, d)
+    ldm = ldm_elements(spec.ldm_bytes_per_cpe, dtype)
+    return FeasibilityReport(level=1, checks=[
+        _check("C1", d * (1 + 2 * k) + k, ldm),
+        _check("C2", 3 * d + 1, ldm),
+        _check("C3", 3 * k + 1, ldm),
+    ])
+
+
+def level2_feasibility(k: int, d: int, mgroup: int, spec: MachineSpec,
+                       dtype: np.dtype | type = np.float64
+                       ) -> FeasibilityReport:
+    """Level 2 (nk-partition): k split over ``mgroup <= 64`` CPEs of one CG.
+
+    C1': d(1+2k)+k <= mgroup*LDM,  C2' = C2,  C3': 3k+1 <= mgroup*LDM.
+    """
+    _validate_nkd(k, d)
+    max_group = spec.processor.cg.n_cpes
+    if not 1 <= mgroup <= max_group:
+        raise ConfigurationError(
+            f"mgroup must be in [1, {max_group}], got {mgroup}"
+        )
+    ldm = ldm_elements(spec.ldm_bytes_per_cpe, dtype)
+    return FeasibilityReport(level=2, checks=[
+        _check("C1'", d * (1 + 2 * k) + k, mgroup * ldm),
+        _check("C2'", 3 * d + 1, ldm),
+        _check("C3'", 3 * k + 1, mgroup * ldm),
+    ])
+
+
+def level3_feasibility(k: int, d: int, mprime_group: int, spec: MachineSpec,
+                       dtype: np.dtype | type = np.float64
+                       ) -> FeasibilityReport:
+    """Level 3 (nkd-partition): d split over a CG's CPEs, k over m'group CGs.
+
+    C1'': d(1+2k)+k <= 64*m'group*LDM,  C2'': 3d+1 <= 64*LDM,
+    C3'': 3k+1 <= m'group*64*LDM.
+    """
+    _validate_nkd(k, d)
+    if mprime_group < 1:
+        raise ConfigurationError(
+            f"m'group must be >= 1, got {mprime_group}"
+        )
+    if mprime_group > spec.n_cgs:
+        raise ConfigurationError(
+            f"m'group={mprime_group} exceeds the machine's {spec.n_cgs} CGs"
+        )
+    cpes = spec.processor.cg.n_cpes
+    ldm = ldm_elements(spec.ldm_bytes_per_cpe, dtype)
+    return FeasibilityReport(level=3, checks=[
+        _check("C1''", d * (1 + 2 * k) + k, cpes * mprime_group * ldm),
+        _check("C2''", 3 * d + 1, cpes * ldm),
+        _check("C3''", 3 * k + 1, mprime_group * cpes * ldm),
+    ])
+
+
+def max_feasible_k_level1(d: int, spec: MachineSpec,
+                          dtype: np.dtype | type = np.float64) -> int:
+    """Largest k satisfying Level 1's C1 for a given d (0 if even k=1 fails)."""
+    ldm = ldm_elements(spec.ldm_bytes_per_cpe, dtype)
+    if 3 * d + 1 > ldm:
+        return 0
+    # d(1+2k)+k <= ldm  =>  k <= (ldm - d) / (2d + 1)
+    return max((ldm - d) // (2 * d + 1), 0)
+
+
+def min_mgroup_level2(k: int, d: int, spec: MachineSpec,
+                      dtype: np.dtype | type = np.float64) -> int | None:
+    """Smallest mgroup in [1, 64] making Level 2 feasible, or None."""
+    _validate_nkd(k, d)
+    for mgroup in range(1, spec.processor.cg.n_cpes + 1):
+        if level2_feasibility(k, d, mgroup, spec, dtype).feasible:
+            return mgroup
+    return None
+
+
+def min_mprime_group_level3(k: int, d: int, spec: MachineSpec,
+                            dtype: np.dtype | type = np.float64) -> int | None:
+    """Smallest m'group making Level 3 feasible on this machine, or None."""
+    _validate_nkd(k, d)
+    cpes = spec.processor.cg.n_cpes
+    ldm = ldm_elements(spec.ldm_bytes_per_cpe, dtype)
+    if 3 * d + 1 > cpes * ldm:
+        return None
+    # Solve C1'' for m'group, then verify all constraints at that value.
+    per_group = cpes * ldm
+    need = d * (1 + 2 * k) + k
+    m = max(1, -(-need // per_group))  # ceil division
+    if m > spec.n_cgs:
+        return None
+    report = level3_feasibility(k, d, m, spec, dtype)
+    return m if report.feasible else None
+
+
+def bender_window(k: int, d: int, cache_elements: int,
+                  scratchpad_elements: int) -> bool:
+    """Bender et al.'s two-level memory constraint ``Z < k*d < M``.
+
+    Their partition-based method needs the centroid set to overflow the
+    cache (otherwise the recursion is pointless) but fit the scratchpad —
+    the interaction constraint the paper's Level 3 removes.
+    """
+    if cache_elements <= 0 or scratchpad_elements <= cache_elements:
+        raise ConfigurationError(
+            "need 0 < cache_elements < scratchpad_elements, got "
+            f"Z={cache_elements}, M={scratchpad_elements}"
+        )
+    kd = k * d
+    return cache_elements < kd < scratchpad_elements

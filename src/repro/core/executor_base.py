@@ -1,0 +1,155 @@
+"""Shared iteration driver for the simulated Level 1/2/3 executors.
+
+Each executor implements one Lloyd iteration under its partition plan —
+performing the real arithmetic with NumPy *and* charging the modelled cost
+of every phase (DMA, compute, register comm, MPI) to a
+:class:`~repro.runtime.ledger.TimeLedger`.  The base class owns everything
+that is identical across levels: the convergence loop, telemetry, result
+assembly, and the paper's stop rule ("until each c_j is fixed", tol = 0).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..machine.machine import Machine
+from ..runtime.compute import ComputeModel
+from ..runtime.ledger import TimeLedger
+from ._common import inertia, max_centroid_shift, validate_data
+from .result import IterationStats, KMeansResult
+
+
+class LevelExecutor(ABC):
+    """Template for a partition-level k-means executor.
+
+    Parameters
+    ----------
+    machine:
+        The simulated machine the plan was made for.
+    collective_algorithm:
+        Algorithm used by inter-CG collectives ("ring", "tree",
+        "recursive-doubling").
+    strict_cpe:
+        When True, the executor computes per-CPE partial results explicitly
+        and combines them exactly the way the hardware reduction would —
+        slower, used by fidelity tests.  When False it uses the numerically
+        equivalent vectorised form.
+    overlap_dma:
+        Model double-buffered DMA: the sample-stream transfer overlaps the
+        distance computation, so the streaming phase is charged
+        ``max(dma, compute)`` instead of their sum — the standard Sunway
+        optimisation, ablated in ``benchmarks/bench_ablations.py``.
+    compute_efficiency:
+        Sustained fraction of peak FLOP/s assumed for the distance kernel.
+    """
+
+    #: Partition level implemented by the subclass (1, 2 or 3).
+    level: int = 0
+
+    def __init__(self, machine: Machine, collective_algorithm: str = "ring",
+                 strict_cpe: bool = False, overlap_dma: bool = False,
+                 compute_efficiency: float | None = None) -> None:
+        self.machine = machine
+        self.collective_algorithm = collective_algorithm
+        self.strict_cpe = bool(strict_cpe)
+        self.overlap_dma = bool(overlap_dma)
+        self.ledger = TimeLedger()
+        kwargs = {}
+        if compute_efficiency is not None:
+            kwargs["efficiency"] = compute_efficiency
+        self.compute = ComputeModel(machine.spec.processor.cg, self.ledger,
+                                    **kwargs)
+
+    # -- subclass interface ------------------------------------------------------
+
+    @abstractmethod
+    def setup(self, X: np.ndarray, C: np.ndarray) -> None:
+        """Validate the plan against (X, C) and charge one-time load costs."""
+
+    @abstractmethod
+    def iterate(self, X: np.ndarray, C: np.ndarray
+                ) -> Tuple[np.ndarray, np.ndarray]:
+        """One Assign+Update under the plan; returns (assignments, new_C).
+
+        Implementations must charge every phase of the iteration to
+        ``self.ledger`` before returning.
+        """
+
+    def charge_stream_phases(self, prefix: str, dma_times, compute_times
+                             ) -> None:
+        """Charge the sample-stream DMA and distance compute phases.
+
+        Without overlap the phases serialise (charge both); with
+        double-buffered DMA the slower one hides the other, so only
+        ``max`` is charged (to its own category, the hidden phase at 0).
+        """
+        dma_worst = max(dma_times)
+        compute_worst = max(compute_times)
+        if not self.overlap_dma:
+            self.ledger.charge("dma", f"{prefix}.stream", dma_worst)
+            self.ledger.charge("compute", f"{prefix}.distances",
+                               compute_worst)
+            return
+        if dma_worst >= compute_worst:
+            self.ledger.charge("dma", f"{prefix}.stream+compute(overlap)",
+                               dma_worst)
+            self.ledger.charge("compute", f"{prefix}.distances(hidden)",
+                               0.0)
+        else:
+            self.ledger.charge("dma", f"{prefix}.stream(hidden)", 0.0)
+            self.ledger.charge("compute",
+                               f"{prefix}.compute+stream(overlap)",
+                               compute_worst)
+
+    # -- driver --------------------------------------------------------------------
+
+    def run(self, X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
+            tol: float = 0.0) -> KMeansResult:
+        """Run to convergence (or ``max_iter``) from ``centroids``."""
+        if max_iter < 1:
+            raise ConfigurationError(f"max_iter must be >= 1, got {max_iter}")
+        if tol < 0:
+            raise ConfigurationError(f"tol must be >= 0, got {tol}")
+        X, C = validate_data(X, np.array(centroids, copy=True))
+
+        self.setup(X, C)
+
+        history = []
+        assignments = np.full(X.shape[0], -1, dtype=np.int64)
+        converged = False
+        it = 0
+        for _ in range(max_iter):
+            it = self.ledger.next_iteration()
+            t_before = self.ledger.total()
+            new_assignments, new_C = self.iterate(X, C)
+            t_iter = self.ledger.total() - t_before
+
+            shift = max_centroid_shift(C, new_C)
+            history.append(IterationStats(
+                iteration=it,
+                inertia=inertia(X, C, new_assignments),
+                centroid_shift=shift,
+                n_reassigned=int((new_assignments != assignments).sum()),
+                modelled_seconds=t_iter,
+            ))
+            assignments = new_assignments
+            C = new_C
+            if shift <= tol:
+                converged = True
+                break
+
+        final_inertia = inertia(X, C, assignments)
+        return KMeansResult(
+            centroids=C,
+            assignments=assignments,
+            inertia=final_inertia,
+            n_iter=it,
+            converged=converged,
+            history=history,
+            ledger=self.ledger,
+            level=self.level,
+        )

@@ -1,0 +1,107 @@
+"""Centroid initialisation strategies.
+
+The paper treats initial centroids as an input ("initial centroid set C")
+and studies per-iteration cost only, so any strategy works for reproducing
+its figures; the library still provides the standard ones for real use:
+
+* ``"first"``     — the first k samples (deterministic, what a fixed input
+  file gives you; used by the experiments so every level starts identically),
+* ``"random"``    — k distinct samples chosen uniformly,
+* ``"kmeans++"``  — D^2 weighting [Arthur & Vassilvitskii 2007], the default
+  for quality-sensitive applications such as the land-cover demo.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError, DataShapeError
+from ._common import chunk_ranges, squared_distances
+
+#: Strategies accepted by :func:`init_centroids`.
+METHODS = ("first", "random", "kmeans++")
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _as_rng(seed: RngLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def init_centroids(X: np.ndarray, k: int, method: str = "kmeans++",
+                   seed: RngLike = None) -> np.ndarray:
+    """Choose k initial centroids from the rows of X.
+
+    Parameters
+    ----------
+    X:
+        (n, d) sample matrix.
+    k:
+        Number of centroids; must satisfy ``1 <= k <= n``.
+    method:
+        One of :data:`METHODS`.
+    seed:
+        Seed or Generator for the stochastic methods.
+
+    Returns
+    -------
+    (k, d) float array, a copy (safe to mutate).
+    """
+    X = np.asarray(X)
+    if X.ndim != 2:
+        raise DataShapeError(f"X must be 2-D, got shape {X.shape}")
+    n = X.shape[0]
+    if not 1 <= k <= n:
+        raise ConfigurationError(f"k must be in [1, n={n}], got {k}")
+    if method not in METHODS:
+        raise ConfigurationError(
+            f"unknown init method {method!r}; expected one of {METHODS}"
+        )
+    if method == "first":
+        return np.array(X[:k], dtype=np.float64, copy=True)
+    rng = _as_rng(seed)
+    if method == "random":
+        idx = rng.choice(n, size=k, replace=False)
+        return np.array(X[np.sort(idx)], dtype=np.float64, copy=True)
+    return _kmeans_plus_plus(X.astype(np.float64, copy=False), k, rng)
+
+
+def _kmeans_plus_plus(X: np.ndarray, k: int,
+                      rng: np.random.Generator) -> np.ndarray:
+    """D^2-weighted seeding.
+
+    Each new centroid is drawn with probability proportional to the squared
+    distance from the nearest already-chosen centroid.  Distances are
+    maintained incrementally (one (n,) vector), not recomputed per round.
+    """
+    n, d = X.shape
+    centroids = np.empty((k, d), dtype=np.float64)
+    first = int(rng.integers(n))
+    centroids[0] = X[first]
+    # Min squared distance to any chosen centroid so far.
+    d2 = squared_distances(X, centroids[:1])[:, 0]
+    for j in range(1, k):
+        total = d2.sum()
+        if total <= 0.0:
+            # All remaining mass is on already-chosen points (duplicates):
+            # fall back to uniform choice among all samples.
+            choice = int(rng.integers(n))
+        else:
+            choice = int(rng.choice(n, p=d2 / total))
+        centroids[j] = X[choice]
+        np.minimum(d2, squared_distances(X, centroids[j:j + 1])[:, 0], out=d2)
+    return centroids
+
+
+def spread_centroids(k: int, d: int, low: float = -1.0, high: float = 1.0,
+                     seed: RngLike = 0) -> np.ndarray:
+    """Uniform random centroids in a box — for cost benchmarks where only
+    the (k, d) shape matters, not clustering quality."""
+    if k < 1 or d < 1:
+        raise ConfigurationError(f"k and d must be >= 1, got k={k}, d={d}")
+    rng = _as_rng(seed)
+    return rng.uniform(low, high, size=(k, d))

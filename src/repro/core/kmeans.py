@@ -1,0 +1,224 @@
+"""Public facade: hierarchical k-means with automatic level selection.
+
+:class:`HierarchicalKMeans` is the API a downstream user touches.  It picks
+the cheapest partition level that fits the problem — the flexibility claim
+of the paper's section III.D: low-dimensional small-k workloads run Level 1,
+centroid-heavy workloads run Level 2, and only problems whose (k, d)
+footprint exceeds a core group's memory pay for the full nkd partition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError, PartitionError
+from ..machine.machine import Machine, sunway_machine
+from .init import METHODS, RngLike, init_centroids
+from .level1 import Level1Executor
+from .level2 import Level2Executor
+from .level3 import Level3Executor
+from .level3_bounded import Level3BoundedExecutor
+from .lloyd import lloyd
+from .partition import plan_level1, plan_level2, plan_level3
+from .result import KMeansResult
+
+#: Accepted values for the ``level`` argument.
+LEVELS = ("auto", 0, 1, 2, 3)
+
+
+def select_level(machine: Machine, n: int, k: int, d: int,
+                 dtype: np.dtype | type = np.float64) -> int:
+    """Choose the lowest feasible partition level for (n, k, d).
+
+    Lower levels have less read amplification and cheaper reductions, so
+    they win whenever their memory constraints hold; Level 3 is the only
+    option once ``k*d`` outgrows a core group.
+
+    Raises
+    ------
+    PartitionError
+        If not even Level 3 fits the machine.
+    """
+    for level, planner in ((1, plan_level1), (2, plan_level2),
+                           (3, plan_level3)):
+        try:
+            planner(machine, n, k, d, dtype=dtype)
+            return level
+        except PartitionError:
+            continue
+    raise PartitionError(
+        f"no partition level fits n={n}, k={k}, d={d} on a machine with "
+        f"{machine.n_cgs} CGs and {machine.ldm_bytes} B LDM per CPE"
+    )
+
+
+class HierarchicalKMeans:
+    """k-means on the simulated Sunway machine.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of centroids k.
+    machine:
+        Simulated machine to run on; defaults to one SW26010 node.
+    level:
+        ``"auto"`` (default) picks the lowest feasible level; 1/2/3 force a
+        level; 0 runs the serial Lloyd baseline (no machine simulation).
+    init:
+        Initialisation strategy (see :mod:`repro.core.init`) — or an
+        explicit (k, d) array of starting centroids.
+    max_iter, tol:
+        Convergence controls; ``tol=0`` reproduces the paper's
+        "until each c_j is fixed".
+    n_init:
+        Number of restarts with different stochastic initialisations; the
+        result with the lowest final inertia wins (requires a stochastic
+        ``init``).  ``all_inertias_`` records every restart's objective.
+    seed:
+        Seed for stochastic initialisation (restarts derive child seeds).
+    executor_kwargs:
+        Extra keyword arguments forwarded to the level executor
+        (``collective_algorithm``, ``strict_cpe``, ``streaming``,
+        ``overlap_dma``, ``mgroup``, ``mprime_group``,
+        ``supernode_aware``...).  ``bounded=True`` selects the
+        Hamerly-filtered Level-3 executor when level 3 runs.
+
+    Examples
+    --------
+    >>> from repro import HierarchicalKMeans, sunway_machine
+    >>> from repro.data import gaussian_blobs
+    >>> X, _ = gaussian_blobs(n=2000, k=16, d=32, seed=7)
+    >>> model = HierarchicalKMeans(16, machine=sunway_machine(1), seed=7)
+    >>> result = model.fit(X)
+    >>> result.centroids.shape
+    (16, 32)
+    """
+
+    def __init__(self, n_clusters: int, machine: Optional[Machine] = None,
+                 level: Union[str, int] = "auto", init: Union[str, np.ndarray] = "kmeans++",
+                 max_iter: int = 100, tol: float = 0.0, n_init: int = 1,
+                 seed: RngLike = None, **executor_kwargs) -> None:
+        if n_clusters < 1:
+            raise ConfigurationError(
+                f"n_clusters must be >= 1, got {n_clusters}"
+            )
+        if n_init < 1:
+            raise ConfigurationError(f"n_init must be >= 1, got {n_init}")
+        if n_init > 1 and (isinstance(init, np.ndarray) or init == "first"):
+            raise ConfigurationError(
+                "n_init > 1 needs a stochastic init "
+                "(\"random\" or \"kmeans++\"); deterministic restarts "
+                "would all be identical"
+            )
+        if level not in LEVELS:
+            raise ConfigurationError(
+                f"level must be one of {LEVELS}, got {level!r}"
+            )
+        if isinstance(init, str) and init not in METHODS:
+            raise ConfigurationError(
+                f"init must be an array or one of {METHODS}, got {init!r}"
+            )
+        self.n_clusters = int(n_clusters)
+        self.machine = machine if machine is not None else sunway_machine(1)
+        self.level = level
+        self.init = init
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.n_init = int(n_init)
+        self.seed = seed
+        self.executor_kwargs = executor_kwargs
+        #: Filled by fit(): the level that actually ran.
+        self.selected_level_: Optional[int] = None
+        self.result_: Optional[KMeansResult] = None
+        #: Final inertia of every restart (length n_init after fit()).
+        self.all_inertias_: list[float] = []
+
+    # -- API -----------------------------------------------------------------
+
+    def initial_centroids(self, X: np.ndarray) -> np.ndarray:
+        """Materialise the starting centroid set for ``X``."""
+        if isinstance(self.init, np.ndarray):
+            C = np.asarray(self.init, dtype=np.float64)
+            if C.shape != (self.n_clusters, X.shape[1]):
+                raise ConfigurationError(
+                    f"explicit init centroids must have shape "
+                    f"({self.n_clusters}, {X.shape[1]}), got {C.shape}"
+                )
+            return np.array(C, copy=True)
+        return init_centroids(X, self.n_clusters, method=self.init,
+                              seed=self.seed)
+
+    def resolve_level(self, X: np.ndarray) -> int:
+        """The level fit() would use for this data (without running it)."""
+        if self.level != "auto":
+            return int(self.level)
+        return select_level(self.machine, X.shape[0], self.n_clusters,
+                            X.shape[1], dtype=X.dtype)
+
+    def fit(self, X: np.ndarray) -> KMeansResult:
+        """Cluster ``X``; returns (and stores) the best restart's result."""
+        X = np.asarray(X)
+        if X.ndim != 2:
+            raise ConfigurationError(f"X must be 2-D, got shape {X.shape}")
+        level = self.resolve_level(X)
+
+        if self.n_init == 1:
+            result = self._fit_once(X, level, self.initial_centroids(X))
+            self.all_inertias_ = [result.inertia]
+        else:
+            root = np.random.SeedSequence(
+                self.seed if isinstance(self.seed, int) else None)
+            best: Optional[KMeansResult] = None
+            self.all_inertias_ = []
+            for child in root.spawn(self.n_init):
+                rng = np.random.default_rng(child)
+                C0 = init_centroids(X, self.n_clusters, method=self.init,
+                                    seed=rng)
+                candidate = self._fit_once(X, level, C0)
+                self.all_inertias_.append(candidate.inertia)
+                if best is None or candidate.inertia < best.inertia:
+                    best = candidate
+            result = best
+
+        self.selected_level_ = level
+        self.result_ = result
+        return result
+
+    def _fit_once(self, X: np.ndarray, level: int,
+                  C0: np.ndarray) -> KMeansResult:
+        """One run at a resolved level from explicit initial centroids."""
+
+        kwargs = dict(self.executor_kwargs)
+        bounded = kwargs.pop("bounded", False)
+        if bounded and level != 3:
+            raise ConfigurationError(
+                f"bounded=True requires Level 3 (bounds compose with the "
+                f"nkd partition); the resolved level is {level}"
+            )
+        if level == 0:
+            return lloyd(X, C0, max_iter=self.max_iter, tol=self.tol)
+        if level == 1:
+            executor = Level1Executor(self.machine, **kwargs)
+            return executor.run(X, C0, max_iter=self.max_iter, tol=self.tol)
+        if level == 2:
+            executor = Level2Executor(self.machine, **kwargs)
+            return executor.run(X, C0, max_iter=self.max_iter, tol=self.tol)
+        if level == 3:
+            cls = Level3BoundedExecutor if bounded else Level3Executor
+            executor = cls(self.machine, **kwargs)
+            return executor.run(X, C0, max_iter=self.max_iter, tol=self.tol)
+        raise ConfigurationError(  # pragma: no cover - guarded by LEVELS
+            f"unsupported level {level}")
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Nearest-centroid assignment of new samples under the fitted model."""
+        if self.result_ is None:
+            raise ConfigurationError("fit() must be called before predict()")
+        from ._common import assign_chunked
+        return assign_chunked(np.asarray(X), self.result_.centroids)
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        """fit() then return the training assignments."""
+        return self.fit(X).assignments

@@ -1,0 +1,152 @@
+"""Level 1 executor — dataflow (n) partition, the paper's Algorithm 1.
+
+Every active CPE holds the *entire* centroid set in its LDM and streams a
+contiguous block of samples: it assigns each sample to its nearest centroid
+and accumulates per-centroid vector sums and counts.  The Update step is two
+AllReduce operations — register communication inside each CG, MPI across
+CGs — followed by the division.
+
+This is the classic design used on Jaguar [Kumar et al.] and Gordon [Cai et
+al.]; it scales n but caps k and d jointly by a single CPE's 64 KB LDM
+(constraint C1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..machine.machine import Machine
+from ..runtime.compute import distance_flops
+from ..runtime.dma import DMAEngine
+from ..runtime.mpi import SimComm
+from ..runtime.regcomm import RegisterComm
+from ._common import accumulate, assign_chunked, update_centroids
+from .executor_base import LevelExecutor
+from .partition import Level1Plan, plan_level1
+from .result import KMeansResult
+
+
+class Level1Executor(LevelExecutor):
+    """Simulated execution of the n-partition algorithm."""
+
+    level = 1
+
+    def __init__(self, machine: Machine, plan: Optional[Level1Plan] = None,
+                 **kwargs) -> None:
+        super().__init__(machine, **kwargs)
+        self._plan = plan
+        self._itemsize = 8
+        self._regcomm = RegisterComm(machine.spec.processor.cg, self.ledger)
+        self._dma = DMAEngine(machine.spec.processor.cg, self.ledger)
+        self._comm: Optional[SimComm] = None
+        #: active CPE units per CG: cg_index -> list of unit ids
+        self._units_by_cg: Dict[int, List[int]] = {}
+
+    @property
+    def plan(self) -> Level1Plan:
+        if self._plan is None:
+            raise RuntimeError("executor has not been set up yet")
+        return self._plan
+
+    # -- setup ------------------------------------------------------------------
+
+    def setup(self, X: np.ndarray, C: np.ndarray) -> None:
+        n, d = X.shape
+        k = C.shape[0]
+        if self._plan is None:
+            self._plan = plan_level1(self.machine, n, k, d, dtype=X.dtype)
+        plan = self._plan
+        self._itemsize = np.dtype(plan.dtype).itemsize
+
+        by_cg: Dict[int, List[int]] = defaultdict(list)
+        for unit in range(plan.units):
+            by_cg[plan.cg_of_unit[unit]].append(unit)
+        self._units_by_cg = dict(by_cg)
+
+        active_cgs = sorted(self._units_by_cg)
+        self._comm = SimComm(self.machine, active_cgs, self.ledger,
+                             self.collective_algorithm)
+
+        # One-time broadcast of the initial centroids to every active CPE
+        # (iteration epoch 0 in the ledger).
+        self.ledger.charge(
+            "network", "l1.setup.bcast_centroids",
+            self._comm.bcast_time(k * d * self._itemsize),
+        )
+
+    # -- one iteration ------------------------------------------------------------
+
+    def iterate(self, X: np.ndarray, C: np.ndarray
+                ) -> Tuple[np.ndarray, np.ndarray]:
+        plan = self.plan
+        n, d = X.shape
+        k = C.shape[0]
+        item = self._itemsize
+        assert self._comm is not None
+
+        assignments = np.empty(n, dtype=np.int64)
+        # Per-unit partial accumulators, later reduced within CG then across.
+        unit_sums: Dict[int, np.ndarray] = {}
+        unit_counts: Dict[int, np.ndarray] = {}
+
+        # ---- Assign phase: fully parallel over active CPEs ----
+        dma_times: List[float] = []       # one per CG (shared engine)
+        compute_times: List[float] = []   # one per CPE
+        for cg_index, units in self._units_by_cg.items():
+            cg_bytes = 0
+            for unit in units:
+                lo, hi = plan.sample_blocks[unit]
+                block = X[lo:hi]
+                assignments[lo:hi] = assign_chunked(block, C)
+                sums, counts = accumulate(block, assignments[lo:hi], k)
+                unit_sums[unit] = sums
+                unit_counts[unit] = counts
+                # Sample stream + per-iteration centroid refresh, per paper's
+                # Tread = (n*d/m + k*d)/B.
+                cg_bytes += (block.shape[0] * d + k * d) * item
+                compute_times.append(self.compute.time_for_flops(
+                    distance_flops(block.shape[0], k, d)
+                    + block.shape[0] * d,  # accumulate adds
+                    n_cpes=1,
+                ))
+            dma_times.append(self._dma.transfer_time(cg_bytes))
+        self.charge_stream_phases("l1.assign", dma_times, compute_times)
+
+        # ---- Update phase: AllReduce within CG (register comm) ----
+        cg_sums: List[np.ndarray] = []
+        cg_counts: List[np.ndarray] = []
+        payload = (k * d + k) * item
+        for cg_index, units in sorted(self._units_by_cg.items()):
+            s = np.sum([unit_sums[u] for u in units], axis=0)
+            c = np.sum([unit_counts[u] for u in units], axis=0)
+            cg_sums.append(s)
+            cg_counts.append(c)
+        # Every CG performs the same-size mesh allreduce concurrently.
+        self.ledger.charge("regcomm", "l1.update.intra_cg_allreduce",
+                           self._regcomm.allreduce_time(payload))
+
+        # ---- AllReduce across CGs (MPI) ----
+        if self._comm.size > 1:
+            global_sums = self._comm.allreduce_sum(
+                cg_sums, label="l1.update.inter_cg_allreduce.sums")
+            global_counts = self._comm.allreduce_sum(
+                cg_counts, label="l1.update.inter_cg_allreduce.counts")
+        else:
+            global_sums, global_counts = cg_sums[0], cg_counts[0]
+
+        # ---- Divide (line 15) — every CPE updates its local copy ----
+        self.ledger.charge("compute", "l1.update.divide",
+                           self.compute.time_for_flops(k * d, n_cpes=1))
+        new_C = update_centroids(global_sums, global_counts, C)
+        return assignments, new_C
+
+
+def run_level1(X: np.ndarray, centroids: np.ndarray, machine: Machine,
+               max_iter: int = 100, tol: float = 0.0,
+               **executor_kwargs) -> KMeansResult:
+    """Convenience wrapper: plan, execute, and return the result."""
+    executor = Level1Executor(machine, **executor_kwargs)
+    return executor.run(X, centroids, max_iter=max_iter, tol=tol)

@@ -1,0 +1,200 @@
+"""Level 2 executor — dataflow + centroid (nk) partition, Algorithm 2.
+
+``mgroup`` CPEs inside a core group form a *CPE group* that collectively
+holds the centroid set, one slice per member.  Every member reads the same
+sample, computes a partial nearest-centroid over its slice (a(i)'), and a
+MINLOC reduction over the group produces the global a(i).  Accumulators are
+sliced the same way; updating them needs an AllReduce per slice across all
+CPE groups.
+
+This reproduces the two-level-memory design of Bender et al. on Trinity —
+including its failure mode: the full sample must still fit one CPE's LDM
+(constraint C2), so d cannot scale past the scratchpad no matter how many
+cores are added.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..machine.machine import Machine
+from ..runtime.compute import distance_flops
+from ..runtime.dma import DMAEngine
+from ..runtime.mpi import SimComm
+from ..runtime.regcomm import RegisterComm
+from ._common import accumulate, assign_chunked, squared_distances, update_centroids
+from .executor_base import LevelExecutor
+from .partition import Level2Plan, plan_level2
+from .result import KMeansResult
+
+
+class Level2Executor(LevelExecutor):
+    """Simulated execution of the nk-partition algorithm."""
+
+    level = 2
+
+    def __init__(self, machine: Machine, plan: Optional[Level2Plan] = None,
+                 mgroup: Optional[int] = None, streaming: bool = False,
+                 **kwargs) -> None:
+        super().__init__(machine, **kwargs)
+        self._plan = plan
+        self._mgroup_request = mgroup
+        self._streaming = bool(streaming)
+        self._itemsize = 8
+        self._regcomm = RegisterComm(machine.spec.processor.cg, self.ledger)
+        self._dma = DMAEngine(machine.spec.processor.cg, self.ledger)
+        self._comm: Optional[SimComm] = None
+        self._groups_by_cg: Dict[int, List[int]] = {}
+
+    @property
+    def plan(self) -> Level2Plan:
+        if self._plan is None:
+            raise RuntimeError("executor has not been set up yet")
+        return self._plan
+
+    # -- setup ---------------------------------------------------------------
+
+    def setup(self, X: np.ndarray, C: np.ndarray) -> None:
+        n, d = X.shape
+        k = C.shape[0]
+        if self._plan is None:
+            self._plan = plan_level2(self.machine, n, k, d,
+                                     mgroup=self._mgroup_request,
+                                     streaming=self._streaming,
+                                     dtype=X.dtype)
+        plan = self._plan
+        self._itemsize = np.dtype(plan.dtype).itemsize
+
+        by_cg: Dict[int, List[int]] = defaultdict(list)
+        for g in range(plan.n_groups):
+            by_cg[plan.cg_of_group[g]].append(g)
+        self._groups_by_cg = dict(by_cg)
+
+        active_cgs = sorted(self._groups_by_cg)
+        self._comm = SimComm(self.machine, active_cgs, self.ledger,
+                             self.collective_algorithm)
+        # Initial scatter of centroid slices to every group member.
+        self.ledger.charge(
+            "network", "l2.setup.scatter_centroids",
+            self._comm.bcast_time(k * d * self._itemsize),
+        )
+
+    # -- one iteration ------------------------------------------------------------
+
+    def _assign_block(self, block: np.ndarray, C: np.ndarray) -> np.ndarray:
+        """Assignment of one group's block, strict or fast path.
+
+        Strict mode mirrors the hardware dataflow: each member CPE computes
+        distances over its centroid slice and a slice-local argmin (line 9's
+        a(i)'), then a MINLOC reduction (line 10) combines the mgroup partial
+        winners.  Fast mode computes the same argmin in one vectorised pass.
+        """
+        plan = self.plan
+        if not self.strict_cpe:
+            return assign_chunked(block, C)
+        b = block.shape[0]
+        best_val = np.full(b, np.inf, dtype=np.float64)
+        best_idx = np.zeros(b, dtype=np.int64)
+        for lo, hi in plan.centroid_slices:
+            if lo == hi:
+                continue
+            d2 = squared_distances(block, C[lo:hi])
+            local = np.argmin(d2, axis=1)
+            vals = d2[np.arange(b), local]
+            # Strict less-than keeps the lowest global index on ties, the
+            # same rule np.argmin applies (slices are visited in index order).
+            better = vals < best_val
+            best_val[better] = vals[better]
+            best_idx[better] = lo + local[better]
+        return best_idx
+
+    def iterate(self, X: np.ndarray, C: np.ndarray
+                ) -> Tuple[np.ndarray, np.ndarray]:
+        plan = self.plan
+        n, d = X.shape
+        k = C.shape[0]
+        item = self._itemsize
+        assert self._comm is not None
+        widest_slice = max(hi - lo for lo, hi in plan.centroid_slices)
+
+        assignments = np.empty(n, dtype=np.int64)
+        group_sums: Dict[int, np.ndarray] = {}
+        group_counts: Dict[int, np.ndarray] = {}
+
+        # ---- Assign phase ----
+        dma_times: List[float] = []
+        compute_times: List[float] = []
+        accumulate_times: List[float] = []
+        for cg_index, groups in self._groups_by_cg.items():
+            cg_bytes = 0
+            for g in groups:
+                lo, hi = plan.sample_blocks[g]
+                block = X[lo:hi]
+                b = block.shape[0]
+                assignments[lo:hi] = self._assign_block(block, C)
+                sums, counts = accumulate(block, assignments[lo:hi], k)
+                group_sums[g] = sums
+                group_counts[g] = counts
+                # Every member CPE streams the whole block (the n*d*mgroup/m
+                # amplification of T'read) plus its centroid slice traffic
+                # (slice bytes once when resident, re-streamed per stage
+                # otherwise — see StreamingInfo).
+                cg_bytes += (b * d * plan.mgroup) * item \
+                    + plan.mgroup * plan.cent_traffic_bytes_per_cpe()
+                # Member CPEs work concurrently, each over its slice.
+                compute_times.append(self.compute.time_for_flops(
+                    distance_flops(b, widest_slice, d), n_cpes=1))
+                # Accumulation load per member = samples assigned to its
+                # slice; the critical path is the most loaded member.
+                slice_loads = [
+                    int(counts[s_lo:s_hi].sum()) * d
+                    for s_lo, s_hi in plan.centroid_slices
+                ]
+                accumulate_times.append(self.compute.time_for_flops(
+                    max(slice_loads), n_cpes=1))
+            dma_times.append(self._dma.transfer_time(cg_bytes))
+        self.charge_stream_phases("l2.assign", dma_times, compute_times)
+
+        # MINLOC over each CPE group (line 10): one (value, index) pair per
+        # sample travels the mesh buses; groups operate concurrently.
+        max_block = max(hi - lo for lo, hi in plan.sample_blocks)
+        self.ledger.charge("regcomm", "l2.assign.minloc",
+                           self._regcomm.allreduce_time(max_block * 16))
+
+        self.ledger.charge_parallel("compute", "l2.update.accumulate",
+                                    accumulate_times)
+
+        # ---- Update phase: two-stage AllReduce of sliced accumulators ----
+        payload = (k * d + k) * item
+        cg_sums: List[np.ndarray] = []
+        cg_counts: List[np.ndarray] = []
+        for cg_index, groups in sorted(self._groups_by_cg.items()):
+            cg_sums.append(np.sum([group_sums[g] for g in groups], axis=0))
+            cg_counts.append(np.sum([group_counts[g] for g in groups], axis=0))
+        self.ledger.charge("regcomm", "l2.update.intra_cg_allreduce",
+                           self._regcomm.allreduce_time(payload))
+        if self._comm.size > 1:
+            global_sums = self._comm.allreduce_sum(
+                cg_sums, label="l2.update.inter_cg_allreduce.sums")
+            global_counts = self._comm.allreduce_sum(
+                cg_counts, label="l2.update.inter_cg_allreduce.counts")
+        else:
+            global_sums, global_counts = cg_sums[0], cg_counts[0]
+
+        # Divide: each member CPE finishes its own slice.
+        self.ledger.charge("compute", "l2.update.divide",
+                           self.compute.time_for_flops(widest_slice * d,
+                                                       n_cpes=1))
+        new_C = update_centroids(global_sums, global_counts, C)
+        return assignments, new_C
+
+
+def run_level2(X: np.ndarray, centroids: np.ndarray, machine: Machine,
+               mgroup: Optional[int] = None, max_iter: int = 100,
+               tol: float = 0.0, **executor_kwargs) -> KMeansResult:
+    """Convenience wrapper: plan, execute, and return the result."""
+    executor = Level2Executor(machine, mgroup=mgroup, **executor_kwargs)
+    return executor.run(X, centroids, max_iter=max_iter, tol=tol)

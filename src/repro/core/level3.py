@@ -1,0 +1,235 @@
+"""Level 3 executor — dataflow + centroid + dimension (nkd) partition.
+
+The paper's contribution (Algorithm 3).  One core group becomes the basic
+computing unit: a sample's d dimensions are spread over the CG's 64 CPEs,
+``m'group`` CGs form a *CG group* that collectively holds the k centroids
+(one contiguous centroid slice per member CG, dimension-sliced the same way
+as the samples), and the dataflow is split over CG groups.
+
+Per iteration and sample block:
+
+1. every CG of a group streams the block (dimension-sliced over its CPEs),
+2. each CPE computes partial squared distances over its dim slice for the
+   CG's centroid slice; a register-communication reduce over the mesh yields
+   the CG's distances; a CG-local argmin gives the slice winner a(i)',
+3. an MPI MINLOC over the group's CGs gives the global a(i),
+4. each CG accumulates sums/counts for its own centroid slice,
+5. slice owners AllReduce across CG groups and divide.
+
+Because d lives on the CPE axis and k on the CG axis, ``k*d`` is bounded
+only by ``m * LDM`` — the whole machine's scratchpad (constraint C1'') —
+which is what lets k and d scale independently.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..machine.machine import Machine
+from ..runtime.compute import distance_flops
+from ..runtime.dma import DMAEngine
+from ..runtime.mpi import SimComm
+from ..runtime.regcomm import RegisterComm
+from ._common import accumulate, assign_chunked, update_centroids
+from .executor_base import LevelExecutor
+from .partition import Level3Plan, plan_level3
+from .result import KMeansResult
+
+
+class Level3Executor(LevelExecutor):
+    """Simulated execution of the nkd-partition algorithm."""
+
+    level = 3
+
+    def __init__(self, machine: Machine, plan: Optional[Level3Plan] = None,
+                 mprime_group: Optional[int] = None,
+                 supernode_aware: bool = True, streaming: bool = False,
+                 **kwargs) -> None:
+        super().__init__(machine, **kwargs)
+        self._plan = plan
+        self._mprime_request = mprime_group
+        self._supernode_aware = supernode_aware
+        self._streaming = bool(streaming)
+        self._itemsize = 8
+        self._regcomm = RegisterComm(machine.spec.processor.cg, self.ledger)
+        self._dma = DMAEngine(machine.spec.processor.cg, self.ledger)
+        #: one communicator per CG group (for the MINLOC step)
+        self._group_comms: List[SimComm] = []
+        #: one communicator per member position (for the update AllReduce)
+        self._member_comms: List[SimComm] = []
+
+    @property
+    def plan(self) -> Level3Plan:
+        if self._plan is None:
+            raise RuntimeError("executor has not been set up yet")
+        return self._plan
+
+    # -- setup ---------------------------------------------------------------
+
+    def setup(self, X: np.ndarray, C: np.ndarray) -> None:
+        n, d = X.shape
+        k = C.shape[0]
+        if self._plan is None:
+            self._plan = plan_level3(
+                self.machine, n, k, d,
+                mprime_group=self._mprime_request,
+                supernode_aware=self._supernode_aware,
+                streaming=self._streaming,
+                dtype=X.dtype,
+            )
+        plan = self._plan
+        self._itemsize = np.dtype(plan.dtype).itemsize
+
+        self._group_comms = [
+            SimComm(self.machine, members, self.ledger,
+                    self.collective_algorithm)
+            for members in plan.cg_groups
+        ]
+        self._member_comms = [
+            SimComm(self.machine,
+                    [plan.cg_groups[g][j] for g in range(plan.n_groups)],
+                    self.ledger, self.collective_algorithm)
+            for j in range(plan.mprime_group)
+        ]
+        # Initial distribution of centroid slices to every CG (epoch 0).
+        widest = max(hi - lo for lo, hi in plan.centroid_slices)
+        self.ledger.charge(
+            "network", "l3.setup.scatter_centroids",
+            self._member_comms[0].bcast_time(widest * d * self._itemsize),
+        )
+
+    # -- assignment under the partition ------------------------------------------
+
+    def _assign_block(self, block: np.ndarray, C: np.ndarray) -> np.ndarray:
+        """Global a(i) for one CG group's block.
+
+        Strict mode walks the real dataflow — per-CPE dim-slice partial
+        distances, mesh reduce, CG-local argmin, MINLOC across member CGs —
+        and must agree with the fast vectorised path (the fidelity tests
+        compare the two).
+        """
+        plan = self.plan
+        if not self.strict_cpe:
+            return assign_chunked(block, C)
+        b = block.shape[0]
+        best_val = np.full(b, np.inf, dtype=np.float64)
+        best_idx = np.zeros(b, dtype=np.int64)
+        for lo_k, hi_k in plan.centroid_slices:
+            if lo_k == hi_k:
+                continue
+            slice_C = C[lo_k:hi_k]
+            # Per-CPE partial distances over each dimension slice, then the
+            # register-communication reduce (a plain sum over partials).
+            d2 = np.zeros((b, hi_k - lo_k), dtype=np.float64)
+            for lo_d, hi_d in plan.dim_slices:
+                if lo_d == hi_d:
+                    continue
+                diff = block[:, lo_d:hi_d, None] - slice_C.T[None, lo_d:hi_d, :]
+                d2 += np.einsum("bdc,bdc->bc", diff, diff)
+            local = np.argmin(d2, axis=1)
+            vals = d2[np.arange(b), local]
+            better = vals < best_val
+            best_val[better] = vals[better]
+            best_idx[better] = lo_k + local[better]
+        return best_idx
+
+    # -- one iteration ------------------------------------------------------------
+
+    def iterate(self, X: np.ndarray, C: np.ndarray
+                ) -> Tuple[np.ndarray, np.ndarray]:
+        plan = self.plan
+        n, d = X.shape
+        k = C.shape[0]
+        item = self._itemsize
+        widest_k = max(hi - lo for lo, hi in plan.centroid_slices)
+        widest_d = max(hi - lo for lo, hi in plan.dim_slices)
+
+        assignments = np.empty(n, dtype=np.int64)
+        group_sums: List[np.ndarray] = []
+        group_counts: List[np.ndarray] = []
+
+        # ---- Assign phase (CG groups fully parallel) ----
+        dma_times: List[float] = []
+        compute_times: List[float] = []
+        minloc_times: List[float] = []
+        accumulate_times: List[float] = []
+        for g, members in enumerate(plan.cg_groups):
+            lo, hi = plan.sample_blocks[g]
+            block = X[lo:hi]
+            b = block.shape[0]
+            assignments[lo:hi] = self._assign_block(block, C)
+            sums, counts = accumulate(block, assignments[lo:hi], k)
+            group_sums.append(sums)
+            group_counts.append(counts)
+
+            # Every member CG streams the whole block across its CPEs plus
+            # its centroid slice traffic (the n*d*m'group/m amplification
+            # of T''read; re-stream traffic when not fully resident).
+            cg_bytes = b * d * item \
+                + self.machine.cpes_per_cg * plan.cent_traffic_bytes_per_cpe()
+            dma_times.append(self._dma.transfer_time(cg_bytes))
+            # Each CPE covers (its dim slice) x (the CG's centroid slice).
+            compute_times.append(self.compute.time_for_flops(
+                distance_flops(b, widest_k, widest_d), n_cpes=1))
+            # MINLOC across the group's CGs: (distance, index) per sample.
+            minloc_times.append(
+                self._group_comms[g].allreduce_time(b * 16))
+            # Accumulation is dimension-parallel over the CG's CPEs; the
+            # critical member holds the most-assigned centroid slice.
+            slice_loads = [
+                int(counts[s_lo:s_hi].sum()) * widest_d
+                for s_lo, s_hi in plan.centroid_slices
+            ]
+            accumulate_times.append(self.compute.time_for_flops(
+                max(slice_loads), n_cpes=1))
+        self.charge_stream_phases("l3.assign", dma_times, compute_times)
+        # Partial-distance reduce across the mesh (dim slices -> CG total).
+        max_block = max(hi - lo for lo, hi in plan.sample_blocks)
+        self.ledger.charge("regcomm", "l3.assign.dim_reduce",
+                           self._regcomm.allreduce_time(
+                               max_block * widest_k * item))
+        self.ledger.charge_parallel("network", "l3.assign.minloc",
+                                    minloc_times)
+        self.ledger.charge_parallel("compute", "l3.update.accumulate",
+                                    accumulate_times)
+
+        # ---- Update phase: AllReduce per centroid slice across CG groups ----
+        if plan.n_groups > 1:
+            global_sums = np.zeros_like(group_sums[0])
+            global_counts = np.zeros_like(group_counts[0])
+            member_times: List[float] = []
+            for j, (lo_k, hi_k) in enumerate(plan.centroid_slices):
+                comm = self._member_comms[j]
+                payload = ((hi_k - lo_k) * d + (hi_k - lo_k)) * item
+                member_times.append(comm.allreduce_time(payload))
+                if hi_k > lo_k:
+                    global_sums[lo_k:hi_k] = np.sum(
+                        [s[lo_k:hi_k] for s in group_sums], axis=0)
+                    global_counts[lo_k:hi_k] = np.sum(
+                        [c[lo_k:hi_k] for c in group_counts], axis=0)
+            # The m'group slice AllReduces proceed concurrently (disjoint
+            # rank sets); the slowest member position is the critical path.
+            self.ledger.charge_parallel(
+                "network", "l3.update.inter_group_allreduce", member_times)
+        else:
+            global_sums, global_counts = group_sums[0], group_counts[0]
+
+        # Divide: dimension-parallel across each CG's CPEs.
+        self.ledger.charge("compute", "l3.update.divide",
+                           self.compute.time_for_flops(widest_k * widest_d,
+                                                       n_cpes=1))
+        new_C = update_centroids(global_sums, global_counts, C)
+        return assignments, new_C
+
+
+def run_level3(X: np.ndarray, centroids: np.ndarray, machine: Machine,
+               mprime_group: Optional[int] = None, max_iter: int = 100,
+               tol: float = 0.0, supernode_aware: bool = True,
+               **executor_kwargs) -> KMeansResult:
+    """Convenience wrapper: plan, execute, and return the result."""
+    executor = Level3Executor(machine, mprime_group=mprime_group,
+                              supernode_aware=supernode_aware,
+                              **executor_kwargs)
+    return executor.run(X, centroids, max_iter=max_iter, tol=tol)

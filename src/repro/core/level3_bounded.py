@@ -1,0 +1,200 @@
+"""Level 3 + triangle-inequality bounds — the paper's future-work direction.
+
+The paper explicitly scopes out "optimization of the underlying Lloyd
+algorithm" and closes by proposing to "optimize this and potentially
+similar algorithms" on the hierarchy.  This executor is that extension:
+the nkd partition of Algorithm 3 combined with Hamerly-style bounds
+[Hamerly 2010], so samples whose assignment provably cannot change skip
+the distance computation, the mesh reduce, *and* the inter-CG MINLOC.
+
+What changes relative to :class:`~repro.core.level3.Level3Executor`:
+
+* per-sample state (upper bound to the assigned centroid, lower bound to
+  the second-closest) survives across iterations, drifting with centroid
+  movement — 2 extra LDM elements per resident sample, negligible;
+* each iteration only *candidate* samples (bound test failed) pay the
+  distance kernel and the a(i) communication; everything still streams
+  for the Update accumulation, so DMA is unchanged;
+* the trajectory is exactly Lloyd's (the bounds are conservative), which
+  the tests assert against both serial Lloyd and the unbounded executor.
+
+The ``extra_bounded`` experiment quantifies the modelled savings: late
+iterations — where almost nothing moves — drop most of their compute and
+MINLOC cost, which is exactly where long k-means runs spend their time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..machine.machine import Machine
+from ..runtime.compute import distance_flops
+from ._common import accumulate, squared_distances, update_centroids
+from .level3 import Level3Executor
+from .result import KMeansResult
+
+
+class Level3BoundedExecutor(Level3Executor):
+    """nkd-partitioned k-means with Hamerly bounds."""
+
+    level = 3
+
+    def __init__(self, machine: Machine, **kwargs) -> None:
+        super().__init__(machine, **kwargs)
+        self._ub: Optional[np.ndarray] = None
+        self._lb: Optional[np.ndarray] = None
+        self._assignments: Optional[np.ndarray] = None
+        self._prev_C: Optional[np.ndarray] = None
+        #: candidates examined per iteration (for tests/reports).
+        self.candidates_per_iteration: List[int] = []
+
+    # -- bound maintenance -------------------------------------------------------
+
+    def _full_assign_with_bounds(self, X: np.ndarray, C: np.ndarray) -> None:
+        """Exact assignment of every sample; establishes ub/lb."""
+        n, k = X.shape[0], C.shape[0]
+        dist = np.sqrt(np.maximum(squared_distances(X, C), 0.0))
+        order = np.argsort(dist, axis=1)
+        self._assignments = order[:, 0].astype(np.int64)
+        self._ub = dist[np.arange(n), order[:, 0]]
+        self._lb = (dist[np.arange(n), order[:, 1]] if k > 1
+                    else np.full(n, np.inf))
+
+    def _candidate_mask(self, C: np.ndarray) -> np.ndarray:
+        """Samples whose assignment might change this iteration."""
+        assert self._ub is not None and self._lb is not None
+        k = C.shape[0]
+        if k > 1:
+            cc = np.sqrt(np.maximum(squared_distances(C, C), 0.0))
+            np.fill_diagonal(cc, np.inf)
+            s = 0.5 * cc.min(axis=1)
+        else:
+            s = np.zeros(1)
+        threshold = np.maximum(s[self._assignments], self._lb)
+        return self._ub > threshold
+
+    def _reassign_candidates(self, X: np.ndarray, C: np.ndarray,
+                             mask: np.ndarray) -> None:
+        """Exact re-assignment (and bound refresh) of the masked samples."""
+        idx = np.flatnonzero(mask)
+        if idx.size == 0:
+            return
+        k = C.shape[0]
+        dist = np.sqrt(np.maximum(squared_distances(X[idx], C), 0.0))
+        order = np.argsort(dist, axis=1)
+        self._assignments[idx] = order[:, 0]
+        self._ub[idx] = dist[np.arange(idx.size), order[:, 0]]
+        self._lb[idx] = (dist[np.arange(idx.size), order[:, 1]]
+                         if k > 1 else np.inf)
+
+    def _drift_bounds(self, old_C: np.ndarray, new_C: np.ndarray) -> None:
+        drift = np.sqrt(np.maximum(((new_C - old_C) ** 2).sum(axis=1), 0.0))
+        self._ub += drift[self._assignments]
+        if new_C.shape[0] > 1:
+            self._lb -= drift.max()
+
+    # -- one iteration ------------------------------------------------------------
+
+    def iterate(self, X: np.ndarray, C: np.ndarray
+                ) -> Tuple[np.ndarray, np.ndarray]:
+        plan = self.plan
+        n, d = X.shape
+        k = C.shape[0]
+        item = self._itemsize
+        widest_k = max(hi - lo for lo, hi in plan.centroid_slices)
+        widest_d = max(hi - lo for lo, hi in plan.dim_slices)
+
+        # ---- Assign phase with bound filtering ----
+        if self._ub is None:
+            self._full_assign_with_bounds(X, C)
+            candidate_mask = np.ones(n, dtype=bool)
+        else:
+            self._drift_bounds(self._prev_C, C)
+            candidate_mask = self._candidate_mask(C)
+            self._reassign_candidates(X, C, candidate_mask)
+        assignments = self._assignments.copy()
+        self.candidates_per_iteration.append(int(candidate_mask.sum()))
+
+        # ---- charge per-group costs, scaled by surviving candidates ----
+        dma_times: List[float] = []
+        compute_times: List[float] = []
+        minloc_times: List[float] = []
+        accumulate_times: List[float] = []
+        group_sums: List[np.ndarray] = []
+        group_counts: List[np.ndarray] = []
+        for g, members in enumerate(plan.cg_groups):
+            lo, hi = plan.sample_blocks[g]
+            block = X[lo:hi]
+            b = block.shape[0]
+            n_cand = int(candidate_mask[lo:hi].sum())
+            sums, counts = accumulate(block, assignments[lo:hi], k)
+            group_sums.append(sums)
+            group_counts.append(counts)
+
+            # The full block still streams (Update needs every sample);
+            # bound state (2 scalars/sample) rides along.
+            cg_bytes = (b * (d + 2)) * item \
+                + self.machine.cpes_per_cg * plan.cent_traffic_bytes_per_cpe()
+            dma_times.append(self._dma.transfer_time(cg_bytes))
+            # Only candidates pay the distance kernel; skipped samples pay
+            # one bound comparison each (2 flops, negligible but charged).
+            compute_times.append(self.compute.time_for_flops(
+                distance_flops(n_cand, widest_k, widest_d)
+                + 2.0 * (b - n_cand), n_cpes=1))
+            # Only candidates enter the MINLOC chain.
+            minloc_times.append(
+                self._group_comms[g].allreduce_time(n_cand * 16))
+            slice_loads = [
+                int(counts[s_lo:s_hi].sum()) * widest_d
+                for s_lo, s_hi in plan.centroid_slices
+            ]
+            accumulate_times.append(self.compute.time_for_flops(
+                max(slice_loads), n_cpes=1))
+        self.charge_stream_phases("l3b.assign", dma_times, compute_times)
+        max_cand_block = max(
+            int(candidate_mask[lo:hi].sum())
+            for lo, hi in plan.sample_blocks
+        )
+        self.ledger.charge("regcomm", "l3b.assign.dim_reduce",
+                           self._regcomm.allreduce_time(
+                               max_cand_block * widest_k * item))
+        self.ledger.charge_parallel("network", "l3b.assign.minloc",
+                                    minloc_times)
+        self.ledger.charge_parallel("compute", "l3b.update.accumulate",
+                                    accumulate_times)
+
+        # ---- Update phase (identical to the unbounded executor) ----
+        if plan.n_groups > 1:
+            global_sums = np.zeros_like(group_sums[0])
+            global_counts = np.zeros_like(group_counts[0])
+            member_times: List[float] = []
+            for j, (lo_k, hi_k) in enumerate(plan.centroid_slices):
+                comm = self._member_comms[j]
+                payload = ((hi_k - lo_k) * d + (hi_k - lo_k)) * item
+                member_times.append(comm.allreduce_time(payload))
+                if hi_k > lo_k:
+                    global_sums[lo_k:hi_k] = np.sum(
+                        [s[lo_k:hi_k] for s in group_sums], axis=0)
+                    global_counts[lo_k:hi_k] = np.sum(
+                        [c[lo_k:hi_k] for c in group_counts], axis=0)
+            self.ledger.charge_parallel(
+                "network", "l3b.update.inter_group_allreduce", member_times)
+        else:
+            global_sums, global_counts = group_sums[0], group_counts[0]
+
+        self.ledger.charge("compute", "l3b.update.divide",
+                           self.compute.time_for_flops(widest_k * widest_d,
+                                                       n_cpes=1))
+        new_C = update_centroids(global_sums, global_counts, C)
+        self._prev_C = C.copy()
+        return assignments, new_C
+
+
+def run_level3_bounded(X: np.ndarray, centroids: np.ndarray,
+                       machine: Machine, max_iter: int = 100,
+                       tol: float = 0.0, **executor_kwargs) -> KMeansResult:
+    """Convenience wrapper: bounded Level-3 run."""
+    executor = Level3BoundedExecutor(machine, **executor_kwargs)
+    return executor.run(X, centroids, max_iter=max_iter, tol=tol)

@@ -1,0 +1,108 @@
+"""Serial Lloyd algorithm — the correctness reference for every level.
+
+This is the textbook two-step iteration the paper builds on (section II.B.2):
+
+1. **Assign**: ``a(i) = argmin_j dis(x_i, c_j)``
+2. **Update**: ``c_j = mean of samples assigned to j``
+
+The partitioned Level 1/2/3 executors must reproduce this trajectory exactly
+(same assignments, same centroids within fp tolerance) for any feasible
+configuration; the integration tests enforce it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ._common import (
+    DEFAULT_CHUNK_ELEMENTS,
+    accumulate,
+    assign_chunked,
+    inertia,
+    max_centroid_shift,
+    update_centroids,
+    validate_data,
+)
+from .result import IterationStats, KMeansResult
+
+
+def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
+          tol: float = 0.0, chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+          ) -> KMeansResult:
+    """Run serial Lloyd k-means from an explicit initial centroid set.
+
+    Parameters
+    ----------
+    X:
+        (n, d) samples.
+    centroids:
+        (k, d) initial centroids (not mutated).
+    max_iter:
+        Iteration cap.
+    tol:
+        Stop when the largest per-centroid L2 movement is <= tol.  The
+        paper's loop runs "until each c_j is fixed", i.e. tol = 0.
+    chunk_elements:
+        Bound on the transient distance-matrix working set.
+
+    Returns
+    -------
+    KMeansResult with level = 0 and no time ledger.
+    """
+    if max_iter < 1:
+        raise ConfigurationError(f"max_iter must be >= 1, got {max_iter}")
+    if tol < 0:
+        raise ConfigurationError(f"tol must be >= 0, got {tol}")
+    X, C = validate_data(X, np.array(centroids, copy=True))
+    k = C.shape[0]
+
+    history = []
+    assignments = np.full(X.shape[0], -1, dtype=np.int64)
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        new_assignments = assign_chunked(X, C, chunk_elements)
+        sums, counts = accumulate(X, new_assignments, k)
+        new_C = update_centroids(sums, counts, C)
+
+        shift = max_centroid_shift(C, new_C)
+        n_reassigned = int((new_assignments != assignments).sum())
+        history.append(IterationStats(
+            iteration=it,
+            inertia=inertia(X, C, new_assignments),
+            centroid_shift=shift,
+            n_reassigned=n_reassigned,
+        ))
+        assignments = new_assignments
+        C = new_C
+        if shift <= tol:
+            converged = True
+            break
+
+    return KMeansResult(
+        centroids=C,
+        assignments=assignments,
+        inertia=inertia(X, C, assign_chunked(X, C, chunk_elements)),
+        n_iter=it,
+        converged=converged,
+        history=history,
+        ledger=None,
+        level=0,
+    )
+
+
+def lloyd_single_iteration(X: np.ndarray, centroids: np.ndarray,
+                           chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+                           ) -> tuple[np.ndarray, np.ndarray]:
+    """One Assign+Update step; returns (assignments, new_centroids).
+
+    Handy for comparing a parallel executor's single-iteration output
+    against the reference without running to convergence.
+    """
+    X, C = validate_data(X, centroids)
+    assignments = assign_chunked(X, C, chunk_elements)
+    sums, counts = accumulate(X, assignments, C.shape[0])
+    return assignments, update_centroids(sums, counts, C)

@@ -1,0 +1,90 @@
+"""Result containers for k-means runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..runtime.ledger import TimeLedger
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Telemetry for one Lloyd iteration."""
+
+    iteration: int
+    #: O(C) evaluated with the assignments computed this iteration.
+    inertia: float
+    #: Largest per-centroid L2 movement produced by the Update step.
+    centroid_shift: float
+    #: Number of samples that changed cluster this iteration.
+    n_reassigned: int
+    #: Modelled seconds charged to this iteration (0.0 for the serial baseline).
+    modelled_seconds: float = 0.0
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of a k-means run (any level).
+
+    Attributes
+    ----------
+    centroids:
+        Final (k, d) centroid matrix.
+    assignments:
+        Final (n,) nearest-centroid index per sample.
+    inertia:
+        Final objective O(C) — mean squared distance to assigned centroid.
+    n_iter:
+        Iterations executed.
+    converged:
+        True if the centroid shift dropped to ``tol`` before ``max_iter``.
+    history:
+        Per-iteration telemetry.
+    ledger:
+        The simulator's time ledger (None for the serial baseline).
+    level:
+        Which partition level produced the result (0 = serial).
+    """
+
+    centroids: np.ndarray
+    assignments: np.ndarray
+    inertia: float
+    n_iter: int
+    converged: bool
+    history: List[IterationStats] = field(default_factory=list)
+    ledger: Optional[TimeLedger] = None
+    level: int = 0
+
+    @property
+    def k(self) -> int:
+        return int(self.centroids.shape[0])
+
+    @property
+    def d(self) -> int:
+        return int(self.centroids.shape[1])
+
+    @property
+    def n(self) -> int:
+        return int(self.assignments.shape[0])
+
+    def mean_iteration_seconds(self) -> float:
+        """Mean modelled one-iteration completion time (paper's metric).
+
+        Returns 0.0 when no ledger was attached (serial baseline).
+        """
+        if self.ledger is None or self.ledger.n_iterations == 0:
+            return 0.0
+        return self.ledger.mean_iteration_time()
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        t = self.mean_iteration_seconds()
+        timing = f", {t:.6f} s/iter (modelled)" if t else ""
+        return (
+            f"level {self.level} k-means: n={self.n} k={self.k} d={self.d}, "
+            f"{self.n_iter} iter, inertia={self.inertia:.6g}, "
+            f"converged={self.converged}{timing}"
+        )

@@ -1,0 +1,43 @@
+"""Workload generators and the paper's benchmark dataset registry."""
+
+from .datasets import TABLE_II, DatasetSpec, dataset
+from .preprocess import (
+    MinMaxScaler,
+    PCA,
+    StandardScaler,
+    simplex_blobs,
+)
+from .remote_sensing import (
+    CLASS_NAMES,
+    LandCoverImage,
+    classification_accuracy,
+    extract_patches,
+    majority_class_map,
+    synth_land_cover,
+)
+from .synthetic import (
+    anisotropic_blobs,
+    feature_vectors,
+    gaussian_blobs,
+    uniform_cloud,
+)
+
+__all__ = [
+    "CLASS_NAMES",
+    "DatasetSpec",
+    "MinMaxScaler",
+    "PCA",
+    "StandardScaler",
+    "simplex_blobs",
+    "LandCoverImage",
+    "TABLE_II",
+    "anisotropic_blobs",
+    "classification_accuracy",
+    "dataset",
+    "extract_patches",
+    "feature_vectors",
+    "gaussian_blobs",
+    "majority_class_map",
+    "synth_land_cover",
+    "uniform_cloud",
+]

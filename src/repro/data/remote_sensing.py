@@ -1,0 +1,153 @@
+"""Synthetic remote-sensing imagery for the land-cover application (Fig. 10).
+
+The paper's application clusters DeepGlobe 2018 satellite images into 7 land
+classes (urban, agriculture, rangeland, forest, water, barren, unknown) with
+n = pixels-or-patches, k = 7, d = patch feature size (4096 = 32x32 RGB +
+context in their setup).  DeepGlobe cannot be redistributed, so this module
+synthesises images with the same statistical structure:
+
+* a ground-truth class map made of smooth regions (low-frequency Gaussian
+  fields argmax'd per class, giving contiguous land parcels),
+* per-class spectral signatures with realistic intra-class texture noise,
+* a patch extractor producing the flattened (n, d) feature matrix k-means
+  consumes, plus the utilities to score a clustering against the ground
+  truth (majority-vote class mapping + pixel accuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+from ..errors import ConfigurationError, DataShapeError
+
+#: The 7 DeepGlobe classes in the paper's Figure 10.
+CLASS_NAMES = (
+    "urban", "agriculture", "rangeland", "forest", "water", "barren",
+    "unknown",
+)
+
+
+@dataclass(frozen=True)
+class LandCoverImage:
+    """A synthetic satellite tile with dense ground truth."""
+
+    #: (H, W, 3) float reflectance in [0, 1].
+    pixels: np.ndarray
+    #: (H, W) int ground-truth class per pixel.
+    labels: np.ndarray
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.pixels.shape[:2]
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.labels.max()) + 1
+
+
+def synth_land_cover(height: int = 256, width: int = 256,
+                     n_classes: int = 7, smoothness: float = 12.0,
+                     texture: float = 0.03, seed: int = 0) -> LandCoverImage:
+    """Generate one synthetic land-cover tile.
+
+    ``smoothness`` is the Gaussian-filter sigma shaping region size (bigger
+    = larger contiguous parcels); ``texture`` is intra-class noise sigma.
+    """
+    if height < 8 or width < 8:
+        raise ConfigurationError(
+            f"image must be at least 8x8, got {height}x{width}"
+        )
+    if not 2 <= n_classes <= len(CLASS_NAMES):
+        raise ConfigurationError(
+            f"n_classes must be in [2, {len(CLASS_NAMES)}], got {n_classes}"
+        )
+    rng = np.random.default_rng(seed)
+    # Smooth random field per class; per-pixel argmax yields contiguous
+    # regions (a standard trick for synthetic segmentation ground truth).
+    fields = np.stack([
+        ndimage.gaussian_filter(rng.normal(size=(height, width)), smoothness)
+        for _ in range(n_classes)
+    ])
+    labels = np.argmax(fields, axis=0).astype(np.int64)
+
+    # Spectral signatures: distinct mean RGB per class, loosely matching the
+    # palette of the paper's figure (water dark blue, forest dark green...).
+    base_palette = np.array([
+        [0.55, 0.50, 0.52],   # urban: grey-pink
+        [0.75, 0.70, 0.30],   # agriculture: yellow-green
+        [0.65, 0.55, 0.40],   # rangeland: tan
+        [0.10, 0.40, 0.15],   # forest: dark green
+        [0.05, 0.15, 0.45],   # water: dark blue
+        [0.70, 0.65, 0.60],   # barren: light grey
+        [0.30, 0.30, 0.30],   # unknown: dark grey
+    ])
+    palette = base_palette[:n_classes]
+    pixels = palette[labels] + rng.normal(0.0, texture,
+                                          size=(height, width, 3))
+    np.clip(pixels, 0.0, 1.0, out=pixels)
+    return LandCoverImage(pixels=pixels, labels=labels)
+
+
+def extract_patches(image: LandCoverImage, patch: int = 4
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Tile the image into non-overlapping patches and flatten them.
+
+    Returns
+    -------
+    X : (n_patches, patch*patch*3) feature matrix — the paper's
+        "classification sample can be a block of pixels" formulation, where
+        d grows with the patch size (d=4096 for their 2k x 2k tiles).
+    patch_labels : (n_patches,) majority ground-truth class per patch.
+    """
+    if patch < 1:
+        raise ConfigurationError(f"patch must be >= 1, got {patch}")
+    h, w = image.shape
+    if h % patch or w % patch:
+        raise DataShapeError(
+            f"image {h}x{w} is not divisible into {patch}x{patch} patches"
+        )
+    ph, pw = h // patch, w // patch
+    # (ph, pw, patch, patch, 3) view, then flatten per patch.
+    blocks = image.pixels.reshape(ph, patch, pw, patch, 3).swapaxes(1, 2)
+    X = blocks.reshape(ph * pw, patch * patch * 3)
+
+    lab_blocks = image.labels.reshape(ph, patch, pw, patch).swapaxes(1, 2)
+    lab_flat = lab_blocks.reshape(ph * pw, patch * patch)
+    n_classes = image.n_classes
+    votes = np.stack([(lab_flat == c).sum(axis=1) for c in range(n_classes)],
+                     axis=1)
+    return np.ascontiguousarray(X), np.argmax(votes, axis=1).astype(np.int64)
+
+
+def majority_class_map(assignments: np.ndarray, truth: np.ndarray,
+                       k: int) -> Dict[int, int]:
+    """Map each cluster to the ground-truth class it mostly overlaps.
+
+    Standard evaluation for unsupervised segmentation: cluster j is scored
+    as the class that the plurality of its members carry.
+    """
+    if assignments.shape != truth.shape:
+        raise DataShapeError(
+            f"assignments {assignments.shape} != truth {truth.shape}"
+        )
+    mapping: Dict[int, int] = {}
+    n_classes = int(truth.max()) + 1
+    for j in range(k):
+        members = truth[assignments == j]
+        if members.size == 0:
+            mapping[j] = 0
+            continue
+        mapping[j] = int(np.bincount(members, minlength=n_classes).argmax())
+    return mapping
+
+
+def classification_accuracy(assignments: np.ndarray, truth: np.ndarray,
+                            k: int) -> float:
+    """Pixel/patch accuracy after majority-vote cluster-to-class mapping."""
+    mapping = majority_class_map(assignments, truth, k)
+    predicted = np.vectorize(mapping.__getitem__)(assignments)
+    return float((predicted == truth).mean())

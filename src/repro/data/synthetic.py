@@ -1,0 +1,109 @@
+"""Deterministic synthetic workload generators.
+
+One-iteration k-means time is data-oblivious — every sample computes k
+distances regardless of its value — so synthetic data with the right (n, d)
+exercises exactly the code path the paper measures.  For the *quality*
+demonstrations (land cover, convergence tests) the generators produce data
+with real cluster structure so the algorithms have something to find.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def gaussian_blobs(n: int, k: int, d: int, spread: float = 0.08,
+                   box: float = 1.0, seed: int | np.random.Generator | None = 0,
+                   dtype: np.dtype | type = np.float64,
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    """An isotropic Gaussian mixture with k well-separated components.
+
+    Returns
+    -------
+    X : (n, d) samples
+    labels : (n,) ground-truth component of each sample
+
+    Component centres are uniform in ``[-box, box]^d``; component sizes are
+    balanced up to rounding.  ``spread`` is the per-axis standard deviation
+    relative to the box size.
+    """
+    if n < 1 or k < 1 or d < 1:
+        raise ConfigurationError(f"n, k, d must be >= 1, got {n}, {k}, {d}")
+    if k > n:
+        raise ConfigurationError(f"k={k} exceeds n={n}")
+    rng = _rng(seed)
+    centres = rng.uniform(-box, box, size=(k, d))
+    labels = np.arange(n) % k  # balanced up to one sample
+    rng.shuffle(labels)
+    X = centres[labels] + rng.normal(0.0, spread * box, size=(n, d))
+    return X.astype(np.dtype(dtype), copy=False), labels
+
+
+def uniform_cloud(n: int, d: int, low: float = 0.0, high: float = 1.0,
+                  seed: int | np.random.Generator | None = 0,
+                  dtype: np.dtype | type = np.float64) -> np.ndarray:
+    """Structureless uniform data — the worst case for convergence speed."""
+    if n < 1 or d < 1:
+        raise ConfigurationError(f"n and d must be >= 1, got {n}, {d}")
+    rng = _rng(seed)
+    return rng.uniform(low, high, size=(n, d)).astype(np.dtype(dtype),
+                                                      copy=False)
+
+
+def anisotropic_blobs(n: int, k: int, d: int, condition: float = 10.0,
+                      seed: int | np.random.Generator | None = 0,
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Gaussian mixture with per-component random anisotropic covariance.
+
+    ``condition`` is the ratio between the largest and smallest axis scale;
+    stresses k-means' spherical-cluster assumption in quality tests.
+    """
+    if condition < 1.0:
+        raise ConfigurationError(
+            f"condition must be >= 1, got {condition}"
+        )
+    rng = _rng(seed)
+    X, labels = gaussian_blobs(n, k, d, seed=rng)
+    for j in range(k):
+        mask = labels == j
+        centre = X[mask].mean(axis=0)
+        scales = np.exp(rng.uniform(0.0, np.log(condition), size=d))
+        scales /= scales.max()
+        X[mask] = centre + (X[mask] - centre) * scales
+    return X, labels
+
+
+def feature_vectors(n: int, d: int, n_latent: Optional[int] = None,
+                    seed: int | np.random.Generator | None = 0,
+                    dtype: np.dtype | type = np.float64) -> np.ndarray:
+    """High-dimensional vectors with low intrinsic dimensionality.
+
+    Mimics image-descriptor workloads (the ILSVRC2012 stand-in): samples lie
+    near an ``n_latent``-dimensional subspace embedded in d dimensions, the
+    regime the paper's intro motivates ("intrinsically high dimensional
+    feature space where traditional dimensionality reduction techniques are
+    commonly used").
+    """
+    if n < 1 or d < 1:
+        raise ConfigurationError(f"n and d must be >= 1, got {n}, {d}")
+    rng = _rng(seed)
+    if n_latent is None:
+        n_latent = max(2, min(64, d // 8))
+    if not 1 <= n_latent <= d:
+        raise ConfigurationError(
+            f"n_latent must be in [1, d={d}], got {n_latent}"
+        )
+    basis = rng.normal(size=(n_latent, d)) / np.sqrt(d)
+    coeffs = rng.normal(size=(n, n_latent))
+    noise = 0.01 * rng.normal(size=(n, d))
+    return (coeffs @ basis + noise).astype(np.dtype(dtype), copy=False)

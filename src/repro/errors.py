@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this package derive from :class:`ReproError`, so callers
+can catch one type at an API boundary.  The memory/partition errors mirror the
+failure modes of the real machine: a configuration that would overflow a CPE's
+64 KB LDM on the Sunway raises :class:`LDMOverflowError` here, and a workload
+that no partition plan can place raises :class:`PartitionError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A machine or algorithm configuration is inconsistent or out of range."""
+
+
+class LDMOverflowError(ReproError):
+    """An allocation would exceed a CPE's Local Directive Memory budget.
+
+    Attributes
+    ----------
+    requested:
+        Bytes requested by the failing allocation.
+    available:
+        Bytes still free in the LDM at the time of the request.
+    capacity:
+        Total LDM capacity in bytes.
+    """
+
+    def __init__(self, requested: int, available: int, capacity: int,
+                 label: str = "") -> None:
+        self.requested = int(requested)
+        self.available = int(available)
+        self.capacity = int(capacity)
+        self.label = label
+        what = f" for {label!r}" if label else ""
+        super().__init__(
+            f"LDM overflow{what}: requested {requested} B, "
+            f"available {available} B of {capacity} B"
+        )
+
+
+class PartitionError(ReproError):
+    """No feasible partition plan exists for the requested (n, k, d, machine)."""
+
+
+class CommunicatorError(ReproError):
+    """Invalid use of a simulated communicator (bad rank, size mismatch...)."""
+
+
+class ConvergenceWarning(UserWarning):
+    """k-means stopped on the iteration cap before centroids stabilised."""
+
+
+class DataShapeError(ReproError):
+    """Input data does not have the shape an algorithm requires."""

@@ -1,0 +1,14 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each module's ``run()`` regenerates its table or figure (series/rows + a
+printable report) and evaluates the paper's qualitative claims as boolean
+shape checks.  ``repro.experiments.run_all()`` reproduces the entire
+evaluation section.
+"""
+
+from .base import ExperimentOutput
+from .registry import EXPERIMENTS, EXTRA_EXPERIMENTS, run_all, run_experiment
+from .scorecard import Scorecard, build_scorecard
+
+__all__ = ["EXPERIMENTS", "EXTRA_EXPERIMENTS", "ExperimentOutput",
+           "Scorecard", "build_scorecard", "run_all", "run_experiment"]

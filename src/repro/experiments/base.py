@@ -1,0 +1,74 @@
+"""Common experiment output type and helpers.
+
+Every table/figure of the paper maps to one experiment module exposing a
+``run()`` function.  An experiment returns structured series/rows, a
+rendered text report, and a dict of *shape checks* — the qualitative claims
+of that figure ("Level 3 outperforms Level 2 for all d > crossover", "time
+grows monotonically with k", ...) evaluated against our reproduction.  The
+shape checks are what the test suite and EXPERIMENTS.md assert on, per the
+reproduction contract: match shapes, not testbed-absolute numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..perfmodel.sweep import Series
+
+
+@dataclass
+class ExperimentOutput:
+    """The result of regenerating one table or figure."""
+
+    exp_id: str
+    title: str
+    #: Rendered, printable report (what the bench harness prints).
+    text: str
+    #: Numeric series per label (figures) — None for pure tables.
+    series: Optional[Dict[str, Series]] = None
+    #: Structured rows (tables) — None for pure figures.
+    rows: Optional[List[Sequence[object]]] = None
+    #: Qualitative claims of the paper evaluated on our data.
+    checks: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+    def summary_line(self) -> str:
+        n_ok = sum(self.checks.values())
+        return (f"[{self.exp_id}] {self.title}: "
+                f"{n_ok}/{len(self.checks)} shape checks pass")
+
+
+def monotone_nondecreasing(values: Sequence[float],
+                           slack: float = 0.0) -> bool:
+    """True if the finite subsequence never drops by more than ``slack``
+    (relative).  Used for "grows with k/d" claims, tolerating the boundary
+    artifacts the paper itself reports in Figure 7."""
+    finite = [v for v in values if math.isfinite(v)]
+    for prev, cur in zip(finite, finite[1:]):
+        if cur < prev * (1.0 - slack):
+            return False
+    return True
+
+
+def monotone_nonincreasing(values: Sequence[float],
+                           slack: float = 0.0) -> bool:
+    """True if finite values never rise by more than ``slack`` (relative)."""
+    finite = [v for v in values if math.isfinite(v)]
+    for prev, cur in zip(finite, finite[1:]):
+        if cur > prev * (1.0 + slack):
+            return False
+    return True
+
+
+def speedup_at(series_a: Series, series_b: Series, x: float) -> float:
+    """a/b time ratio at a given x (inf if either infeasible there)."""
+    i = series_a.x.index(x)
+    a, b = series_a.y[i], series_b.y[i]
+    if not (math.isfinite(a) and math.isfinite(b)) or b == 0:
+        return math.inf
+    return a / b

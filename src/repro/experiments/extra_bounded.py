@@ -1,0 +1,86 @@
+"""Extension experiment: Level 3 + Hamerly bounds (the paper's future work).
+
+Runs the bounded nkd executor against the plain one on a clustered toy
+workload and reports, per iteration, the candidate fraction and the
+modelled time saved — demonstrating that the hierarchy composes with
+bound-based Lloyd optimisations, which the paper leaves as future work
+("shows how to optimize this and potentially similar algorithms").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..core.init import init_centroids
+from ..core.level3 import Level3Executor
+from ..core.level3_bounded import Level3BoundedExecutor
+from ..core.lloyd import lloyd
+from ..data.synthetic import gaussian_blobs
+from ..machine.machine import toy_machine
+from ..reporting.tables import format_seconds, format_table
+from .base import ExperimentOutput
+
+N, K, D = 1500, 16, 32
+SEED = 77
+
+
+def run() -> ExperimentOutput:
+    """Bounded vs plain Level 3 on identical data, machine, and init."""
+    machine = toy_machine(n_nodes=2, cgs_per_node=2, mesh=4,
+                          ldm_bytes=64 * 1024)
+    X, _ = gaussian_blobs(n=N, k=K, d=D, seed=SEED)
+    C0 = init_centroids(X, K, method="first")
+
+    reference = lloyd(X, C0, max_iter=60)
+    plain = Level3Executor(machine)
+    plain_result = plain.run(X, C0, max_iter=60)
+    bounded = Level3BoundedExecutor(machine)
+    bounded_result = bounded.run(X, C0, max_iter=60)
+
+    rows = []
+    for i in range(1, bounded_result.n_iter + 1):
+        cand = bounded.candidates_per_iteration[i - 1]
+        t_plain = plain_result.ledger.iteration_time(i)
+        t_bound = bounded_result.ledger.iteration_time(i)
+        rows.append([
+            i, f"{cand}/{N}", f"{cand / N * 100:5.1f}%",
+            format_seconds(t_plain), format_seconds(t_bound),
+            f"{(1 - t_bound / t_plain) * 100:5.1f}%",
+        ])
+
+    exact = (np.array_equal(bounded_result.assignments,
+                            reference.assignments)
+             and np.allclose(bounded_result.centroids,
+                             reference.centroids, rtol=1e-9))
+    last_cand = bounded.candidates_per_iteration[-1]
+    checks: Dict[str, bool] = {
+        "bounded trajectory equals serial Lloyd exactly": exact,
+        "same iteration count as the plain executor":
+            bounded_result.n_iter == plain_result.n_iter,
+        "candidate set shrinks below 25% once clusters stabilise":
+            last_cand < 0.25 * N,
+        "bounded run is cheaper overall (modelled)":
+            bounded_result.mean_iteration_seconds()
+            < plain_result.mean_iteration_seconds(),
+        "the final iteration saves at least 20% modelled time":
+            bounded_result.ledger.iteration_time(bounded_result.n_iter)
+            < 0.8 * plain_result.ledger.iteration_time(plain_result.n_iter),
+    }
+    text = format_table(
+        ["iter", "candidates", "frac", "plain t/iter", "bounded t/iter",
+         "saved"],
+        rows,
+        title=(f"Extension: Level 3 + Hamerly bounds "
+               f"(n={N}, k={K}, d={D}, toy machine)"),
+    )
+    text += (f"\n\nmean s/iter: plain "
+             f"{plain_result.mean_iteration_seconds():.2e}, bounded "
+             f"{bounded_result.mean_iteration_seconds():.2e}")
+    return ExperimentOutput(
+        exp_id="extra_bounded",
+        title="Level 3 + triangle-inequality bounds (extension)",
+        text=text,
+        checks=checks,
+    )

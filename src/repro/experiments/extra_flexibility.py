@@ -1,0 +1,111 @@
+"""Extension experiment: the auto-selector's level map over (k, d).
+
+Section III.D claims the multi-level design "gives us the needed
+flexibility to handle both high dimensional and low dimensional dataset
+efficiently" — unlike Bender et al., which is "only efficient for dataset
+with larger than 100,000 dimensions".  This experiment renders that claim
+as a level map on the paper's machine: which level the auto-selector picks
+across a (k, d) grid, with the escalation structure checked (levels only
+escalate as k or d grow, never de-escalate), plus the model's confirmation
+that the chosen level is also the *cheapest* feasible one at scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.kmeans import select_level
+from ..core.partition import plan_level3
+from ..errors import PartitionError
+from ..machine.machine import Machine
+from ..machine.specs import sunway_spec
+from ..perfmodel.model import PerformanceModel
+from ..reporting.tables import format_table
+from .base import ExperimentOutput
+
+KS = [16, 256, 4_096, 65_536]
+DS = [16, 256, 4_096, 65_536]
+N = 1_000_000
+NODES = 128
+
+
+def run() -> ExperimentOutput:
+    """Level map + cheapest-level agreement on the 128-node machine."""
+    machine = Machine(sunway_spec(NODES), materialize_ldm=False)
+    model = PerformanceModel(sunway_spec(NODES))
+
+    grid: Dict[tuple, int] = {}
+    rows: List[List[str]] = []
+    agree = 0
+    comparable = 0
+    for k in KS:
+        cells = [f"k={k:,}"]
+        for d in DS:
+            try:
+                level = select_level(machine, N, k, d, dtype=np.float32)
+            except PartitionError:
+                # Resident semantics exhausted: Level 3 streaming is the
+                # last resort (DESIGN.md §5a), marked distinctly.
+                try:
+                    plan_level3(machine, N, k, d, streaming=True,
+                                dtype=np.float32)
+                    grid[(k, d)] = 3
+                    cells.append("L3s")
+                except PartitionError:
+                    cells.append("-")
+                continue
+            grid[(k, d)] = level
+            cells.append(f"L{level}")
+            # Does the model agree the selected level is the cheapest
+            # feasible one?  (Model uses streaming semantics, so compare
+            # only where the selector's level is model-feasible.)
+            preds = {lv: model.predict(lv, N, k, d) for lv in (1, 2, 3)}
+            feasible = {lv: p for lv, p in preds.items() if p.feasible}
+            if level in feasible:
+                comparable += 1
+                cheapest = min(feasible, key=lambda lv: feasible[lv].total)
+                if cheapest == level or (
+                    feasible[level].total
+                    <= 1.5 * feasible[cheapest].total
+                ):
+                    agree += 1
+        rows.append(cells)
+
+    checks: Dict[str, bool] = {
+        "every grid point is feasible at some level":
+            len(grid) == len(KS) * len(DS),
+        "levels never de-escalate as k grows (fixed d)":
+            all(
+                grid[(ka, d)] <= grid[(kb, d)]
+                for d in DS
+                for ka, kb in zip(KS, KS[1:])
+                if (ka, d) in grid and (kb, d) in grid
+            ),
+        "levels never de-escalate as d grows (fixed k)":
+            all(
+                grid[(k, da)] <= grid[(k, db)]
+                for k in KS
+                for da, db in zip(DS, DS[1:])
+                if (k, da) in grid and (k, db) in grid
+            ),
+        "all three levels appear on the map (true flexibility)":
+            set(grid.values()) == {1, 2, 3},
+        "selector's level is (near-)cheapest under the model on >=65% "
+        "of comparable points":
+            comparable > 0 and agree / comparable >= 0.65,
+    }
+    text = format_table(
+        [""] + [f"d={d:,}" for d in DS], rows,
+        title=(f"Extension: auto-selected level per (k, d) "
+               f"(n={N:,}, {NODES} nodes, float32)"),
+    )
+    text += (f"\n\nmodel agreement: selected level (near-)cheapest on "
+             f"{agree}/{comparable} comparable points")
+    return ExperimentOutput(
+        exp_id="extra_flexibility",
+        title="Multi-level flexibility map (extension)",
+        text=text,
+        checks=checks,
+    )

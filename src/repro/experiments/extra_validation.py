@@ -1,0 +1,94 @@
+"""Extension experiment: execute-backend vs model-backend consistency.
+
+The two backends price the same phase structure independently (the executor
+charges fine-grained phases while it computes; the model prices them
+analytically with the streaming refinement).  This experiment runs both on
+identical toy-machine workloads and checks they agree on *ordering* and
+rough magnitude — the internal-validity check for every model-backed figure
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.init import init_centroids
+from ..core.level1 import run_level1
+from ..core.level2 import run_level2
+from ..core.level3 import run_level3
+from ..data.synthetic import gaussian_blobs
+from ..machine.machine import toy_machine
+from ..perfmodel.model import PerformanceModel
+from ..perfmodel.params import ModelParams
+from ..reporting.tables import format_seconds, format_table
+from .base import ExperimentOutput
+
+RUNNERS = {1: run_level1, 2: run_level2, 3: run_level3}
+
+#: Workloads sized so every level is feasible on the toy machine.
+WORKLOADS = [
+    dict(n=1000, k=8, d=16),
+    dict(n=2000, k=16, d=32),
+    dict(n=4000, k=24, d=64),
+]
+
+
+def run() -> ExperimentOutput:
+    """Compare modelled vs executed per-iteration time on a toy machine."""
+    machine = toy_machine(n_nodes=2, cgs_per_node=2, mesh=4,
+                          ldm_bytes=64 * 1024)
+    # The model must price the same machine and dtype the executor uses.
+    model = PerformanceModel(machine.spec,
+                             ModelParams(dtype=np.dtype(np.float64),
+                                         iteration_overhead=0.0,
+                                         mpi_message_overhead=1.0e-6))
+
+    rows: List[List[str]] = []
+    ratios: List[float] = []
+    ratios_by_level: Dict[int, List[float]] = {1: [], 2: [], 3: []}
+    for shape in WORKLOADS:
+        X, _ = gaussian_blobs(**shape, seed=7)
+        C0 = init_centroids(X, shape["k"], method="first")
+        for level, runner in RUNNERS.items():
+            result = runner(X, C0, machine, max_iter=3)
+            exec_time = result.mean_iteration_seconds()
+            model_time = model.predict(level, **shape).total
+            ratio = model_time / exec_time
+            ratios.append(ratio)
+            ratios_by_level[level].append(ratio)
+            rows.append([
+                f"n={shape['n']} k={shape['k']} d={shape['d']}",
+                f"L{level}",
+                format_seconds(exec_time),
+                format_seconds(model_time),
+                f"{ratio:.2f}x",
+            ])
+
+    checks: Dict[str, bool] = {
+        "model within 30x of the executor on every point":
+            all(1 / 30 < r < 30 for r in ratios),
+        "median model/exec ratio within one order of magnitude":
+            0.1 < float(np.median(ratios)) < 10.0,
+        # The two backends may disagree on constants (different fixed-cost
+        # floors) but must scale alike: per level, the ratio varies by
+        # less than 10x across workloads.
+        "per-level ratio is stable across workload sizes":
+            all(max(rs) / min(rs) < 10.0
+                for rs in ratios_by_level.values()),
+    }
+    text = format_table(
+        ["workload", "level", "executed (ledger)", "modelled", "ratio"],
+        rows,
+        title="Extension: execute-backend vs model-backend consistency "
+              "(toy machine)",
+    )
+    text += (f"\n\nmedian model/exec ratio: {np.median(ratios):.2f}x over "
+             f"{len(ratios)} points")
+    return ExperimentOutput(
+        exp_id="extra_validation",
+        title="Model-vs-execute consistency (extension)",
+        text=text,
+        checks=checks,
+    )

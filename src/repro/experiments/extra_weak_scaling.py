@@ -1,0 +1,60 @@
+"""Extension experiment: weak scaling of Level 3 (not a paper figure).
+
+The paper only shows strong scaling (Figures 6/9).  A natural follow-up a
+reviewer would ask for: hold the *per-node* work constant (n grows with the
+machine) and watch the iteration time — flat is perfect weak scaling.  We
+grow n proportionally to nodes at the headline-class configuration
+(k=2,000, d=12,288, ~309 samples/CG like the ILSVRC run on 4,096 nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..machine.specs import sunway_spec
+from ..perfmodel.model import PerformanceModel
+from ..perfmodel.sweep import Series
+from ..reporting.figures import series_sparklines, series_table
+from .base import ExperimentOutput
+
+NODES = [64, 128, 256, 512, 1024]
+SAMPLES_PER_NODE = 1200
+K = 2000
+D = 12_288
+
+
+def run() -> ExperimentOutput:
+    """Weak-scale Level 3: n = SAMPLES_PER_NODE * nodes."""
+    series = Series(label="Level 3 (weak scaling)")
+    for nodes in NODES:
+        model = PerformanceModel(sunway_spec(nodes))
+        pred = model.predict(3, SAMPLES_PER_NODE * nodes, K, D)
+        series.x.append(float(nodes))
+        series.y.append(pred.total)
+        series.predictions.append(pred)
+
+    finite = series.finite()
+    # Weak-scaling efficiency: t(min nodes) / t(max nodes).
+    efficiency = series.y[0] / series.y[-1] if series.y[-1] > 0 else 0.0
+    checks: Dict[str, bool] = {
+        "feasible at every machine size": len(finite) == len(NODES),
+        "iteration time stays within 2x of the smallest machine":
+            max(y for _, y in finite) <= 2.0 * min(y for _, y in finite),
+        "no monotonic blow-up (last <= 1.5x first)":
+            series.y[-1] <= 1.5 * series.y[0],
+    }
+    bundle = {series.label: series}
+    text = series_table(
+        bundle, x_name="nodes",
+        title=(f"Extension: Level-3 weak scaling "
+               f"(n = {SAMPLES_PER_NODE}/node, k={K}, d={D:,})"),
+    )
+    text += "\n\n" + series_sparklines(bundle)
+    text += f"\n\nweak-scaling efficiency (first/last): {efficiency:.2f}"
+    return ExperimentOutput(
+        exp_id="extra_weak_scaling",
+        title="Level-3 weak scaling (extension)",
+        text=text,
+        series=bundle,
+        checks=checks,
+    )

@@ -1,0 +1,46 @@
+"""Figure 1 — the general architecture of the SW26010 many-core processor.
+
+The paper's Figure 1 is a block diagram; ours renders from the live spec
+objects, so the diagram cannot drift from the simulated hardware.  The
+checks pin every number the paper's section II.A states about the chip.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..machine.render import render_machine, render_processor
+from ..machine.specs import sunway_spec
+from .base import ExperimentOutput
+
+
+def run() -> ExperimentOutput:
+    """Render the SW26010 and verify the published parameters."""
+    spec = sunway_spec(1)
+    proc = spec.processor
+    cg = proc.cg
+
+    checks: Dict[str, bool] = {
+        "four core groups per processor": proc.n_cgs == 4,
+        "65 cores per CG: 1 MPE + 64 CPEs in an 8x8 mesh":
+            cg.n_cpes == 64 and cg.mesh_rows == 8 and cg.mesh_cols == 8,
+        "64 KB LDM per CPE": cg.cpe.ldm_bytes == 64 * 1024,
+        "16 KB L1 instruction cache per CPE":
+            cg.cpe.l1_icache_bytes == 16 * 1024,
+        "CPEs run at 1.45 GHz": abs(cg.cpe.clock_hz - 1.45e9) < 1e3,
+        "register communication at 46.4 GB/s":
+            abs(cg.register_bw - 46.4e9) < 1e6,
+        "DMA at 32 GB/s": abs(cg.dma_bw - 32e9) < 1e6,
+        "32 GB DDR3 shared by the 4 CGs":
+            proc.main_memory_bytes == 32 * 2**30,
+        "256 CPEs per processor (the Level-1 experimental setup)":
+            proc.n_cpes == 256,
+    }
+    text = render_processor(spec)
+    text += "\n\n" + render_machine(spec)
+    return ExperimentOutput(
+        exp_id="figure1",
+        title="General architecture of the SW26010 many-core processor",
+        text=text,
+        checks=checks,
+    )

@@ -1,0 +1,61 @@
+"""Figure 2 — the three-level k-means data-partition design.
+
+The paper's Figure 2 is the abstract diagram of how n, k and d map onto
+the hardware hierarchy.  We render it from a *real* Level-3 plan for the
+headline-class workload, and check the structural invariants the diagram
+asserts: sample blocks tile the dataflow across CG groups, centroid slices
+tile k across each group's member CGs, dimension slices tile d across each
+CG's CPEs, and groups are placed inside supernodes when they fit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..core.partition import plan_level3
+from ..machine.machine import Machine
+from ..machine.render import render_level3_partition
+from ..machine.specs import sunway_spec
+from .base import ExperimentOutput
+
+N, K, D = 1_265_723, 2000, 12_288
+NODES = 128
+
+
+def run() -> ExperimentOutput:
+    """Render the nkd partition of a real plan and verify its structure."""
+    machine = Machine(sunway_spec(NODES), materialize_ldm=False)
+    plan = plan_level3(machine, N, K, D, dtype=np.float32)
+
+    def tiles(slices, total):
+        return (slices[0][0] == 0 and slices[-1][1] == total
+                and all(a[1] == b[0] for a, b in zip(slices, slices[1:])))
+
+    member_counts = {len(g) for g in plan.cg_groups}
+    all_cgs = [cg for g in plan.cg_groups for cg in g]
+    checks: Dict[str, bool] = {
+        "sample blocks tile the dataflow across CG groups":
+            tiles(plan.sample_blocks, N),
+        "centroid slices tile k across each group's member CGs":
+            tiles(plan.centroid_slices, K),
+        "dimension slices tile d across the 64 CPEs of a CG":
+            tiles(plan.dim_slices, D)
+            and len(plan.dim_slices) == machine.cpes_per_cg,
+        "every CG group has exactly m'group members":
+            member_counts == {plan.mprime_group},
+        "no CG serves two groups":
+            len(all_cgs) == len(set(all_cgs)),
+        "groups stay inside one supernode when they fit":
+            plan.mprime_group > machine.cgs_per_node * 256
+            or not any(machine.group_spans_supernodes(g)
+                       for g in plan.cg_groups),
+    }
+    text = render_level3_partition(plan, machine)
+    return ExperimentOutput(
+        exp_id="figure2",
+        title="Three-level k-means design for data partition and parallelism",
+        text=text,
+        checks=checks,
+    )

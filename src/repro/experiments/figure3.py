@@ -1,0 +1,61 @@
+"""Figure 3 — Level 1 (dataflow partition) on the three UCI datasets.
+
+One SW26010 processor (4 CGs, 256 CPEs); one-iteration completion time as k
+grows.  Paper claim: "As the number of k increases, the completion time on
+this approach grows linearly."
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..data.datasets import TABLE_II
+from ..perfmodel.sweep import Series, sweep
+from ..reporting.figures import series_sparklines, series_table
+from .base import ExperimentOutput, monotone_nondecreasing
+
+#: (dataset key, k sweep) as plotted in the paper's three panels.
+PANELS = {
+    "census": [4, 8, 16, 32, 64],
+    "road": [64, 128, 256, 512, 1024],
+    "kegg": [16, 32, 64, 128, 256],
+}
+
+NODES = 1
+
+
+def run() -> ExperimentOutput:
+    """Regenerate the three panels of Figure 3."""
+    series: Dict[str, Series] = {}
+    checks: Dict[str, bool] = {}
+    sections = []
+    for key, ks in PANELS.items():
+        ds = TABLE_II[key]
+        panel = sweep("k", ks, levels=[1], n=ds.n, k=0, d=ds.d, nodes=NODES)
+        s = panel[1]
+        s.label = ds.name
+        series[ds.name] = s
+        finite = s.finite()
+        checks[f"{key}: Level 1 feasible over the whole k range"] = (
+            len(finite) == len(ks)
+        )
+        checks[f"{key}: completion time grows with k"] = (
+            monotone_nondecreasing(s.y) and s.y[-1] > s.y[0]
+        )
+        # Linear growth: doubling k less than ~quadruples the time once the
+        # k-dependent term dominates (i.e. sub-quadratic, super-constant).
+        checks[f"{key}: growth is roughly linear in k"] = (
+            s.y[-1] / s.y[0] < (ks[-1] / ks[0]) ** 1.5
+        )
+        sections.append(series_table(
+            {ds.name: s}, x_name="k",
+            title=f"Figure 3 panel: {ds.name} (n={ds.n:,}, d={ds.d})",
+        ))
+    text = "\n\n".join(sections) + "\n\n" + series_sparklines(series)
+    return ExperimentOutput(
+        exp_id="figure3",
+        title="Level 1 - dataflow partition (one SW26010)",
+        text=text,
+        series=series,
+        checks=checks,
+    )

@@ -1,0 +1,71 @@
+"""Figure 5 — Level 3 (nkd partition) on ILSVRC2012 features.
+
+4,096 nodes; k in {128..2048} crossed with d in {3072, 12288, 196608}
+(32x32x3, 64x64x3, 256x256x3).  Paper claims: high performance at extreme
+(k, d), with the headline "less than 18 seconds per iteration ... with
+196,608 data dimensions and 2,000 centroids by applying 4,096 nodes".
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..data.datasets import TABLE_II
+from ..perfmodel.model import PerformanceModel
+from ..machine.specs import sunway_spec
+from ..perfmodel.sweep import Series, sweep
+from ..reporting.figures import series_sparklines, series_table
+from .base import ExperimentOutput, monotone_nondecreasing
+
+KS = [128, 256, 512, 1024, 2048]
+DS = [3072, 12288, 196_608]
+NODES = 4096
+
+#: The abstract's headline configuration.
+HEADLINE_K = 2000
+HEADLINE_D = 196_608
+HEADLINE_SECONDS = 18.0
+
+
+def run() -> ExperimentOutput:
+    """Regenerate Figure 5 plus the paper's headline check."""
+    n = TABLE_II["ilsvrc2012"].n
+    series: Dict[str, Series] = {}
+    checks: Dict[str, bool] = {}
+    for d in DS:
+        swept = sweep("k", KS, levels=[3], n=n, k=0, d=d, nodes=NODES)
+        s = swept[3]
+        s.label = f"d={d:,}"
+        series[s.label] = s
+        checks[f"d={d}: Level 3 feasible over the whole k range"] = (
+            len(s.finite()) == len(KS)
+        )
+        checks[f"d={d}: completion time grows with k"] = (
+            monotone_nondecreasing(s.y, slack=0.05)
+        )
+    # Larger d costs more at the largest k.
+    last = [series[f"d={d:,}"].y[-1] for d in DS]
+    checks["largest d is the most expensive at k=2048"] = (
+        last[-1] == max(last)
+    )
+    headline = PerformanceModel(sunway_spec(NODES)).predict(
+        3, n, HEADLINE_K, HEADLINE_D)
+    checks[
+        f"headline: k={HEADLINE_K}, d={HEADLINE_D:,} under "
+        f"{HEADLINE_SECONDS:.0f} s/iteration on {NODES} nodes"
+    ] = headline.feasible and headline.total < HEADLINE_SECONDS
+
+    text = series_table(
+        series, x_name="k",
+        title=f"Figure 5: Level 3 on ILSVRC2012 (n={n:,}, {NODES} nodes)",
+    )
+    text += "\n\n" + series_sparklines(series)
+    text += (f"\n\nheadline: {headline.total:.3f} s/iteration at "
+             f"k={HEADLINE_K}, d={HEADLINE_D:,} (paper: < 18 s)")
+    return ExperimentOutput(
+        exp_id="figure5",
+        title="Level 3 - dataflow, centroids and dimensions partition",
+        text=text,
+        series=series,
+        checks=checks,
+    )

@@ -1,0 +1,60 @@
+"""Figure 9 — Level 2 vs Level 3, varying node count (d=4096, k=2000).
+
+Paper claims: "Level 3 clearly outperforms Level 2 in all scenarios.  ...
+The performance gap narrows as more nodes are added, but remains
+significant."
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from ..data.datasets import TABLE_II
+from ..perfmodel.sweep import sweep
+from ..reporting.figures import series_sparklines, series_table
+from .base import ExperimentOutput, monotone_nonincreasing
+
+NODES = [2, 4, 8, 16, 32, 64, 128, 256]
+K = 2000
+D = 4096
+
+
+def run() -> ExperimentOutput:
+    """Regenerate Figure 9."""
+    n = TABLE_II["ilsvrc2012"].n
+    swept = sweep("nodes", NODES, levels=[2, 3], n=n, k=K, d=D, nodes=0)
+    l2, l3 = swept[2], swept[3]
+
+    gaps = [y2 / y3 for y2, y3 in zip(l2.y, l3.y)
+            if math.isfinite(y2) and math.isfinite(y3)]
+    checks: Dict[str, bool] = {
+        "both levels feasible at every node count":
+            len(l2.finite()) == len(NODES) and len(l3.finite()) == len(NODES),
+        "Level 3 outperforms Level 2 at every node count":
+            all(y3 < y2 for y2, y3 in zip(l2.y, l3.y)),
+        "Level 2 time falls as nodes are added":
+            monotone_nonincreasing(l2.y, slack=0.02),
+        "Level 3 time falls as nodes are added (boundary slack allowed)":
+            monotone_nonincreasing(l3.y, slack=0.25),
+        "the gap narrows as nodes are added":
+            gaps[-1] < gaps[0],
+        "the gap remains significant (Level 3 at least 2x faster at 256)":
+            gaps[-1] > 2.0,
+    }
+
+    series = {"Level 2": l2, "Level 3": l3}
+    text = series_table(
+        series, x_name="nodes",
+        title=(f"Figure 9: varying nodes with d={D}, k={K}, n={n:,}"),
+    )
+    text += "\n\n" + series_sparklines(series)
+    text += (f"\n\nL2/L3 gap: {gaps[0]:.1f}x at {NODES[0]} nodes -> "
+             f"{gaps[-1]:.1f}x at {NODES[-1]} nodes")
+    return ExperimentOutput(
+        exp_id="figure9",
+        title="Comparison: Level 2 vs Level 3, varying node count",
+        text=text,
+        series=series,
+        checks=checks,
+    )

@@ -1,0 +1,74 @@
+"""Experiment registry: every table and figure, addressable by id."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ConfigurationError
+from . import (
+    extra_bounded,
+    extra_breakdown,
+    extra_dimreduction,
+    extra_flexibility,
+    extra_validation,
+    extra_weak_scaling,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table1,
+    table2,
+    table3,
+)
+from .base import ExperimentOutput
+
+#: id -> zero-argument runner, in the paper's presentation order.
+EXPERIMENTS: Dict[str, Callable[[], ExperimentOutput]] = {
+    "table1": table1.run,
+    "figure1": figure1.run,
+    "figure2": figure2.run,
+    "table2": table2.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "figure9": figure9.run,
+    "table3": table3.run,
+    "figure10": figure10.run,
+}
+
+#: Extensions beyond the paper's evaluation (weak scaling, phase breakdown,
+#: model-vs-execute validation).  Run via ``run_experiment`` like the rest;
+#: kept out of EXPERIMENTS so "the paper's figures" stays a precise set.
+EXTRA_EXPERIMENTS: Dict[str, Callable[[], ExperimentOutput]] = {
+    "extra_weak_scaling": extra_weak_scaling.run,
+    "extra_bounded": extra_bounded.run,
+    "extra_breakdown": extra_breakdown.run,
+    "extra_dimreduction": extra_dimreduction.run,
+    "extra_flexibility": extra_flexibility.run,
+    "extra_validation": extra_validation.run,
+}
+
+
+def run_experiment(exp_id: str) -> ExperimentOutput:
+    """Run one experiment by id (e.g. "figure7" or "extra_breakdown")."""
+    runner = EXPERIMENTS.get(exp_id) or EXTRA_EXPERIMENTS.get(exp_id)
+    if runner is None:
+        known = ", ".join(list(EXPERIMENTS) + list(EXTRA_EXPERIMENTS))
+        raise ConfigurationError(
+            f"unknown experiment {exp_id!r}; known: {known}"
+        )
+    return runner()
+
+
+def run_all() -> List[ExperimentOutput]:
+    """Run every experiment in paper order."""
+    return [runner() for runner in EXPERIMENTS.values()]

@@ -1,0 +1,77 @@
+"""The reproduction scorecard: one page summarising the whole evaluation.
+
+Runs every experiment (paper + extensions), aggregates the shape-check
+verdicts, and pulls out the headline numbers a reader asks about first.
+This is the artifact `python -m repro scorecard` and the reproduce_paper
+example print at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..data.datasets import TABLE_II
+from ..machine.specs import sunway_spec
+from ..perfmodel.model import PerformanceModel
+from ..reporting.tables import format_table
+from .base import ExperimentOutput
+from .registry import EXPERIMENTS, EXTRA_EXPERIMENTS
+
+
+@dataclass
+class Scorecard:
+    """Aggregated verdicts for the full evaluation."""
+
+    outputs: List[ExperimentOutput]
+
+    @property
+    def n_experiments(self) -> int:
+        return len(self.outputs)
+
+    @property
+    def n_checks(self) -> int:
+        return sum(len(o.checks) for o in self.outputs)
+
+    @property
+    def n_checks_passed(self) -> int:
+        return sum(sum(o.checks.values()) for o in self.outputs)
+
+    @property
+    def all_pass(self) -> bool:
+        return self.n_checks_passed == self.n_checks
+
+    def failures(self) -> Dict[str, List[str]]:
+        return {
+            o.exp_id: [n for n, ok in o.checks.items() if not ok]
+            for o in self.outputs if not o.all_checks_pass
+        }
+
+    def render(self) -> str:
+        rows = []
+        for o in self.outputs:
+            n_ok = sum(o.checks.values())
+            kind = "paper" if o.exp_id in EXPERIMENTS else "extension"
+            rows.append([o.exp_id, kind, f"{n_ok}/{len(o.checks)}",
+                         "pass" if o.all_checks_pass else "FAIL"])
+        text = format_table(
+            ["experiment", "kind", "checks", "verdict"], rows,
+            title="Reproduction scorecard",
+        )
+        headline = PerformanceModel(sunway_spec(4096)).predict(
+            3, TABLE_II["ilsvrc2012"].n, 2000, 196_608)
+        text += (
+            f"\n\n{self.n_checks_passed}/{self.n_checks} shape checks pass "
+            f"across {self.n_experiments} experiments"
+            f"\nheadline: {headline.total:.2f} s/iteration at k=2,000, "
+            f"d=196,608 on 4,096 nodes (paper: < 18 s)"
+        )
+        return text
+
+
+def build_scorecard(include_extras: bool = True) -> Scorecard:
+    """Run every registered experiment and aggregate the verdicts."""
+    runners = dict(EXPERIMENTS)
+    if include_extras:
+        runners.update(EXTRA_EXPERIMENTS)
+    return Scorecard(outputs=[run() for run in runners.values()])

@@ -1,0 +1,131 @@
+"""Table I — capability envelope of parallel k-means implementations.
+
+The paper's Table I records the largest (n, k, d) each published system
+handles.  The prior-work rows are literature citations (fixtures); our row
+is *demonstrated*, not asserted: the experiment checks with the partition
+planner / performance model that n=10^6, k=160,000, d=196,608 is actually
+feasible at Level 3 on the 4,096-node machine, and that no lower level (nor
+Bender's two-level window) can hold it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.constraints import (
+    bender_window,
+    level1_feasibility,
+    level3_feasibility,
+    min_mprime_group_level3,
+)
+from ..machine.specs import sunway_spec
+from ..perfmodel.model import PerformanceModel
+from ..reporting.tables import format_table
+from .base import ExperimentOutput
+
+
+@dataclass(frozen=True)
+class CapabilityRow:
+    approach: str
+    hardware: str
+    programming_model: str
+    n: float
+    k: int
+    d: int
+
+
+#: Prior-work rows of Table I, verbatim from the paper.
+PRIOR_WORK: List[CapabilityRow] = [
+    CapabilityRow("Bohm, et al [4]", "Multi-core Processors", "MIMD/SIMD",
+                  1e7, 40, 20),
+    CapabilityRow("Hadian and Shahrivari [17]", "Multi-core Processors",
+                  "multi-thread", 1e9, 100, 68),
+    CapabilityRow("Zechner and Granitzer [37]", "GPU", "CUDA", 1e6, 128, 200),
+    CapabilityRow("Li, et al [26]", "GPU", "CUDA", 1e7, 512, 160),
+    CapabilityRow("Haut, et al [19]", "Cloud", "OpenStack", 1e8, 8, 58),
+    CapabilityRow("Cui, et al [8]", "Cluster", "Hadoop", 1e5, 100, 9),
+    CapabilityRow("Kumar, et al [24]", "Jaguar, Oak Ridge", "MPI",
+                  1e10, 1000, 30),
+    CapabilityRow("Cai, et al [6]", "Gordon, SDSC", "mclapply (parallel R)",
+                  1e6, 8, 8),
+    CapabilityRow("Bender, et al [2]", "Trinity, NNSA", "OpenMP",
+                  370, 18, 140_256),
+]
+
+#: Our row of Table I.
+OUR_ROW = CapabilityRow("Our approach", "Sunway, Wuxi", "DMA/MPI",
+                        1e6, 160_000, 196_608)
+
+
+def run() -> ExperimentOutput:
+    """Regenerate Table I and verify our row's feasibility claims.
+
+    Table I's row records the *envelope* of maxima the paper achieves —
+    k=160,000 is reached at d=3,072 (Figure 6, centroids panel) and
+    d=196,608 at k=2,000 (Figures 5/6) — never both simultaneously, which
+    would exceed even the full machine's aggregate LDM under C1''.  We
+    verify each achieved extreme with the paper's Level-3 constraints
+    (float32, as the experiments store image features).
+    """
+    spec = sunway_spec(4096)
+    n = int(OUR_ROW.n)
+    dtype = np.float32
+
+    # Extreme 1: k = 160,000 at d = 3,072 (Figure 6 centroids panel).
+    k_ext = level3_feasibility(OUR_ROW.k, 3072,
+                               mprime_group=spec.n_cgs, spec=spec,
+                               dtype=dtype)
+    mprime_k = min_mprime_group_level3(OUR_ROW.k, 3072, spec, dtype=dtype)
+    # Extreme 2: d = 196,608 at k = 2,000 (Figures 5/6, the headline).
+    d_ext = level3_feasibility(2000, OUR_ROW.d,
+                               mprime_group=spec.n_cgs, spec=spec,
+                               dtype=dtype)
+    mprime_d = min_mprime_group_level3(2000, OUR_ROW.d, spec, dtype=dtype)
+    model = PerformanceModel(spec)
+    pred = model.predict(3, n, 2000, OUR_ROW.d)
+    # Neither extreme fits a single CPE (Level 1) nor Bender's two-level
+    # window: Z = 32 KB cache, M = 16 GB scratchpad, float32 elements.
+    l1_k = level1_feasibility(OUR_ROW.k, 3072, spec, dtype=dtype)
+    l1_d = level1_feasibility(2000, OUR_ROW.d, spec, dtype=dtype)
+    bender_fits = bender_window(OUR_ROW.k, OUR_ROW.d,
+                                cache_elements=32 * 1024 // 4,
+                                scratchpad_elements=16 * 2 ** 30 // 4)
+
+    checks = {
+        "k extreme (k=160000 at d=3072) feasible at Level 3 (C1''-C3'')":
+            k_ext.feasible and mprime_k is not None,
+        "d extreme (d=196608 at k=2000) feasible at Level 3 (C1''-C3'')":
+            d_ext.feasible and mprime_d is not None,
+        "performance model prices the d extreme finitely":
+            pred.feasible,
+        "neither extreme fits Level 1 (single-CPE C1)":
+            not l1_k.feasible and not l1_d.feasible,
+        "headline k*d falls outside Bender's Z < kd < M window":
+            not bender_fits,
+    }
+
+    headers = ["Approach", "Hardware", "Model", "n", "k", "d"]
+    rows = [
+        [r.approach, r.hardware, r.programming_model,
+         f"{r.n:.0e}", f"{r.k:,}", f"{r.d:,}"]
+        for r in PRIOR_WORK + [OUR_ROW]
+    ]
+    text = format_table(
+        headers, rows,
+        title="Table I: parallel k-means implementations",
+    )
+    text += (
+        f"\n\nOur row verified per achieved extreme: k=160,000 at d=3,072 "
+        f"(m'group={mprime_k}), d=196,608 at k=2,000 (m'group={mprime_d}, "
+        f"modelled {pred.total:.3f} s/iteration on 4096 nodes)."
+    )
+    return ExperimentOutput(
+        exp_id="table1",
+        title="Parallel k-means implementations (capability envelope)",
+        text=text,
+        rows=rows,
+        checks=checks,
+    )

@@ -1,0 +1,144 @@
+"""Serialization: save/load k-means results and export experiment data.
+
+Long-running sweeps need durable outputs.  Formats:
+
+* ``save_result`` / ``load_result`` — a :class:`KMeansResult` round-trips
+  through one ``.npz`` file (arrays) with the scalar metadata and the time
+  ledger embedded as JSON,
+* ``export_series_csv`` — figure series to CSV (one file per figure),
+* ``save_experiment`` — an :class:`ExperimentOutput`'s report, CSV and
+  check verdicts into a directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from .core.result import IterationStats, KMeansResult
+from .errors import ConfigurationError
+from .experiments.base import ExperimentOutput
+from .perfmodel.sweep import Series
+from .reporting.figures import series_csv
+from .runtime.ledger import PhaseRecord, TimeLedger
+
+#: Format marker embedded in every saved result.
+_FORMAT_VERSION = 1
+
+
+def _ledger_to_dict(ledger: Optional[TimeLedger]) -> Optional[dict]:
+    if ledger is None:
+        return None
+    return {
+        "n_iterations": ledger.n_iterations,
+        "records": [
+            [r.iteration, r.category, r.label, r.seconds]
+            for r in ledger.records
+        ],
+    }
+
+
+def _ledger_from_dict(data: Optional[dict]) -> Optional[TimeLedger]:
+    if data is None:
+        return None
+    ledger = TimeLedger()
+    ledger._records = [
+        PhaseRecord(int(it), str(cat), str(label), float(sec))
+        for it, cat, label, sec in data["records"]
+    ]
+    ledger._iteration = int(data["n_iterations"])
+    return ledger
+
+
+def save_result(result: KMeansResult, path: str) -> None:
+    """Persist a KMeansResult to ``path`` (.npz appended if missing)."""
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "inertia": result.inertia,
+        "n_iter": result.n_iter,
+        "converged": result.converged,
+        "level": result.level,
+        "history": [
+            [s.iteration, s.inertia, s.centroid_shift, s.n_reassigned,
+             s.modelled_seconds]
+            for s in result.history
+        ],
+        "ledger": _ledger_to_dict(result.ledger),
+    }
+    np.savez_compressed(
+        path,
+        centroids=result.centroids,
+        assignments=result.assignments,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_result(path: str) -> KMeansResult:
+    """Load a KMeansResult saved by :func:`save_result`."""
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path) as data:
+        try:
+            meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+            centroids = data["centroids"]
+            assignments = data["assignments"]
+        except KeyError as e:
+            raise ConfigurationError(
+                f"{path} is not a saved KMeansResult (missing {e})"
+            ) from None
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported result format {meta.get('format_version')!r}"
+        )
+    history = [
+        IterationStats(int(it), float(inr), float(shift), int(reass),
+                       float(sec))
+        for it, inr, shift, reass, sec in meta["history"]
+    ]
+    return KMeansResult(
+        centroids=centroids,
+        assignments=assignments,
+        inertia=float(meta["inertia"]),
+        n_iter=int(meta["n_iter"]),
+        converged=bool(meta["converged"]),
+        history=history,
+        ledger=_ledger_from_dict(meta["ledger"]),
+        level=int(meta["level"]),
+    )
+
+
+def export_series_csv(series_by_label: Dict[str, Series], x_name: str,
+                      path: str) -> None:
+    """Write figure series to a CSV file."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(series_csv(series_by_label, x_name))
+
+
+def save_experiment(output: ExperimentOutput, directory: str) -> None:
+    """Persist an experiment: report text, checks JSON, and series CSV."""
+    os.makedirs(directory, exist_ok=True)
+    base = os.path.join(directory, output.exp_id)
+    with open(base + ".txt", "w", encoding="utf-8") as f:
+        f.write(output.text + "\n")
+    with open(base + ".checks.json", "w", encoding="utf-8") as f:
+        json.dump({"title": output.title, "checks": output.checks}, f,
+                  indent=2)
+    if output.series:
+        # Series sharing an x axis go into one CSV; figures with multiple
+        # panels (different axes, e.g. Figure 6) get one CSV per panel.
+        groups: list[dict] = []
+        for label, series in output.series.items():
+            for group in groups:
+                if next(iter(group.values())).x == series.x:
+                    group[label] = series
+                    break
+            else:
+                groups.append({label: series})
+        if len(groups) == 1:
+            export_series_csv(groups[0], "x", base + ".csv")
+        else:
+            for i, group in enumerate(groups, start=1):
+                export_series_csv(group, "x", f"{base}.panel{i}.csv")

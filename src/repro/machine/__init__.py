@@ -1,0 +1,57 @@
+"""Simulated Sunway TaihuLight machine model.
+
+The machine substrate reproduces the hardware hierarchy the paper's
+partitioning strategy is built around:
+
+* :mod:`repro.machine.specs` — frozen dataclasses with the published
+  SW26010/TaihuLight parameters (CPE meshes, LDM sizes, bandwidths).
+* :mod:`repro.machine.ldm` — the 64 KB scratchpad allocator whose capacity
+  *is* the paper's C1/C2/C3 feasibility constraints.
+* :mod:`repro.machine.core_group` — one MPE + 8x8 CPE mesh.
+* :mod:`repro.machine.topology` — the two-level fat tree with supernode
+  locality.
+* :mod:`repro.machine.machine` — the facade tying it together, including
+  supernode-aware CG-group placement.
+"""
+
+from .core_group import CPE, CoreGroup
+from .ldm import Allocation, LDMAllocator
+from .machine import Machine, machine_from_preset, sunway_machine, toy_machine
+from .render import render_level3_partition, render_machine, render_processor
+from .specs import (
+    CGSpec,
+    CPESpec,
+    MachineSpec,
+    NetworkSpec,
+    ProcessorSpec,
+    PRESETS,
+    preset,
+    sunway_spec,
+    toy_spec,
+)
+from .topology import FatTreeTopology, build_topology
+
+__all__ = [
+    "Allocation",
+    "CGSpec",
+    "CPE",
+    "CPESpec",
+    "CoreGroup",
+    "FatTreeTopology",
+    "LDMAllocator",
+    "Machine",
+    "MachineSpec",
+    "NetworkSpec",
+    "PRESETS",
+    "ProcessorSpec",
+    "build_topology",
+    "machine_from_preset",
+    "preset",
+    "render_level3_partition",
+    "render_machine",
+    "render_processor",
+    "sunway_machine",
+    "sunway_spec",
+    "toy_machine",
+    "toy_spec",
+]

@@ -1,0 +1,126 @@
+"""Core-group model: one MPE plus an 8x8 mesh of CPEs with per-CPE LDM.
+
+A :class:`CoreGroup` is the unit the Level-3 algorithm treats as "one basic
+computing unit": it holds one d-dimensional sample with the dimensions split
+across its CPEs.  The class tracks per-CPE LDM allocators and exposes the
+mesh coordinates used by the register-communication model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import ConfigurationError
+from .ldm import LDMAllocator
+from .specs import CGSpec
+
+
+@dataclass(frozen=True)
+class CPE:
+    """One Computing Processing Element: mesh position + LDM allocator.
+
+    ``row``/``col`` are the coordinates on the CG's mesh, used by the
+    register-communication cost model (row/column bus hops).
+    """
+
+    cg_index: int
+    index: int
+    row: int
+    col: int
+    ldm: LDMAllocator
+
+    @property
+    def global_label(self) -> str:
+        return f"cg{self.cg_index}/cpe{self.index}"
+
+
+class CoreGroup:
+    """An SW26010 core group: management core + CPE mesh.
+
+    Parameters
+    ----------
+    index:
+        Global CG index within the machine (0-based).
+    spec:
+        Hardware description of the CG.
+    node_index:
+        Index of the node this CG lives on (used for network locality).
+    """
+
+    def __init__(self, index: int, spec: CGSpec, node_index: int) -> None:
+        if index < 0:
+            raise ConfigurationError(f"CG index must be >= 0, got {index}")
+        self.index = index
+        self.spec = spec
+        self.node_index = node_index
+        self._cpes: List[CPE] = [
+            CPE(
+                cg_index=index,
+                index=i,
+                row=i // spec.mesh_cols,
+                col=i % spec.mesh_cols,
+                ldm=LDMAllocator(spec.cpe.ldm_bytes),
+            )
+            for i in range(spec.n_cpes)
+        ]
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def n_cpes(self) -> int:
+        return self.spec.n_cpes
+
+    @property
+    def cpes(self) -> Tuple[CPE, ...]:
+        return tuple(self._cpes)
+
+    def cpe(self, i: int) -> CPE:
+        try:
+            return self._cpes[i]
+        except IndexError:
+            raise ConfigurationError(
+                f"CG {self.index} has {self.n_cpes} CPEs; no CPE {i}"
+            ) from None
+
+    def mesh_position(self, cpe_index: int) -> Tuple[int, int]:
+        """(row, col) of a CPE on the mesh."""
+        c = self.cpe(cpe_index)
+        return (c.row, c.col)
+
+    # -- LDM management ----------------------------------------------------
+
+    def reset_ldm(self) -> None:
+        """Release every allocation on every CPE of this CG."""
+        for c in self._cpes:
+            c.ldm.reset()
+
+    def alloc_on_all(self, label: str, nbytes_per_cpe: int) -> None:
+        """Reserve the same buffer on every CPE (e.g. a broadcast sample slice).
+
+        If any CPE overflows, allocations made by this call are rolled back so
+        the CG is left unchanged.
+        """
+        done: List[CPE] = []
+        try:
+            for c in self._cpes:
+                c.ldm.alloc(label, nbytes_per_cpe)
+                done.append(c)
+        except Exception:
+            for c in done:
+                c.ldm.free(label)
+            raise
+
+    def free_on_all(self, label: str) -> None:
+        for c in self._cpes:
+            if label in c.ldm:
+                c.ldm.free(label)
+
+    @property
+    def ldm_used_bytes(self) -> int:
+        """Total bytes allocated across the CG's LDMs."""
+        return sum(c.ldm.used_bytes for c in self._cpes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CoreGroup(index={self.index}, node={self.node_index}, "
+                f"cpes={self.n_cpes})")

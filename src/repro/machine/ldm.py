@@ -1,0 +1,166 @@
+"""Local Directive Memory (LDM) allocator.
+
+Each CPE of the SW26010 has a 64 KB software-managed scratchpad instead of a
+data cache.  On the real machine the programmer explicitly stages buffers in
+and out of the LDM with DMA; a buffer set that does not fit simply cannot be
+compiled/run.  The allocator below models exactly that budget: named
+allocations against a fixed byte capacity, with an
+:class:`~repro.errors.LDMOverflowError` when the budget would be exceeded.
+
+The k-means levels use this to *prove* feasibility of a partition plan — the
+paper's constraints C1/C2/C3 are precisely "this buffer set fits in LDM".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, LDMOverflowError
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One named reservation inside an LDM."""
+
+    label: str
+    nbytes: int
+    offset: int
+
+
+class LDMAllocator:
+    """Bump allocator over a fixed scratchpad budget.
+
+    The real LDM is managed by the programmer as a flat buffer; a bump
+    allocator with explicit ``free``/``reset`` mirrors the way the k-means
+    kernels stage long-lived buffers (centroid slices, accumulators) at the
+    bottom and streaming buffers (the current sample block) on top.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total scratchpad size, 65,536 for the SW26010 CPE.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"LDM capacity must be positive, got {capacity_bytes}"
+            )
+        self._capacity = int(capacity_bytes)
+        self._cursor = 0
+        self._allocations: Dict[str, Allocation] = {}
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(a.nbytes for a in self._allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self._capacity - self._cursor
+
+    @property
+    def high_water_bytes(self) -> int:
+        """Top of the bump cursor; includes holes left by frees."""
+        return self._cursor
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._allocations
+
+    def __iter__(self) -> Iterator[Allocation]:
+        return iter(self._allocations.values())
+
+    def __len__(self) -> int:
+        return len(self._allocations)
+
+    # -- allocation -------------------------------------------------------
+
+    def alloc(self, label: str, nbytes: int) -> Allocation:
+        """Reserve ``nbytes`` under ``label``.
+
+        Raises
+        ------
+        LDMOverflowError
+            If the reservation does not fit in the remaining budget.
+        ConfigurationError
+            If the label is already in use or nbytes is not positive.
+        """
+        nbytes = int(nbytes)
+        if nbytes <= 0:
+            raise ConfigurationError(
+                f"allocation {label!r} must have positive size, got {nbytes}"
+            )
+        if label in self._allocations:
+            raise ConfigurationError(f"LDM label {label!r} already allocated")
+        if self._cursor + nbytes > self._capacity:
+            raise LDMOverflowError(
+                requested=nbytes,
+                available=self._capacity - self._cursor,
+                capacity=self._capacity,
+                label=label,
+            )
+        allocation = Allocation(label=label, nbytes=nbytes, offset=self._cursor)
+        self._cursor += nbytes
+        self._allocations[label] = allocation
+        return allocation
+
+    def alloc_array(self, label: str, shape: Tuple[int, ...],
+                    dtype: np.dtype | type = np.float64) -> Allocation:
+        """Reserve room for an ndarray of ``shape``/``dtype``."""
+        itemsize = np.dtype(dtype).itemsize
+        n_items = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        return self.alloc(label, n_items * itemsize)
+
+    def free(self, label: str) -> None:
+        """Release an allocation.
+
+        The bump cursor only retreats when the top-most allocation is freed
+        (LIFO discipline, like stack staging on the real LDM); freeing an
+        interior allocation releases its accounting but not its address space
+        until everything above it is freed too.
+        """
+        try:
+            allocation = self._allocations.pop(label)
+        except KeyError:
+            raise ConfigurationError(f"LDM label {label!r} is not allocated") from None
+        # Retreat the cursor past any trailing free space.
+        if allocation.offset + allocation.nbytes == self._cursor:
+            self._cursor = allocation.offset
+            while self._allocations:
+                top = max(self._allocations.values(),
+                          key=lambda a: a.offset + a.nbytes)
+                if top.offset + top.nbytes == self._cursor:
+                    break
+                self._cursor = max(
+                    (a.offset + a.nbytes for a in self._allocations.values()),
+                    default=0,
+                )
+                break
+
+    def reset(self) -> None:
+        """Release every allocation at once."""
+        self._allocations.clear()
+        self._cursor = 0
+
+    def would_fit(self, nbytes: int) -> bool:
+        """True if a further allocation of ``nbytes`` would succeed."""
+        return self._cursor + int(nbytes) <= self._capacity
+
+    def report(self) -> str:
+        """Human-readable allocation map for debugging partition plans."""
+        lines = [
+            f"LDM {self.used_bytes}/{self._capacity} B used "
+            f"({100.0 * self.used_bytes / self._capacity:.1f}%)"
+        ]
+        for a in sorted(self._allocations.values(), key=lambda a: a.offset):
+            lines.append(f"  [{a.offset:6d}..{a.offset + a.nbytes:6d}) {a.label}"
+                         f" ({a.nbytes} B)")
+        return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""Machine facade: nodes, core groups, topology, and CG-group placement.
+
+A :class:`Machine` instantiates the full hierarchy described by a
+:class:`~repro.machine.specs.MachineSpec` — nodes, each carrying one SW26010
+processor with its CGs and CPEs — plus the fat-tree topology.  It also owns
+the *placement* logic the paper calls out in section III.C: when the Level-3
+algorithm groups ``m'group`` CGs to share the centroid set, the group should
+be placed inside one supernode whenever it fits, because intra-supernode
+communication is faster.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from ..errors import ConfigurationError
+from .core_group import CoreGroup
+from .specs import MachineSpec, preset, sunway_spec, toy_spec
+from .topology import FatTreeTopology, build_topology
+
+__all__ = ["Machine", "sunway_machine", "toy_machine"]
+
+
+class Machine:
+    """The simulated machine: an indexable collection of core groups.
+
+    Core groups are numbered globally, node-major: CG ``i`` lives on node
+    ``i // cgs_per_node``.  All algorithm-level code addresses CGs by this
+    global index; the topology translates CG indices to node locality.
+    """
+
+    def __init__(self, spec: MachineSpec, materialize_ldm: bool = True) -> None:
+        self.spec = spec
+        self.topology: FatTreeTopology = build_topology(spec)
+        self._cgs_per_node = spec.processor.n_cgs
+        self._materialized = bool(materialize_ldm)
+        # Materialising one CoreGroup object per CG is fine up to a few
+        # thousand nodes; the pure model backend passes
+        # materialize_ldm=False to stay O(1) in memory at 4,096 nodes.
+        self._core_groups: List[CoreGroup] = []
+        if self._materialized:
+            self._core_groups = [
+                CoreGroup(index=i, spec=spec.processor.cg,
+                          node_index=i // self._cgs_per_node)
+                for i in range(spec.n_cgs)
+            ]
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return self.spec.n_nodes
+
+    @property
+    def n_cgs(self) -> int:
+        return self.spec.n_cgs
+
+    @property
+    def n_cpes(self) -> int:
+        return self.spec.n_cpes
+
+    @property
+    def cpes_per_cg(self) -> int:
+        return self.spec.processor.cg.n_cpes
+
+    @property
+    def cgs_per_node(self) -> int:
+        return self._cgs_per_node
+
+    @property
+    def ldm_bytes(self) -> int:
+        """LDM capacity of a single CPE in bytes."""
+        return self.spec.ldm_bytes_per_cpe
+
+    def node_of_cg(self, cg_index: int) -> int:
+        if not 0 <= cg_index < self.n_cgs:
+            raise ConfigurationError(
+                f"CG index {cg_index} out of range [0, {self.n_cgs})"
+            )
+        return cg_index // self._cgs_per_node
+
+    def core_group(self, cg_index: int) -> CoreGroup:
+        if not self._materialized:
+            raise ConfigurationError(
+                "machine was built with materialize_ldm=False; "
+                "core-group objects are not available"
+            )
+        if not 0 <= cg_index < self.n_cgs:
+            raise ConfigurationError(
+                f"CG index {cg_index} out of range [0, {self.n_cgs})"
+            )
+        return self._core_groups[cg_index]
+
+    def core_groups(self) -> Iterator[CoreGroup]:
+        for i in range(self.n_cgs):
+            yield self.core_group(i)
+
+    def reset_ldm(self) -> None:
+        """Release every LDM allocation on the machine."""
+        if self._materialized:
+            for cg in self._core_groups:
+                cg.reset_ldm()
+
+    # -- CG-group placement ----------------------------------------------------
+
+    def place_cg_groups(self, group_size: int, n_groups: int,
+                        supernode_aware: bool = True) -> List[List[int]]:
+        """Partition CGs into groups of ``group_size``, minding supernodes.
+
+        Returns a list of ``n_groups`` lists of global CG indices.  With
+        ``supernode_aware=True`` (the paper's strategy) groups are laid out
+        contiguously so that a group stays inside one supernode whenever
+        ``group_size`` CGs fit there; with ``False`` groups are strided
+        round-robin across the machine, the worst case for locality, used by
+        the placement ablation benchmark.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``group_size * n_groups`` exceeds the number of CGs.
+        """
+        if group_size < 1 or n_groups < 1:
+            raise ConfigurationError(
+                f"group_size and n_groups must be >= 1, got "
+                f"{group_size}, {n_groups}"
+            )
+        total = group_size * n_groups
+        if total > self.n_cgs:
+            raise ConfigurationError(
+                f"cannot place {n_groups} groups of {group_size} CGs on a "
+                f"machine with {self.n_cgs} CGs"
+            )
+        if supernode_aware:
+            return [
+                list(range(g * group_size, (g + 1) * group_size))
+                for g in range(n_groups)
+            ]
+        # Strided placement: group g takes CGs g, g+n_groups, g+2*n_groups, ...
+        return [
+            [g + member * n_groups for member in range(group_size)]
+            for g in range(n_groups)
+        ]
+
+    def group_spans_supernodes(self, cg_indices: Sequence[int]) -> bool:
+        """True if the CG group touches more than one supernode."""
+        nodes = {self.node_of_cg(i) for i in cg_indices}
+        return self.topology.spans_supernodes(nodes)
+
+    def group_bandwidth(self, cg_indices: Sequence[int]) -> float:
+        """Worst-case pairwise network bandwidth inside a CG group (bytes/s)."""
+        nodes = {self.node_of_cg(i) for i in cg_indices}
+        return self.topology.bisection_bandwidth(nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Machine(nodes={self.n_nodes}, cgs={self.n_cgs}, "
+                f"cpes={self.n_cpes}, supernodes={self.topology.n_supernodes})")
+
+
+def sunway_machine(n_nodes: int = 1, materialize_ldm: bool | None = None) -> Machine:
+    """A TaihuLight machine with ``n_nodes`` SW26010 nodes.
+
+    ``materialize_ldm`` defaults to True for machines up to 512 nodes and
+    False above that, so paper-scale (4,096-node) model runs stay cheap.
+    """
+    if materialize_ldm is None:
+        materialize_ldm = n_nodes <= 512
+    return Machine(sunway_spec(n_nodes), materialize_ldm=materialize_ldm)
+
+
+def toy_machine(n_nodes: int = 1, cgs_per_node: int = 2, mesh: int = 2,
+                ldm_bytes: int = 8 * 1024) -> Machine:
+    """A miniature machine for tests and laptop-scale execution."""
+    return Machine(toy_spec(n_nodes, cgs_per_node, mesh, ldm_bytes))
+
+
+def machine_from_preset(name: str) -> Machine:
+    """Build a machine from a named preset (see ``specs.PRESETS``)."""
+    spec = preset(name)
+    return Machine(spec, materialize_ldm=spec.n_nodes <= 512)

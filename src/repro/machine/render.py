@@ -1,0 +1,112 @@
+"""Text rendering of the machine hierarchy and partition layouts.
+
+Backs the reproduction of the paper's two architecture diagrams: Figure 1
+(the SW26010 processor) drawn from the live spec objects, and Figure 2
+(the three-level partition) drawn from an actual Level-3 plan — so the
+diagrams cannot drift from the implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigurationError
+from .machine import Machine
+from .specs import MachineSpec
+
+
+def render_processor(spec: MachineSpec) -> str:
+    """ASCII rendering of one processor (the paper's Figure 1)."""
+    cg = spec.processor.cg
+    n_cgs = spec.processor.n_cgs
+    mesh = f"{cg.mesh_rows}x{cg.mesh_cols}"
+    ldm_kb = cg.cpe.ldm_bytes // 1024
+    mem_gb = spec.processor.main_memory_bytes / 2**30
+
+    content = [
+        f"CG: MPE + {mesh} CPE mesh",
+        f" {cg.n_cpes} CPEs x {ldm_kb} KB LDM",
+        f" reg comm {cg.register_bw / 1e9:.1f} GB/s",
+        f" DMA      {cg.dma_bw / 1e9:.1f} GB/s",
+    ]
+    inner = max(len(c) for c in content) + 2
+    cg_box = [f"| {c.ljust(inner)} |" for c in content]
+    width = len(cg_box[0])
+    top = "+" + "-" * (width - 2) + "+"
+    lines: List[str] = [
+        f"SW26010 processor: {n_cgs} core groups, "
+        f"{spec.processor.n_cpes} CPEs total",
+        "",
+    ]
+    # Two columns of CG boxes (4 CGs on the real chip).
+    per_row = 2
+    for row_start in range(0, n_cgs, per_row):
+        row_cgs = min(per_row, n_cgs - row_start)
+        lines.append("  ".join([top] * row_cgs))
+        for box_line in cg_box:
+            lines.append("  ".join([box_line] * row_cgs))
+        lines.append("  ".join([top] * row_cgs))
+    lines.append(f"shared DDR3 main memory: {mem_gb:.0f} GB")
+    return "\n".join(lines)
+
+
+def render_machine(spec: MachineSpec) -> str:
+    """One-paragraph summary of the full machine."""
+    per = spec.network.nodes_per_supernode
+    return "\n".join([
+        f"machine: {spec.n_nodes} node(s), {spec.n_cgs} core groups, "
+        f"{spec.n_cpes:,} CPEs",
+        f"supernodes: {spec.n_supernodes} x up to {per} nodes "
+        f"(two-level fat tree, {spec.network.link_bw / 1e9:.0f} GB/s links, "
+        f"x{spec.network.inter_supernode_bw_factor:.2f} across supernodes)",
+        f"aggregate LDM {spec.total_ldm_bytes / 2**20:.0f} MiB, "
+        f"main memory {spec.total_main_memory_bytes / 2**30:.0f} GiB, "
+        f"peak {spec.peak_flops / 1e12:.2f} TFLOP/s",
+    ])
+
+
+def render_level3_partition(plan, machine: Machine,
+                            max_groups: int = 4,
+                            max_members: int = 4) -> str:
+    """Diagram of an nkd partition (the paper's Figure 2), from a real plan.
+
+    One block per CG group showing its sample block, each member CG's
+    centroid slice, and the per-CPE dimension slicing; elided groups/members
+    are summarised, never silently dropped.
+    """
+    if max_groups < 1 or max_members < 1:
+        raise ConfigurationError("max_groups and max_members must be >= 1")
+    lines: List[str] = [
+        f"nkd partition of n={plan.n:,}, k={plan.k:,}, d={plan.d:,} "
+        f"over {machine.n_cgs} CGs",
+        f"m'group={plan.mprime_group} CGs per group, "
+        f"{plan.n_groups} CG group(s); dims split {len(plan.dim_slices)} "
+        f"ways per CG",
+        "",
+    ]
+    shown_groups = min(plan.n_groups, max_groups)
+    for g in range(shown_groups):
+        lo, hi = plan.sample_blocks[g]
+        members = plan.cg_groups[g]
+        lines.append(f"CG group {g}: samples [{lo:,}, {hi:,})  "
+                     f"({hi - lo:,} samples)")
+        shown_members = min(len(members), max_members)
+        for j in range(shown_members):
+            k_lo, k_hi = plan.centroid_slices[j]
+            node = machine.node_of_cg(members[j])
+            d_first = plan.dim_slices[0]
+            d_last = plan.dim_slices[-1]
+            lines.append(
+                f"  CG {members[j]:>4d} (node {node:>3d}): centroids "
+                f"[{k_lo:,}, {k_hi:,})  dims/CPE "
+                f"[{d_first[0]},{d_first[1]}) ... "
+                f"[{d_last[0]},{d_last[1]})"
+            )
+        if len(members) > shown_members:
+            lines.append(f"  ... {len(members) - shown_members} more "
+                         f"member CG(s)")
+        lines.append("")
+    if plan.n_groups > shown_groups:
+        lines.append(f"... {plan.n_groups - shown_groups} more CG group(s), "
+                     f"same structure")
+    return "\n".join(lines)

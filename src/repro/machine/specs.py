@@ -1,0 +1,240 @@
+"""Hardware specifications for the simulated Sunway TaihuLight machine.
+
+Every number here is taken from the paper (section II.A and the experimental
+setup in section IV.B) or from the TaihuLight system paper it cites [Fu et
+al., 2016]:
+
+* SW26010 processor: 4 core groups (CGs); each CG has 1 MPE + 64 CPEs laid
+  out as an 8x8 mesh, running at 1.45 GHz.
+* Each CPE has a 64 KB Local Directive Memory (LDM / scratchpad) and a 16 KB
+  L1 instruction cache.
+* Theoretical bandwidth: 46.4 GB/s for register communication across the CPE
+  mesh, 32 GB/s for DMA between main memory and LDM.
+* Nodes carry one SW26010 with 32 GB DDR3 shared by the 4 CGs.
+* Network: two-level fat tree; 256 nodes form a *supernode* on a customised
+  interconnection board; supernodes connect through a central routing server.
+  Bidirectional peak bandwidth between processors is 16 GB/s; intra-supernode
+  communication is more efficient than inter-supernode.
+
+The specs are frozen dataclasses so a machine description can be shared and
+hashed safely; derived quantities are exposed as properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigurationError
+
+#: Bytes in one KiB / MiB / GiB, used throughout the machine model.
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: One gigabyte per second expressed in bytes/second.
+GB_PER_S = 1e9
+
+
+@dataclass(frozen=True)
+class CPESpec:
+    """A single Computing Processing Element (CPE).
+
+    The CPE is a simple in-order 64-bit RISC core whose only fast local
+    storage is the user-managed LDM scratchpad.
+    """
+
+    clock_hz: float = 1.45e9
+    ldm_bytes: int = 64 * KIB
+    l1_icache_bytes: int = 16 * KIB
+    #: Double-precision floating point operations per cycle.  Each CPE has a
+    #: 256-bit vector unit: 4 lanes x (mul+add) = 8 flops/cycle.
+    flops_per_cycle: float = 8.0
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak double-precision FLOP/s of one CPE."""
+        return self.clock_hz * self.flops_per_cycle
+
+
+@dataclass(frozen=True)
+class CGSpec:
+    """A Core Group: one MPE plus an 8x8 mesh of CPEs.
+
+    Register communication moves data along the 8 row and 8 column buses of
+    the mesh; DMA moves data between main memory and the LDMs.
+    """
+
+    cpe: CPESpec = field(default_factory=CPESpec)
+    mesh_rows: int = 8
+    mesh_cols: int = 8
+    #: Aggregate register-communication bandwidth across the mesh (bytes/s).
+    register_bw: float = 46.4 * GB_PER_S
+    #: Aggregate DMA bandwidth between main memory and the CG's LDMs.
+    dma_bw: float = 32.0 * GB_PER_S
+    #: Startup latency of one DMA transaction (seconds).
+    dma_latency: float = 1.0e-6
+    #: Latency of one register-communication hop (seconds).
+    register_latency: float = 1.0e-8
+
+    @property
+    def n_cpes(self) -> int:
+        """Number of CPEs in the mesh (64 on the SW26010)."""
+        return self.mesh_rows * self.mesh_cols
+
+    @property
+    def total_ldm_bytes(self) -> int:
+        """Aggregate LDM over all CPEs of the CG."""
+        return self.n_cpes * self.cpe.ldm_bytes
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FLOP/s of all CPEs in the CG combined."""
+        return self.n_cpes * self.cpe.peak_flops
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """An SW26010 many-core processor: 4 CGs sharing DDR3 main memory."""
+
+    cg: CGSpec = field(default_factory=CGSpec)
+    n_cgs: int = 4
+    main_memory_bytes: int = 32 * GIB
+
+    @property
+    def n_cpes(self) -> int:
+        """CPEs across the whole chip (256 on the SW26010)."""
+        return self.n_cgs * self.cg.n_cpes
+
+    @property
+    def total_ldm_bytes(self) -> int:
+        return self.n_cgs * self.cg.total_ldm_bytes
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Two-level fat-tree interconnect of TaihuLight.
+
+    256 nodes share a supernode board; supernodes are joined by a central
+    routing stage.  Crossing the supernode boundary costs extra latency and
+    delivers a fraction of the intra-supernode bandwidth.
+    """
+
+    nodes_per_supernode: int = 256
+    #: Bidirectional peak MPI bandwidth between two processors (bytes/s).
+    link_bw: float = 16.0 * GB_PER_S
+    #: Effective bandwidth multiplier for traffic crossing supernodes.
+    inter_supernode_bw_factor: float = 0.55
+    #: Point-to-point message latency within a supernode (seconds).
+    intra_latency: float = 1.0e-6
+    #: Additional latency for crossing the central routing server.
+    inter_latency: float = 3.0e-6
+
+    def bandwidth(self, same_supernode: bool) -> float:
+        """Effective link bandwidth for a message (bytes/s)."""
+        if same_supernode:
+            return self.link_bw
+        return self.link_bw * self.inter_supernode_bw_factor
+
+    def latency(self, same_supernode: bool) -> float:
+        """One-way message latency (seconds)."""
+        if same_supernode:
+            return self.intra_latency
+        return self.intra_latency + self.inter_latency
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete machine: some number of single-processor nodes + network."""
+
+    processor: ProcessorSpec = field(default_factory=ProcessorSpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    n_nodes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1, got {self.n_nodes}")
+
+    @property
+    def n_cgs(self) -> int:
+        """Total core groups across the machine."""
+        return self.n_nodes * self.processor.n_cgs
+
+    @property
+    def n_cpes(self) -> int:
+        """Total CPEs across the machine."""
+        return self.n_nodes * self.processor.n_cpes
+
+    @property
+    def n_supernodes(self) -> int:
+        """Number of (possibly partially filled) supernodes."""
+        per = self.network.nodes_per_supernode
+        return (self.n_nodes + per - 1) // per
+
+    @property
+    def ldm_bytes_per_cpe(self) -> int:
+        return self.processor.cg.cpe.ldm_bytes
+
+    @property
+    def total_ldm_bytes(self) -> int:
+        return self.n_nodes * self.processor.total_ldm_bytes
+
+    @property
+    def total_main_memory_bytes(self) -> int:
+        return self.n_nodes * self.processor.main_memory_bytes
+
+    @property
+    def peak_flops(self) -> float:
+        return self.n_nodes * self.processor.n_cgs * self.processor.cg.peak_flops
+
+    def with_nodes(self, n_nodes: int) -> "MachineSpec":
+        """Return a copy of this spec with a different node count."""
+        return replace(self, n_nodes=n_nodes)
+
+
+def sunway_spec(n_nodes: int = 1) -> MachineSpec:
+    """The Sunway TaihuLight configuration used throughout the paper.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of SW26010 nodes.  The paper's experiments use 1 (Level 1),
+        up to 256 (Level 2), and up to 4,096 (Level 3).
+    """
+    return MachineSpec(n_nodes=n_nodes)
+
+
+def toy_spec(n_nodes: int = 1, cgs_per_node: int = 2, mesh: int = 2,
+             ldm_bytes: int = 8 * KIB) -> MachineSpec:
+    """A miniature machine for tests: few CGs, tiny meshes, small LDM.
+
+    Keeping the same *structure* (CPE mesh, CGs, supernodes) at a fraction of
+    the size lets the execute backend run the full partitioned algorithms on
+    a laptop while still exercising every code path of the Sunway model.
+    """
+    cpe = CPESpec(ldm_bytes=ldm_bytes)
+    cg = CGSpec(cpe=cpe, mesh_rows=mesh, mesh_cols=mesh)
+    proc = ProcessorSpec(cg=cg, n_cgs=cgs_per_node, main_memory_bytes=GIB)
+    net = NetworkSpec(nodes_per_supernode=4)
+    return MachineSpec(processor=proc, network=net, n_nodes=n_nodes)
+
+
+#: Named presets matching the paper's three experimental setups (section IV.B).
+PRESETS = {
+    "sunway-1": sunway_spec(1),        # Level 1 experiments: one SW26010
+    "sunway-4": sunway_spec(4),
+    "sunway-128": sunway_spec(128),    # comparison figures 7-9
+    "sunway-256": sunway_spec(256),    # Level 2 experiments
+    "sunway-400": sunway_spec(400),    # land-cover application (section IV.D)
+    "sunway-4096": sunway_spec(4096),  # Level 3 experiments
+}
+
+
+def preset(name: str) -> MachineSpec:
+    """Look up a named machine preset; raise ConfigurationError if unknown."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise ConfigurationError(
+            f"unknown machine preset {name!r}; known presets: {known}"
+        ) from None

@@ -1,0 +1,142 @@
+"""Two-level fat-tree network topology of Sunway TaihuLight.
+
+The interconnect joins 256-node *supernodes* through a central routing
+server.  We model it as a graph (networkx) with three tiers:
+
+``node -> supernode switch -> central switch``
+
+Messages between nodes of the same supernode traverse one switch; messages
+between supernodes traverse the central router, paying extra latency and a
+bandwidth derating (`NetworkSpec.inter_supernode_bw_factor`).  The paper
+relies on this asymmetry: "the intra super-node communication is more
+efficient than the inter super-node communication.  Therefore ... we should
+make a CG group located within a super-node if possible" (section III.C),
+and attributes the non-monotonic dips in Figure 7 to "crossing of
+communication boundaries".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import networkx as nx
+
+from ..errors import ConfigurationError
+from .specs import MachineSpec, NetworkSpec
+
+
+class FatTreeTopology:
+    """Two-level fat tree over the machine's nodes.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of compute nodes.
+    network:
+        Bandwidth/latency parameters.
+    """
+
+    def __init__(self, n_nodes: int, network: NetworkSpec) -> None:
+        if n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1, got {n_nodes}")
+        self.n_nodes = int(n_nodes)
+        self.network = network
+        self._supernode_of: Dict[int, int] = {
+            node: node // network.nodes_per_supernode for node in range(n_nodes)
+        }
+        self._graph = self._build_graph()
+
+    def _build_graph(self) -> nx.Graph:
+        g = nx.Graph()
+        n_super = self.n_supernodes
+        for node in range(self.n_nodes):
+            g.add_node(("node", node))
+        for s in range(n_super):
+            g.add_node(("switch", s))
+        g.add_node(("central", 0))
+        for node in range(self.n_nodes):
+            s = self._supernode_of[node]
+            g.add_edge(("node", node), ("switch", s),
+                       bandwidth=self.network.link_bw,
+                       latency=self.network.intra_latency / 2.0)
+        for s in range(n_super):
+            g.add_edge(("switch", s), ("central", 0),
+                       bandwidth=self.network.link_bw
+                       * self.network.inter_supernode_bw_factor,
+                       latency=self.network.inter_latency / 2.0)
+        return g
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def n_supernodes(self) -> int:
+        per = self.network.nodes_per_supernode
+        return (self.n_nodes + per - 1) // per
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (nodes, switches, central router)."""
+        return self._graph
+
+    def supernode_of(self, node: int) -> int:
+        try:
+            return self._supernode_of[node]
+        except KeyError:
+            raise ConfigurationError(
+                f"node {node} out of range [0, {self.n_nodes})"
+            ) from None
+
+    def same_supernode(self, a: int, b: int) -> bool:
+        return self.supernode_of(a) == self.supernode_of(b)
+
+    def nodes_in_supernode(self, s: int) -> List[int]:
+        per = self.network.nodes_per_supernode
+        lo, hi = s * per, min((s + 1) * per, self.n_nodes)
+        if lo >= self.n_nodes:
+            raise ConfigurationError(f"supernode {s} out of range")
+        return list(range(lo, hi))
+
+    def hop_count(self, a: int, b: int) -> int:
+        """Switch hops between two nodes (0 if identical)."""
+        if a == b:
+            return 0
+        return 2 if self.same_supernode(a, b) else 4
+
+    def path(self, a: int, b: int) -> List[Tuple[str, int]]:
+        """Shortest switch path between two nodes on the fat-tree graph."""
+        return nx.shortest_path(self._graph, ("node", a), ("node", b))
+
+    # -- message cost model --------------------------------------------------
+
+    def point_to_point_time(self, a: int, b: int, nbytes: int) -> float:
+        """Time (s) for one point-to-point message of ``nbytes`` from a to b.
+
+        Same-node transfers go through shared DDR3 and are charged zero
+        network time here (the DMA model accounts for memory traffic).
+        """
+        if a == b:
+            return 0.0
+        same = self.same_supernode(a, b)
+        bw = self.network.bandwidth(same)
+        lat = self.network.latency(same)
+        return lat + nbytes / bw
+
+    def bisection_bandwidth(self, nodes: Iterable[int]) -> float:
+        """Worst-case pairwise bandwidth among a set of nodes (bytes/s).
+
+        A CG group spanning supernodes is throttled by the central-router
+        links; one fully inside a supernode gets the full link bandwidth.
+        """
+        nodes = list(nodes)
+        if not nodes:
+            raise ConfigurationError("node set must be non-empty")
+        supers = {self.supernode_of(n) for n in nodes}
+        return self.network.bandwidth(same_supernode=(len(supers) <= 1))
+
+    def spans_supernodes(self, nodes: Iterable[int]) -> bool:
+        return len({self.supernode_of(n) for n in nodes}) > 1
+
+
+def build_topology(spec: MachineSpec) -> FatTreeTopology:
+    """Construct the fat-tree topology described by a machine spec."""
+    return FatTreeTopology(spec.n_nodes, spec.network)

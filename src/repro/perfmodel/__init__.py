@@ -1,0 +1,40 @@
+"""Analytic performance model for paper-scale predictions.
+
+While the execute backend (:mod:`repro.core`) runs the real partitioned
+arithmetic at laptop scale, this package prices one Lloyd iteration at the
+paper's full machine sizes — up to 4,096 nodes — using the machine spec's
+published bandwidths plus a small calibrated parameter set.  Every figure
+and table of the paper's evaluation is regenerated from these predictions
+(see ``repro.experiments`` and ``benchmarks/``).
+"""
+
+from .calibration import CalibrationResult, calibrate
+from .comparators import TABLE_III, ComparatorRow, ComparisonResult, compare_all
+from .model import CostPrediction, PerformanceModel, predict
+from .params import (
+    DEFAULT_PARAMS,
+    MachineParams,
+    ModelParams,
+    machine_params,
+)
+from .sweep import AXES, Series, best_level_series, sweep
+
+__all__ = [
+    "AXES",
+    "CalibrationResult",
+    "calibrate",
+    "ComparatorRow",
+    "ComparisonResult",
+    "CostPrediction",
+    "DEFAULT_PARAMS",
+    "MachineParams",
+    "ModelParams",
+    "PerformanceModel",
+    "Series",
+    "TABLE_III",
+    "best_level_series",
+    "compare_all",
+    "machine_params",
+    "predict",
+    "sweep",
+]

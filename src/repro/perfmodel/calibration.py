@@ -1,0 +1,149 @@
+"""Calibrating model parameters against execute-backend measurements.
+
+The analytic model carries a handful of implementation constants
+(`ModelParams`).  For the paper's machine they are set once from published
+evidence; for *other* machines (a different `MachineSpec`) the honest way
+to choose them is to fit: run the execute backend on a set of workloads
+and pick the constants minimising the log-ratio error between predicted
+and charged per-iteration time.
+
+The fit is a coarse-to-fine grid search over ``compute_efficiency`` and
+``mpi_message_overhead`` — the two constants that dominate small-scale
+behaviour — keeping everything else fixed.  Grid search is deliberate:
+two parameters, a cheap objective, no risk of a quiet bad local minimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.init import init_centroids
+from ..core.level1 import run_level1
+from ..core.level2 import run_level2
+from ..core.level3 import run_level3
+from ..data.synthetic import gaussian_blobs
+from ..errors import ConfigurationError
+from ..machine.machine import Machine
+from .model import PerformanceModel
+from .params import ModelParams
+
+_RUNNERS = {1: run_level1, 2: run_level2, 3: run_level3}
+
+#: Default workload grid for calibration runs (all levels feasible on the
+#: toy machines used in tests).
+DEFAULT_WORKLOADS: Tuple[Dict[str, int], ...] = (
+    dict(n=1000, k=8, d=16),
+    dict(n=2000, k=16, d=32),
+    dict(n=4000, k=24, d=64),
+)
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a parameter fit."""
+
+    params: ModelParams
+    #: RMS log10 model/measurement ratio before and after fitting.
+    error_before: float
+    error_after: float
+    #: (level, workload index) -> model/measured ratio under fitted params.
+    ratios: Dict[Tuple[int, int], float]
+
+    @property
+    def improved(self) -> bool:
+        return self.error_after <= self.error_before
+
+
+def _measure(machine: Machine, workloads: Sequence[Dict[str, int]],
+             levels: Sequence[int], seed: int,
+             max_iter: int) -> Dict[Tuple[int, int], float]:
+    measured: Dict[Tuple[int, int], float] = {}
+    for w_i, shape in enumerate(workloads):
+        X, _ = gaussian_blobs(**shape, seed=seed)
+        C0 = init_centroids(X, shape["k"], method="first")
+        for level in levels:
+            result = _RUNNERS[level](X, C0, machine, max_iter=max_iter)
+            measured[(level, w_i)] = result.mean_iteration_seconds()
+    return measured
+
+
+def _rms_log_error(model: PerformanceModel,
+                   workloads: Sequence[Dict[str, int]],
+                   measured: Dict[Tuple[int, int], float]) -> float:
+    errs: List[float] = []
+    for (level, w_i), seconds in measured.items():
+        pred = model.predict(level, **workloads[w_i])
+        if not pred.feasible or pred.total <= 0 or seconds <= 0:
+            return float("inf")
+        errs.append(np.log10(pred.total / seconds) ** 2)
+    return float(np.sqrt(np.mean(errs)))
+
+
+def calibrate(machine: Machine,
+              workloads: Sequence[Dict[str, int]] = DEFAULT_WORKLOADS,
+              levels: Sequence[int] = (1, 2, 3),
+              base_params: Optional[ModelParams] = None,
+              seed: int = 0, max_iter: int = 3) -> CalibrationResult:
+    """Fit compute_efficiency and mpi_message_overhead to this machine.
+
+    Parameters
+    ----------
+    machine:
+        The machine to calibrate for (execute backend must be able to run
+        on it, i.e. materialised LDM).
+    workloads:
+        (n, k, d) dicts; every level in ``levels`` must be feasible for
+        each (resident semantics).
+    base_params:
+        Starting parameters; defaults to the paper calibration with the
+        execute backend's dtype (float64) and no fixed overhead.
+
+    Returns
+    -------
+    CalibrationResult with the fitted params (other fields of
+    ``base_params`` are preserved).
+    """
+    if not workloads:
+        raise ConfigurationError("workloads must be non-empty")
+    if not levels or any(lv not in _RUNNERS for lv in levels):
+        raise ConfigurationError(
+            f"levels must be a subset of (1, 2, 3), got {levels}"
+        )
+    if base_params is None:
+        base_params = ModelParams(dtype=np.dtype(np.float64),
+                                  iteration_overhead=0.0)
+
+    measured = _measure(machine, workloads, levels, seed, max_iter)
+    error_before = _rms_log_error(
+        PerformanceModel(machine.spec, base_params), workloads, measured)
+
+    efficiencies = (0.1, 0.2, 0.35, 0.5, 0.7, 1.0)
+    overheads = (2.5e-7, 1e-6, 4e-6, 8e-6, 3.2e-5)
+    best_params = base_params
+    best_error = error_before
+    for eff in efficiencies:
+        for ovh in overheads:
+            candidate = replace(base_params, compute_efficiency=eff,
+                                mpi_message_overhead=ovh)
+            err = _rms_log_error(
+                PerformanceModel(machine.spec, candidate),
+                workloads, measured)
+            if err < best_error:
+                best_error = err
+                best_params = candidate
+
+    fitted_model = PerformanceModel(machine.spec, best_params)
+    ratios = {
+        (level, w_i): (fitted_model.predict(level, **workloads[w_i]).total
+                       / seconds)
+        for (level, w_i), seconds in measured.items()
+    }
+    return CalibrationResult(
+        params=best_params,
+        error_before=error_before,
+        error_after=best_error,
+        ratios=ratios,
+    )

@@ -1,0 +1,113 @@
+"""Parameter-sweep driver for regenerating the paper's figures.
+
+A sweep varies one axis (k, d, or node count) while holding the rest fixed,
+producing one :class:`Series` per partition level — exactly the data behind
+Figures 3-9.  Infeasible points carry ``math.inf`` so plots/tables can show
+where a strategy stops existing (Level 2 beyond d=4096 in Figure 7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from ..errors import ConfigurationError
+from ..machine.specs import sunway_spec
+from .model import CostPrediction, PerformanceModel
+from .params import DEFAULT_PARAMS, ModelParams
+
+AXES = ("k", "d", "nodes")
+
+
+@dataclass
+class Series:
+    """One line of a figure: x values and per-iteration seconds."""
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+    predictions: List[CostPrediction] = field(default_factory=list)
+
+    def finite(self) -> List[tuple]:
+        """(x, y) pairs where the configuration was feasible."""
+        return [(a, b) for a, b in zip(self.x, self.y) if math.isfinite(b)]
+
+    def crossover_with(self, other: "Series") -> float | None:
+        """First shared x where this series becomes cheaper than ``other``.
+
+        Returns None if it never does (on feasible shared points).
+        """
+        for a, mine, theirs in zip(self.x, self.y, other.y):
+            if math.isfinite(mine) and math.isfinite(theirs) and mine < theirs:
+                return a
+        return None
+
+
+def sweep(axis: str, values: Sequence[int], levels: Iterable[int],
+          n: int, k: int, d: int, nodes: int,
+          params: ModelParams = DEFAULT_PARAMS) -> Dict[int, Series]:
+    """Sweep one axis and price every level at every point.
+
+    Parameters
+    ----------
+    axis:
+        "k", "d" or "nodes" — which quantity ``values`` replaces.
+    values:
+        Sweep points.
+    levels:
+        Which partition levels to price (subset of {1, 2, 3}).
+    n, k, d, nodes:
+        The fixed workload; the swept one is ignored.
+
+    Returns
+    -------
+    dict mapping level -> Series.
+    """
+    if axis not in AXES:
+        raise ConfigurationError(f"axis must be one of {AXES}, got {axis!r}")
+    levels = list(levels)
+    if not levels or any(lv not in (1, 2, 3) for lv in levels):
+        raise ConfigurationError(f"levels must be a subset of (1,2,3), got {levels}")
+    if not values:
+        raise ConfigurationError("values must be non-empty")
+
+    out = {lv: Series(label=f"Level {lv}") for lv in levels}
+    # Reuse one model per distinct node count (cheap, but tidy).
+    models: Dict[int, PerformanceModel] = {}
+
+    for v in values:
+        cur_k, cur_d, cur_nodes = k, d, nodes
+        if axis == "k":
+            cur_k = int(v)
+        elif axis == "d":
+            cur_d = int(v)
+        else:
+            cur_nodes = int(v)
+        model = models.get(cur_nodes)
+        if model is None:
+            model = PerformanceModel(sunway_spec(cur_nodes), params)
+            models[cur_nodes] = model
+        for lv in levels:
+            pred = model.predict(lv, n, cur_k, cur_d)
+            s = out[lv]
+            s.x.append(float(v))
+            s.y.append(pred.total)
+            s.predictions.append(pred)
+    return out
+
+
+def best_level_series(series_by_level: Dict[int, Series]) -> Series:
+    """Pointwise minimum over levels (what the auto-selector would give)."""
+    levels = sorted(series_by_level)
+    if not levels:
+        raise ConfigurationError("series_by_level must be non-empty")
+    first = series_by_level[levels[0]]
+    best = Series(label="best level")
+    for i, x in enumerate(first.x):
+        ys = [(series_by_level[lv].y[i], lv) for lv in levels]
+        y, lv = min(ys)
+        best.x.append(x)
+        best.y.append(y)
+        best.predictions.append(series_by_level[lv].predictions[i])
+    return best

@@ -1,0 +1,19 @@
+"""Rendering helpers: ASCII tables, text figures, CSV export."""
+
+from .figures import series_csv, series_sparklines, series_table, sparkline
+from .trace import category_bars, hotspot_table, hotspots, iteration_table, render_trace
+from .tables import format_seconds, format_table
+
+__all__ = [
+    "category_bars",
+    "format_seconds",
+    "hotspot_table",
+    "hotspots",
+    "iteration_table",
+    "render_trace",
+    "format_table",
+    "series_csv",
+    "series_sparklines",
+    "series_table",
+    "sparkline",
+]

@@ -1,0 +1,95 @@
+"""Text rendering and CSV export for figure series.
+
+Figures are regenerated as numeric series (see
+:class:`repro.perfmodel.sweep.Series`); this module turns them into aligned
+value tables and compact unicode sparkline plots so the benchmark harness
+can print "the same rows/series the paper reports" without a plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from typing import Dict, Sequence
+
+from ..errors import ConfigurationError
+from ..perfmodel.sweep import Series
+from .tables import format_seconds, format_table
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def series_table(series_by_label: Dict[str, Series], x_name: str,
+                 title: str | None = None) -> str:
+    """Column-aligned table: one x column + one column per series."""
+    if not series_by_label:
+        raise ConfigurationError("series_by_label must be non-empty")
+    labels = list(series_by_label)
+    first = series_by_label[labels[0]]
+    for lbl in labels[1:]:
+        if series_by_label[lbl].x != first.x:
+            raise ConfigurationError(
+                f"series {lbl!r} has a different x axis than {labels[0]!r}"
+            )
+    headers = [x_name] + labels
+    rows = []
+    for i, x in enumerate(first.x):
+        cells = [f"{x:g}"]
+        for lbl in labels:
+            cells.append(format_seconds(series_by_label[lbl].y[i]))
+        rows.append(cells)
+    return format_table(headers, rows, title=title)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Compact unicode trend line; infeasible points render as 'x'."""
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return "x" * len(values)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    out = []
+    for v in values:
+        if not math.isfinite(v):
+            out.append("x")
+        elif span == 0:
+            out.append(_SPARK[0])
+        else:
+            idx = int((v - lo) / span * (len(_SPARK) - 1))
+            out.append(_SPARK[idx])
+    return "".join(out)
+
+
+def series_sparklines(series_by_label: Dict[str, Series]) -> str:
+    """One sparkline per series, labels aligned."""
+    if not series_by_label:
+        raise ConfigurationError("series_by_label must be non-empty")
+    width = max(len(lbl) for lbl in series_by_label)
+    return "\n".join(
+        f"{lbl.ljust(width)}  {sparkline(s.y)}"
+        for lbl, s in series_by_label.items()
+    )
+
+
+def series_csv(series_by_label: Dict[str, Series], x_name: str) -> str:
+    """CSV export (x column + one column per series, inf for infeasible)."""
+    if not series_by_label:
+        raise ConfigurationError("series_by_label must be non-empty")
+    labels = list(series_by_label)
+    first = series_by_label[labels[0]]
+    for lbl in labels[1:]:
+        if series_by_label[lbl].x != first.x:
+            raise ConfigurationError(
+                f"series {lbl!r} has a different x axis than {labels[0]!r}; "
+                f"export them separately"
+            )
+    buf = io.StringIO()
+    buf.write(",".join([x_name] + labels) + "\n")
+    for i, x in enumerate(first.x):
+        row = [f"{x:g}"]
+        for lbl in labels:
+            y = series_by_label[lbl].y[i]
+            row.append("inf" if not math.isfinite(y) else f"{y:.9g}")
+        buf.write(",".join(row) + "\n")
+    return buf.getvalue()

@@ -1,0 +1,53 @@
+"""Aligned ASCII table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..errors import ConfigurationError
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render rows as a column-aligned ASCII table.
+
+    Cells are str()-ed; floats keep their repr as passed (format upstream).
+    """
+    headers = [str(h) for h in headers]
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {i} has {len(row)} cells but there are "
+                f"{len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(sep)))
+    lines.append(fmt_row(headers))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scaled time: 'inf' for infeasible, µs/ms/s otherwise."""
+    if seconds != seconds:  # NaN
+        return "nan"
+    if seconds == float("inf"):
+        return "infeasible"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"

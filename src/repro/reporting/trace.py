@@ -1,0 +1,86 @@
+"""Ledger trace rendering: where did a simulated run's time go?
+
+Turns a :class:`~repro.runtime.ledger.TimeLedger` into
+
+* a per-iteration category table (`iteration_table`),
+* a per-phase top-N hot-spot list (`hotspots`),
+* a proportional text bar chart per category (`category_bars`),
+
+so users can see, e.g., that a Level-2 run at d=4096 is DMA-bound while a
+Level-3 run of the same workload is compute-bound — the paper's analysis
+sections III.A-C rendered from actual charged phases.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+from ..runtime.ledger import CATEGORIES, TimeLedger
+from .tables import format_seconds, format_table
+
+_BAR_WIDTH = 40
+
+
+def iteration_table(ledger: TimeLedger) -> str:
+    """Per-iteration seconds by category (iteration 0 = setup)."""
+    breakdowns = ledger.iteration_breakdowns()
+    if not breakdowns:
+        raise ConfigurationError("ledger has no records")
+    rows = []
+    for b in breakdowns:
+        label = "setup" if b.iteration == 0 else str(b.iteration)
+        rows.append(
+            [label]
+            + [format_seconds(b.by_category.get(c, 0.0)) for c in CATEGORIES]
+            + [format_seconds(b.total)]
+        )
+    return format_table(["iter"] + list(CATEGORIES) + ["total"], rows,
+                        title="per-iteration time by category")
+
+
+def hotspots(ledger: TimeLedger, top: int = 10) -> List[Tuple[str, float]]:
+    """The ``top`` most expensive phase labels, aggregated over the run."""
+    if top < 1:
+        raise ConfigurationError(f"top must be >= 1, got {top}")
+    totals: Dict[str, float] = defaultdict(float)
+    for r in ledger.records:
+        totals[f"{r.category}:{r.label}"] += r.seconds
+    ranked = sorted(totals.items(), key=lambda kv: kv[1], reverse=True)
+    return ranked[:top]
+
+
+def hotspot_table(ledger: TimeLedger, top: int = 10) -> str:
+    """Rendered hot-spot list with share-of-total bars."""
+    ranked = hotspots(ledger, top)
+    total = ledger.total()
+    rows = []
+    for label, seconds in ranked:
+        share = seconds / total if total > 0 else 0.0
+        bar = "#" * max(1, int(share * _BAR_WIDTH)) if seconds else ""
+        rows.append([label, format_seconds(seconds),
+                     f"{share * 100:5.1f}%", bar])
+    return format_table(["phase", "time", "share", ""], rows,
+                        title=f"top {len(rows)} phases")
+
+
+def category_bars(ledger: TimeLedger) -> str:
+    """One proportional bar per category."""
+    totals = ledger.total_by_category()
+    full = max(totals.values()) if any(totals.values()) else 1.0
+    lines = []
+    for c in CATEGORIES:
+        width = int(totals[c] / full * _BAR_WIDTH) if full > 0 else 0
+        lines.append(f"{c:8s} {format_seconds(totals[c]):>12s}  "
+                     f"{'#' * width}")
+    return "\n".join(lines)
+
+
+def render_trace(ledger: TimeLedger, top: int = 8) -> str:
+    """Full trace report: iteration table + categories + hot spots."""
+    return "\n\n".join([
+        iteration_table(ledger),
+        category_bars(ledger),
+        hotspot_table(ledger, top),
+    ])

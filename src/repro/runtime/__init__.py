@@ -1,0 +1,40 @@
+"""Simulated parallel runtime: time ledger, DMA, register comm, MPI.
+
+The runtime reproduces the three transports the paper's implementation uses
+and prices them with the machine's published parameters:
+
+* :mod:`repro.runtime.dma` — main-memory <-> LDM staging at 32 GB/s,
+* :mod:`repro.runtime.regcomm` — intra-CG mesh collectives at 46.4 GB/s,
+* :mod:`repro.runtime.mpi` — inter-CG/inter-node collectives over the fat
+  tree at 16 GB/s (derated across supernodes),
+* :mod:`repro.runtime.compute` — CPE arithmetic,
+* :mod:`repro.runtime.ledger` — where every modelled second is recorded.
+"""
+
+from .collectives import barrier, exscan_sum, gatherv, reduce_scatter_sum, scatterv
+from .compute import ComputeModel, DEFAULT_EFFICIENCY, distance_flops, update_flops
+from .dma import DMAEngine
+from .ledger import CATEGORIES, IterationBreakdown, PhaseRecord, TimeLedger
+from .mpi import ALGORITHMS, SimComm, world_comm
+from .regcomm import RegisterComm
+
+__all__ = [
+    "ALGORITHMS",
+    "barrier",
+    "exscan_sum",
+    "gatherv",
+    "reduce_scatter_sum",
+    "scatterv",
+    "CATEGORIES",
+    "ComputeModel",
+    "DEFAULT_EFFICIENCY",
+    "DMAEngine",
+    "IterationBreakdown",
+    "PhaseRecord",
+    "RegisterComm",
+    "SimComm",
+    "TimeLedger",
+    "distance_flops",
+    "update_flops",
+    "world_comm",
+]

@@ -1,0 +1,121 @@
+"""Additional data-carrying collectives over :class:`SimComm`.
+
+The k-means executors only need allreduce/minloc/bcast, but the runtime is
+a general substrate ("potentially similar algorithms", the paper's closing
+sentence): this module rounds it out with the remaining MPI-style
+collectives — reduce-scatter, gather/scatter with uneven counts, exclusive
+scan, and barrier — each performing the real array semantics and charging a
+textbook cost to the ledger.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import CommunicatorError
+from .mpi import SimComm
+
+
+def reduce_scatter_sum(comm: SimComm, buffers: Sequence[np.ndarray],
+                       label: str = "mpi.reduce_scatter") -> List[np.ndarray]:
+    """Sum one buffer per rank, scatter equal slices of the result.
+
+    Returns rank-ordered slices (``even_slices`` semantics along axis 0).
+    Cost: the reduce-scatter half of a ring allreduce —
+    ``(p-1) * (lat + (V/p)/bw)``.
+    """
+    arr = comm._validate_buffers(buffers)
+    total = arr.sum(axis=0)
+    p = comm.size
+    bw, lat = comm._link()
+    nbytes = total.nbytes
+    if p > 1 and nbytes > 0:
+        comm.ledger.charge("network", label,
+                           (p - 1) * (lat + (nbytes / p) / bw))
+    else:
+        comm.ledger.charge("network", label, 0.0)
+    base, extra = divmod(total.shape[0], p)
+    out: List[np.ndarray] = []
+    start = 0
+    for r in range(p):
+        size = base + (1 if r < extra else 0)
+        out.append(total[start:start + size].copy())
+        start += size
+    return out
+
+
+def gatherv(comm: SimComm, buffers: Sequence[np.ndarray], root: int = 0,
+            label: str = "mpi.gatherv") -> np.ndarray:
+    """Concatenate unequal per-rank buffers at the root.
+
+    Cost: every non-root rank sends its payload toward the root through a
+    binomial tree — ``ceil(log2 p)`` steps of the largest payload.
+    """
+    if len(buffers) != comm.size:
+        raise CommunicatorError(
+            f"expected {comm.size} buffers, got {len(buffers)}"
+        )
+    comm._check_rank(root)
+    arrays = [np.asarray(b) for b in buffers]
+    if any(a.ndim == 0 for a in arrays):
+        raise CommunicatorError("gatherv buffers must be at least 1-D")
+    p = comm.size
+    bw, lat = comm._link()
+    per_rank = max(a.nbytes for a in arrays)
+    steps = math.ceil(math.log2(p)) if p > 1 else 0
+    comm.ledger.charge("network", label,
+                       steps * (lat + per_rank / bw))
+    return np.concatenate(arrays, axis=0)
+
+
+def scatterv(comm: SimComm, chunks: Sequence[np.ndarray], root: int = 0,
+             label: str = "mpi.scatterv") -> List[np.ndarray]:
+    """Distribute one (possibly unequal) chunk to each rank from the root.
+
+    Returns the chunk list (copies), charging the mirror cost of gatherv.
+    """
+    if len(chunks) != comm.size:
+        raise CommunicatorError(
+            f"expected {comm.size} chunks, got {len(chunks)}"
+        )
+    comm._check_rank(root)
+    arrays = [np.asarray(c) for c in chunks]
+    p = comm.size
+    bw, lat = comm._link()
+    per_rank = max(a.nbytes for a in arrays) if arrays else 0
+    steps = math.ceil(math.log2(p)) if p > 1 else 0
+    comm.ledger.charge("network", label,
+                       steps * (lat + per_rank / bw))
+    return [a.copy() for a in arrays]
+
+
+def exscan_sum(comm: SimComm, values: Sequence[np.ndarray],
+               label: str = "mpi.exscan") -> List[np.ndarray]:
+    """Exclusive prefix sum across ranks (rank 0 receives zeros).
+
+    The classic building block for computing per-rank output offsets.
+    Cost: ``ceil(log2 p)`` latency-bound steps (payloads are small).
+    """
+    arr = comm._validate_buffers(values)
+    p = comm.size
+    bw, lat = comm._link()
+    steps = math.ceil(math.log2(p)) if p > 1 else 0
+    comm.ledger.charge("network", label,
+                       steps * (lat + arr[0].nbytes / bw))
+    out: List[np.ndarray] = []
+    running = np.zeros_like(arr[0])
+    for r in range(p):
+        out.append(running.copy())
+        running = running + arr[r]
+    return out
+
+
+def barrier(comm: SimComm, label: str = "mpi.barrier") -> None:
+    """Synchronise all ranks: ``ceil(log2 p)`` zero-payload latency steps."""
+    p = comm.size
+    _, lat = comm._link()
+    steps = math.ceil(math.log2(p)) if p > 1 else 0
+    comm.ledger.charge("network", label, steps * lat)

@@ -1,0 +1,65 @@
+"""Compute-cost model for CPE floating-point work.
+
+The k-means inner loop is bandwidth-bound on the Sunway (the paper's analysis
+only carries Tread and Tcomm terms), but a faithful simulator still needs a
+compute term so small-k/small-d regimes — where DMA volume is negligible and
+arithmetic dominates — behave sensibly, and so the expanded-distance ablation
+has something to measure.
+
+Costs are charged as ``flops / (efficiency * peak_flops)``.  ``efficiency``
+defaults to 0.35: the distance kernel streams operands from LDM with
+fused-multiply-add chains, well below peak but far above naive scalar code.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..machine.specs import CGSpec
+from .ledger import TimeLedger
+
+#: Fraction of peak FLOP/s the distance kernel sustains out of LDM.
+DEFAULT_EFFICIENCY = 0.35
+
+
+def distance_flops(n_samples: int, n_centroids: int, n_dims: int) -> int:
+    """FLOPs to compute squared Euclidean distances (sub, mul, add per dim)."""
+    return 3 * n_samples * n_centroids * n_dims
+
+
+def update_flops(n_samples: int, n_dims: int, n_centroids: int) -> int:
+    """FLOPs of the accumulate + divide in the Update step."""
+    return n_samples * n_dims + n_centroids * n_dims
+
+
+class ComputeModel:
+    """Charges CPE arithmetic time for one core group."""
+
+    def __init__(self, cg_spec: CGSpec, ledger: TimeLedger,
+                 efficiency: float = DEFAULT_EFFICIENCY) -> None:
+        if not 0.0 < efficiency <= 1.0:
+            raise ConfigurationError(
+                f"efficiency must be in (0, 1], got {efficiency}"
+            )
+        self.spec = cg_spec
+        self.ledger = ledger
+        self.efficiency = float(efficiency)
+
+    def time_for_flops(self, flops: float, n_cpes: int | None = None) -> float:
+        """Seconds to retire ``flops`` spread over ``n_cpes`` CPEs."""
+        if flops < 0:
+            raise ConfigurationError(f"flops must be >= 0, got {flops}")
+        if n_cpes is None:
+            n_cpes = self.spec.n_cpes
+        if not 1 <= n_cpes <= self.spec.n_cpes:
+            raise ConfigurationError(
+                f"n_cpes must be in [1, {self.spec.n_cpes}], got {n_cpes}"
+            )
+        sustained = self.efficiency * self.spec.cpe.peak_flops * n_cpes
+        return flops / sustained
+
+    def charge(self, flops: float, label: str,
+               n_cpes: int | None = None) -> float:
+        """Charge arithmetic time to the ledger; returns the seconds."""
+        t = self.time_for_flops(flops, n_cpes)
+        self.ledger.charge("compute", label, t)
+        return t

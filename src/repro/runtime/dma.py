@@ -1,0 +1,88 @@
+"""DMA engine: cost model for main-memory <-> LDM transfers.
+
+On the SW26010 the CPEs have no data cache; all operands are staged into the
+64 KB LDM through explicit DMA.  The paper's read-time terms, e.g. Level 1's
+
+    Tread = (n*d/m + k*d) / B
+
+are exactly "bytes moved by DMA divided by DMA bandwidth B".  The engine
+below charges ``latency + nbytes / bandwidth`` per transaction and knows that
+the 64 CPEs of a CG *share* the CG's DMA bandwidth: a transfer performed by
+all CPEs of a CG concurrently is charged at the aggregate rate, matching the
+B in the paper's formulas.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+from ..machine.specs import CGSpec
+from .ledger import TimeLedger
+
+
+class DMAEngine:
+    """Charges DMA transfer time for one core group.
+
+    Parameters
+    ----------
+    cg_spec:
+        Hardware parameters (bandwidth, startup latency) of the CG.
+    ledger:
+        Ledger the engine charges time to.
+    """
+
+    def __init__(self, cg_spec: CGSpec, ledger: TimeLedger) -> None:
+        self.spec = cg_spec
+        self.ledger = ledger
+        self._bytes_moved = 0
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total bytes transferred through this engine so far."""
+        return self._bytes_moved
+
+    def transfer_time(self, nbytes: int, transactions: int = 1) -> float:
+        """Modelled time to move ``nbytes`` in ``transactions`` DMA ops."""
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+        if transactions < 1:
+            raise ConfigurationError(
+                f"transactions must be >= 1, got {transactions}"
+            )
+        if nbytes == 0:
+            return 0.0
+        return transactions * self.spec.dma_latency + nbytes / self.spec.dma_bw
+
+    def read(self, nbytes: int, label: str, transactions: int = 1) -> float:
+        """Charge a main-memory -> LDM transfer for the whole CG.
+
+        ``nbytes`` is the aggregate volume pulled by the CG in this phase
+        (all CPEs' slices together); the CG's DMA bandwidth is shared, so the
+        charge is the aggregate volume over the aggregate bandwidth.
+        """
+        t = self.transfer_time(nbytes, transactions)
+        self._bytes_moved += int(nbytes)
+        self.ledger.charge("dma", label, t)
+        return t
+
+    def write(self, nbytes: int, label: str, transactions: int = 1) -> float:
+        """Charge an LDM -> main-memory transfer (same cost shape as read)."""
+        t = self.transfer_time(nbytes, transactions)
+        self._bytes_moved += int(nbytes)
+        self.ledger.charge("dma", label, t)
+        return t
+
+    def stream_time(self, total_bytes: int, chunk_bytes: int) -> float:
+        """Time to stream a large buffer through LDM in fixed-size chunks.
+
+        Used for dataflow streaming: ``total_bytes`` of samples staged
+        ``chunk_bytes`` at a time (each chunk is one DMA transaction).
+        """
+        if chunk_bytes <= 0:
+            raise ConfigurationError(
+                f"chunk_bytes must be positive, got {chunk_bytes}"
+            )
+        n_chunks = math.ceil(total_bytes / chunk_bytes) if total_bytes else 0
+        return self.transfer_time(total_bytes, transactions=max(n_chunks, 1)) \
+            if total_bytes else 0.0

@@ -1,0 +1,176 @@
+"""Host-side parallel execution of the k-means kernels.
+
+Everything in :mod:`repro.core` models *Sunway* time; this module is about
+*your* machine's time: it runs the embarrassingly-parallel Assign phase
+(distances + argmin + partial accumulation) across host processes, the way
+an mpi4py rank-per-core prototype would, so large laptop-scale runs finish
+faster without changing any numerics.
+
+Design notes (following the mpi4py/NumPy guide idioms):
+
+* workers receive the sample matrix once, via fork copy-on-write — the
+  parent publishes ``X`` and ``C`` in module globals before forking, so no
+  per-task array pickling happens for the big operands;
+* each task is a contiguous sample block; results are small (per-block
+  partial sums/counts/assignments) and combine exactly like the simulated
+  levels combine them (same reduction order ⇒ same floats as the
+  block-sequential computation);
+* falls back to in-process execution when ``n_workers <= 1`` or the fork
+  start method is unavailable, so callers never need a special case.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core._common import (
+    accumulate,
+    assign_chunked,
+    even_slices,
+    update_centroids,
+    validate_data,
+)
+from ..errors import ConfigurationError
+
+# Worker-side globals, populated by the pool initialiser before forking.
+_WORKER_X: Optional[np.ndarray] = None
+_WORKER_C: Optional[np.ndarray] = None
+
+
+def _init_worker(X: np.ndarray, C: np.ndarray) -> None:
+    global _WORKER_X, _WORKER_C
+    _WORKER_X = X
+    _WORKER_C = C
+
+
+def _assign_block(bounds: Tuple[int, int]
+                  ) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+    """Worker task: assign one sample block and accumulate its partials."""
+    lo, hi = bounds
+    assert _WORKER_X is not None and _WORKER_C is not None
+    block = _WORKER_X[lo:hi]
+    assignments = assign_chunked(block, _WORKER_C)
+    sums, counts = accumulate(block, assignments, _WORKER_C.shape[0])
+    return lo, assignments, sums, counts
+
+
+def default_workers() -> int:
+    """Worker count used when none is given (leave one core for the OS)."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def parallel_assign_accumulate(
+    X: np.ndarray, C: np.ndarray, n_workers: Optional[int] = None,
+    blocks_per_worker: int = 4,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Assign every sample and accumulate sums/counts, in parallel.
+
+    Returns ``(assignments, sums, counts)``.  Assignments are exact; the
+    float accumulators are bit-identical to computing the *same block
+    partition* sequentially (partials combine in block order), and agree
+    with any other partition to fp-reassociation tolerance.
+
+    Parameters
+    ----------
+    n_workers:
+        Process count; ``None`` = cpu_count - 1; ``<= 1`` runs in-process.
+    blocks_per_worker:
+        Oversubscription factor for load balancing.
+    """
+    X, C = validate_data(X, C)
+    if n_workers is None:
+        n_workers = default_workers()
+    if n_workers < 0:
+        raise ConfigurationError(f"n_workers must be >= 0, got {n_workers}")
+    if blocks_per_worker < 1:
+        raise ConfigurationError(
+            f"blocks_per_worker must be >= 1, got {blocks_per_worker}"
+        )
+
+    n = X.shape[0]
+    n_blocks = max(1, min(n, n_workers * blocks_per_worker))
+    blocks = [b for b in even_slices(n, n_blocks) if b[0] < b[1]]
+
+    if n_workers <= 1 or len(blocks) == 1 or not _fork_available():
+        _init_worker(X, C)
+        results = [_assign_block(b) for b in blocks]
+    else:
+        ctx = mp.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=n_workers, mp_context=ctx,
+            initializer=_init_worker, initargs=(X, C),
+        ) as pool:
+            results = list(pool.map(_assign_block, blocks))
+
+    assignments = np.empty(n, dtype=np.int64)
+    sums = np.zeros((C.shape[0], X.shape[1]), dtype=np.float64)
+    counts = np.zeros(C.shape[0], dtype=np.int64)
+    # Combine in block order so floats match the sequential computation.
+    for lo, block_assign, block_sums, block_counts in sorted(results):
+        assignments[lo:lo + block_assign.shape[0]] = block_assign
+        sums += block_sums
+        counts += block_counts
+    return assignments, sums, counts
+
+
+def _fork_available() -> bool:
+    try:
+        return "fork" in mp.get_all_start_methods()
+    except Exception:  # pragma: no cover - platform-specific
+        return False
+
+
+def lloyd_parallel(X: np.ndarray, centroids: np.ndarray,
+                   max_iter: int = 100, tol: float = 0.0,
+                   n_workers: Optional[int] = None):
+    """Serial-Lloyd semantics, host-parallel Assign phase.
+
+    Produces the same trajectory as :func:`repro.core.lloyd.lloyd` (same
+    assignment rule, same empty-cluster rule); only wall-clock differs.
+    """
+    from ..core._common import inertia, max_centroid_shift
+    from ..core.result import IterationStats, KMeansResult
+
+    if max_iter < 1:
+        raise ConfigurationError(f"max_iter must be >= 1, got {max_iter}")
+    if tol < 0:
+        raise ConfigurationError(f"tol must be >= 0, got {tol}")
+    X, C = validate_data(X, np.array(centroids, copy=True))
+    k = C.shape[0]
+
+    history: List[IterationStats] = []
+    assignments = np.full(X.shape[0], -1, dtype=np.int64)
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        new_assignments, sums, counts = parallel_assign_accumulate(
+            X, C, n_workers=n_workers)
+        new_C = update_centroids(sums, counts, C)
+        shift = max_centroid_shift(C, new_C)
+        history.append(IterationStats(
+            iteration=it,
+            inertia=inertia(X, C, new_assignments),
+            centroid_shift=shift,
+            n_reassigned=int((new_assignments != assignments).sum()),
+        ))
+        assignments = new_assignments
+        C = new_C
+        if shift <= tol:
+            converged = True
+            break
+
+    return KMeansResult(
+        centroids=C,
+        assignments=assignments,
+        inertia=inertia(X, C, assignments),
+        n_iter=it,
+        converged=converged,
+        history=history,
+        ledger=None,
+        level=0,
+    )

@@ -1,0 +1,157 @@
+"""Time accounting for the simulated machine.
+
+The simulator executes the partitioned k-means *for real* (NumPy does the
+arithmetic) but the wall-clock of the Python process says nothing about the
+Sunway.  Instead, every phase of the algorithm charges its modelled cost to a
+:class:`TimeLedger`:
+
+* ``compute``  — floating-point work on the CPEs,
+* ``dma``      — main-memory <-> LDM transfers,
+* ``regcomm``  — register communication across a CG's CPE mesh,
+* ``network``  — MPI traffic between CGs/nodes.
+
+Parallel work is charged as the *maximum* over the concurrent units (the
+SPMD critical path); sequential phases add.  Iteration boundaries let the
+experiments report the paper's headline metric, **one-iteration completion
+time**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import ConfigurationError
+
+#: The categories a phase may be charged to.
+CATEGORIES = ("compute", "dma", "regcomm", "network")
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """One charged phase: where the time went and why."""
+
+    iteration: int
+    category: str
+    label: str
+    seconds: float
+
+
+@dataclass
+class IterationBreakdown:
+    """Per-iteration totals by category."""
+
+    iteration: int
+    by_category: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.by_category.values())
+
+
+class TimeLedger:
+    """Accumulates modelled time over the run of a simulated algorithm."""
+
+    def __init__(self) -> None:
+        self._records: List[PhaseRecord] = []
+        self._iteration = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def charge(self, category: str, label: str, seconds: float) -> None:
+        """Charge ``seconds`` of sequential time to a category.
+
+        ``seconds`` must be finite and non-negative; the caller is expected
+        to have already collapsed parallel units via :meth:`charge_parallel`.
+        """
+        if category not in CATEGORIES:
+            raise ConfigurationError(
+                f"unknown ledger category {category!r}; "
+                f"expected one of {CATEGORIES}"
+            )
+        seconds = float(seconds)
+        if not seconds >= 0.0:  # also catches NaN
+            raise ConfigurationError(
+                f"phase {label!r} has invalid duration {seconds!r}"
+            )
+        self._records.append(
+            PhaseRecord(self._iteration, category, label, seconds)
+        )
+
+    def charge_parallel(self, category: str, label: str,
+                        unit_seconds: Iterable[float]) -> float:
+        """Charge the critical path (max) over concurrent units.
+
+        Returns the charged value so callers can report it.
+        """
+        times = [float(t) for t in unit_seconds]
+        if not times:
+            raise ConfigurationError(
+                f"phase {label!r} charged with no participating units"
+            )
+        worst = max(times)
+        self.charge(category, label, worst)
+        return worst
+
+    def next_iteration(self) -> int:
+        """Mark the start of a new algorithm iteration; returns its index."""
+        self._iteration += 1
+        return self._iteration
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def records(self) -> Tuple[PhaseRecord, ...]:
+        return tuple(self._records)
+
+    @property
+    def n_iterations(self) -> int:
+        return self._iteration
+
+    def total(self) -> float:
+        """Total modelled seconds across the whole run."""
+        return sum(r.seconds for r in self._records)
+
+    def total_by_category(self) -> Dict[str, float]:
+        out = {c: 0.0 for c in CATEGORIES}
+        for r in self._records:
+            out[r.category] += r.seconds
+        return out
+
+    def iteration_breakdowns(self) -> List[IterationBreakdown]:
+        """Per-iteration category totals (iteration 0 is setup/load time)."""
+        by_iter: Dict[int, IterationBreakdown] = {}
+        for r in self._records:
+            b = by_iter.setdefault(r.iteration, IterationBreakdown(r.iteration))
+            b.by_category[r.category] = (
+                b.by_category.get(r.category, 0.0) + r.seconds
+            )
+        return [by_iter[i] for i in sorted(by_iter)]
+
+    def iteration_time(self, iteration: int) -> float:
+        """Total modelled seconds charged during one iteration."""
+        return sum(r.seconds for r in self._records if r.iteration == iteration)
+
+    def mean_iteration_time(self) -> float:
+        """Mean time of iterations 1..N (excludes the setup epoch 0).
+
+        This is the paper's reported metric: *one iteration completion time*.
+        """
+        if self._iteration == 0:
+            raise ConfigurationError("no iterations recorded")
+        per_iter = [self.iteration_time(i) for i in range(1, self._iteration + 1)]
+        return sum(per_iter) / len(per_iter)
+
+    def merge(self, other: "TimeLedger") -> None:
+        """Fold another ledger's records into this one (keeps iterations)."""
+        self._records.extend(other._records)
+        self._iteration = max(self._iteration, other._iteration)
+
+    def report(self) -> str:
+        """Human-readable category breakdown."""
+        totals = self.total_by_category()
+        lines = [f"total modelled time: {self.total():.6f} s "
+                 f"over {self.n_iterations} iteration(s)"]
+        for c in CATEGORIES:
+            lines.append(f"  {c:8s} {totals[c]:.6f} s")
+        return "\n".join(lines)

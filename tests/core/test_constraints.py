@@ -1,0 +1,165 @@
+"""Tests for the paper's LDM feasibility constraints (C1-C3 per level)."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import (
+    bender_window,
+    ldm_elements,
+    level1_feasibility,
+    level2_feasibility,
+    level3_feasibility,
+    max_feasible_k_level1,
+    min_mgroup_level2,
+    min_mprime_group_level3,
+)
+from repro.errors import ConfigurationError
+from repro.machine.specs import sunway_spec, toy_spec
+
+SPEC = sunway_spec(128)
+
+
+class TestLdmElements:
+    def test_float64(self):
+        assert ldm_elements(65536, np.float64) == 8192
+
+    def test_float32(self):
+        assert ldm_elements(65536, np.float32) == 16384
+
+
+class TestLevel1:
+    def test_small_problem_feasible(self):
+        assert level1_feasibility(16, 64, SPEC).feasible
+
+    def test_c1_formula(self):
+        report = level1_feasibility(10, 20, SPEC)
+        c1 = next(c for c in report.checks if c.name == "C1")
+        assert c1.required == 20 * 21 + 10
+
+    def test_large_kd_infeasible(self):
+        report = level1_feasibility(1000, 1000, SPEC)
+        assert not report.feasible
+        assert any(c.name == "C1" for c in report.violated())
+
+    def test_c2_binds_alone(self):
+        # d too big even with k = 1.
+        report = level1_feasibility(1, 8192, SPEC)
+        names = {c.name for c in report.violated()}
+        assert "C2" in names
+
+    def test_c3_binds_alone(self):
+        report = level1_feasibility(8192, 1, SPEC)
+        names = {c.name for c in report.violated()}
+        assert "C3" in names
+
+    def test_invalid_kd_rejected(self):
+        with pytest.raises(ConfigurationError):
+            level1_feasibility(0, 10, SPEC)
+
+    def test_report_str_mentions_level(self):
+        assert "Level 1" in str(level1_feasibility(4, 4, SPEC))
+
+
+class TestLevel2:
+    def test_mgroup_scales_k(self):
+        k, d = 4000, 64
+        assert not level2_feasibility(k, d, 1, SPEC).feasible
+        assert level2_feasibility(k, d, 64, SPEC).feasible
+
+    def test_c2_not_relaxed_by_mgroup(self):
+        # The sample must still fit one LDM whatever mgroup is.
+        report = level2_feasibility(4, 8192, 64, SPEC)
+        assert not report.feasible
+
+    def test_mgroup_bounds(self):
+        with pytest.raises(ConfigurationError):
+            level2_feasibility(4, 4, 0, SPEC)
+        with pytest.raises(ConfigurationError):
+            level2_feasibility(4, 4, 65, SPEC)
+
+    def test_min_mgroup_is_minimal(self):
+        k, d = 2048, 32
+        mg = min_mgroup_level2(k, d, SPEC)
+        assert mg is not None
+        assert level2_feasibility(k, d, mg, SPEC).feasible
+        if mg > 1:
+            assert not level2_feasibility(k, d, mg - 1, SPEC).feasible
+
+    def test_min_mgroup_none_when_hopeless(self):
+        assert min_mgroup_level2(4, 10_000, SPEC) is None
+
+
+class TestLevel3:
+    def test_dimension_partition_relaxes_c2(self):
+        # d = 8192 fails Level 1/2's C2 but fits 64 CPEs (C2'').
+        assert not level2_feasibility(4, 8192, 64, SPEC).feasible
+        assert level3_feasibility(4, 8192, 1, SPEC).feasible
+
+    def test_c1_scales_with_group(self):
+        k, d = 10_000, 4096
+        small = level3_feasibility(k, d, 1, SPEC)
+        large = level3_feasibility(k, d, 512, SPEC)
+        assert not small.feasible
+        assert large.feasible
+
+    def test_paper_headline_d_extreme(self):
+        # d=196,608 at k=2,000 must be feasible on the 4,096-node machine
+        # with float32 (the experiments' storage type).
+        spec = sunway_spec(4096)
+        m = min_mprime_group_level3(2000, 196_608, spec, dtype=np.float32)
+        assert m is not None
+        assert level3_feasibility(2000, 196_608, m, spec,
+                                  dtype=np.float32).feasible
+
+    def test_paper_headline_k_extreme(self):
+        spec = sunway_spec(4096)
+        m = min_mprime_group_level3(160_000, 3072, spec, dtype=np.float32)
+        assert m is not None
+
+    def test_min_mprime_minimal(self):
+        k, d = 10_000, 4096
+        m = min_mprime_group_level3(k, d, SPEC)
+        assert m is not None
+        assert level3_feasibility(k, d, m, SPEC).feasible
+        if m > 1:
+            assert not level3_feasibility(k, d, m - 1, SPEC).feasible
+
+    def test_mprime_cannot_exceed_machine(self):
+        with pytest.raises(ConfigurationError):
+            level3_feasibility(4, 4, SPEC.n_cgs + 1, SPEC)
+
+    def test_none_when_d_slice_too_big(self):
+        tiny = toy_spec(n_nodes=1, cgs_per_node=1, mesh=2, ldm_bytes=64)
+        assert min_mprime_group_level3(2, 1000, tiny) is None
+
+
+class TestConstraintOrdering:
+    """Level l+1 must dominate level l: anything level l fits, l+1 fits."""
+
+    @pytest.mark.parametrize("k,d", [(4, 4), (64, 32), (100, 60), (256, 16)])
+    def test_level2_dominates_level1(self, k, d):
+        if level1_feasibility(k, d, SPEC).feasible:
+            assert level2_feasibility(k, d, 64, SPEC).feasible
+
+    @pytest.mark.parametrize("k,d", [(4, 4), (4096, 64), (100, 2000)])
+    def test_level3_dominates_level2(self, k, d):
+        if level2_feasibility(k, d, 64, SPEC).feasible:
+            assert level3_feasibility(k, d, SPEC.n_cgs, SPEC).feasible
+
+
+class TestBenderWindow:
+    def test_inside_window(self):
+        assert bender_window(18, 140_256, cache_elements=10**5,
+                             scratchpad_elements=10**8)
+
+    def test_below_cache_not_interesting(self):
+        assert not bender_window(2, 10, cache_elements=10**5,
+                                 scratchpad_elements=10**8)
+
+    def test_above_scratchpad_impossible(self):
+        assert not bender_window(10**5, 10**5, cache_elements=10**5,
+                                 scratchpad_elements=10**8)
+
+    def test_invalid_memory_sizes(self):
+        with pytest.raises(ConfigurationError):
+            bender_window(4, 4, cache_elements=100, scratchpad_elements=100)

@@ -1,0 +1,126 @@
+"""Tests for executor internals: phase labels, setup epoch, charge helper."""
+
+import numpy as np
+import pytest
+
+from repro.core.executor_base import LevelExecutor
+from repro.core.init import init_centroids
+from repro.core.level1 import run_level1
+from repro.core.level2 import run_level2
+from repro.core.level3 import run_level3
+from repro.data.synthetic import gaussian_blobs
+from repro.machine.machine import toy_machine
+
+RUNNERS = {1: run_level1, 2: run_level2, 3: run_level3}
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return toy_machine(n_nodes=2, cgs_per_node=2, mesh=2,
+                       ldm_bytes=64 * 1024)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    X, _ = gaussian_blobs(n=400, k=6, d=10, seed=2)
+    return X, init_centroids(X, 6, method="first")
+
+
+class TestPhaseLabels:
+    @pytest.mark.parametrize("level,expected", [
+        (1, {"l1.assign.stream", "l1.assign.distances",
+             "l1.update.intra_cg_allreduce", "l1.update.divide"}),
+        (2, {"l2.assign.stream", "l2.assign.distances",
+             "l2.assign.minloc", "l2.update.accumulate",
+             "l2.update.divide"}),
+        (3, {"l3.assign.stream", "l3.assign.distances",
+             "l3.assign.dim_reduce", "l3.update.accumulate",
+             "l3.update.divide"}),
+    ])
+    def test_expected_phases_charged(self, machine, workload, level,
+                                     expected):
+        X, C0 = workload
+        result = RUNNERS[level](X, C0, machine, max_iter=2)
+        labels = {r.label for r in result.ledger.records}
+        missing = expected - labels
+        assert not missing, f"level {level} never charged {missing}"
+
+    @pytest.mark.parametrize("level", [1, 2, 3])
+    def test_setup_charges_live_in_epoch_zero(self, machine, workload,
+                                              level):
+        X, C0 = workload
+        result = RUNNERS[level](X, C0, machine, max_iter=2)
+        setup_records = [r for r in result.ledger.records
+                         if r.iteration == 0]
+        assert setup_records, "setup epoch must charge the initial scatter"
+        assert all("setup" in r.label for r in setup_records)
+
+    @pytest.mark.parametrize("level", [1, 2, 3])
+    def test_iterations_have_constant_cost_structure(self, machine,
+                                                     workload, level):
+        """Lloyd iterations are data-oblivious in volume: every iteration
+        charges the same phase set (amounts may differ via accumulate
+        skew, but only mildly)."""
+        X, C0 = workload
+        result = RUNNERS[level](X, C0, machine, max_iter=4)
+        per_iter_labels = {}
+        for r in result.ledger.records:
+            if r.iteration >= 1:
+                per_iter_labels.setdefault(r.iteration, set()).add(r.label)
+        label_sets = list(per_iter_labels.values())
+        assert all(s == label_sets[0] for s in label_sets)
+
+
+class TestChargeStreamHelper:
+    class _Dummy(LevelExecutor):
+        level = 1
+
+        def setup(self, X, C):  # pragma: no cover - unused
+            pass
+
+        def iterate(self, X, C):  # pragma: no cover - unused
+            raise NotImplementedError
+
+    @pytest.fixture
+    def executor(self, machine):
+        return self._Dummy(machine)
+
+    def test_no_overlap_charges_both(self, executor):
+        executor.charge_stream_phases("t", [1.0, 2.0], [3.0, 0.5])
+        totals = executor.ledger.total_by_category()
+        assert totals["dma"] == pytest.approx(2.0)
+        assert totals["compute"] == pytest.approx(3.0)
+
+    def test_overlap_charges_max_to_dominant_category(self, machine):
+        ex = self._Dummy(machine, overlap_dma=True)
+        ex.charge_stream_phases("t", [5.0], [3.0])
+        totals = ex.ledger.total_by_category()
+        assert totals["dma"] == pytest.approx(5.0)
+        assert totals["compute"] == 0.0
+
+        ex2 = self._Dummy(machine, overlap_dma=True)
+        ex2.charge_stream_phases("t", [1.0], [3.0])
+        totals2 = ex2.ledger.total_by_category()
+        assert totals2["compute"] == pytest.approx(3.0)
+        assert totals2["dma"] == 0.0
+
+    def test_overlap_total_is_max(self, machine):
+        ex = self._Dummy(machine, overlap_dma=True)
+        ex.charge_stream_phases("t", [4.0], [7.0])
+        assert ex.ledger.total() == pytest.approx(7.0)
+
+
+class TestLedgerIsolationBetweenRuns:
+    def test_fresh_executor_has_fresh_ledger(self, machine, workload):
+        X, C0 = workload
+        a = run_level2(X, C0, machine, max_iter=2)
+        b = run_level2(X, C0, machine, max_iter=2)
+        assert a.ledger is not b.ledger
+        assert a.ledger.total() == pytest.approx(b.ledger.total())
+
+    def test_deterministic_charging(self, machine, workload):
+        X, C0 = workload
+        runs = [run_level3(X, C0, machine, max_iter=3) for _ in range(2)]
+        t0 = [r.seconds for r in runs[0].ledger.records]
+        t1 = [r.seconds for r in runs[1].ledger.records]
+        np.testing.assert_array_equal(t0, t1)

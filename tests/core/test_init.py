@@ -1,0 +1,103 @@
+"""Tests for centroid initialisation strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.init import init_centroids, spread_centroids
+from repro.data.synthetic import gaussian_blobs
+from repro.errors import ConfigurationError, DataShapeError
+
+
+@pytest.fixture
+def X():
+    X, _ = gaussian_blobs(n=300, k=6, d=8, seed=1)
+    return X
+
+
+class TestFirst:
+    def test_takes_first_k_rows(self, X):
+        C = init_centroids(X, 4, method="first")
+        np.testing.assert_allclose(C, X[:4])
+
+    def test_returns_copy(self, X):
+        C = init_centroids(X, 2, method="first")
+        C[0, 0] = 1e9
+        assert X[0, 0] != 1e9
+
+
+class TestRandom:
+    def test_rows_come_from_data(self, X):
+        C = init_centroids(X, 5, method="random", seed=3)
+        for row in C:
+            assert any(np.allclose(row, x) for x in X)
+
+    def test_distinct_rows(self, X):
+        C = init_centroids(X, 50, method="random", seed=3)
+        assert len(np.unique(C, axis=0)) == 50
+
+    def test_seeded_reproducibility(self, X):
+        a = init_centroids(X, 5, method="random", seed=42)
+        b = init_centroids(X, 5, method="random", seed=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_accepted(self, X):
+        rng = np.random.default_rng(7)
+        C = init_centroids(X, 3, method="random", seed=rng)
+        assert C.shape == (3, 8)
+
+
+class TestKMeansPlusPlus:
+    def test_shape_and_membership(self, X):
+        C = init_centroids(X, 6, method="kmeans++", seed=0)
+        assert C.shape == (6, 8)
+        for row in C:
+            assert any(np.allclose(row, x) for x in X)
+
+    def test_seeded_reproducibility(self, X):
+        a = init_centroids(X, 6, method="kmeans++", seed=5)
+        b = init_centroids(X, 6, method="kmeans++", seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spreads_better_than_first(self, X):
+        # D^2 seeding should cover the 6 true blobs better than the first
+        # 6 rows (which may share a blob): compare min pairwise distance.
+        def min_pairwise(C):
+            d = ((C[:, None] - C[None]) ** 2).sum(-1)
+            return d[~np.eye(len(C), dtype=bool)].min()
+
+        pp = init_centroids(X, 6, method="kmeans++", seed=0)
+        first = init_centroids(X, 6, method="first")
+        assert min_pairwise(pp) >= min_pairwise(first)
+
+    def test_duplicate_points_fallback(self):
+        X = np.ones((10, 3))  # all identical: D^2 mass goes to zero
+        C = init_centroids(X, 3, method="kmeans++", seed=0)
+        assert C.shape == (3, 3)
+        np.testing.assert_allclose(C, 1.0)
+
+
+class TestValidation:
+    def test_unknown_method(self, X):
+        with pytest.raises(ConfigurationError, match="unknown init method"):
+            init_centroids(X, 3, method="forgy")
+
+    def test_k_bounds(self, X):
+        with pytest.raises(ConfigurationError):
+            init_centroids(X, 0)
+        with pytest.raises(ConfigurationError):
+            init_centroids(X, X.shape[0] + 1)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(DataShapeError):
+            init_centroids(np.zeros(10), 2)
+
+
+class TestSpreadCentroids:
+    def test_shape_and_bounds(self):
+        C = spread_centroids(5, 3, low=-2.0, high=2.0, seed=1)
+        assert C.shape == (5, 3)
+        assert (C >= -2.0).all() and (C <= 2.0).all()
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spread_centroids(0, 3)

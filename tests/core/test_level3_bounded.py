@@ -1,0 +1,120 @@
+"""Tests for the bounded (Hamerly-filtered) Level-3 executor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.init import init_centroids
+from repro.core.level3 import run_level3
+from repro.core.level3_bounded import Level3BoundedExecutor, run_level3_bounded
+from repro.core.lloyd import lloyd
+from repro.data.synthetic import gaussian_blobs, uniform_cloud
+from repro.machine.machine import toy_machine
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return toy_machine(n_nodes=2, cgs_per_node=2, mesh=2,
+                       ldm_bytes=64 * 1024)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    X, _ = gaussian_blobs(n=900, k=10, d=14, seed=51)
+    C0 = init_centroids(X, 10, method="first")
+    return X, C0
+
+
+class TestExactness:
+    def test_matches_serial_lloyd(self, machine, workload):
+        X, C0 = workload
+        ref = lloyd(X, C0, max_iter=50)
+        result = run_level3_bounded(X, C0, machine, max_iter=50)
+        np.testing.assert_array_equal(result.assignments, ref.assignments)
+        np.testing.assert_allclose(result.centroids, ref.centroids,
+                                   rtol=1e-9, atol=1e-12)
+        assert result.n_iter == ref.n_iter
+        assert result.converged == ref.converged
+
+    def test_matches_unbounded_executor(self, machine, workload):
+        X, C0 = workload
+        plain = run_level3(X, C0, machine, max_iter=50)
+        bounded = run_level3_bounded(X, C0, machine, max_iter=50)
+        np.testing.assert_array_equal(plain.assignments,
+                                      bounded.assignments)
+
+    def test_k_equals_one(self, machine):
+        X = uniform_cloud(64, 4, seed=2)
+        result = run_level3_bounded(X, X[:1].copy(), machine, max_iter=10)
+        np.testing.assert_allclose(result.centroids[0], X.mean(axis=0))
+
+    @given(n=st.integers(30, 200), k=st.integers(2, 8),
+           d=st.integers(2, 12), seed=st.integers(0, 20))
+    @settings(max_examples=15, deadline=None)
+    def test_property_equals_lloyd(self, n, k, d, seed):
+        if k > n:
+            k = n
+        machine = toy_machine(n_nodes=2, cgs_per_node=2, mesh=2,
+                              ldm_bytes=64 * 1024)
+        X = uniform_cloud(n, d, seed=seed)
+        C0 = init_centroids(X, k, method="first")
+        ref = lloyd(X, C0, max_iter=15)
+        result = run_level3_bounded(X, C0, machine, max_iter=15)
+        np.testing.assert_array_equal(result.assignments, ref.assignments)
+
+
+class TestFiltering:
+    def test_first_iteration_examines_everything(self, machine, workload):
+        X, C0 = workload
+        executor = Level3BoundedExecutor(machine)
+        executor.run(X, C0, max_iter=10)
+        assert executor.candidates_per_iteration[0] == X.shape[0]
+
+    def test_candidates_shrink_as_clusters_stabilise(self, machine,
+                                                     workload):
+        X, C0 = workload
+        executor = Level3BoundedExecutor(machine)
+        result = executor.run(X, C0, max_iter=50)
+        cands = executor.candidates_per_iteration
+        assert len(cands) == result.n_iter
+        if result.n_iter >= 4:
+            assert cands[-1] < 0.5 * X.shape[0]
+
+    def test_bounded_is_cheaper_modelled(self, machine, workload):
+        X, C0 = workload
+        plain = run_level3(X, C0, machine, max_iter=50)
+        bounded = run_level3_bounded(X, C0, machine, max_iter=50)
+        assert (bounded.mean_iteration_seconds()
+                < plain.mean_iteration_seconds())
+
+    def test_final_iteration_minloc_shrinks(self, machine, workload):
+        """The skipped samples skip the inter-CG MINLOC too.
+
+        m'group is forced to 2 so the MINLOC actually crosses CGs (the
+        planner would pick 1 for this small k and charge nothing).
+        """
+        X, C0 = workload
+        plain = run_level3(X, C0, machine, max_iter=50, mprime_group=2)
+        bounded = run_level3_bounded(X, C0, machine, max_iter=50,
+                                     mprime_group=2)
+
+        def minloc_time(ledger, iteration, needle):
+            return sum(r.seconds for r in ledger.records
+                       if r.iteration == iteration and needle in r.label)
+
+        last = bounded.n_iter
+        t_plain = minloc_time(plain.ledger, last, "minloc")
+        t_bound = minloc_time(bounded.ledger, last, "minloc")
+        assert t_bound < t_plain
+
+    def test_streaming_composes_with_bounds(self, machine):
+        """Bounds + streaming mode: still exact, still plans."""
+        X, _ = gaussian_blobs(n=400, k=40, d=64, seed=8)
+        C0 = init_centroids(X, 40, method="first")
+        small = toy_machine(n_nodes=2, cgs_per_node=2, mesh=2,
+                            ldm_bytes=4096)
+        ref = lloyd(X, C0, max_iter=20)
+        result = run_level3_bounded(X, C0, small, max_iter=20,
+                                    streaming=True)
+        np.testing.assert_array_equal(result.assignments, ref.assignments)

@@ -1,0 +1,128 @@
+"""Tests for the serial Lloyd baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core._common import assign_chunked, inertia
+from repro.core.init import init_centroids
+from repro.core.lloyd import lloyd, lloyd_single_iteration
+from repro.data.synthetic import gaussian_blobs
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def blobs():
+    X, labels = gaussian_blobs(n=500, k=5, d=6, spread=0.02, seed=7)
+    return X, labels
+
+
+class TestConvergence:
+    def test_converges_on_separated_blobs(self, blobs):
+        X, _ = blobs
+        C0 = init_centroids(X, 5, method="kmeans++", seed=7)
+        result = lloyd(X, C0, max_iter=100)
+        assert result.converged
+        assert result.n_iter < 100
+
+    def test_fixed_point_is_stable(self, blobs):
+        X, _ = blobs
+        C0 = init_centroids(X, 5, method="kmeans++", seed=7)
+        result = lloyd(X, C0)
+        again = lloyd(X, result.centroids, max_iter=2)
+        assert again.n_iter == 1
+        np.testing.assert_allclose(again.centroids, result.centroids)
+
+    def test_inertia_never_increases(self, blobs):
+        X, _ = blobs
+        C0 = init_centroids(X, 5, method="first")
+        result = lloyd(X, C0, max_iter=50)
+        inertias = [s.inertia for s in result.history]
+        assert all(b <= a + 1e-12 for a, b in zip(inertias, inertias[1:]))
+
+    def test_max_iter_respected(self, blobs):
+        X, _ = blobs
+        C0 = init_centroids(X, 5, method="first")
+        result = lloyd(X, C0, max_iter=2)
+        assert result.n_iter <= 2
+
+    def test_tol_loosens_convergence(self, blobs):
+        X, _ = blobs
+        C0 = init_centroids(X, 5, method="first")
+        tight = lloyd(X, C0, tol=0.0)
+        loose = lloyd(X, C0, tol=1.0)
+        assert loose.n_iter <= tight.n_iter
+
+
+class TestCorrectness:
+    def test_recovers_ground_truth_blobs(self, blobs):
+        X, labels = blobs
+        C0 = init_centroids(X, 5, method="kmeans++", seed=3)
+        result = lloyd(X, C0)
+        # Each found cluster should be nearly pure in ground-truth labels.
+        purity = 0
+        for j in range(5):
+            members = labels[result.assignments == j]
+            if members.size:
+                purity += np.bincount(members).max()
+        assert purity / X.shape[0] > 0.95
+
+    def test_final_assignments_consistent_with_centroids(self, blobs):
+        X, _ = blobs
+        result = lloyd(X, init_centroids(X, 5, method="first"))
+        np.testing.assert_array_equal(
+            result.assignments, assign_chunked(X, result.centroids))
+
+    def test_final_inertia_matches_assignments(self, blobs):
+        X, _ = blobs
+        result = lloyd(X, init_centroids(X, 5, method="first"))
+        assert result.inertia == pytest.approx(
+            inertia(X, result.centroids, result.assignments))
+
+    def test_k_equals_one(self):
+        X = np.random.default_rng(0).normal(size=(50, 3))
+        result = lloyd(X, X[:1].copy(), max_iter=10)
+        np.testing.assert_allclose(result.centroids[0], X.mean(axis=0))
+        assert result.converged
+
+    def test_k_equals_n(self):
+        X = np.random.default_rng(1).normal(size=(10, 2))
+        result = lloyd(X, X.copy(), max_iter=5)
+        assert result.converged
+        assert result.inertia == pytest.approx(0.0, abs=1e-20)
+
+    def test_initial_centroids_not_mutated(self, blobs):
+        X, _ = blobs
+        C0 = init_centroids(X, 5, method="first")
+        frozen = C0.copy()
+        lloyd(X, C0, max_iter=3)
+        np.testing.assert_array_equal(C0, frozen)
+
+    def test_history_telemetry(self, blobs):
+        X, _ = blobs
+        result = lloyd(X, init_centroids(X, 5, method="first"), max_iter=20)
+        assert len(result.history) == result.n_iter
+        assert result.history[0].n_reassigned == X.shape[0]
+        if result.converged:
+            assert result.history[-1].centroid_shift == pytest.approx(0.0)
+
+
+class TestSingleIteration:
+    def test_matches_full_run_first_step(self, blobs):
+        X, _ = blobs
+        C0 = init_centroids(X, 5, method="first")
+        a, C1 = lloyd_single_iteration(X, C0)
+        result = lloyd(X, C0, max_iter=1)
+        np.testing.assert_array_equal(a, result.assignments)
+        np.testing.assert_allclose(C1, result.centroids)
+
+
+class TestValidation:
+    def test_bad_max_iter(self, blobs):
+        X, _ = blobs
+        with pytest.raises(ConfigurationError):
+            lloyd(X, X[:2], max_iter=0)
+
+    def test_bad_tol(self, blobs):
+        X, _ = blobs
+        with pytest.raises(ConfigurationError):
+            lloyd(X, X[:2], tol=-1.0)

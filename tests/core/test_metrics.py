@@ -1,0 +1,142 @@
+"""Tests for clustering quality metrics, against hand-worked examples."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    adjusted_rand_index,
+    contingency,
+    davies_bouldin,
+    normalized_mutual_info,
+    purity,
+    silhouette_score,
+)
+from repro.data.synthetic import gaussian_blobs
+from repro.errors import ConfigurationError, DataShapeError
+
+
+class TestContingency:
+    def test_hand_worked(self):
+        a = np.array([0, 0, 1, 1])
+        t = np.array([0, 1, 1, 1])
+        table = contingency(a, t)
+        np.testing.assert_array_equal(table, [[1, 1], [0, 2]])
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataShapeError):
+            contingency(np.zeros(2, int), np.zeros(3, int))
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            contingency(np.array([-1, 0]), np.array([0, 0]))
+
+
+class TestPurity:
+    def test_perfect(self):
+        a = np.array([0, 0, 1, 1])
+        assert purity(a, a) == 1.0
+
+    def test_relabelled_perfect(self):
+        a = np.array([0, 0, 1, 1])
+        t = np.array([1, 1, 0, 0])
+        assert purity(a, t) == 1.0
+
+    def test_hand_worked(self):
+        a = np.array([0, 0, 0, 1])
+        t = np.array([0, 0, 1, 1])
+        # Cluster 0 majority = class 0 (2 of 3); cluster 1 all class 1.
+        assert purity(a, t) == pytest.approx(3 / 4)
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        assert normalized_mutual_info(a, a) == pytest.approx(1.0)
+
+    def test_relabelling_invariant(self):
+        a = np.array([0, 0, 1, 1])
+        t = np.array([1, 1, 0, 0])
+        assert normalized_mutual_info(a, t) == pytest.approx(1.0)
+
+    def test_independent_partitions_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, size=5000)
+        t = rng.integers(0, 4, size=5000)
+        assert normalized_mutual_info(a, t) < 0.01
+
+    def test_constant_partition_zero(self):
+        a = np.zeros(10, dtype=int)
+        t = np.array([0, 1] * 5)
+        assert normalized_mutual_info(a, t) == 0.0
+
+
+class TestARI:
+    def test_identical_is_one(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        assert adjusted_rand_index(a, a) == pytest.approx(1.0)
+
+    def test_relabelling_invariant(self):
+        a = np.array([0, 0, 1, 1])
+        t = np.array([3, 3, 1, 1])
+        assert adjusted_rand_index(a, t) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, size=5000)
+        t = rng.integers(0, 3, size=5000)
+        assert abs(adjusted_rand_index(a, t)) < 0.02
+
+    def test_hand_worked(self):
+        # Known ARI example: ARI([0,0,1,1],[0,0,1,2]) = 0.5714...
+        a = np.array([0, 0, 1, 1])
+        t = np.array([0, 0, 1, 2])
+        assert adjusted_rand_index(a, t) == pytest.approx(4 / 7, rel=1e-9)
+
+
+class TestSilhouette:
+    def test_well_separated_blobs_score_high(self):
+        X, labels = gaussian_blobs(n=300, k=3, d=4, spread=0.01, seed=2)
+        assert silhouette_score(X, labels, sample_size=None) > 0.8
+
+    def test_random_labels_score_low(self):
+        X, _ = gaussian_blobs(n=300, k=3, d=4, spread=0.01, seed=2)
+        rng = np.random.default_rng(0)
+        bad = rng.integers(0, 3, size=300)
+        assert silhouette_score(X, bad, sample_size=None) < 0.1
+
+    def test_sampling_close_to_exact(self):
+        X, labels = gaussian_blobs(n=500, k=4, d=6, seed=5)
+        exact = silhouette_score(X, labels, sample_size=None)
+        sampled = silhouette_score(X, labels, sample_size=200, seed=1)
+        assert sampled == pytest.approx(exact, abs=0.1)
+
+    def test_single_cluster_rejected(self):
+        X, _ = gaussian_blobs(n=20, k=2, d=2, seed=0)
+        with pytest.raises(ConfigurationError):
+            silhouette_score(X, np.zeros(20, dtype=int))
+
+    def test_hand_worked_two_points_per_cluster(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        labels = np.array([0, 0, 1, 1])
+        # a = 1 for all; b = mean dist to other cluster.
+        # point 0: b = (10+11)/2 = 10.5 -> s = 9.5/10.5
+        score = silhouette_score(X, labels, sample_size=None)
+        expected = np.mean([9.5 / 10.5, 8.5 / 9.5, 8.5 / 9.5, 9.5 / 10.5])
+        assert score == pytest.approx(expected)
+
+
+class TestDaviesBouldin:
+    def test_tight_separated_clusters_score_low(self):
+        X, labels = gaussian_blobs(n=300, k=3, d=4, spread=0.01, seed=7)
+        centroids = np.stack([X[labels == j].mean(0) for j in range(3)])
+        good = davies_bouldin(X, labels, centroids)
+        rng = np.random.default_rng(0)
+        bad_labels = rng.integers(0, 3, size=300)
+        bad_centroids = np.stack(
+            [X[bad_labels == j].mean(0) for j in range(3)])
+        assert good < davies_bouldin(X, bad_labels, bad_centroids)
+
+    def test_needs_two_clusters(self):
+        X = np.zeros((5, 2))
+        with pytest.raises(ConfigurationError):
+            davies_bouldin(X, np.zeros(5, dtype=int), np.zeros((2, 2)))

@@ -1,0 +1,163 @@
+"""Tests for the partition planner and LDM staging."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import (
+    plan_level1,
+    plan_level2,
+    plan_level3,
+    stage_level1,
+    stage_level2,
+    stage_level3,
+)
+from repro.errors import ConfigurationError, PartitionError
+from repro.machine.machine import toy_machine
+
+
+@pytest.fixture
+def machine():
+    # 2 nodes x 2 CGs x 4 CPEs, 8 KiB LDM (1024 f64 elements).
+    return toy_machine(n_nodes=2, cgs_per_node=2, mesh=2, ldm_bytes=8192)
+
+
+class TestLevel1Plan:
+    def test_blocks_cover_samples(self, machine):
+        plan = plan_level1(machine, n=100, k=4, d=8)
+        assert plan.sample_blocks[0][0] == 0
+        assert plan.sample_blocks[-1][1] == 100
+        assert plan.units == 16
+
+    def test_units_capped_by_n(self, machine):
+        plan = plan_level1(machine, n=5, k=2, d=4)
+        assert plan.units == 5
+
+    def test_per_cpe_elements_formula(self, machine):
+        plan = plan_level1(machine, n=10, k=3, d=7)
+        assert plan.per_cpe_elements() == 7 * (1 + 6) + 3
+
+    def test_infeasible_kd_raises(self, machine):
+        with pytest.raises(PartitionError, match="Level 1 infeasible"):
+            plan_level1(machine, n=100, k=100, d=100)
+
+    def test_k_larger_than_n_rejected(self, machine):
+        with pytest.raises(ConfigurationError):
+            plan_level1(machine, n=3, k=4, d=2)
+
+    def test_staging_fits(self, machine):
+        plan = plan_level1(machine, n=100, k=4, d=8)
+        stage_level1(plan, machine)  # must not raise
+        cpe = machine.core_group(0).cpe(0)
+        assert "centroids" in cpe.ldm
+        assert cpe.ldm.used_bytes == plan.per_cpe_elements() * 8
+
+
+class TestLevel2Plan:
+    def test_picks_smallest_feasible_mgroup(self, machine):
+        # k=40, d=8: one CPE needs 8*81+40 = 688 <= 1024 -> mgroup 1 works.
+        plan = plan_level2(machine, n=200, k=40, d=8)
+        assert plan.mgroup == 1
+        # k=200, d=8: 8*401+200 = 3408 > 1024; mgroup=4: slice 50 ->
+        # 8*101+50 = 858 <= 1024.
+        plan2 = plan_level2(machine, n=400, k=200, d=8)
+        assert plan2.mgroup == 4
+
+    def test_explicit_mgroup_respected(self, machine):
+        plan = plan_level2(machine, n=200, k=40, d=8, mgroup=2)
+        assert plan.mgroup == 2
+        assert plan.groups_per_cg == 2
+
+    def test_explicit_mgroup_validated(self, machine):
+        with pytest.raises(ConfigurationError):
+            plan_level2(machine, n=200, k=40, d=8, mgroup=5)
+        with pytest.raises(PartitionError):
+            plan_level2(machine, n=400, k=200, d=8, mgroup=1)
+
+    def test_centroid_slices_cover_k(self, machine):
+        plan = plan_level2(machine, n=400, k=201, d=8)
+        assert plan.centroid_slices[0][0] == 0
+        assert plan.centroid_slices[-1][1] == 201
+
+    def test_sample_blocks_cover_n(self, machine):
+        plan = plan_level2(machine, n=333, k=40, d=8)
+        assert plan.sample_blocks[0][0] == 0
+        assert plan.sample_blocks[-1][1] == 333
+
+    def test_d_too_big_for_ldm_raises(self, machine):
+        # 3d+1 > 1024 elements: d = 400.
+        with pytest.raises(PartitionError, match="C2"):
+            plan_level2(machine, n=100, k=4, d=400)
+
+    def test_staging_fits(self, machine):
+        plan = plan_level2(machine, n=400, k=200, d=8)
+        stage_level2(plan, machine)
+        cg = machine.core_group(plan.cg_of_group[0])
+        assert "centroid_slice" in cg.cpe(0).ldm
+
+
+class TestLevel3Plan:
+    def test_dim_slices_cover_d(self, machine):
+        plan = plan_level3(machine, n=200, k=4, d=1001)
+        assert plan.dim_slices[0][0] == 0
+        assert plan.dim_slices[-1][1] == 1001
+        assert len(plan.dim_slices) == machine.cpes_per_cg
+
+    def test_big_d_feasible_only_at_level3(self, machine):
+        with pytest.raises(PartitionError):
+            plan_level2(machine, n=200, k=8, d=1001)
+        plan = plan_level3(machine, n=200, k=4, d=1001)
+        assert plan.mprime_group >= 1
+
+    def test_mprime_grows_with_k(self, machine):
+        small = plan_level3(machine, n=200, k=4, d=64)
+        big = plan_level3(machine, n=200, k=120, d=64)
+        assert big.mprime_group >= small.mprime_group
+
+    def test_groups_partition_machine(self, machine):
+        plan = plan_level3(machine, n=200, k=8, d=64)
+        flat = [cg for group in plan.cg_groups for cg in group]
+        assert len(set(flat)) == len(flat)
+        assert all(0 <= cg < machine.n_cgs for cg in flat)
+
+    def test_sample_blocks_cover_n(self, machine):
+        plan = plan_level3(machine, n=777, k=8, d=64)
+        assert plan.sample_blocks[0][0] == 0
+        assert plan.sample_blocks[-1][1] == 777
+
+    def test_explicit_mprime_validated(self, machine):
+        with pytest.raises(ConfigurationError):
+            plan_level3(machine, n=100, k=4, d=8, mprime_group=99)
+
+    def test_impossible_d_slice_raises(self):
+        tiny = toy_machine(n_nodes=1, cgs_per_node=1, mesh=2, ldm_bytes=64)
+        with pytest.raises(PartitionError, match="sample slice"):
+            plan_level3(tiny, n=10, k=2, d=10_000)
+
+    def test_k_exceeding_capacity_raises(self, machine):
+        # All 4 CGs together cannot hold this centroid set.
+        with pytest.raises(PartitionError):
+            plan_level3(machine, n=10_000, k=10_000, d=512)
+
+    def test_supernode_aware_flag_propagates(self, machine):
+        aware = plan_level3(machine, n=200, k=8, d=64, supernode_aware=True)
+        strided = plan_level3(machine, n=200, k=8, d=64,
+                              supernode_aware=False)
+        assert aware.supernode_aware and not strided.supernode_aware
+        assert aware.cg_groups != strided.cg_groups or \
+            aware.mprime_group == 1
+
+    def test_staging_fits(self, machine):
+        plan = plan_level3(machine, n=200, k=120, d=64)
+        stage_level3(plan, machine)
+        used = machine.core_group(plan.cg_groups[0][0]).cpe(0).ldm.used_bytes
+        assert used > 0
+
+
+class TestPlanDescriptions:
+    def test_describe_mentions_shape(self, machine):
+        p1 = plan_level1(machine, 100, 4, 8)
+        p2 = plan_level2(machine, 100, 40, 8)
+        p3 = plan_level3(machine, 100, 8, 64)
+        assert "Level-1" in p1.describe()
+        assert "mgroup" in p2.describe()
+        assert "m'group" in p3.describe()

@@ -1,0 +1,143 @@
+"""Property-based tests on partition plans across random machines/workloads.
+
+The plans are the contract between the planner, the LDM allocator, and the
+executors; these properties assert, for arbitrary feasible configurations:
+
+* slice maps tile their domains exactly (no overlap, no gap),
+* the byte-level staging always fits once a plan was accepted,
+* CG groups partition the machine disjointly,
+* per-CPE element accounting matches the slice maps.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import (
+    plan_level1,
+    plan_level2,
+    plan_level3,
+    stage_level1,
+    stage_level2,
+    stage_level3,
+)
+from repro.errors import PartitionError
+from repro.machine.machine import toy_machine
+
+machines = st.builds(
+    toy_machine,
+    n_nodes=st.integers(1, 4),
+    cgs_per_node=st.integers(1, 3),
+    mesh=st.sampled_from([2, 4]),
+    ldm_bytes=st.sampled_from([4 * 1024, 16 * 1024, 64 * 1024]),
+)
+
+problems = st.tuples(
+    st.integers(8, 2000),    # n
+    st.integers(1, 64),      # k
+    st.integers(1, 512),     # d
+)
+
+
+def _tiles(slices, total):
+    assert slices[0][0] == 0
+    assert slices[-1][1] == total
+    for (a0, a1), (b0, b1) in zip(slices, slices[1:]):
+        assert a1 == b0
+        assert a0 <= a1
+
+
+@given(machine=machines, problem=problems)
+@settings(max_examples=60, deadline=None)
+def test_level1_plan_invariants(machine, problem):
+    n, k, d = problem
+    assume(k <= n)
+    try:
+        plan = plan_level1(machine, n, k, d)
+    except PartitionError:
+        assume(False)
+    _tiles(plan.sample_blocks, n)
+    assert plan.units <= machine.n_cpes
+    assert plan.units <= n
+    assert all(0 <= cg < machine.n_cgs for cg in plan.cg_of_unit)
+    stage_level1(plan, machine)  # byte-exact fit, never raises
+
+
+@given(machine=machines, problem=problems,
+       streaming=st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_level2_plan_invariants(machine, problem, streaming):
+    n, k, d = problem
+    assume(k <= n)
+    try:
+        plan = plan_level2(machine, n, k, d, streaming=streaming)
+    except PartitionError:
+        assume(False)
+    _tiles(plan.sample_blocks, n)
+    _tiles(plan.centroid_slices, k)
+    assert len(plan.centroid_slices) == plan.mgroup
+    assert 1 <= plan.mgroup <= machine.cpes_per_cg
+    assert plan.groups_per_cg * plan.mgroup <= machine.cpes_per_cg
+    assert plan.cent_traffic_bytes_per_cpe() >= 0.0
+    stage_level2(plan, machine)
+
+
+@given(machine=machines, problem=problems,
+       streaming=st.booleans(), aware=st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_level3_plan_invariants(machine, problem, streaming, aware):
+    n, k, d = problem
+    assume(k <= n)
+    try:
+        plan = plan_level3(machine, n, k, d, streaming=streaming,
+                           supernode_aware=aware)
+    except PartitionError:
+        assume(False)
+    _tiles(plan.sample_blocks, n)
+    _tiles(plan.centroid_slices, k)
+    _tiles(plan.dim_slices, d)
+    assert len(plan.dim_slices) == machine.cpes_per_cg
+    assert len(plan.centroid_slices) == plan.mprime_group
+    # Groups are disjoint, equally sized, in range.
+    flat = [cg for g in plan.cg_groups for cg in g]
+    assert len(flat) == len(set(flat))
+    assert all(0 <= cg < machine.n_cgs for cg in flat)
+    assert {len(g) for g in plan.cg_groups} == {plan.mprime_group}
+    stage_level3(plan, machine)
+
+
+@given(machine=machines, problem=problems)
+@settings(max_examples=40, deadline=None)
+def test_level_escalation_is_consistent(machine, problem):
+    """If a lower level plans, so does every higher one (resident mode)."""
+    n, k, d = problem
+    assume(k <= n)
+
+    def feasible(planner):
+        try:
+            planner(machine, n, k, d)
+            return True
+        except PartitionError:
+            return False
+
+    l1, l2, l3 = (feasible(p) for p in (plan_level1, plan_level2,
+                                        plan_level3))
+    if l1:
+        assert l2
+    if l2:
+        assert l3
+
+
+@given(machine=machines, problem=problems)
+@settings(max_examples=40, deadline=None)
+def test_streaming_dominates_resident(machine, problem):
+    """Anything a resident Level-2/3 plan accepts, streaming accepts too."""
+    n, k, d = problem
+    assume(k <= n)
+    for planner in (plan_level2, plan_level3):
+        try:
+            planner(machine, n, k, d)
+        except PartitionError:
+            continue
+        planner(machine, n, k, d, streaming=True)  # must not raise

@@ -1,0 +1,52 @@
+"""Tests for the KMeansResult container."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import IterationStats, KMeansResult
+from repro.runtime.ledger import TimeLedger
+
+
+def make_result(ledger=None, level=1):
+    return KMeansResult(
+        centroids=np.zeros((3, 4)),
+        assignments=np.zeros(10, dtype=np.int64),
+        inertia=1.5,
+        n_iter=2,
+        converged=True,
+        history=[IterationStats(1, 2.0, 0.5, 10),
+                 IterationStats(2, 1.5, 0.0, 0)],
+        ledger=ledger,
+        level=level,
+    )
+
+
+class TestProperties:
+    def test_shape_accessors(self):
+        r = make_result()
+        assert (r.k, r.d, r.n) == (3, 4, 10)
+
+    def test_mean_iteration_seconds_without_ledger(self):
+        assert make_result().mean_iteration_seconds() == 0.0
+
+    def test_mean_iteration_seconds_with_ledger(self):
+        ledger = TimeLedger()
+        ledger.next_iteration()
+        ledger.charge("compute", "w", 2.0)
+        ledger.next_iteration()
+        ledger.charge("compute", "w", 4.0)
+        r = make_result(ledger=ledger)
+        assert r.mean_iteration_seconds() == pytest.approx(3.0)
+
+    def test_summary_mentions_key_facts(self):
+        s = make_result(level=3).summary()
+        assert "level 3" in s
+        assert "n=10" in s and "k=3" in s and "d=4" in s
+        assert "converged=True" in s
+
+    def test_summary_includes_timing_only_with_ledger(self):
+        assert "s/iter" not in make_result().summary()
+        ledger = TimeLedger()
+        ledger.next_iteration()
+        ledger.charge("dma", "x", 0.5)
+        assert "s/iter" in make_result(ledger=ledger).summary()

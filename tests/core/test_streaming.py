@@ -1,0 +1,187 @@
+"""Tests for streaming-mode plans/executors and DMA/compute overlap.
+
+Streaming mode (DESIGN.md §5a) lets Level 2/3 run configurations whose
+centroid working set overflows the resident constraints — the semantics the
+paper's own Figures 7-9 require — charging re-stream DMA traffic instead of
+refusing.  Numerics are untouched: results still equal serial Lloyd.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.init import init_centroids
+from repro.core.level2 import run_level2
+from repro.core.level3 import run_level3
+from repro.core.lloyd import lloyd
+from repro.core.partition import (
+    STREAM_BUFFERS,
+    plan_level2,
+    plan_level3,
+    stage_level2,
+    stage_level3,
+    stream_gate,
+    streaming_info,
+)
+from repro.data.synthetic import gaussian_blobs
+from repro.errors import PartitionError
+from repro.machine.machine import toy_machine
+
+
+@pytest.fixture
+def machine():
+    # 8 KiB LDM = 1024 f64 elements per CPE.
+    return toy_machine(n_nodes=2, cgs_per_node=2, mesh=2, ldm_bytes=8192)
+
+
+@pytest.fixture(scope="module")
+def big_k_workload():
+    # k*d = 3200 elements/CPE-slice >> any resident budget on the toy LDM.
+    X, _ = gaussian_blobs(n=500, k=100, d=128, seed=31)
+    C0 = init_centroids(X, 100, method="first")
+    return X, C0
+
+
+class TestStreamingInfo:
+    def test_resident_when_small(self):
+        info = streaming_info(d_slice_elems=8, cent_slice_elems=64,
+                              count_elems=8, samples_per_unit=100,
+                              ldm_bytes=8192, itemsize=8)
+        assert info.resident_fraction == 1.0
+        assert info.n_stages == 1
+        assert info.cent_traffic_bytes_per_cpe == 64 * 8
+
+    def test_streaming_when_large(self):
+        info = streaming_info(d_slice_elems=64, cent_slice_elems=10_000,
+                              count_elems=100, samples_per_unit=1000,
+                              ldm_bytes=8192, itemsize=8)
+        assert info.resident_fraction < 1.0
+        assert info.n_stages > 1
+        # Re-streaming multiplies traffic beyond one slice fetch.
+        assert info.cent_traffic_bytes_per_cpe > 10_000 * 8
+
+    def test_traffic_grows_with_samples(self):
+        small = streaming_info(64, 10_000, 100, 100, 8192, 8)
+        big = streaming_info(64, 10_000, 100, 10_000, 8192, 8)
+        assert big.cent_traffic_bytes_per_cpe \
+            > small.cent_traffic_bytes_per_cpe
+
+    def test_stream_gate(self):
+        assert stream_gate(256, 8192, 8)          # 4*256*8 = 8192, fits
+        assert not stream_gate(257, 8192, 8)
+        assert STREAM_BUFFERS == 4
+
+
+class TestStreamingPlans:
+    def test_level2_resident_refuses_but_streaming_accepts(self, machine,
+                                                           big_k_workload):
+        X, _ = big_k_workload
+        with pytest.raises(PartitionError, match="streaming=True"):
+            plan_level2(machine, X.shape[0], 100, 128)
+        plan = plan_level2(machine, X.shape[0], 100, 128, streaming=True)
+        assert plan.streaming is not None
+        assert plan.streaming.resident_fraction < 1.0
+
+    def test_level3_streaming_accepts_oversize_k(self, machine):
+        with pytest.raises(PartitionError, match="streaming=True"):
+            plan_level3(machine, 10_000, 10_000, 512)
+        plan = plan_level3(machine, 10_000, 10_000, 512, streaming=True)
+        assert plan.streaming is not None
+        assert plan.streaming.resident_fraction < 1.0
+
+    def test_streaming_gate_still_applies(self, machine):
+        # d too large for even the staging buffers (4*d*8 > 8192 at d=257).
+        with pytest.raises(PartitionError, match="staging"):
+            plan_level2(machine, 1000, 4, 300, streaming=True)
+
+    def test_streaming_plan_with_small_k_is_resident(self, machine):
+        plan = plan_level2(machine, 1000, 4, 16, streaming=True)
+        assert plan.streaming is not None
+        assert plan.streaming.resident_fraction == 1.0
+
+    def test_staging_streaming_buffers_fit(self, machine, big_k_workload):
+        X, _ = big_k_workload
+        plan = plan_level2(machine, X.shape[0], 100, 128, streaming=True)
+        stage_level2(plan, machine)  # must not overflow any LDM
+        cpe = machine.core_group(0).cpe(0)
+        assert "sample_stage_a" in cpe.ldm
+
+    def test_staging_level3_streaming(self, machine):
+        plan = plan_level3(machine, 10_000, 10_000, 512, streaming=True)
+        stage_level3(plan, machine)
+        cpe = machine.core_group(0).cpe(0)
+        assert "centroid_chunk" in cpe.ldm
+
+
+class TestStreamingExecution:
+    def test_level2_streaming_matches_lloyd(self, machine, big_k_workload):
+        X, C0 = big_k_workload
+        ref = lloyd(X, C0, max_iter=15)
+        result = run_level2(X, C0, machine, max_iter=15, streaming=True)
+        np.testing.assert_array_equal(result.assignments, ref.assignments)
+        np.testing.assert_allclose(result.centroids, ref.centroids,
+                                   rtol=1e-9)
+
+    def test_level3_streaming_matches_lloyd(self, machine, big_k_workload):
+        X, C0 = big_k_workload
+        ref = lloyd(X, C0, max_iter=15)
+        result = run_level3(X, C0, machine, max_iter=15, streaming=True)
+        np.testing.assert_array_equal(result.assignments, ref.assignments)
+
+    def test_restreaming_charges_more_dma(self, machine):
+        """The same feasible workload costs more DMA when forced through
+        streaming with a non-resident slice than when resident.
+
+        k=8, d=200 on the 1024-element LDM: resident mode fits at mgroup=4
+        (slice usage 1002 elements), but the streaming analysis — which
+        also reserves the sample double-buffer — sees rf < 1 and re-streams.
+        """
+        X, _ = gaussian_blobs(n=400, k=8, d=200, seed=5)
+        C0 = init_centroids(X, 8, method="first")
+        resident = run_level2(X, C0, machine, max_iter=2)
+        streamed = run_level2(X, C0, machine, max_iter=2, streaming=True)
+        np.testing.assert_array_equal(resident.assignments,
+                                      streamed.assignments)
+        dma_res = resident.ledger.total_by_category()["dma"]
+        dma_str = streamed.ledger.total_by_category()["dma"]
+        assert dma_str > dma_res
+
+
+class TestOverlap:
+    """Double-buffered DMA hides the shorter of (stream, compute)."""
+
+    @pytest.fixture
+    def workload(self):
+        X, _ = gaussian_blobs(n=800, k=12, d=24, seed=9)
+        return X, init_centroids(X, 12, method="first")
+
+    @pytest.mark.parametrize("runner", [run_level2, run_level3])
+    def test_overlap_never_slower_and_results_identical(self, machine,
+                                                        workload, runner):
+        X, C0 = workload
+        plain = runner(X, C0, machine, max_iter=3)
+        overlapped = runner(X, C0, machine, max_iter=3, overlap_dma=True)
+        np.testing.assert_array_equal(plain.assignments,
+                                      overlapped.assignments)
+        assert (overlapped.mean_iteration_seconds()
+                < plain.mean_iteration_seconds())
+
+    def test_overlap_saves_exactly_the_hidden_phase(self, machine,
+                                                    workload):
+        X, C0 = workload
+        plain = run_level2(X, C0, machine, max_iter=1)
+        overlapped = run_level2(X, C0, machine, max_iter=1,
+                                overlap_dma=True)
+        saved = (plain.ledger.iteration_time(1)
+                 - overlapped.ledger.iteration_time(1))
+        plain_cats = plain.ledger.total_by_category()
+        # The hidden phase is min(stream dma, distance compute); the saving
+        # cannot exceed either category bucket.
+        assert 0 < saved <= min(plain_cats["dma"],
+                                plain_cats["compute"]) * (1 + 1e-12)
+
+    def test_overlap_label_marks_hidden_phase(self, machine, workload):
+        X, C0 = workload
+        result = run_level3(X, C0, machine, max_iter=1, overlap_dma=True)
+        labels = {r.label for r in result.ledger.records}
+        assert any("overlap" in label for label in labels)
+        assert any("hidden" in label for label in labels)

@@ -1,0 +1,59 @@
+"""Tests for the Table II dataset registry."""
+
+import pytest
+
+from repro.data.datasets import TABLE_II, dataset
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_four_datasets(self):
+        assert set(TABLE_II) == {"kegg", "road", "census", "ilsvrc2012"}
+
+    def test_paper_shapes(self):
+        assert TABLE_II["kegg"].shape() == (65_554, 28)
+        assert TABLE_II["road"].shape() == (434_874, 4)
+        assert TABLE_II["census"].shape() == (2_458_285, 68)
+        assert TABLE_II["ilsvrc2012"].shape() == (1_265_723, 196_608)
+
+    def test_paper_k_values(self):
+        assert TABLE_II["kegg"].paper_k == 256
+        assert TABLE_II["ilsvrc2012"].paper_k == 160_000
+
+    def test_lookup_by_key(self):
+        assert dataset("road").name == "Road Network"
+
+    def test_unknown_key(self):
+        with pytest.raises(ConfigurationError, match="unknown dataset"):
+            dataset("mnist")
+
+
+class TestLoading:
+    def test_scaled_load_respects_caps(self):
+        X = dataset("census").load(scale=0.001, max_n=100, max_d=10)
+        assert X.shape[0] <= 100
+        assert X.shape[1] <= 10
+
+    def test_scale_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            dataset("kegg").load(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            dataset("kegg").load(scale=1.5)
+
+    def test_never_exceeds_published_shape(self):
+        X = dataset("road").load(scale=1.0, max_n=500)
+        assert X.shape[1] == 4
+
+    def test_minimum_floor(self):
+        X = dataset("kegg").load(scale=1e-9)
+        assert X.shape[0] >= 8
+
+    def test_deterministic_per_seed(self):
+        import numpy as np
+        a = dataset("kegg").load(scale=0.001, seed=1, max_n=64)
+        b = dataset("kegg").load(scale=0.001, seed=1, max_n=64)
+        np.testing.assert_array_equal(a, b)
+
+    def test_ilsvrc_stand_in_is_feature_like(self):
+        X = dataset("ilsvrc2012").load(max_n=32, max_d=64)
+        assert X.shape == (32, 64)

@@ -1,0 +1,146 @@
+"""Tests for the preprocessing transformers (scalers, PCA, simplex blobs)."""
+
+import numpy as np
+import pytest
+
+from repro.data.preprocess import (
+    MinMaxScaler,
+    PCA,
+    StandardScaler,
+    simplex_blobs,
+)
+from repro.errors import ConfigurationError, DataShapeError
+
+
+@pytest.fixture
+def X():
+    rng = np.random.default_rng(3)
+    return rng.normal(loc=5.0, scale=[1.0, 3.0, 0.5, 2.0], size=(300, 4))
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, X):
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, rtol=1e-12)
+
+    def test_constant_feature_handled(self):
+        X = np.ones((10, 2))
+        X[:, 1] = np.arange(10)
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+
+    def test_inverse_round_trip(self, X):
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X, rtol=1e-12)
+
+    def test_transform_before_fit_rejected(self, X):
+        with pytest.raises(ConfigurationError):
+            StandardScaler().transform(X)
+
+    def test_dimension_mismatch_rejected(self, X):
+        scaler = StandardScaler().fit(X)
+        with pytest.raises(DataShapeError):
+            scaler.transform(X[:, :2])
+
+
+class TestMinMaxScaler:
+    def test_unit_box(self, X):
+        Z = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.min(axis=0), 0.0, atol=1e-15)
+        np.testing.assert_allclose(Z.max(axis=0), 1.0, rtol=1e-12)
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.full((5, 1), 7.0)
+        Z = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(Z, 0.0)
+
+    def test_transform_before_fit_rejected(self, X):
+        with pytest.raises(ConfigurationError):
+            MinMaxScaler().transform(X)
+
+
+class TestPCA:
+    def test_recovers_dominant_direction(self):
+        rng = np.random.default_rng(0)
+        t = rng.normal(size=500)
+        direction = np.array([3.0, 4.0]) / 5.0
+        X = np.outer(t, direction) + 0.01 * rng.normal(size=(500, 2))
+        pca = PCA(n_components=1).fit(X)
+        found = pca.components_[0]
+        assert abs(abs(found @ direction)) > 0.99
+
+    def test_projection_shape(self, X):
+        Z = PCA(n_components=2).fit_transform(X)
+        assert Z.shape == (300, 2)
+
+    def test_components_orthonormal(self, X):
+        pca = PCA(n_components=3).fit(X)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(3), atol=1e-10)
+
+    def test_explained_variance_sorted(self, X):
+        pca = PCA(n_components=4).fit(X)
+        ev = pca.explained_variance_
+        assert all(a >= b for a, b in zip(ev, ev[1:]))
+        ratios = pca.explained_variance_ratio()
+        assert ratios.sum() == pytest.approx(1.0)
+
+    def test_whiten_unit_variance(self, X):
+        Z = PCA(n_components=2, whiten=True).fit_transform(X)
+        np.testing.assert_allclose(Z.std(axis=0, ddof=1), 1.0, rtol=1e-6)
+
+    def test_invalid_components_rejected(self, X):
+        with pytest.raises(ConfigurationError):
+            PCA(n_components=0).fit(X)
+        with pytest.raises(ConfigurationError):
+            PCA(n_components=5).fit(X)
+
+    def test_transform_before_fit_rejected(self, X):
+        with pytest.raises(ConfigurationError):
+            PCA(n_components=1).transform(X)
+
+    def test_full_rank_projection_preserves_distances(self, X):
+        """PCA to full rank is a rotation: pairwise distances survive."""
+        Z = PCA(n_components=4).fit_transform(X)
+        d_orig = ((X[:20, None] - X[None, :20]) ** 2).sum(-1)
+        d_proj = ((Z[:20, None] - Z[None, :20]) ** 2).sum(-1)
+        np.testing.assert_allclose(d_proj, d_orig, rtol=1e-8)
+
+
+class TestSimplexBlobs:
+    def test_shapes_and_labels(self):
+        X, labels = simplex_blobs(n=200, k=10, d=32, seed=1)
+        assert X.shape == (200, 32)
+        assert set(labels) == set(range(10))
+
+    def test_centres_are_one_hot(self):
+        X, labels = simplex_blobs(n=500, k=5, d=8, noise=0.01, seed=2)
+        for j in range(5):
+            centre = X[labels == j].mean(axis=0)
+            assert int(np.argmax(centre)) == j
+            assert centre[j] == pytest.approx(1.0, abs=0.05)
+
+    def test_structure_is_intrinsically_k_dimensional(self):
+        """The top k-1 principal components carry almost all centre
+        variance; far fewer cannot."""
+        X, _ = simplex_blobs(n=1000, k=16, d=64, noise=0.02, seed=3)
+        pca = PCA(n_components=32).fit(X)
+        ratios = pca.explained_variance_ratio()
+        assert ratios[:15].sum() > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simplex_blobs(10, 5, 3)  # k > d
+        with pytest.raises(ConfigurationError):
+            simplex_blobs(3, 5, 8)  # k > n
+        with pytest.raises(ConfigurationError):
+            simplex_blobs(10, 2, 4, noise=-1.0)
+
+    def test_deterministic(self):
+        a, la = simplex_blobs(50, 4, 8, seed=9)
+        b, lb = simplex_blobs(50, 4, 8, seed=9)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(la, lb)

@@ -1,0 +1,104 @@
+"""Tests for the synthetic remote-sensing substrate (Figure 10 data)."""
+
+import numpy as np
+import pytest
+
+from repro.data.remote_sensing import (
+    CLASS_NAMES,
+    classification_accuracy,
+    extract_patches,
+    majority_class_map,
+    synth_land_cover,
+)
+from repro.errors import ConfigurationError, DataShapeError
+
+
+@pytest.fixture(scope="module")
+def image():
+    return synth_land_cover(64, 64, n_classes=5, seed=3)
+
+
+class TestSynthLandCover:
+    def test_shapes(self, image):
+        assert image.pixels.shape == (64, 64, 3)
+        assert image.labels.shape == (64, 64)
+
+    def test_pixels_in_unit_range(self, image):
+        assert image.pixels.min() >= 0.0
+        assert image.pixels.max() <= 1.0
+
+    def test_labels_in_class_range(self, image):
+        assert image.labels.min() >= 0
+        assert image.labels.max() < 5
+
+    def test_regions_are_contiguous(self, image):
+        """Smooth fields -> neighbours usually share a class."""
+        same_right = (image.labels[:, :-1] == image.labels[:, 1:]).mean()
+        assert same_right > 0.9
+
+    def test_deterministic(self):
+        a = synth_land_cover(32, 32, seed=1)
+        b = synth_land_cover(32, 32, seed=1)
+        np.testing.assert_array_equal(a.pixels, b.pixels)
+
+    def test_seven_classes_supported(self):
+        img = synth_land_cover(64, 64, n_classes=7, seed=0)
+        assert img.labels.max() < 7
+        assert len(CLASS_NAMES) == 7
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            synth_land_cover(4, 64)
+        with pytest.raises(ConfigurationError):
+            synth_land_cover(64, 64, n_classes=1)
+
+
+class TestExtractPatches:
+    def test_shapes(self, image):
+        X, labels = extract_patches(image, patch=4)
+        assert X.shape == (16 * 16, 4 * 4 * 3)
+        assert labels.shape == (256,)
+
+    def test_patch_one_is_pixels(self, image):
+        X, labels = extract_patches(image, patch=1)
+        np.testing.assert_allclose(X.reshape(64, 64, 3), image.pixels)
+        np.testing.assert_array_equal(labels.reshape(64, 64), image.labels)
+
+    def test_feature_order_round_trips(self, image):
+        X, _ = extract_patches(image, patch=4)
+        # First patch must be the top-left 4x4 block, flattened.
+        np.testing.assert_allclose(
+            X[0], image.pixels[:4, :4, :].reshape(-1))
+
+    def test_majority_labels(self, image):
+        _, labels = extract_patches(image, patch=8)
+        assert labels.min() >= 0 and labels.max() < image.n_classes
+
+    def test_indivisible_rejected(self, image):
+        with pytest.raises(DataShapeError):
+            extract_patches(image, patch=7)
+
+
+class TestScoring:
+    def test_perfect_clustering_scores_one(self):
+        truth = np.array([0, 0, 1, 1, 2, 2])
+        assignments = np.array([5, 5, 3, 3, 0, 0])
+        assert classification_accuracy(assignments, truth, k=6) == 1.0
+
+    def test_majority_map(self):
+        truth = np.array([0, 0, 1])
+        assignments = np.array([0, 0, 0])
+        mapping = majority_class_map(assignments, truth, k=2)
+        assert mapping[0] == 0
+        assert mapping[1] == 0  # empty cluster defaults to class 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DataShapeError):
+            classification_accuracy(np.zeros(3, int), np.zeros(4, int), k=1)
+
+    def test_random_assignment_scores_low(self):
+        rng = np.random.default_rng(0)
+        truth = rng.integers(0, 4, size=1000)
+        assignments = rng.integers(0, 4, size=1000)
+        acc = classification_accuracy(assignments, truth, k=4)
+        assert acc < 0.5

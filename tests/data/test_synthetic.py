@@ -1,0 +1,102 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    anisotropic_blobs,
+    feature_vectors,
+    gaussian_blobs,
+    uniform_cloud,
+)
+from repro.errors import ConfigurationError
+
+
+class TestGaussianBlobs:
+    def test_shapes(self):
+        X, labels = gaussian_blobs(n=100, k=5, d=7, seed=0)
+        assert X.shape == (100, 7)
+        assert labels.shape == (100,)
+        assert set(labels) == set(range(5))
+
+    def test_deterministic(self):
+        a, la = gaussian_blobs(50, 3, 4, seed=9)
+        b, lb = gaussian_blobs(50, 3, 4, seed=9)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(la, lb)
+
+    def test_different_seeds_differ(self):
+        a, _ = gaussian_blobs(50, 3, 4, seed=1)
+        b, _ = gaussian_blobs(50, 3, 4, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_balanced_up_to_rounding(self):
+        _, labels = gaussian_blobs(100, 3, 2, seed=0)
+        counts = np.bincount(labels)
+        assert counts.max() - counts.min() <= 1
+
+    def test_blobs_are_separated_at_low_spread(self):
+        X, labels = gaussian_blobs(300, 3, 8, spread=0.01, seed=4)
+        centres = np.stack([X[labels == j].mean(0) for j in range(3)])
+        within = max(np.linalg.norm(X[labels == j] - centres[j], axis=1).max()
+                     for j in range(3))
+        between = min(np.linalg.norm(centres[i] - centres[j])
+                      for i in range(3) for j in range(i + 1, 3))
+        assert between > 2 * within
+
+    def test_dtype_option(self):
+        X, _ = gaussian_blobs(10, 2, 3, dtype=np.float32)
+        assert X.dtype == np.float32
+
+    def test_k_greater_than_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gaussian_blobs(3, 5, 2)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gaussian_blobs(0, 1, 1)
+
+
+class TestUniformCloud:
+    def test_bounds(self):
+        X = uniform_cloud(100, 4, low=2.0, high=3.0, seed=1)
+        assert (X >= 2.0).all() and (X <= 3.0).all()
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            uniform_cloud(0, 4)
+
+
+class TestAnisotropicBlobs:
+    def test_shapes_and_labels(self):
+        X, labels = anisotropic_blobs(120, 4, 6, seed=2)
+        assert X.shape == (120, 6)
+        assert set(labels) <= set(range(4))
+
+    def test_condition_one_is_isotropic_like(self):
+        X1, _ = anisotropic_blobs(100, 2, 4, condition=1.0, seed=3)
+        assert np.isfinite(X1).all()
+
+    def test_bad_condition_rejected(self):
+        with pytest.raises(ConfigurationError):
+            anisotropic_blobs(10, 2, 2, condition=0.5)
+
+
+class TestFeatureVectors:
+    def test_shape(self):
+        X = feature_vectors(50, 128, seed=0)
+        assert X.shape == (50, 128)
+
+    def test_low_intrinsic_dimensionality(self):
+        X = feature_vectors(200, 256, n_latent=4, seed=0)
+        # Singular values should collapse after the latent dimension.
+        s = np.linalg.svd(X - X.mean(0), compute_uv=False)
+        assert s[3] > 20 * s[8]
+
+    def test_latent_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            feature_vectors(10, 4, n_latent=5)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(feature_vectors(20, 16, seed=3),
+                                      feature_vectors(20, 16, seed=3))

@@ -1,0 +1,93 @@
+"""Tests for the experiment harness: every paper table/figure regenerates
+with all of its qualitative shape checks passing."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.base import (
+    monotone_nondecreasing,
+    monotone_nonincreasing,
+)
+
+
+class TestRegistry:
+    def test_covers_every_table_and_figure(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3",
+            "figure1", "figure2",
+            "figure3", "figure4", "figure5", "figure6", "figure7",
+            "figure8", "figure9", "figure10",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("figure99")
+
+
+@pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
+class TestEveryExperiment:
+    @pytest.fixture(scope="class")
+    def outputs(self):
+        # Run each experiment once per test class invocation, cached.
+        return {}
+
+    def _get(self, outputs, exp_id):
+        if exp_id not in outputs:
+            outputs[exp_id] = run_experiment(exp_id)
+        return outputs[exp_id]
+
+    def test_all_shape_checks_pass(self, outputs, exp_id):
+        out = self._get(outputs, exp_id)
+        failed = [n for n, ok in out.checks.items() if not ok]
+        assert not failed, f"{exp_id}: {failed}"
+
+    def test_renders_nonempty_text(self, outputs, exp_id):
+        out = self._get(outputs, exp_id)
+        assert len(out.text) > 50
+        assert out.exp_id == exp_id
+
+    def test_summary_line(self, outputs, exp_id):
+        out = self._get(outputs, exp_id)
+        assert exp_id in out.summary_line()
+
+
+class TestSpecificClaims:
+    def test_figure7_crossover_value_reported(self):
+        out = run_experiment("figure7")
+        assert "crossover" in out.text
+        l2, l3 = out.series["Level 2"], out.series["Level 3"]
+        cross = l3.crossover_with(l2)
+        # Our calibration crosses between 512 and 2560 (paper: 2560).
+        assert cross is not None and 512 < cross <= 2560
+
+    def test_figure7_level2_dies_after_4096(self):
+        out = run_experiment("figure7")
+        l2 = out.series["Level 2"]
+        for x, y in zip(l2.x, l2.y):
+            assert math.isfinite(y) == (x <= 4096)
+
+    def test_figure5_headline_under_18s(self):
+        out = run_experiment("figure5")
+        assert any("headline" in name and ok
+                   for name, ok in out.checks.items())
+
+    def test_table3_has_five_comparators(self):
+        out = run_experiment("table3")
+        assert len(out.rows) == 5
+
+
+class TestShapeHelpers:
+    def test_monotone_nondecreasing(self):
+        assert monotone_nondecreasing([1, 2, 3])
+        assert not monotone_nondecreasing([2, 1])
+        assert monotone_nondecreasing([2.0, 1.9], slack=0.1)
+        # Non-finite (infeasible) points are excluded from the comparison.
+        assert monotone_nondecreasing([1, math.inf, 2])
+
+    def test_monotone_nonincreasing(self):
+        assert monotone_nonincreasing([3, 2, 1])
+        assert not monotone_nonincreasing([1, 2])
+        assert monotone_nonincreasing([1.0, 1.05], slack=0.1)

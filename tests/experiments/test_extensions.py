@@ -1,0 +1,67 @@
+"""Tests for the extension experiments (beyond the paper's figures)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, EXTRA_EXPERIMENTS, run_experiment
+
+
+class TestRegistrySplit:
+    def test_extras_not_in_paper_set(self):
+        assert not set(EXTRA_EXPERIMENTS) & set(EXPERIMENTS)
+
+    def test_extras_present(self):
+        assert set(EXTRA_EXPERIMENTS) == {
+            "extra_weak_scaling", "extra_breakdown", "extra_validation",
+            "extra_bounded", "extra_dimreduction", "extra_flexibility",
+        }
+
+    def test_run_experiment_resolves_extras(self):
+        out = run_experiment("extra_breakdown")
+        assert out.exp_id == "extra_breakdown"
+
+
+@pytest.mark.parametrize("exp_id", sorted(EXTRA_EXPERIMENTS))
+def test_extension_checks_pass(exp_id):
+    out = run_experiment(exp_id)
+    failed = [n for n, ok in out.checks.items() if not ok]
+    assert not failed, f"{exp_id}: {failed}"
+    assert len(out.text) > 50
+
+
+class TestWeakScalingClaims:
+    def test_series_is_flat_ish(self):
+        out = run_experiment("extra_weak_scaling")
+        (series,) = out.series.values()
+        ys = [y for _, y in series.finite()]
+        assert max(ys) <= 2.0 * min(ys)
+
+
+class TestBreakdownClaims:
+    def test_mechanism_is_visible(self):
+        out = run_experiment("extra_breakdown")
+        assert "restream" in out.text
+        assert "minloc" in out.text
+
+
+class TestScorecard:
+    @pytest.fixture(scope="class")
+    def card(self):
+        from repro.experiments import build_scorecard
+        return build_scorecard()
+
+    def test_every_registered_experiment_included(self, card):
+        assert card.n_experiments == len(EXPERIMENTS) + len(EXTRA_EXPERIMENTS)
+
+    def test_all_checks_pass(self, card):
+        assert card.all_pass, card.failures()
+
+    def test_render_contains_headline_and_counts(self, card):
+        text = card.render()
+        assert "Reproduction scorecard" in text
+        assert f"{card.n_checks_passed}/{card.n_checks}" in text
+        assert "headline" in text
+
+    def test_paper_only_mode(self):
+        from repro.experiments import build_scorecard
+        card = build_scorecard(include_extras=False)
+        assert card.n_experiments == len(EXPERIMENTS)

@@ -1,0 +1,74 @@
+"""Tests for the core-group (MPE + CPE mesh) model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, LDMOverflowError
+from repro.machine.core_group import CoreGroup
+from repro.machine.specs import CGSpec, CPESpec
+
+
+@pytest.fixture
+def cg():
+    spec = CGSpec(cpe=CPESpec(ldm_bytes=1024), mesh_rows=2, mesh_cols=2)
+    return CoreGroup(index=3, spec=spec, node_index=1)
+
+
+class TestStructure:
+    def test_cpe_count_matches_mesh(self, cg):
+        assert cg.n_cpes == 4
+        assert len(cg.cpes) == 4
+
+    def test_mesh_positions_are_row_major(self, cg):
+        assert cg.mesh_position(0) == (0, 0)
+        assert cg.mesh_position(1) == (0, 1)
+        assert cg.mesh_position(2) == (1, 0)
+        assert cg.mesh_position(3) == (1, 1)
+
+    def test_sunway_cg_has_64_cpes(self):
+        cg64 = CoreGroup(index=0, spec=CGSpec(), node_index=0)
+        assert cg64.n_cpes == 64
+        assert cg64.mesh_position(63) == (7, 7)
+
+    def test_cpe_out_of_range(self, cg):
+        with pytest.raises(ConfigurationError):
+            cg.cpe(4)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreGroup(index=-1, spec=CGSpec(), node_index=0)
+
+    def test_global_label(self, cg):
+        assert cg.cpe(2).global_label == "cg3/cpe2"
+
+
+class TestLDMManagement:
+    def test_each_cpe_has_private_ldm(self, cg):
+        cg.cpe(0).ldm.alloc("x", 512)
+        assert cg.cpe(1).ldm.used_bytes == 0
+
+    def test_alloc_on_all(self, cg):
+        cg.alloc_on_all("sample", 256)
+        assert all(c.ldm.used_bytes == 256 for c in cg.cpes)
+
+    def test_alloc_on_all_rolls_back_on_overflow(self, cg):
+        cg.cpe(2).ldm.alloc("hog", 1000)
+        with pytest.raises(LDMOverflowError):
+            cg.alloc_on_all("sample", 256)
+        # CPEs 0 and 1 must have been rolled back.
+        assert cg.cpe(0).ldm.used_bytes == 0
+        assert cg.cpe(1).ldm.used_bytes == 0
+
+    def test_free_on_all_ignores_missing(self, cg):
+        cg.cpe(0).ldm.alloc("partial", 64)
+        cg.free_on_all("partial")  # only CPE 0 had it
+        assert cg.cpe(0).ldm.used_bytes == 0
+
+    def test_reset_ldm(self, cg):
+        cg.alloc_on_all("a", 100)
+        cg.reset_ldm()
+        assert cg.ldm_used_bytes == 0
+
+    def test_ldm_used_bytes_aggregates(self, cg):
+        cg.cpe(0).ldm.alloc("a", 100)
+        cg.cpe(1).ldm.alloc("b", 50)
+        assert cg.ldm_used_bytes == 150

@@ -1,0 +1,118 @@
+"""Tests for the LDM scratchpad allocator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, LDMOverflowError
+from repro.machine.ldm import LDMAllocator
+
+
+@pytest.fixture
+def ldm():
+    return LDMAllocator(1024)
+
+
+class TestAllocation:
+    def test_alloc_reserves_bytes(self, ldm):
+        a = ldm.alloc("buf", 100)
+        assert a.nbytes == 100
+        assert a.offset == 0
+        assert ldm.used_bytes == 100
+
+    def test_sequential_offsets(self, ldm):
+        a = ldm.alloc("a", 100)
+        b = ldm.alloc("b", 200)
+        assert b.offset == a.offset + a.nbytes
+
+    def test_exact_fill_is_allowed(self, ldm):
+        ldm.alloc("all", 1024)
+        assert ldm.free_bytes == 0
+
+    def test_overflow_raises_with_details(self, ldm):
+        ldm.alloc("a", 1000)
+        with pytest.raises(LDMOverflowError) as e:
+            ldm.alloc("b", 100)
+        assert e.value.requested == 100
+        assert e.value.available == 24
+        assert e.value.capacity == 1024
+        assert "b" in str(e.value)
+
+    def test_duplicate_label_rejected(self, ldm):
+        ldm.alloc("x", 10)
+        with pytest.raises(ConfigurationError, match="already allocated"):
+            ldm.alloc("x", 10)
+
+    def test_nonpositive_size_rejected(self, ldm):
+        with pytest.raises(ConfigurationError):
+            ldm.alloc("zero", 0)
+        with pytest.raises(ConfigurationError):
+            ldm.alloc("neg", -4)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LDMAllocator(0)
+
+    def test_alloc_array_uses_dtype_itemsize(self, ldm):
+        a = ldm.alloc_array("arr", (16, 4), np.float64)
+        assert a.nbytes == 16 * 4 * 8
+        b = ldm.alloc_array("arr32", (16,), np.float32)
+        assert b.nbytes == 64
+
+    def test_alloc_array_scalar_shape(self, ldm):
+        assert ldm.alloc_array("s", (), np.float64).nbytes == 8
+
+
+class TestFreeing:
+    def test_free_releases_accounting(self, ldm):
+        ldm.alloc("a", 100)
+        ldm.free("a")
+        assert ldm.used_bytes == 0
+        assert "a" not in ldm
+
+    def test_free_top_retreats_cursor(self, ldm):
+        ldm.alloc("a", 100)
+        ldm.alloc("b", 100)
+        ldm.free("b")
+        c = ldm.alloc("c", 900)  # only fits if the cursor retreated
+        assert c.offset == 100
+
+    def test_free_unknown_raises(self, ldm):
+        with pytest.raises(ConfigurationError, match="not allocated"):
+            ldm.free("ghost")
+
+    def test_interior_free_keeps_address_space(self, ldm):
+        ldm.alloc("a", 400)
+        ldm.alloc("b", 400)
+        ldm.free("a")  # interior: cursor cannot retreat past b
+        assert ldm.used_bytes == 400
+        with pytest.raises(LDMOverflowError):
+            ldm.alloc("c", 400)
+
+    def test_reset_clears_everything(self, ldm):
+        ldm.alloc("a", 500)
+        ldm.alloc("b", 500)
+        ldm.reset()
+        assert ldm.used_bytes == 0
+        assert len(ldm) == 0
+        ldm.alloc("fresh", 1024)
+
+
+class TestIntrospection:
+    def test_would_fit(self, ldm):
+        assert ldm.would_fit(1024)
+        ldm.alloc("a", 1000)
+        assert ldm.would_fit(24)
+        assert not ldm.would_fit(25)
+
+    def test_iteration_yields_allocations(self, ldm):
+        ldm.alloc("a", 10)
+        ldm.alloc("b", 20)
+        labels = {a.label for a in ldm}
+        assert labels == {"a", "b"}
+
+    def test_report_mentions_labels_and_usage(self, ldm):
+        ldm.alloc("centroids", 512)
+        report = ldm.report()
+        assert "centroids" in report
+        assert "512" in report
+        assert "50.0%" in report

@@ -1,0 +1,110 @@
+"""Tests for the Machine facade and CG-group placement."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.machine import (
+    Machine,
+    machine_from_preset,
+    sunway_machine,
+    toy_machine,
+)
+from repro.machine.specs import sunway_spec
+
+
+@pytest.fixture
+def machine():
+    # 8 nodes x 2 CGs = 16 CGs; toy supernodes hold 4 nodes (8 CGs).
+    return toy_machine(n_nodes=8, cgs_per_node=2, mesh=2, ldm_bytes=4096)
+
+
+class TestStructure:
+    def test_counts(self, machine):
+        assert machine.n_nodes == 8
+        assert machine.n_cgs == 16
+        assert machine.n_cpes == 64
+        assert machine.cpes_per_cg == 4
+
+    def test_node_of_cg_is_node_major(self, machine):
+        assert machine.node_of_cg(0) == 0
+        assert machine.node_of_cg(1) == 0
+        assert machine.node_of_cg(2) == 1
+        assert machine.node_of_cg(15) == 7
+
+    def test_node_of_cg_range(self, machine):
+        with pytest.raises(ConfigurationError):
+            machine.node_of_cg(16)
+        with pytest.raises(ConfigurationError):
+            machine.node_of_cg(-1)
+
+    def test_core_group_objects_have_node_index(self, machine):
+        assert machine.core_group(3).node_index == 1
+
+    def test_core_groups_iterates_all(self, machine):
+        assert len(list(machine.core_groups())) == 16
+
+    def test_reset_ldm(self, machine):
+        machine.core_group(0).cpe(0).ldm.alloc("x", 64)
+        machine.reset_ldm()
+        assert machine.core_group(0).cpe(0).ldm.used_bytes == 0
+
+    def test_sunway_machine_default_one_node(self):
+        m = sunway_machine()
+        assert m.n_nodes == 1
+        assert m.n_cpes == 256
+        assert m.ldm_bytes == 65536
+
+    def test_unmaterialized_machine_rejects_cg_access(self):
+        m = Machine(sunway_spec(4), materialize_ldm=False)
+        with pytest.raises(ConfigurationError, match="materialize_ldm"):
+            m.core_group(0)
+
+    def test_large_sunway_defaults_to_unmaterialized(self):
+        m = sunway_machine(4096)
+        assert m.n_cgs == 16384
+        with pytest.raises(ConfigurationError):
+            m.core_group(0)
+
+    def test_preset_constructor(self):
+        m = machine_from_preset("sunway-128")
+        assert m.n_nodes == 128
+
+
+class TestPlacement:
+    def test_contiguous_placement(self, machine):
+        groups = machine.place_cg_groups(group_size=4, n_groups=4)
+        assert groups[0] == [0, 1, 2, 3]
+        assert groups[3] == [12, 13, 14, 15]
+
+    def test_contiguous_groups_stay_in_supernode_when_possible(self, machine):
+        # 4-node supernodes = 8 CGs; groups of 4 CGs fit inside.
+        groups = machine.place_cg_groups(group_size=4, n_groups=4)
+        assert not machine.group_spans_supernodes(groups[0])
+        assert not machine.group_spans_supernodes(groups[1])
+
+    def test_strided_placement_spans_supernodes(self, machine):
+        groups = machine.place_cg_groups(group_size=4, n_groups=4,
+                                         supernode_aware=False)
+        assert groups[0] == [0, 4, 8, 12]
+        assert machine.group_spans_supernodes(groups[0])
+
+    def test_placement_covers_disjoint_cgs(self, machine):
+        for aware in (True, False):
+            groups = machine.place_cg_groups(4, 4, supernode_aware=aware)
+            flat = [cg for g in groups for cg in g]
+            assert sorted(flat) == list(range(16))
+
+    def test_too_many_groups_rejected(self, machine):
+        with pytest.raises(ConfigurationError, match="cannot place"):
+            machine.place_cg_groups(group_size=4, n_groups=5)
+
+    def test_invalid_sizes_rejected(self, machine):
+        with pytest.raises(ConfigurationError):
+            machine.place_cg_groups(0, 1)
+        with pytest.raises(ConfigurationError):
+            machine.place_cg_groups(1, 0)
+
+    def test_group_bandwidth_derated_across_supernodes(self, machine):
+        inside = machine.group_bandwidth([0, 1, 2, 3])
+        across = machine.group_bandwidth([0, 15])
+        assert across < inside

@@ -1,0 +1,85 @@
+"""Tests for the machine/partition text renderers."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import plan_level3
+from repro.errors import ConfigurationError
+from repro.machine.machine import Machine, toy_machine
+from repro.machine.render import (
+    render_level3_partition,
+    render_machine,
+    render_processor,
+)
+from repro.machine.specs import sunway_spec, toy_spec
+
+
+class TestRenderProcessor:
+    def test_mentions_published_numbers(self):
+        out = render_processor(sunway_spec(1))
+        assert "4 core groups" in out
+        assert "8x8 CPE mesh" in out
+        assert "64 KB LDM" in out
+        assert "46.4 GB/s" in out
+        assert "32.0 GB/s" in out
+        assert "32 GB" in out
+
+    def test_toy_spec_renders_its_own_numbers(self):
+        out = render_processor(toy_spec(1, cgs_per_node=2, mesh=2,
+                                        ldm_bytes=8192))
+        assert "2 core groups" in out
+        assert "2x2 CPE mesh" in out
+        assert "8 KB LDM" in out
+
+
+class TestRenderMachine:
+    def test_counts_and_supernodes(self):
+        out = render_machine(sunway_spec(512))
+        assert "512 node(s)" in out
+        assert "2048 core groups" in out
+        assert "supernodes: 2" in out
+
+    def test_aggregate_numbers(self):
+        out = render_machine(sunway_spec(4096))
+        assert "1,048,576 CPEs" in out
+
+
+class TestRenderPartition:
+    @pytest.fixture(scope="class")
+    def rendered(self):
+        machine = Machine(sunway_spec(8), materialize_ldm=False)
+        plan = plan_level3(machine, 10_000, 200, 4096, dtype=np.float32)
+        return plan, machine, render_level3_partition(plan, machine)
+
+    def test_header_states_the_partition(self, rendered):
+        plan, _, out = rendered
+        assert f"m'group={plan.mprime_group}" in out
+        assert "k=200" in out
+        assert "d=4,096" in out
+
+    def test_shows_sample_blocks_and_slices(self, rendered):
+        _, _, out = rendered
+        assert "CG group 0: samples [0," in out
+        assert "centroids [0," in out
+        assert "dims/CPE" in out
+
+    def test_elision_is_announced(self, rendered):
+        plan, machine, out = rendered
+        if plan.mprime_group > 4:
+            assert "more member CG(s)" in out
+        if plan.n_groups > 4:
+            assert "more CG group(s)" in out
+
+    def test_small_plan_not_elided(self):
+        machine = toy_machine(n_nodes=2, cgs_per_node=2, mesh=2,
+                              ldm_bytes=64 * 1024)
+        plan = plan_level3(machine, 100, 4, 16)
+        out = render_level3_partition(plan, machine)
+        assert "more CG group(s)" not in out
+
+    def test_validation(self):
+        machine = toy_machine(n_nodes=1, cgs_per_node=2, mesh=2,
+                              ldm_bytes=64 * 1024)
+        plan = plan_level3(machine, 100, 4, 16)
+        with pytest.raises(ConfigurationError):
+            render_level3_partition(plan, machine, max_groups=0)

@@ -1,0 +1,138 @@
+"""Tests for the hardware spec dataclasses (published SW26010 numbers)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.specs import (
+    CGSpec,
+    CPESpec,
+    MachineSpec,
+    NetworkSpec,
+    PRESETS,
+    ProcessorSpec,
+    preset,
+    sunway_spec,
+    toy_spec,
+)
+
+
+class TestCPESpec:
+    def test_default_clock_is_1_45_ghz(self):
+        assert CPESpec().clock_hz == pytest.approx(1.45e9)
+
+    def test_default_ldm_is_64_kib(self):
+        assert CPESpec().ldm_bytes == 65536
+
+    def test_peak_flops(self):
+        cpe = CPESpec()
+        assert cpe.peak_flops == pytest.approx(1.45e9 * 8.0)
+
+
+class TestCGSpec:
+    def test_mesh_is_8x8(self):
+        cg = CGSpec()
+        assert cg.mesh_rows == 8 and cg.mesh_cols == 8
+        assert cg.n_cpes == 64
+
+    def test_register_bandwidth_matches_paper(self):
+        assert CGSpec().register_bw == pytest.approx(46.4e9)
+
+    def test_dma_bandwidth_matches_paper(self):
+        assert CGSpec().dma_bw == pytest.approx(32.0e9)
+
+    def test_total_ldm(self):
+        assert CGSpec().total_ldm_bytes == 64 * 65536
+
+    def test_peak_flops_aggregates_cpes(self):
+        cg = CGSpec()
+        assert cg.peak_flops == pytest.approx(64 * cg.cpe.peak_flops)
+
+
+class TestProcessorSpec:
+    def test_sw26010_has_4_cgs_256_cpes(self):
+        proc = ProcessorSpec()
+        assert proc.n_cgs == 4
+        assert proc.n_cpes == 256
+
+    def test_main_memory_is_32_gib(self):
+        assert ProcessorSpec().main_memory_bytes == 32 * 2**30
+
+
+class TestNetworkSpec:
+    def test_supernode_size(self):
+        assert NetworkSpec().nodes_per_supernode == 256
+
+    def test_link_bandwidth_matches_paper(self):
+        assert NetworkSpec().link_bw == pytest.approx(16.0e9)
+
+    def test_inter_supernode_is_derated(self):
+        net = NetworkSpec()
+        assert net.bandwidth(False) < net.bandwidth(True)
+
+    def test_inter_supernode_latency_is_higher(self):
+        net = NetworkSpec()
+        assert net.latency(False) > net.latency(True)
+
+
+class TestMachineSpec:
+    def test_counts_scale_with_nodes(self):
+        spec = sunway_spec(16)
+        assert spec.n_cgs == 64
+        assert spec.n_cpes == 4096
+
+    def test_paper_level3_setup_core_count(self):
+        # "4,096 SW26010 many-core processors ... 16,384 CGs in total"
+        spec = sunway_spec(4096)
+        assert spec.n_cgs == 16384
+        assert spec.n_cpes == 1_048_576  # 64 CPEs/CG x 16384 CGs
+
+    def test_supernode_count_rounds_up(self):
+        assert sunway_spec(256).n_supernodes == 1
+        assert sunway_spec(257).n_supernodes == 2
+        assert sunway_spec(4096).n_supernodes == 16
+
+    def test_total_ldm_level2_setup(self):
+        # Paper: 256 processors => "4 GB LDM" in total.
+        spec = sunway_spec(256)
+        assert spec.total_ldm_bytes == 4 * 2**30
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(n_nodes=0)
+
+    def test_with_nodes_copies(self):
+        a = sunway_spec(1)
+        b = a.with_nodes(8)
+        assert a.n_nodes == 1 and b.n_nodes == 8
+        assert b.processor == a.processor
+
+    def test_spec_is_hashable(self):
+        assert hash(sunway_spec(2)) == hash(sunway_spec(2))
+
+
+class TestToySpec:
+    def test_structure_is_scaled_down(self):
+        spec = toy_spec(n_nodes=2, cgs_per_node=2, mesh=2, ldm_bytes=1024)
+        assert spec.n_cgs == 4
+        assert spec.processor.cg.n_cpes == 4
+        assert spec.ldm_bytes_per_cpe == 1024
+
+    def test_toy_supernodes_are_small(self):
+        spec = toy_spec(n_nodes=8)
+        assert spec.network.nodes_per_supernode == 4
+        assert spec.n_supernodes == 2
+
+
+class TestPresets:
+    def test_all_presets_materialize(self):
+        for name in PRESETS:
+            assert preset(name).n_nodes >= 1
+
+    def test_level_presets_match_paper_setups(self):
+        assert preset("sunway-1").n_nodes == 1
+        assert preset("sunway-256").n_nodes == 256
+        assert preset("sunway-4096").n_nodes == 4096
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown machine preset"):
+            preset("cray-xt5")

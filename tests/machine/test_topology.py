@@ -1,0 +1,88 @@
+"""Tests for the two-level fat-tree topology."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.specs import NetworkSpec
+from repro.machine.topology import FatTreeTopology
+
+
+@pytest.fixture
+def topo():
+    # 10 nodes, 4 per supernode -> supernodes {0..3},{4..7},{8,9}.
+    return FatTreeTopology(10, NetworkSpec(nodes_per_supernode=4))
+
+
+class TestStructure:
+    def test_supernode_membership(self, topo):
+        assert topo.supernode_of(0) == 0
+        assert topo.supernode_of(3) == 0
+        assert topo.supernode_of(4) == 1
+        assert topo.supernode_of(9) == 2
+
+    def test_n_supernodes_rounds_up(self, topo):
+        assert topo.n_supernodes == 3
+
+    def test_same_supernode(self, topo):
+        assert topo.same_supernode(0, 3)
+        assert not topo.same_supernode(3, 4)
+
+    def test_nodes_in_supernode(self, topo):
+        assert topo.nodes_in_supernode(0) == [0, 1, 2, 3]
+        assert topo.nodes_in_supernode(2) == [8, 9]
+
+    def test_nodes_in_supernode_out_of_range(self, topo):
+        with pytest.raises(ConfigurationError):
+            topo.nodes_in_supernode(3)
+
+    def test_node_out_of_range(self, topo):
+        with pytest.raises(ConfigurationError):
+            topo.supernode_of(10)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FatTreeTopology(0, NetworkSpec())
+
+    def test_graph_has_three_tiers(self, topo):
+        kinds = {node[0] for node in topo.graph.nodes}
+        assert kinds == {"node", "switch", "central"}
+
+    def test_hop_counts(self, topo):
+        assert topo.hop_count(5, 5) == 0
+        assert topo.hop_count(0, 1) == 2       # via supernode switch
+        assert topo.hop_count(0, 9) == 4       # via central router
+
+    def test_path_through_central_router(self, topo):
+        path = topo.path(0, 9)
+        assert ("central", 0) in path
+        path_local = topo.path(0, 1)
+        assert ("central", 0) not in path_local
+
+
+class TestMessageCost:
+    def test_same_node_is_free(self, topo):
+        assert topo.point_to_point_time(2, 2, 10**6) == 0.0
+
+    def test_intra_supernode_cheaper_than_inter(self, topo):
+        nbytes = 10**6
+        intra = topo.point_to_point_time(0, 1, nbytes)
+        inter = topo.point_to_point_time(0, 9, nbytes)
+        assert intra < inter
+
+    def test_cost_scales_with_bytes(self, topo):
+        t1 = topo.point_to_point_time(0, 1, 10**6)
+        t2 = topo.point_to_point_time(0, 1, 2 * 10**6)
+        assert t2 > t1
+
+    def test_bisection_bandwidth_drops_across_supernodes(self, topo):
+        inside = topo.bisection_bandwidth([0, 1, 2])
+        across = topo.bisection_bandwidth([0, 1, 8])
+        assert across < inside
+
+    def test_bisection_empty_set_rejected(self, topo):
+        with pytest.raises(ConfigurationError):
+            topo.bisection_bandwidth([])
+
+    def test_spans_supernodes(self, topo):
+        assert not topo.spans_supernodes([0, 1, 3])
+        assert topo.spans_supernodes([3, 4])

@@ -1,0 +1,57 @@
+"""Tests for fitting model parameters to execute-backend measurements."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.machine import toy_machine
+from repro.perfmodel.calibration import DEFAULT_WORKLOADS, calibrate
+from repro.perfmodel.params import ModelParams
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return toy_machine(n_nodes=2, cgs_per_node=2, mesh=4,
+                       ldm_bytes=64 * 1024)
+
+
+@pytest.fixture(scope="module")
+def result(machine):
+    return calibrate(machine, max_iter=2)
+
+
+class TestCalibration:
+    def test_never_worse_than_start(self, result):
+        assert result.improved
+        assert np.isfinite(result.error_after)
+
+    def test_fitted_params_in_valid_ranges(self, result):
+        assert 0.0 < result.params.compute_efficiency <= 1.0
+        assert result.params.mpi_message_overhead > 0.0
+
+    def test_fitted_model_within_one_order_of_magnitude(self, result):
+        assert result.error_after < 1.0  # RMS log10 error < 10x
+        for ratio in result.ratios.values():
+            assert 0.02 < ratio < 50.0
+
+    def test_ratio_keys_cover_grid(self, result):
+        assert len(result.ratios) == 3 * len(DEFAULT_WORKLOADS)
+
+    def test_badly_wrong_start_is_corrected(self, machine):
+        bad = ModelParams(dtype=np.dtype(np.float64),
+                          iteration_overhead=0.0,
+                          compute_efficiency=0.01,
+                          mpi_message_overhead=1e-3)
+        fitted = calibrate(machine, base_params=bad, max_iter=2)
+        assert fitted.error_after < fitted.error_before
+        assert fitted.params.compute_efficiency > 0.01
+
+    def test_dtype_and_overhead_preserved(self, machine, result):
+        assert result.params.dtype == np.dtype(np.float64)
+        assert result.params.iteration_overhead == 0.0
+
+    def test_validation(self, machine):
+        with pytest.raises(ConfigurationError):
+            calibrate(machine, workloads=[])
+        with pytest.raises(ConfigurationError):
+            calibrate(machine, levels=[0])

@@ -1,0 +1,46 @@
+"""Tests for the Table III comparator fixtures."""
+
+import pytest
+
+from repro.perfmodel.comparators import TABLE_III, compare_all
+
+
+class TestFixtures:
+    def test_five_rows_as_in_paper(self):
+        assert len(TABLE_III) == 5
+
+    def test_row_values_match_paper(self):
+        rossbach = TABLE_III[0]
+        assert rossbach.n == 10**9
+        assert rossbach.k == 120 and rossbach.d == 40
+        assert rossbach.their_seconds == pytest.approx(49.4)
+        assert rossbach.sunway_nodes == 128
+        assert rossbach.paper_speedup == 105.0
+
+    def test_node_counts_match_paper(self):
+        nodes = [r.sunway_nodes for r in TABLE_III]
+        assert nodes == [128, 4, 1, 1, 16]
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return compare_all()
+
+    def test_one_result_per_row(self, results):
+        assert len(results) == len(TABLE_III)
+
+    def test_sunway_wins_every_row(self, results):
+        assert all(r.sunway_wins for r in results)
+
+    def test_speedups_positive_and_finite(self, results):
+        for r in results:
+            assert 1.0 < r.our_speedup < 10_000
+
+    def test_best_level_chosen(self, results):
+        for r in results:
+            assert r.our_level in (1, 2, 3)
+
+    def test_fpga_row_is_tightest(self, results):
+        fpga = next(r for r in results if "ZC706" in r.row.hardware)
+        assert fpga.our_speedup == min(r.our_speedup for r in results)

@@ -1,0 +1,79 @@
+"""Tests for the parameter-sweep driver."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perfmodel.sweep import Series, best_level_series, sweep
+
+
+class TestSweep:
+    def test_k_axis(self):
+        out = sweep("k", [16, 64], levels=[1, 2], n=10**5, k=0, d=32,
+                    nodes=4)
+        assert set(out) == {1, 2}
+        assert out[1].x == [16.0, 64.0]
+        assert len(out[1].predictions) == 2
+        assert out[1].predictions[0].k == 16
+
+    def test_d_axis(self):
+        out = sweep("d", [32, 64], levels=[3], n=10**5, k=16, d=0, nodes=4)
+        assert out[3].predictions[1].d == 64
+
+    def test_nodes_axis_changes_machine(self):
+        out = sweep("nodes", [2, 32], levels=[1], n=10**6, k=64, d=32,
+                    nodes=0)
+        assert out[1].y[1] < out[1].y[0]
+
+    def test_infeasible_points_are_inf(self):
+        out = sweep("d", [1024, 100_000], levels=[2], n=10**5, k=16, d=0,
+                    nodes=4)
+        assert math.isfinite(out[2].y[0])
+        assert math.isinf(out[2].y[1])
+        assert len(out[2].finite()) == 1
+
+    def test_bad_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep("q", [1], levels=[1], n=10, k=1, d=1, nodes=1)
+
+    def test_bad_levels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep("k", [1], levels=[0], n=10, k=1, d=1, nodes=1)
+        with pytest.raises(ConfigurationError):
+            sweep("k", [1], levels=[], n=10, k=1, d=1, nodes=1)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep("k", [], levels=[1], n=10, k=1, d=1, nodes=1)
+
+
+class TestSeries:
+    def test_crossover_detection(self):
+        a = Series("a", x=[1, 2, 3], y=[5.0, 3.0, 1.0])
+        b = Series("b", x=[1, 2, 3], y=[2.0, 2.0, 2.0])
+        assert a.crossover_with(b) == 3
+        assert b.crossover_with(a) == 1
+
+    def test_crossover_none_when_never_cheaper(self):
+        a = Series("a", x=[1, 2], y=[5.0, 5.0])
+        b = Series("b", x=[1, 2], y=[1.0, 1.0])
+        assert a.crossover_with(b) is None
+
+    def test_crossover_skips_infeasible(self):
+        a = Series("a", x=[1, 2], y=[math.inf, 1.0])
+        b = Series("b", x=[1, 2], y=[2.0, 2.0])
+        assert a.crossover_with(b) == 2
+
+
+class TestBestLevel:
+    def test_pointwise_minimum(self):
+        out = sweep("d", [256, 8192], levels=[2, 3], n=1_265_723, k=2000,
+                    d=0, nodes=128)
+        best = best_level_series(out)
+        for i in range(2):
+            assert best.y[i] == min(out[2].y[i], out[3].y[i])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            best_level_series({})

@@ -1,0 +1,95 @@
+"""Tests for table/figure rendering and CSV export."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perfmodel.sweep import Series
+from repro.reporting.figures import (
+    series_csv,
+    series_sparklines,
+    series_table,
+    sparkline,
+)
+from repro.reporting.tables import format_seconds, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [["x", "1"], ["yyyy", "22"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        # Column 2 starts at the same offset in every row.
+        col = lines[0].index("bb")
+        assert lines[2][col] == "1" or lines[2][col - 1] == " "
+
+    def test_title_rendered(self):
+        out = format_table(["x"], [["1"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestFormatSeconds:
+    def test_scales(self):
+        assert format_seconds(5e-7) == "0.5 us"
+        assert format_seconds(2.5e-3) == "2.50 ms"
+        assert format_seconds(3.25) == "3.250 s"
+
+    def test_infeasible(self):
+        assert format_seconds(math.inf) == "infeasible"
+
+    def test_nan(self):
+        assert format_seconds(float("nan")) == "nan"
+
+
+class TestSeriesRendering:
+    @pytest.fixture
+    def series(self):
+        a = Series("L2", x=[1, 2, 3], y=[0.1, 0.2, math.inf])
+        b = Series("L3", x=[1, 2, 3], y=[0.3, 0.2, 0.1])
+        return {"L2": a, "L3": b}
+
+    def test_series_table_columns(self, series):
+        out = series_table(series, x_name="d")
+        assert "L2" in out and "L3" in out
+        assert "infeasible" in out
+
+    def test_mismatched_axes_rejected(self):
+        a = Series("a", x=[1], y=[1.0])
+        b = Series("b", x=[2], y=[1.0])
+        with pytest.raises(ConfigurationError):
+            series_table({"a": a, "b": b}, "x")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            series_table({}, "x")
+
+    def test_sparkline_shape(self):
+        line = sparkline([1.0, 2.0, 3.0])
+        assert len(line) == 3
+        assert line[0] != line[-1]
+
+    def test_sparkline_infeasible_marker(self):
+        assert sparkline([1.0, math.inf])[1] == "x"
+
+    def test_sparkline_all_infeasible(self):
+        assert sparkline([math.inf, math.inf]) == "xx"
+
+    def test_sparkline_constant(self):
+        line = sparkline([2.0, 2.0])
+        assert len(set(line)) == 1
+
+    def test_series_sparklines_labels(self, series):
+        out = series_sparklines(series)
+        assert "L2" in out and "L3" in out
+
+    def test_csv_round_trip(self, series):
+        csv = series_csv(series, x_name="d")
+        lines = csv.strip().splitlines()
+        assert lines[0] == "d,L2,L3"
+        assert lines[3].split(",")[1] == "inf"
+        assert float(lines[1].split(",")[2]) == pytest.approx(0.3)

@@ -1,0 +1,71 @@
+"""Tests for the ledger trace renderer."""
+
+import pytest
+
+from repro.core.init import init_centroids
+from repro.core.level3 import run_level3
+from repro.data.synthetic import gaussian_blobs
+from repro.errors import ConfigurationError
+from repro.machine.machine import toy_machine
+from repro.reporting.trace import (
+    category_bars,
+    hotspot_table,
+    hotspots,
+    iteration_table,
+    render_trace,
+)
+from repro.runtime.ledger import TimeLedger
+
+
+@pytest.fixture(scope="module")
+def ledger():
+    machine = toy_machine(n_nodes=2, cgs_per_node=2, mesh=2,
+                          ldm_bytes=16 * 1024)
+    X, _ = gaussian_blobs(n=400, k=6, d=12, seed=1)
+    C0 = init_centroids(X, 6, method="first")
+    return run_level3(X, C0, machine, max_iter=4).ledger
+
+
+class TestIterationTable:
+    def test_includes_setup_and_iterations(self, ledger):
+        out = iteration_table(ledger)
+        assert "setup" in out
+        assert "1" in out
+        assert "total" in out
+
+    def test_empty_ledger_rejected(self):
+        with pytest.raises(ConfigurationError):
+            iteration_table(TimeLedger())
+
+
+class TestHotspots:
+    def test_ranked_descending(self, ledger):
+        ranked = hotspots(ledger, top=5)
+        values = [seconds for _, seconds in ranked]
+        assert values == sorted(values, reverse=True)
+        assert len(ranked) <= 5
+
+    def test_labels_carry_category(self, ledger):
+        ranked = hotspots(ledger, top=3)
+        assert all(":" in label for label, _ in ranked)
+
+    def test_bad_top_rejected(self, ledger):
+        with pytest.raises(ConfigurationError):
+            hotspots(ledger, top=0)
+
+    def test_table_renders_shares(self, ledger):
+        out = hotspot_table(ledger, top=4)
+        assert "%" in out
+        assert "#" in out
+
+
+class TestBarsAndTrace:
+    def test_category_bars_cover_all_categories(self, ledger):
+        out = category_bars(ledger)
+        for cat in ("compute", "dma", "regcomm", "network"):
+            assert cat in out
+
+    def test_render_trace_combines_sections(self, ledger):
+        out = render_trace(ledger)
+        assert "per-iteration time by category" in out
+        assert "top" in out

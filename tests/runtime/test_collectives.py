@@ -1,0 +1,110 @@
+"""Tests for the extended data-carrying collectives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.machine.machine import toy_machine
+from repro.runtime.collectives import (
+    barrier,
+    exscan_sum,
+    gatherv,
+    reduce_scatter_sum,
+    scatterv,
+)
+from repro.runtime.ledger import TimeLedger
+from repro.runtime.mpi import SimComm
+
+
+@pytest.fixture
+def comm():
+    machine = toy_machine(n_nodes=4, cgs_per_node=2, mesh=2,
+                          ldm_bytes=4096)
+    return SimComm(machine, [0, 2, 4, 6], TimeLedger())
+
+
+class TestReduceScatter:
+    def test_sum_and_slice(self, comm):
+        buffers = [np.full(8, float(r)) for r in range(4)]
+        out = reduce_scatter_sum(comm, buffers)
+        assert len(out) == 4
+        recombined = np.concatenate(out)
+        np.testing.assert_allclose(recombined, np.full(8, 6.0))
+        assert all(o.shape == (2,) for o in out)
+
+    def test_uneven_division(self, comm):
+        buffers = [np.arange(10.0) for _ in range(4)]
+        out = reduce_scatter_sum(comm, buffers)
+        sizes = [o.shape[0] for o in out]
+        assert sizes == [3, 3, 2, 2]
+        np.testing.assert_allclose(np.concatenate(out),
+                                   4.0 * np.arange(10.0))
+
+    def test_charges_half_a_ring(self, comm):
+        buffers = [np.zeros(1000) for _ in range(4)]
+        reduce_scatter_sum(comm, buffers)
+        charged = comm.ledger.total()
+        full_ring = comm.allreduce_time(8000, "ring")
+        assert charged == pytest.approx(full_ring / 2)
+
+    def test_wrong_count_rejected(self, comm):
+        with pytest.raises(CommunicatorError):
+            reduce_scatter_sum(comm, [np.zeros(4)])
+
+
+class TestGatherScatter:
+    def test_gatherv_concatenates_uneven(self, comm):
+        buffers = [np.full(r + 1, float(r)) for r in range(4)]
+        out = gatherv(comm, buffers)
+        assert out.shape == (10,)
+        np.testing.assert_allclose(out[:1], 0.0)
+        np.testing.assert_allclose(out[-4:], 3.0)
+        assert comm.ledger.total() > 0
+
+    def test_gatherv_rejects_scalars(self, comm):
+        with pytest.raises(CommunicatorError):
+            gatherv(comm, [np.array(1.0)] * 4)
+
+    def test_scatterv_round_trips_gatherv(self, comm):
+        chunks = [np.arange(float(r + 1)) for r in range(4)]
+        received = scatterv(comm, chunks)
+        out = gatherv(comm, received)
+        np.testing.assert_allclose(out, np.concatenate(chunks))
+
+    def test_scatterv_returns_copies(self, comm):
+        chunks = [np.zeros(2) for _ in range(4)]
+        received = scatterv(comm, chunks)
+        received[0][0] = 99.0
+        assert chunks[0][0] == 0.0
+
+    def test_bad_root(self, comm):
+        with pytest.raises(CommunicatorError):
+            gatherv(comm, [np.zeros(1)] * 4, root=9)
+
+
+class TestExscan:
+    def test_prefix_sums(self, comm):
+        values = [np.array([float(r + 1)]) for r in range(4)]
+        out = exscan_sum(comm, values)
+        np.testing.assert_allclose(np.concatenate(out),
+                                   [0.0, 1.0, 3.0, 6.0])
+
+    def test_offsets_use_case(self, comm):
+        """The classic pattern: per-rank counts -> output offsets."""
+        counts = [np.array([5]), np.array([3]), np.array([7]),
+                  np.array([2])]
+        offsets = exscan_sum(comm, counts)
+        assert [int(o[0]) for o in offsets] == [0, 5, 8, 15]
+
+
+class TestBarrier:
+    def test_charges_latency_only(self, comm):
+        barrier(comm)
+        assert 0 < comm.ledger.total() < 1e-3
+
+    def test_single_rank_free(self):
+        machine = toy_machine(n_nodes=1, cgs_per_node=1, mesh=2,
+                              ldm_bytes=4096)
+        solo = SimComm(machine, [0], TimeLedger())
+        barrier(solo)
+        assert solo.ledger.total() == 0.0

@@ -1,0 +1,69 @@
+"""Tests for the CPE compute-cost model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.specs import CGSpec
+from repro.runtime.compute import (
+    ComputeModel,
+    DEFAULT_EFFICIENCY,
+    distance_flops,
+    update_flops,
+)
+from repro.runtime.ledger import TimeLedger
+
+
+@pytest.fixture
+def model():
+    return ComputeModel(CGSpec(), TimeLedger())
+
+
+class TestFlopCounts:
+    def test_distance_flops(self):
+        # sub + mul + add per (sample, centroid, dim).
+        assert distance_flops(10, 4, 8) == 3 * 10 * 4 * 8
+
+    def test_update_flops(self):
+        assert update_flops(100, 8, 4) == 100 * 8 + 4 * 8
+
+
+class TestTimeModel:
+    def test_time_scales_inversely_with_cpes(self, model):
+        one = model.time_for_flops(1e9, n_cpes=1)
+        mesh = model.time_for_flops(1e9, n_cpes=64)
+        assert mesh == pytest.approx(one / 64)
+
+    def test_default_uses_all_cpes(self, model):
+        assert model.time_for_flops(1e9) == pytest.approx(
+            model.time_for_flops(1e9, n_cpes=64))
+
+    def test_efficiency_derates_peak(self):
+        cg = CGSpec()
+        eff = ComputeModel(cg, TimeLedger(), efficiency=0.5)
+        t = eff.time_for_flops(cg.cpe.peak_flops, n_cpes=1)
+        assert t == pytest.approx(2.0)
+
+    def test_default_efficiency_sane(self):
+        assert 0.0 < DEFAULT_EFFICIENCY < 1.0
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComputeModel(CGSpec(), TimeLedger(), efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            ComputeModel(CGSpec(), TimeLedger(), efficiency=1.5)
+
+    def test_negative_flops_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.time_for_flops(-1.0)
+
+    def test_cpe_count_bounds(self, model):
+        with pytest.raises(ConfigurationError):
+            model.time_for_flops(1.0, n_cpes=0)
+        with pytest.raises(ConfigurationError):
+            model.time_for_flops(1.0, n_cpes=65)
+
+    def test_charge_records_compute_category(self, model):
+        t = model.charge(1e6, "distances")
+        assert model.ledger.total() == pytest.approx(t)
+        (record,) = model.ledger.records
+        assert record.category == "compute"

@@ -1,0 +1,68 @@
+"""Tests for the DMA engine cost model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.specs import CGSpec
+from repro.runtime.dma import DMAEngine
+from repro.runtime.ledger import TimeLedger
+
+
+@pytest.fixture
+def engine():
+    return DMAEngine(CGSpec(), TimeLedger())
+
+
+class TestTransferTime:
+    def test_zero_bytes_is_free(self, engine):
+        assert engine.transfer_time(0) == 0.0
+
+    def test_cost_is_latency_plus_bandwidth(self, engine):
+        spec = engine.spec
+        t = engine.transfer_time(32_000)
+        assert t == pytest.approx(spec.dma_latency + 32_000 / spec.dma_bw)
+
+    def test_each_transaction_pays_latency(self, engine):
+        t1 = engine.transfer_time(1000, transactions=1)
+        t4 = engine.transfer_time(1000, transactions=4)
+        assert t4 == pytest.approx(t1 + 3 * engine.spec.dma_latency)
+
+    def test_bandwidth_term_matches_32_gbs(self, engine):
+        # 32 GB at 32 GB/s ~ 1 second (plus startup latency).
+        t = engine.transfer_time(32 * 10**9)
+        assert t == pytest.approx(1.0, rel=1e-3)
+
+    def test_negative_bytes_rejected(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.transfer_time(-1)
+
+    def test_zero_transactions_rejected(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.transfer_time(100, transactions=0)
+
+
+class TestCharging:
+    def test_read_charges_ledger_and_counts_bytes(self, engine):
+        t = engine.read(64_000, "centroids")
+        assert engine.bytes_moved == 64_000
+        assert engine.ledger.total() == pytest.approx(t)
+        (record,) = engine.ledger.records
+        assert record.category == "dma"
+        assert record.label == "centroids"
+
+    def test_write_same_cost_shape_as_read(self, engine):
+        assert engine.write(1000, "w") == pytest.approx(
+            engine.transfer_time(1000))
+
+    def test_stream_time_counts_chunked_latency(self, engine):
+        direct = engine.transfer_time(10_000, transactions=1)
+        chunked = engine.stream_time(10_000, chunk_bytes=1_000)
+        assert chunked == pytest.approx(
+            direct + 9 * engine.spec.dma_latency)
+
+    def test_stream_zero_bytes(self, engine):
+        assert engine.stream_time(0, chunk_bytes=100) == 0.0
+
+    def test_stream_bad_chunk_rejected(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.stream_time(100, chunk_bytes=0)

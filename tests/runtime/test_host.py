@@ -1,0 +1,100 @@
+"""Tests for the host-parallel execution backend."""
+
+import numpy as np
+import pytest
+
+from repro.core._common import accumulate, assign_chunked
+from repro.core.init import init_centroids
+from repro.core.lloyd import lloyd
+from repro.data.synthetic import gaussian_blobs
+from repro.errors import ConfigurationError
+from repro.runtime.host import (
+    default_workers,
+    lloyd_parallel,
+    parallel_assign_accumulate,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    X, _ = gaussian_blobs(n=2000, k=10, d=12, seed=41)
+    C0 = init_centroids(X, 10, method="first")
+    return X, C0
+
+
+class TestParallelAssign:
+    def test_matches_sequential_inprocess(self, workload):
+        X, C = workload
+        assignments, sums, counts = parallel_assign_accumulate(
+            X, C, n_workers=0)
+        np.testing.assert_array_equal(assignments, assign_chunked(X, C))
+        ref_sums, ref_counts = accumulate(X, assignments, C.shape[0])
+        np.testing.assert_allclose(sums, ref_sums, rtol=1e-12)
+        np.testing.assert_array_equal(counts, ref_counts)
+
+    def test_matches_sequential_multiprocess(self, workload):
+        X, C = workload
+        seq = parallel_assign_accumulate(X, C, n_workers=0)
+        par = parallel_assign_accumulate(X, C, n_workers=2)
+        np.testing.assert_array_equal(par[0], seq[0])
+        np.testing.assert_allclose(par[1], seq[1], rtol=1e-12)
+        np.testing.assert_array_equal(par[2], seq[2])
+
+    def test_same_block_partition_is_bitwise_identical(self, workload):
+        """With the same total block count, the block-order reduction makes
+        1-worker and 2-worker results identical floats."""
+        X, C = workload
+        one = parallel_assign_accumulate(X, C, n_workers=1,
+                                         blocks_per_worker=8)
+        two = parallel_assign_accumulate(X, C, n_workers=2,
+                                         blocks_per_worker=4)
+        np.testing.assert_array_equal(one[0], two[0])
+        np.testing.assert_array_equal(one[1], two[1])
+        np.testing.assert_array_equal(one[2], two[2])
+
+    def test_worker_count_independent_result(self, workload):
+        X, C = workload
+        a1 = parallel_assign_accumulate(X, C, n_workers=1)[0]
+        a3 = parallel_assign_accumulate(X, C, n_workers=3)[0]
+        np.testing.assert_array_equal(a1, a3)
+
+    def test_tiny_input_single_block(self, workload):
+        _, C = workload
+        X = np.random.default_rng(0).normal(size=(3, 12))
+        assignments, _, counts = parallel_assign_accumulate(
+            X, C, n_workers=4)
+        assert assignments.shape == (3,)
+        assert counts.sum() == 3
+
+    def test_validation(self, workload):
+        X, C = workload
+        with pytest.raises(ConfigurationError):
+            parallel_assign_accumulate(X, C, n_workers=-1)
+        with pytest.raises(ConfigurationError):
+            parallel_assign_accumulate(X, C, blocks_per_worker=0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestLloydParallel:
+    def test_matches_serial_lloyd(self, workload):
+        X, C0 = workload
+        ref = lloyd(X, C0, max_iter=30)
+        par = lloyd_parallel(X, C0, max_iter=30, n_workers=2)
+        np.testing.assert_array_equal(par.assignments, ref.assignments)
+        np.testing.assert_allclose(par.centroids, ref.centroids,
+                                   rtol=1e-9, atol=1e-12)
+        assert par.n_iter == ref.n_iter
+        assert par.converged == ref.converged
+
+    def test_inprocess_fallback_matches(self, workload):
+        X, C0 = workload
+        a = lloyd_parallel(X, C0, max_iter=10, n_workers=0)
+        b = lloyd_parallel(X, C0, max_iter=10, n_workers=2)
+        np.testing.assert_array_equal(a.assignments, b.assignments)
+
+    def test_validation(self, workload):
+        X, C0 = workload
+        with pytest.raises(ConfigurationError):
+            lloyd_parallel(X, C0, max_iter=0)

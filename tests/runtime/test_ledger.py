@@ -1,0 +1,94 @@
+"""Tests for the TimeLedger critical-path accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.ledger import CATEGORIES, TimeLedger
+
+
+@pytest.fixture
+def ledger():
+    return TimeLedger()
+
+
+class TestCharging:
+    def test_charge_accumulates(self, ledger):
+        ledger.charge("dma", "read", 1.0)
+        ledger.charge("compute", "dist", 2.0)
+        assert ledger.total() == pytest.approx(3.0)
+
+    def test_unknown_category_rejected(self, ledger):
+        with pytest.raises(ConfigurationError, match="unknown ledger category"):
+            ledger.charge("gpu", "x", 1.0)
+
+    def test_negative_duration_rejected(self, ledger):
+        with pytest.raises(ConfigurationError):
+            ledger.charge("dma", "x", -1.0)
+
+    def test_nan_duration_rejected(self, ledger):
+        with pytest.raises(ConfigurationError):
+            ledger.charge("dma", "x", float("nan"))
+
+    def test_zero_duration_allowed(self, ledger):
+        ledger.charge("network", "noop", 0.0)
+        assert ledger.total() == 0.0
+
+    def test_charge_parallel_takes_max(self, ledger):
+        worst = ledger.charge_parallel("compute", "assign", [0.1, 0.5, 0.3])
+        assert worst == pytest.approx(0.5)
+        assert ledger.total() == pytest.approx(0.5)
+
+    def test_charge_parallel_empty_rejected(self, ledger):
+        with pytest.raises(ConfigurationError, match="no participating units"):
+            ledger.charge_parallel("compute", "assign", [])
+
+
+class TestIterations:
+    def test_epoch_zero_is_setup(self, ledger):
+        ledger.charge("dma", "load", 1.0)
+        ledger.next_iteration()
+        ledger.charge("compute", "work", 2.0)
+        assert ledger.iteration_time(0) == pytest.approx(1.0)
+        assert ledger.iteration_time(1) == pytest.approx(2.0)
+
+    def test_mean_iteration_time_excludes_setup(self, ledger):
+        ledger.charge("dma", "load", 100.0)
+        for t in (1.0, 2.0, 3.0):
+            ledger.next_iteration()
+            ledger.charge("compute", "w", t)
+        assert ledger.mean_iteration_time() == pytest.approx(2.0)
+
+    def test_mean_without_iterations_raises(self, ledger):
+        with pytest.raises(ConfigurationError, match="no iterations"):
+            ledger.mean_iteration_time()
+
+    def test_breakdowns_group_by_iteration_and_category(self, ledger):
+        ledger.next_iteration()
+        ledger.charge("dma", "a", 1.0)
+        ledger.charge("dma", "b", 2.0)
+        ledger.charge("network", "c", 4.0)
+        (bd,) = ledger.iteration_breakdowns()
+        assert bd.by_category["dma"] == pytest.approx(3.0)
+        assert bd.by_category["network"] == pytest.approx(4.0)
+        assert bd.total == pytest.approx(7.0)
+
+
+class TestAggregation:
+    def test_total_by_category_has_all_keys(self, ledger):
+        totals = ledger.total_by_category()
+        assert set(totals) == set(CATEGORIES)
+
+    def test_merge_combines_records(self):
+        a, b = TimeLedger(), TimeLedger()
+        a.charge("dma", "x", 1.0)
+        b.next_iteration()
+        b.charge("compute", "y", 2.0)
+        a.merge(b)
+        assert a.total() == pytest.approx(3.0)
+        assert a.n_iterations == 1
+
+    def test_report_mentions_totals(self, ledger):
+        ledger.charge("regcomm", "x", 0.5)
+        report = ledger.report()
+        assert "regcomm" in report
+        assert "0.5" in report

@@ -1,0 +1,83 @@
+"""Tests for the register-communication mesh collectives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.machine.specs import CGSpec
+from repro.runtime.ledger import TimeLedger
+from repro.runtime.regcomm import RegisterComm
+
+
+@pytest.fixture
+def comm():
+    return RegisterComm(CGSpec(), TimeLedger())
+
+
+class TestCostModel:
+    def test_zero_bytes_free(self, comm):
+        assert comm.reduce_time(0) == 0.0
+        assert comm.allreduce_time(0) == 0.0
+
+    def test_reduce_pays_hops_and_bandwidth(self, comm):
+        spec = comm.spec
+        t = comm.reduce_time(46_400)
+        expected = 16 * spec.register_latency + 46_400 / spec.register_bw
+        assert t == pytest.approx(expected)
+
+    def test_allreduce_is_two_sweeps(self, comm):
+        assert comm.allreduce_time(1000) == pytest.approx(
+            2 * comm.reduce_time(1000))
+
+    def test_register_bw_faster_than_dma(self):
+        # The paper: register comm is 3-4x faster than DMA-based sharing
+        # for the AllReduce bottleneck.
+        spec = CGSpec()
+        assert spec.register_bw > spec.dma_bw
+
+    def test_negative_bytes_rejected(self, comm):
+        with pytest.raises(CommunicatorError):
+            comm.reduce_time(-1)
+
+
+class TestDataCollectives:
+    def test_allreduce_sum(self, comm):
+        buffers = [np.full(4, float(i)) for i in range(4)]
+        total = comm.allreduce_sum(buffers)
+        np.testing.assert_allclose(total, np.full(4, 6.0))
+        assert comm.ledger.total() > 0
+
+    def test_allreduce_shape_mismatch_rejected(self, comm):
+        with pytest.raises(CommunicatorError, match="shape and dtype"):
+            comm.allreduce_sum([np.zeros(3), np.zeros(4)])
+
+    def test_allreduce_dtype_mismatch_rejected(self, comm):
+        with pytest.raises(CommunicatorError):
+            comm.allreduce_sum([np.zeros(3, np.float64),
+                                np.zeros(3, np.float32)])
+
+    def test_allreduce_empty_rejected(self, comm):
+        with pytest.raises(CommunicatorError):
+            comm.allreduce_sum([])
+
+    def test_minloc_returns_payload_of_min(self, comm):
+        winner = comm.reduce_min_pairs([3.0, 1.0, 2.0], ["a", "b", "c"])
+        assert winner == "b"
+
+    def test_minloc_tie_resolves_to_lowest_rank(self, comm):
+        winner = comm.reduce_min_pairs([1.0, 1.0], ["first", "second"])
+        assert winner == "first"
+
+    def test_minloc_length_mismatch_rejected(self, comm):
+        with pytest.raises(CommunicatorError):
+            comm.reduce_min_pairs([1.0], ["a", "b"])
+
+    def test_broadcast_returns_buffer_and_charges(self, comm):
+        buf = np.arange(8.0)
+        out = comm.broadcast(buf)
+        assert out is buf
+        assert comm.ledger.total() > 0
+
+    def test_broadcast_invalid_cpe_count(self, comm):
+        with pytest.raises(CommunicatorError):
+            comm.broadcast(np.zeros(4), n_cpes=65)

@@ -1,0 +1,66 @@
+"""Tests for the land-cover application pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.apps.landcover import (
+    PAPER_D,
+    PAPER_K,
+    PAPER_N,
+    PAPER_NODES,
+    classify_land_cover,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def result():
+    return classify_land_cover(height=64, width=64, patch=4, n_classes=5,
+                               seed=7, predict_paper_scale=True)
+
+
+class TestPipeline:
+    def test_class_map_shape(self, result):
+        assert result.class_map.shape == (16, 16)
+
+    def test_accuracy_beats_chance(self, result):
+        assert result.accuracy > 1.0 / 5
+
+    def test_accuracy_is_good_on_synthetic_tiles(self, result):
+        assert result.accuracy > 0.7
+
+    def test_cluster_mapping_covers_all_clusters(self, result):
+        assert set(result.cluster_to_class) == set(range(5))
+
+    def test_class_shares_sum_to_one(self, result):
+        assert sum(result.class_shares().values()) == pytest.approx(1.0)
+
+    def test_ascii_rendering(self, result):
+        art = result.render_ascii(max_width=16)
+        assert len(art.splitlines()) >= 8
+
+    def test_kmeans_result_attached(self, result):
+        assert result.kmeans.k == 5
+        assert result.kmeans.ledger is not None
+
+
+class TestPaperScale:
+    def test_constants_match_paper(self):
+        assert (PAPER_N, PAPER_K, PAPER_D, PAPER_NODES) == (
+            5_838_480, 7, 4096, 400)
+
+    def test_prediction_feasible_and_fast(self, result):
+        assert result.paper_scale is not None
+        assert result.paper_scale.feasible
+        assert result.paper_scale.total < 1.0  # a k=7 problem is easy
+
+    def test_prediction_skipped_by_default(self):
+        r = classify_land_cover(height=32, width=32, patch=4, n_classes=3,
+                                seed=1)
+        assert r.paper_scale is None
+
+
+class TestValidation:
+    def test_indivisible_tile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_land_cover(height=30, width=30, patch=4)

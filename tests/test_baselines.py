@@ -1,0 +1,220 @@
+"""Tests for the bound-based exact baselines (Hamerly, Yinyang).
+
+The defining property: both produce *exactly* the Lloyd trajectory (same
+assignments, same centroids) while provably skipping distance work.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import elkan, hamerly, minibatch, yinyang
+from repro.core.init import init_centroids
+from repro.core.lloyd import lloyd
+from repro.data.synthetic import gaussian_blobs, uniform_cloud
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    X, _ = gaussian_blobs(n=600, k=8, d=10, seed=23)
+    C0 = init_centroids(X, 8, method="first")
+    return X, C0
+
+
+@pytest.fixture(scope="module")
+def reference(blobs):
+    X, C0 = blobs
+    return lloyd(X, C0, max_iter=50)
+
+
+@pytest.mark.parametrize("algorithm", [hamerly, yinyang, elkan])
+class TestExactness:
+    def test_matches_lloyd_assignments(self, algorithm, blobs, reference):
+        X, C0 = blobs
+        result, _ = algorithm(X, C0, max_iter=50)
+        np.testing.assert_array_equal(result.assignments,
+                                      reference.assignments)
+
+    def test_matches_lloyd_centroids(self, algorithm, blobs, reference):
+        X, C0 = blobs
+        result, _ = algorithm(X, C0, max_iter=50)
+        np.testing.assert_allclose(result.centroids, reference.centroids,
+                                   rtol=1e-9, atol=1e-12)
+
+    def test_same_convergence_point(self, algorithm, blobs, reference):
+        X, C0 = blobs
+        result, _ = algorithm(X, C0, max_iter=50)
+        assert result.converged == reference.converged
+        assert result.n_iter == reference.n_iter
+
+    def test_per_iteration_inertia_matches(self, algorithm, blobs,
+                                           reference):
+        X, C0 = blobs
+        result, _ = algorithm(X, C0, max_iter=50)
+        ours = [s.inertia for s in result.history]
+        refs = [s.inertia for s in reference.history]
+        np.testing.assert_allclose(ours, refs, rtol=1e-9)
+
+    def test_k_equals_one(self, algorithm):
+        X = uniform_cloud(50, 3, seed=1)
+        result, _ = algorithm(X, X[:1].copy(), max_iter=10)
+        np.testing.assert_allclose(result.centroids[0], X.mean(axis=0))
+
+    def test_validation(self, algorithm, blobs):
+        X, C0 = blobs
+        with pytest.raises(ConfigurationError):
+            algorithm(X, C0, max_iter=0)
+        with pytest.raises(ConfigurationError):
+            algorithm(X, C0, tol=-1.0)
+
+
+@pytest.mark.parametrize("algorithm", [hamerly, yinyang, elkan])
+class TestWorkSavings:
+    def test_skips_distance_work_on_clustered_data(self, algorithm, blobs):
+        X, C0 = blobs
+        _, stats = algorithm(X, C0, max_iter=50)
+        assert stats.distances_computed < stats.distances_naive
+        assert 0.0 < stats.fraction_skipped < 1.0
+
+    def test_skip_counts_recorded_per_iteration(self, algorithm, blobs):
+        X, C0 = blobs
+        result, stats = algorithm(X, C0, max_iter=50)
+        assert len(stats.skipped_per_iteration) == result.n_iter
+
+    def test_late_iterations_skip_more_than_midrun(self, algorithm, blobs):
+        """Iteration 1 skips everything (bounds exact from init), mid-run
+        drift invalidates bounds, and the tail prunes nearly everything
+        once clusters stabilise."""
+        X, C0 = blobs
+        result, stats = algorithm(X, C0, max_iter=50)
+        if result.n_iter >= 4:
+            mid_min = min(stats.skipped_per_iteration[1:-1])
+            assert stats.skipped_per_iteration[-1] > mid_min
+            # Elkan's counter only covers the *global* prune (its
+            # per-centroid filters skip the rest), so the floor is lower.
+            assert stats.skipped_per_iteration[-1] > 0.5 * X.shape[0]
+
+
+class TestYinyangSpecifics:
+    def test_explicit_group_count(self, blobs):
+        X, C0 = blobs
+        r1, _ = yinyang(X, C0, max_iter=30, n_groups=2)
+        r2, _ = yinyang(X, C0, max_iter=30, n_groups=8)
+        np.testing.assert_array_equal(r1.assignments, r2.assignments)
+
+    def test_invalid_group_count(self, blobs):
+        X, C0 = blobs
+        with pytest.raises(ConfigurationError):
+            yinyang(X, C0, n_groups=9)
+        with pytest.raises(ConfigurationError):
+            yinyang(X, C0, n_groups=0)
+
+
+@given(
+    n=st.integers(20, 120),
+    k=st.integers(2, 10),
+    d=st.integers(2, 8),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_both_baselines_match_lloyd(n, k, d, seed):
+    """Any workload: Hamerly and Yinyang trajectories equal Lloyd's."""
+    if k > n:
+        k = n
+    X = uniform_cloud(n, d, seed=seed)
+    C0 = init_centroids(X, k, method="first")
+    ref = lloyd(X, C0, max_iter=20)
+    for algorithm in (hamerly, yinyang, elkan):
+        result, _ = algorithm(X, C0, max_iter=20)
+        np.testing.assert_array_equal(result.assignments, ref.assignments,
+                                      err_msg=algorithm.__name__)
+        np.testing.assert_allclose(result.centroids, ref.centroids,
+                                   rtol=1e-9, atol=1e-12,
+                                   err_msg=algorithm.__name__)
+
+
+class TestMinibatch:
+    """Mini-batch is inexact: its contract is quality, not trajectory."""
+
+    def test_reaches_near_lloyd_quality_on_blobs(self, blobs, reference):
+        X, C0 = blobs
+        result = minibatch(X, C0, batch_size=128, max_iter=400, seed=1)
+        assert result.inertia <= 1.2 * reference.inertia
+
+    def test_touches_only_batches(self, blobs):
+        X, C0 = blobs
+        result = minibatch(X, C0, batch_size=16, max_iter=5, tol=0.0,
+                           seed=0)
+        assert result.n_iter == 5
+
+    def test_deterministic_per_seed(self, blobs):
+        X, C0 = blobs
+        a = minibatch(X, C0, batch_size=64, max_iter=50, seed=9)
+        b = minibatch(X, C0, batch_size=64, max_iter=50, seed=9)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+
+    def test_final_assignments_consistent(self, blobs):
+        from repro.core._common import assign_chunked
+        X, C0 = blobs
+        result = minibatch(X, C0, max_iter=100, seed=2)
+        np.testing.assert_array_equal(
+            result.assignments, assign_chunked(X, result.centroids))
+
+    def test_validation(self, blobs):
+        X, C0 = blobs
+        with pytest.raises(ConfigurationError):
+            minibatch(X, C0, batch_size=0)
+        with pytest.raises(ConfigurationError):
+            minibatch(X, C0, max_iter=0)
+        with pytest.raises(ConfigurationError):
+            minibatch(X, C0, tol=-0.1)
+
+    def test_converges_by_shrinking_learning_rate(self, blobs):
+        X, C0 = blobs
+        result = minibatch(X, C0, batch_size=128, max_iter=2000, tol=1e-4,
+                           seed=3)
+        assert result.converged
+
+
+class TestStreamingKMeans:
+    """Divide-and-conquer streaming baseline: quality vs working set."""
+
+    def test_quality_near_lloyd(self, blobs, reference):
+        from repro.baselines import streaming_kmeans
+        X, C0 = blobs
+        result, _ = streaming_kmeans(X, 8, chunk_size=150, seed=2)
+        assert result.inertia <= 1.3 * reference.inertia
+
+    def test_working_set_bounded_by_chunk(self, blobs):
+        from repro.baselines import streaming_kmeans
+        X, _ = blobs
+        result, stats = streaming_kmeans(X, 8, chunk_size=100, seed=2)
+        assert stats.n_chunks == 6
+        assert stats.peak_resident_samples < X.shape[0]
+        assert result.assignments.shape == (X.shape[0],)
+
+    def test_single_chunk_degenerates_to_two_phase(self, blobs):
+        from repro.baselines import streaming_kmeans
+        X, _ = blobs
+        result, stats = streaming_kmeans(X, 8, chunk_size=X.shape[0],
+                                         seed=2)
+        assert stats.n_chunks == 1
+
+    def test_deterministic(self, blobs):
+        from repro.baselines import streaming_kmeans
+        X, _ = blobs
+        a, _ = streaming_kmeans(X, 8, chunk_size=150, seed=5)
+        b, _ = streaming_kmeans(X, 8, chunk_size=150, seed=5)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+
+    def test_validation(self, blobs):
+        from repro.baselines import streaming_kmeans
+        X, _ = blobs
+        with pytest.raises(ConfigurationError):
+            streaming_kmeans(X, 8, chunk_size=4)  # chunk < k
+        with pytest.raises(ConfigurationError):
+            streaming_kmeans(X, 0)
+        with pytest.raises(ConfigurationError):
+            streaming_kmeans(X, 8, intermediate_factor=0)

@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure7" in out and "table3" in out
+        assert "extra_bounded" in out and "(extension)" in out
+        # 13 paper experiments + 6 extensions
+        assert len(out.strip().splitlines()) == 19
+
+
+class TestPredict:
+    def test_headline_prediction(self, capsys):
+        code = main(["predict", "--level", "3", "-n", "1265723",
+                     "-k", "2000", "-d", "196608", "--nodes", "4096"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "level 3 on 4096 nodes" in out
+        assert "per iteration" in out
+
+    def test_infeasible_prediction_nonzero_exit(self, capsys):
+        code = main(["predict", "--level", "2", "-n", "1000",
+                     "-k", "10", "-d", "100000", "--nodes", "4"])
+        assert code == 1
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(SystemExit):
+            main(["predict", "--level", "5", "-n", "1", "-k", "1", "-d", "1"])
+
+
+class TestCluster:
+    def test_cluster_toy(self, capsys):
+        code = main(["cluster", "--n", "500", "--k", "5", "--d", "8",
+                     "--toy", "--nodes", "2", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "k-means: n=500 k=5 d=8" in out
+
+    def test_cluster_save_and_summary(self, tmp_path, capsys):
+        path = str(tmp_path / "out.npz")
+        code = main(["cluster", "--n", "300", "--k", "4", "--d", "6",
+                     "--toy", "--save", path])
+        assert code == 0
+        assert "saved to" in capsys.readouterr().out
+        from repro.io import load_result
+        assert load_result(path).k == 4
+
+    def test_forced_serial_level(self, capsys):
+        code = main(["cluster", "--n", "200", "--k", "3", "--d", "4",
+                     "--level", "0"])
+        assert code == 0
+        assert "level 0" in capsys.readouterr().out
+
+    def test_error_paths_return_2(self, capsys):
+        # k > n is a configuration error surfaced as exit code 2.
+        code = main(["cluster", "--n", "5", "--k", "50", "--d", "4",
+                     "--toy"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_runs_one_experiment(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "[ok]" in out
+
+    def test_persists_outputs(self, tmp_path, capsys):
+        assert main(["experiment", "table2", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table2.txt").exists()
+
+    def test_extension_experiment_runs(self, capsys):
+        assert main(["experiment", "extra_breakdown"]) == 0
+        assert "restream" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "figure42"])
+
+
+class TestClusterInput:
+    def test_npy_input(self, tmp_path, capsys):
+        import numpy as np
+        path = str(tmp_path / "data.npy")
+        np.save(path, np.random.default_rng(0).normal(size=(120, 5)))
+        assert main(["cluster", "--input", path, "--k", "3", "--toy"]) == 0
+        assert "n=120 k=3 d=5" in capsys.readouterr().out
+
+    def test_csv_input(self, tmp_path, capsys):
+        import numpy as np
+        path = str(tmp_path / "data.csv")
+        np.savetxt(path, np.random.default_rng(1).normal(size=(80, 4)),
+                   delimiter=",")
+        assert main(["cluster", "--input", path, "--k", "2", "--toy"]) == 0
+        assert "n=80 k=2 d=4" in capsys.readouterr().out
+
+    def test_unsupported_format_is_error(self, tmp_path, capsys):
+        path = str(tmp_path / "data.parquet")
+        open(path, "w").write("x")
+        assert main(["cluster", "--input", path, "--k", "2", "--toy"]) == 2
+        assert "unsupported input format" in capsys.readouterr().err
+
+
+class TestMachineCommand:
+    def test_renders_figure1_blocks(self, capsys):
+        assert main(["machine", "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "SW26010 processor" in out
+        assert "8x8 CPE mesh" in out
+        assert "2 node(s)" in out
+
+    def test_box_lines_align(self, capsys):
+        main(["machine"])
+        out = capsys.readouterr().out
+        box_lines = [l for l in out.splitlines() if l.startswith(("|", "+"))]
+        widths = {len(l) for l in box_lines}
+        assert len(widths) == 1
+
+
+class TestCalibrateCommand:
+    def test_prints_fit(self, capsys):
+        assert main(["calibrate", "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "RMS log10 error" in out
+        assert "fitted compute_efficiency" in out
+        assert "model/measured" in out
+
+
+class TestScorecardCommand:
+    def test_scorecard_paper_only(self, capsys):
+        assert main(["scorecard", "--skip-extras"]) == 0
+        out = capsys.readouterr().out
+        assert "Reproduction scorecard" in out
+        assert "FAIL" not in out

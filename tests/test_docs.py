@@ -1,0 +1,94 @@
+"""Documentation integrity: the docs describe this repo, not a wished one.
+
+* every file path a doc references exists,
+* the README quickstart snippet actually runs,
+* the documented CLI invocations parse,
+* the headline numbers quoted in EXPERIMENTS.md match the live model.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.join(os.path.dirname(__file__), "..")
+DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md",
+        "docs/architecture.md", "docs/api.md", "docs/usage.md",
+        "docs/performance_model.md"]
+
+
+@pytest.mark.parametrize("doc", DOCS)
+def test_doc_exists_and_is_substantial(doc):
+    path = os.path.join(REPO, doc)
+    assert os.path.exists(path), doc
+    assert len(open(path, encoding="utf-8").read()) > 500
+
+
+@pytest.mark.parametrize("doc", DOCS)
+def test_referenced_repo_paths_exist(doc):
+    """Backtick-quoted paths that look like repo files must exist."""
+    text = open(os.path.join(REPO, doc), encoding="utf-8").read()
+    candidates = re.findall(r"`([\w./-]+\.(?:py|md|toml))`", text)
+    missing = []
+    for rel in candidates:
+        # Only check paths that name a repo location explicitly.  Docs may
+        # abbreviate package paths relative to src/ or src/repro/.
+        if "/" not in rel:
+            continue
+        roots = (REPO, os.path.join(REPO, "src"),
+                 os.path.join(REPO, "src", "repro"))
+        if not any(os.path.exists(os.path.join(r, rel)) for r in roots):
+            missing.append(rel)
+    assert not missing, f"{doc} references missing files: {missing}"
+
+
+def test_readme_quickstart_runs():
+    """Execute the first python code block of the README."""
+    text = open(os.path.join(REPO, "README.md"), encoding="utf-8").read()
+    match = re.search(r"```python\n(.*?)```", text, re.DOTALL)
+    assert match, "README must contain a python quickstart block"
+    code = match.group(1)
+    code = code.replace("n=10_000", "n=1_000")  # keep the test quick
+    proc = subprocess.run([sys.executable, "-c", code],
+                          capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+
+
+def test_documented_cli_invocations_parse():
+    from repro.cli import build_parser
+    parser = build_parser()
+    for argv in [
+        ["list"],
+        ["experiment", "figure7"],
+        ["predict", "--level", "3", "-n", "1265723", "-k", "2000",
+         "-d", "196608", "--nodes", "4096"],
+        ["cluster", "--n", "5000", "--k", "16", "--d", "32"],
+        ["machine", "--nodes", "4096"],
+        ["calibrate", "--nodes", "2"],
+    ]:
+        parser.parse_args(argv)  # must not SystemExit
+
+
+class TestQuotedNumbersMatchTheModel:
+    def test_headline_seconds(self):
+        """EXPERIMENTS.md quotes 5.66 s for the headline; hold it to that
+        (two decimal places) so doc and model cannot drift silently."""
+        from repro.machine.specs import sunway_spec
+        from repro.perfmodel import PerformanceModel
+        pred = PerformanceModel(sunway_spec(4096)).predict(
+            3, 1_265_723, 2000, 196_608)
+        text = open(os.path.join(REPO, "EXPERIMENTS.md"),
+                    encoding="utf-8").read()
+        assert f"{pred.total:.2f} s/iter" in text
+
+    def test_level2_wall_is_documented_where_it_happens(self):
+        from repro.machine.specs import sunway_spec
+        from repro.perfmodel import PerformanceModel
+        model = PerformanceModel(sunway_spec(128))
+        assert model.predict(2, 1_265_723, 2000, 4096).feasible
+        assert not model.predict(2, 1_265_723, 2000, 4097).feasible
+        text = open(os.path.join(REPO, "EXPERIMENTS.md"),
+                    encoding="utf-8").read()
+        assert "4,096" in text

@@ -1,0 +1,129 @@
+"""Integration tests: the three levels against the serial baseline across a
+grid of machines and workload shapes, plus end-to-end pipelines.
+
+This is the reproduction's load-bearing guarantee: the partitioned
+algorithms are *the same algorithm* as serial Lloyd, on any feasible
+configuration — including awkward ones (non-dividing n/k/d, single CG,
+many supernodes, forced group sizes).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.init import init_centroids
+from repro.core.kmeans import HierarchicalKMeans
+from repro.core.level1 import run_level1
+from repro.core.level2 import run_level2
+from repro.core.level3 import run_level3
+from repro.core.lloyd import lloyd
+from repro.data.synthetic import gaussian_blobs, uniform_cloud
+from repro.errors import PartitionError
+from repro.machine.machine import toy_machine
+
+RUNNERS = {1: run_level1, 2: run_level2, 3: run_level3}
+
+MACHINES = {
+    "single-cg": dict(n_nodes=1, cgs_per_node=1, mesh=2, ldm_bytes=65536),
+    "one-node": dict(n_nodes=1, cgs_per_node=4, mesh=2, ldm_bytes=16384),
+    "multi-node": dict(n_nodes=3, cgs_per_node=2, mesh=2, ldm_bytes=16384),
+    "multi-supernode": dict(n_nodes=8, cgs_per_node=2, mesh=4,
+                            ldm_bytes=16384),
+}
+
+WORKLOADS = {
+    "small": dict(n=97, k=3, d=5),
+    "odd-shapes": dict(n=501, k=11, d=13),
+    "many-clusters": dict(n=600, k=37, d=6),
+    "high-dim": dict(n=200, k=5, d=120),
+}
+
+
+@pytest.mark.parametrize("machine_name", sorted(MACHINES))
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+@pytest.mark.parametrize("level", [1, 2, 3])
+def test_grid_equivalence(machine_name, workload_name, level):
+    machine = toy_machine(**MACHINES[machine_name])
+    shape = WORKLOADS[workload_name]
+    X, _ = gaussian_blobs(n=shape["n"], k=shape["k"], d=shape["d"], seed=31)
+    C0 = init_centroids(X, shape["k"], method="first")
+    ref = lloyd(X, C0, max_iter=25)
+    try:
+        result = RUNNERS[level](X, C0, machine, max_iter=25)
+    except PartitionError:
+        pytest.skip(f"level {level} infeasible on {machine_name} "
+                    f"for {workload_name}")
+    np.testing.assert_array_equal(result.assignments, ref.assignments)
+    np.testing.assert_allclose(result.centroids, ref.centroids,
+                               rtol=1e-9, atol=1e-10)
+    assert result.n_iter == ref.n_iter
+
+
+@given(
+    n=st.integers(20, 300),
+    k=st.integers(2, 12),
+    d=st.integers(2, 24),
+    nodes=st.integers(1, 3),
+    seed=st.integers(0, 10),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_configurations_all_levels_agree(n, k, d, nodes, seed):
+    """Hypothesis sweep: any feasible (machine, workload) combination keeps
+    all three levels on the serial trajectory."""
+    if k > n:
+        k = n
+    machine = toy_machine(n_nodes=nodes, cgs_per_node=2, mesh=2,
+                          ldm_bytes=32 * 1024)
+    X = uniform_cloud(n, d, seed=seed)
+    C0 = init_centroids(X, k, method="first")
+    ref = lloyd(X, C0, max_iter=15)
+    for level, runner in RUNNERS.items():
+        result = runner(X, C0, machine, max_iter=15)
+        np.testing.assert_array_equal(result.assignments, ref.assignments,
+                                      err_msg=f"level {level}")
+
+
+class TestEndToEnd:
+    def test_auto_escalation_pipeline(self):
+        """One facade, three workloads, three different levels — the paper's
+        flexibility claim as a single integration scenario."""
+        machine = toy_machine(n_nodes=2, cgs_per_node=2, mesh=2,
+                              ldm_bytes=8192)
+        scenarios = [
+            (dict(n=300, k=6, d=8), 1),
+            (dict(n=300, k=150, d=8), 2),
+            (dict(n=300, k=4, d=900), 3),
+        ]
+        for shape, expected_level in scenarios:
+            X, _ = gaussian_blobs(**shape, seed=3)
+            model = HierarchicalKMeans(shape["k"], machine=machine,
+                                       init="first", max_iter=20)
+            result = model.fit(X)
+            assert model.selected_level_ == expected_level
+            ref = lloyd(X, np.array(X[:shape["k"]], dtype=np.float64),
+                        max_iter=20)
+            np.testing.assert_array_equal(result.assignments,
+                                          ref.assignments)
+
+    def test_refit_is_deterministic(self):
+        machine = toy_machine(n_nodes=2, cgs_per_node=2, mesh=2,
+                              ldm_bytes=8192)
+        X, _ = gaussian_blobs(n=200, k=5, d=6, seed=9)
+        runs = [
+            HierarchicalKMeans(5, machine=machine, seed=123,
+                               max_iter=30).fit(X)
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(runs[0].assignments,
+                                      runs[1].assignments)
+        np.testing.assert_array_equal(runs[0].centroids, runs[1].centroids)
+
+    def test_modelled_time_reported_end_to_end(self):
+        machine = toy_machine(n_nodes=2, cgs_per_node=2, mesh=2,
+                              ldm_bytes=8192)
+        X, _ = gaussian_blobs(n=200, k=5, d=6, seed=9)
+        result = HierarchicalKMeans(5, machine=machine, seed=1,
+                                    max_iter=30).fit(X)
+        assert result.mean_iteration_seconds() > 0
+        assert "s/iter" in result.summary()

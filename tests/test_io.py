@@ -1,0 +1,121 @@
+"""Tests for result/experiment serialization."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.init import init_centroids
+from repro.core.level2 import run_level2
+from repro.core.lloyd import lloyd
+from repro.data.synthetic import gaussian_blobs
+from repro.errors import ConfigurationError
+from repro.io import export_series_csv, load_result, save_experiment, save_result
+from repro.machine.machine import toy_machine
+from repro.perfmodel.sweep import Series
+
+
+@pytest.fixture(scope="module")
+def result():
+    machine = toy_machine(n_nodes=2, cgs_per_node=2, mesh=2,
+                          ldm_bytes=16 * 1024)
+    X, _ = gaussian_blobs(n=300, k=6, d=8, seed=3)
+    C0 = init_centroids(X, 6, method="first")
+    return run_level2(X, C0, machine, max_iter=20)
+
+
+class TestResultRoundTrip:
+    def test_arrays_survive(self, result, tmp_path):
+        path = str(tmp_path / "r.npz")
+        save_result(result, path)
+        loaded = load_result(path)
+        np.testing.assert_array_equal(loaded.centroids, result.centroids)
+        np.testing.assert_array_equal(loaded.assignments,
+                                      result.assignments)
+
+    def test_scalars_survive(self, result, tmp_path):
+        path = str(tmp_path / "r.npz")
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded.inertia == result.inertia
+        assert loaded.n_iter == result.n_iter
+        assert loaded.converged == result.converged
+        assert loaded.level == result.level
+
+    def test_history_survives(self, result, tmp_path):
+        path = str(tmp_path / "r.npz")
+        save_result(result, path)
+        loaded = load_result(path)
+        assert len(loaded.history) == len(result.history)
+        assert loaded.history[0].inertia == result.history[0].inertia
+
+    def test_ledger_survives(self, result, tmp_path):
+        path = str(tmp_path / "r.npz")
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded.ledger is not None
+        assert loaded.ledger.total() == pytest.approx(result.ledger.total())
+        assert loaded.mean_iteration_seconds() == pytest.approx(
+            result.mean_iteration_seconds())
+
+    def test_serial_result_without_ledger(self, tmp_path):
+        X, _ = gaussian_blobs(n=100, k=3, d=4, seed=1)
+        serial = lloyd(X, init_centroids(X, 3, method="first"), max_iter=10)
+        path = str(tmp_path / "serial.npz")
+        save_result(serial, path)
+        loaded = load_result(path)
+        assert loaded.ledger is None
+
+    def test_npz_suffix_optional_on_load(self, result, tmp_path):
+        path = str(tmp_path / "r")
+        save_result(result, path)  # numpy appends .npz
+        loaded = load_result(path)
+        assert loaded.n_iter == result.n_iter
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        np.savez(path, unrelated=np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            load_result(path)
+
+
+class TestExperimentExport:
+    def test_series_csv_file(self, tmp_path):
+        s = {"L2": Series("L2", x=[1, 2], y=[0.5, 1.0])}
+        path = str(tmp_path / "fig.csv")
+        export_series_csv(s, "d", path)
+        lines = open(path).read().strip().splitlines()
+        assert lines[0] == "d,L2"
+        assert len(lines) == 3
+
+    def test_save_experiment_writes_artifacts(self, tmp_path):
+        from repro.experiments import run_experiment
+        out = run_experiment("table2")
+        save_experiment(out, str(tmp_path))
+        assert (tmp_path / "table2.txt").exists()
+        checks = json.loads((tmp_path / "table2.checks.json").read_text())
+        assert all(checks["checks"].values())
+
+    def test_save_experiment_with_series_writes_csv(self, tmp_path):
+        from repro.experiments import run_experiment
+        out = run_experiment("figure9")
+        save_experiment(out, str(tmp_path))
+        assert (tmp_path / "figure9.csv").exists()
+
+    def test_multi_panel_figures_split_csvs(self, tmp_path):
+        """Figure 6's two panels have different x axes: one CSV each."""
+        from repro.experiments import run_experiment
+        out = run_experiment("figure6")
+        save_experiment(out, str(tmp_path))
+        assert (tmp_path / "figure6.panel1.csv").exists()
+        assert (tmp_path / "figure6.panel2.csv").exists()
+        assert not (tmp_path / "figure6.csv").exists()
+
+    def test_series_csv_rejects_mismatched_axes(self):
+        from repro.errors import ConfigurationError
+        from repro.reporting.figures import series_csv
+        a = Series("a", x=[1.0], y=[1.0])
+        b = Series("b", x=[2.0, 3.0], y=[1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            series_csv({"a": a, "b": b}, "x")

@@ -1,0 +1,265 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+These pin down the algebraic contracts the whole system leans on:
+
+* slicing helpers tile their domain exactly,
+* the LDM allocator never over-commits and free/alloc round-trips,
+* assignment is a true argmin and is invariant under the partition used,
+* accumulate/update preserve mass (sum of cluster sums = sum of samples),
+* one Lloyd iteration never increases the objective,
+* every partitioned level reproduces the serial trajectory.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core._common import (
+    accumulate,
+    assign_chunked,
+    even_slices,
+    inertia,
+    squared_distances,
+    update_centroids,
+)
+from repro.core.init import init_centroids
+from repro.core.lloyd import lloyd, lloyd_single_iteration
+from repro.core.constraints import (
+    level1_feasibility,
+    level2_feasibility,
+    level3_feasibility,
+)
+from repro.machine.ldm import LDMAllocator
+from repro.machine.specs import sunway_spec
+from repro.errors import LDMOverflowError
+
+# Bounded, finite float matrices: the kernels must behave for any data.
+finite_floats = st.floats(min_value=-100.0, max_value=100.0,
+                          allow_nan=False, allow_infinity=False, width=64)
+
+
+def matrix(max_n=40, max_d=8):
+    return st.integers(2, max_n).flatmap(
+        lambda n: st.integers(1, max_d).flatmap(
+            lambda d: st.lists(
+                st.lists(finite_floats, min_size=d, max_size=d),
+                min_size=n, max_size=n,
+            ).map(np.array)
+        )
+    )
+
+
+class TestEvenSlicesProperties:
+    @given(total=st.integers(0, 10_000), parts=st.integers(1, 200))
+    def test_tiles_domain_exactly(self, total, parts):
+        slices = even_slices(total, parts)
+        assert len(slices) == parts
+        assert slices[0][0] == 0
+        assert slices[-1][1] == total
+        covered = 0
+        for lo, hi in slices:
+            assert lo <= hi
+            assert lo == covered
+            covered = hi
+        assert covered == total
+
+    @given(total=st.integers(1, 10_000), parts=st.integers(1, 200))
+    def test_balance_within_one(self, total, parts):
+        sizes = [hi - lo for lo, hi in even_slices(total, parts)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestLDMProperties:
+    @given(st.lists(st.integers(1, 500), min_size=1, max_size=30))
+    def test_never_overcommits(self, sizes):
+        ldm = LDMAllocator(1024)
+        allocated = 0
+        for i, size in enumerate(sizes):
+            try:
+                ldm.alloc(f"b{i}", size)
+                allocated += size
+            except LDMOverflowError:
+                pass
+        assert allocated == ldm.used_bytes <= 1024
+
+    @given(st.lists(st.integers(1, 200), min_size=1, max_size=10))
+    def test_lifo_free_restores_capacity(self, sizes):
+        assume(sum(sizes) <= 1024)
+        ldm = LDMAllocator(1024)
+        for i, size in enumerate(sizes):
+            ldm.alloc(f"b{i}", size)
+        for i in reversed(range(len(sizes))):
+            ldm.free(f"b{i}")
+        assert ldm.free_bytes == 1024
+        ldm.alloc("full", 1024)
+
+
+class TestAssignmentProperties:
+    @given(matrix())
+    @settings(max_examples=40, deadline=None)
+    def test_assignment_is_argmin(self, X):
+        k = min(3, X.shape[0])
+        C = np.array(X[:k], dtype=np.float64)
+        a = assign_chunked(X, C)
+        d2 = squared_distances(X.astype(np.float64), C)
+        chosen = d2[np.arange(len(X)), a]
+        assert (chosen <= d2.min(axis=1) + 1e-9).all()
+
+    @given(matrix(), st.integers(1, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_chunk_size_invariance(self, X, chunk):
+        k = min(4, X.shape[0])
+        C = np.array(X[:k], dtype=np.float64)
+        a = assign_chunked(X, C)
+        b = assign_chunked(X, C, chunk_elements=chunk * k)
+        np.testing.assert_array_equal(a, b)
+
+    @given(matrix())
+    @settings(max_examples=40, deadline=None)
+    def test_slice_partition_invariance(self, X):
+        """Computing argmin per centroid slice and reducing (what Level 2/3
+        do) equals the global argmin, for any slicing."""
+        k = min(5, X.shape[0])
+        C = np.array(X[:k], dtype=np.float64)
+        full = assign_chunked(X, C)
+        d2 = squared_distances(X.astype(np.float64), C)
+        for parts in range(1, k + 1):
+            best_val = np.full(len(X), np.inf)
+            best_idx = np.zeros(len(X), dtype=np.int64)
+            for lo, hi in even_slices(k, parts):
+                if lo == hi:
+                    continue
+                local = np.argmin(d2[:, lo:hi], axis=1)
+                vals = d2[np.arange(len(X)), lo + local]
+                better = vals < best_val
+                best_val[better] = vals[better]
+                best_idx[better] = lo + local[better]
+            np.testing.assert_array_equal(best_idx, full)
+
+    @given(matrix(max_d=6))
+    @settings(max_examples=40, deadline=None)
+    def test_dim_partition_sums_to_full_distance(self, X):
+        """Partial distances over dimension slices sum to the full distance
+        (the Level-3 register-communication reduce)."""
+        k = min(3, X.shape[0])
+        X = X.astype(np.float64)
+        C = np.array(X[:k])
+        d = X.shape[1]
+        full = squared_distances(X, C)
+        for parts in range(1, d + 1):
+            partial = np.zeros_like(full)
+            for lo, hi in even_slices(d, parts):
+                if lo < hi:
+                    partial += squared_distances(X[:, lo:hi], C[:, lo:hi])
+            np.testing.assert_allclose(partial, full, rtol=1e-9, atol=1e-9)
+
+
+class TestAccumulateProperties:
+    @given(matrix())
+    @settings(max_examples=40, deadline=None)
+    def test_mass_conservation(self, X):
+        k = min(4, X.shape[0])
+        X = X.astype(np.float64)
+        a = assign_chunked(X, np.array(X[:k]))
+        sums, counts = accumulate(X, a, k)
+        assert counts.sum() == X.shape[0]
+        np.testing.assert_allclose(sums.sum(axis=0), X.sum(axis=0),
+                                   rtol=1e-9, atol=1e-6)
+
+    @given(matrix())
+    @settings(max_examples=40, deadline=None)
+    def test_block_partition_invariance(self, X):
+        """Accumulating per block and summing (what every level does)
+        equals accumulating globally."""
+        k = min(4, X.shape[0])
+        X = X.astype(np.float64)
+        a = assign_chunked(X, np.array(X[:k]))
+        ref_sums, ref_counts = accumulate(X, a, k)
+        for parts in (2, 3):
+            sums = np.zeros_like(ref_sums)
+            counts = np.zeros_like(ref_counts)
+            for lo, hi in even_slices(X.shape[0], parts):
+                if lo < hi:
+                    s, c = accumulate(X[lo:hi], a[lo:hi], k)
+                    sums += s
+                    counts += c
+            np.testing.assert_allclose(sums, ref_sums, rtol=1e-9, atol=1e-6)
+            np.testing.assert_array_equal(counts, ref_counts)
+
+
+class TestLloydProperties:
+    @given(matrix(max_n=30, max_d=5), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_one_step_never_increases_objective(self, X, k):
+        assume(X.shape[0] >= k)
+        X = X.astype(np.float64)
+        C = init_centroids(X, k, method="first")
+        a0 = assign_chunked(X, C)
+        before = inertia(X, C, a0)
+        _, C1 = lloyd_single_iteration(X, C)
+        a1 = assign_chunked(X, C1)
+        after = inertia(X, C1, a1)
+        assert after <= before + 1e-9
+
+    @given(matrix(max_n=25, max_d=4))
+    @settings(max_examples=20, deadline=None)
+    def test_terminates_and_is_fixed_point(self, X):
+        k = min(3, X.shape[0])
+        X = X.astype(np.float64)
+        result = lloyd(X, init_centroids(X, k, method="first"),
+                       max_iter=200)
+        if result.converged:
+            _, C_again = lloyd_single_iteration(X, result.centroids)
+            np.testing.assert_allclose(C_again, result.centroids,
+                                       rtol=1e-9, atol=1e-12)
+
+    @given(matrix(max_n=20, max_d=4))
+    @settings(max_examples=20, deadline=None)
+    def test_empty_cluster_rule_keeps_centroids_finite(self, X):
+        k = min(3, X.shape[0])
+        X = X.astype(np.float64)
+        # Force an empty cluster with a far-away centroid.
+        C = np.vstack([X[:k - 1], np.full((1, X.shape[1]), 1e9)]) \
+            if k > 1 else np.array(X[:1])
+        result = lloyd(X, C, max_iter=5)
+        assert np.isfinite(result.centroids).all()
+
+
+class TestConstraintProperties:
+    @given(k=st.integers(1, 10_000), d=st.integers(1, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_level_dominance_chain(self, k, d):
+        """If level l fits, every higher level fits too (at max groups)."""
+        spec = sunway_spec(64)
+        l1 = level1_feasibility(k, d, spec).feasible
+        l2 = level2_feasibility(k, d, 64, spec).feasible
+        l3 = level3_feasibility(k, d, spec.n_cgs, spec).feasible
+        if l1:
+            assert l2
+        if l2:
+            assert l3
+
+    @given(k=st.integers(1, 5000), d=st.integers(1, 5000),
+           mg1=st.integers(1, 64), mg2=st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_level2_monotone_in_mgroup(self, k, d, mg1, mg2):
+        spec = sunway_spec(4)
+        lo, hi = min(mg1, mg2), max(mg1, mg2)
+        if level2_feasibility(k, d, lo, spec).feasible:
+            assert level2_feasibility(k, d, hi, spec).feasible
+
+
+class TestUpdateProperties:
+    @given(matrix(max_n=20, max_d=4))
+    @settings(max_examples=30, deadline=None)
+    def test_new_centroids_inside_data_hull_bounds(self, X):
+        """Means of subsets stay inside the per-axis bounding box."""
+        k = min(3, X.shape[0])
+        X = X.astype(np.float64)
+        a = assign_chunked(X, np.array(X[:k]))
+        sums, counts = accumulate(X, a, k)
+        new = update_centroids(sums, counts, np.array(X[:k]))
+        nonempty = counts > 0
+        assert (new[nonempty] >= X.min(axis=0) - 1e-9).all()
+        assert (new[nonempty] <= X.max(axis=0) + 1e-9).all()
