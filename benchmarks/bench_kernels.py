@@ -1,8 +1,19 @@
 """Microbenchmarks of the numerical kernels every level shares.
 
 These are the hot loops of the execute backend: assignment (distance +
-argmin), scatter accumulation, and the two distance formulations compared
-by the kernel ablation in DESIGN.md.
+argmin) under both kernel backends, scatter accumulation, and the two
+distance formulations compared by the kernel ablation in DESIGN.md.
+
+Two ways to run it:
+
+* ``pytest benchmarks/bench_kernels.py --benchmark-only`` — the usual
+  pytest-benchmark microbenches below;
+* ``PYTHONPATH=src python benchmarks/bench_kernels.py [--quick] [--check]
+  [--out BENCH_kernels.json]`` — a standalone comparison sweep: naive vs
+  gemm ``assign`` over a (k, d) grid at n = 100,000, plus full ledgered vs
+  ``model_costs=False`` fits, written as JSON.  ``--check`` exits non-zero
+  if gemm is slower than naive on the flagship shape or any backend pair
+  disagrees on assignments.
 """
 
 import numpy as np
@@ -15,6 +26,7 @@ from repro.core._common import (
     squared_distances_expanded,
     update_centroids,
 )
+from repro.core.kernels import GemmKernel, NaiveKernel
 
 
 @pytest.fixture(scope="module")
@@ -29,6 +41,20 @@ def test_assign_chunked(benchmark, workload):
     X, C = workload
     out = benchmark(assign_chunked, X, C)
     assert out.shape == (X.shape[0],)
+
+
+def test_assign_naive_kernel(benchmark, workload):
+    X, C = workload
+    out = benchmark(NaiveKernel().assign, X, C)
+    assert out.shape == (X.shape[0],)
+
+
+def test_assign_gemm_kernel(benchmark, workload):
+    X, C = workload
+    kernel = GemmKernel()
+    out = benchmark(kernel.assign, X, C)
+    assert out.shape == (X.shape[0],)
+    np.testing.assert_array_equal(out, NaiveKernel().assign(X, C))
 
 
 def test_squared_distances_direct(benchmark, workload):
@@ -56,3 +82,143 @@ def test_update_centroids(benchmark, workload):
     sums, counts = accumulate(X, assignments, C.shape[0])
     new = benchmark(update_centroids, sums, counts, C)
     assert new.shape == C.shape
+
+
+# ---------------------------------------------------------------------------
+# Standalone sweep: naive vs gemm, ledgered vs NullLedger
+# ---------------------------------------------------------------------------
+
+FLAGSHIP = (256, 64)  # the acceptance shape: k=256, d=64 at n=100k
+
+
+def _best_of(fn, repeats):
+    import time
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _assign_sweep(n, ks, ds, repeats):
+    rng = np.random.default_rng(42)
+    rows = []
+    for d in ds:
+        X = rng.normal(size=(n, d))
+        for k in ks:
+            C = rng.normal(size=(k, d))
+            naive, gemm = NaiveKernel(), GemmKernel()
+            a_naive = naive.assign(X, C)
+            a_gemm = gemm.assign(X, C)
+            identical = bool(np.array_equal(a_naive, a_gemm))
+            t_naive = _best_of(lambda: naive.assign(X, C), repeats)
+            t_gemm = _best_of(lambda: gemm.assign(X, C), repeats)
+            rows.append({
+                "n": n, "k": k, "d": d,
+                "naive_seconds": t_naive,
+                "gemm_seconds": t_gemm,
+                "speedup": t_naive / t_gemm,
+                "identical_assignments": identical,
+            })
+            print(f"  assign n={n} k={k:4d} d={d:3d}: "
+                  f"naive {t_naive:8.4f}s  gemm {t_gemm:8.4f}s  "
+                  f"{t_naive / t_gemm:5.2f}x  "
+                  f"{'ok' if identical else 'MISMATCH'}")
+    return rows
+
+
+def _ledger_sweep(repeats):
+    import time
+
+    from repro.core.kmeans import HierarchicalKMeans
+    from repro.data.synthetic import gaussian_blobs
+    from repro.machine.machine import toy_machine
+
+    machine = toy_machine(n_nodes=2, cgs_per_node=2, mesh=4,
+                          ldm_bytes=16 * 1024)
+    X, _ = gaussian_blobs(n=20_000, k=16, d=32, seed=7)
+    rows = []
+    for level in (1, 2, 3):
+        def fit(model_costs):
+            return HierarchicalKMeans(
+                16, machine=machine, level=level, init="first",
+                max_iter=15, model_costs=model_costs).fit(X)
+
+        ledgered = fit(True)
+        pure = fit(False)
+        identical = (bool(np.array_equal(ledgered.assignments,
+                                         pure.assignments))
+                     and bool(np.array_equal(ledgered.centroids,
+                                             pure.centroids)))
+        t_led = _best_of(lambda: fit(True), repeats)
+        t_null = _best_of(lambda: fit(False), repeats)
+        rows.append({
+            "level": level, "n": X.shape[0], "k": 16, "d": 32,
+            "ledgered_seconds": t_led,
+            "null_ledger_seconds": t_null,
+            "speedup": t_led / t_null,
+            "identical_numerics": identical,
+        })
+        print(f"  fit level {level}: ledgered {t_led:8.4f}s  "
+              f"null {t_null:8.4f}s  {t_led / t_null:5.2f}x  "
+              f"{'ok' if identical else 'MISMATCH'}")
+    return rows
+
+
+def main(argv=None):
+    import argparse
+    import json
+    import platform
+
+    parser = argparse.ArgumentParser(
+        description="naive-vs-gemm kernel and ledgered-vs-null sweep")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller n and single repetition (CI mode)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if gemm is slower on the flagship shape "
+                             "or any assignments mismatch")
+    parser.add_argument("--out", default="BENCH_kernels.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    n = 20_000 if args.quick else 100_000
+    repeats = 1 if args.quick else 3
+    print(f"assign sweep at n={n} (best of {repeats}):")
+    assign_rows = _assign_sweep(n, ks=(16, 64, 256), ds=(16, 64),
+                                repeats=repeats)
+    print("ledger sweep:")
+    ledger_rows = _ledger_sweep(repeats=1 if args.quick else 2)
+
+    payload = {
+        "benchmark": "kernels",
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "assign": assign_rows,
+        "ledger": ledger_rows,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        bad = [r for r in assign_rows if not r["identical_assignments"]]
+        bad += [r for r in ledger_rows if not r["identical_numerics"]]
+        if bad:
+            print(f"CHECK FAILED: backend mismatch in {len(bad)} rows")
+            return 1
+        flagship = next(r for r in assign_rows
+                        if (r["k"], r["d"]) == FLAGSHIP)
+        if flagship["speedup"] < 1.0:
+            print(f"CHECK FAILED: gemm slower than naive on flagship shape "
+                  f"({flagship['speedup']:.2f}x)")
+            return 1
+        print(f"check ok: flagship speedup {flagship['speedup']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

@@ -19,13 +19,18 @@ Quickstart
 """
 
 from .core import (
+    KERNELS,
+    GemmKernel,
     HierarchicalKMeans,
+    KernelBackend,
     KMeansResult,
     Level1Executor,
     Level2Executor,
     Level3Executor,
+    NaiveKernel,
     init_centroids,
     lloyd,
+    resolve_kernel,
     plan_level1,
     plan_level2,
     plan_level3,
@@ -50,13 +55,17 @@ __all__ = [
     "CommunicatorError",
     "ConfigurationError",
     "DataShapeError",
+    "GemmKernel",
     "HierarchicalKMeans",
+    "KERNELS",
     "KMeansResult",
+    "KernelBackend",
     "LDMOverflowError",
     "Level1Executor",
     "Level2Executor",
     "Level3Executor",
     "Machine",
+    "NaiveKernel",
     "PartitionError",
     "ReproError",
     "__version__",
@@ -66,6 +75,7 @@ __all__ = [
     "plan_level1",
     "plan_level2",
     "plan_level3",
+    "resolve_kernel",
     "run_level1",
     "run_level2",
     "run_level3",

@@ -13,7 +13,9 @@ Commands
 ``cluster --n N --k K --d D [--nodes NODES] [--level L] [--save PATH]``
     Run the execute backend on a synthetic workload — or on your own data
     via ``--input data.npy`` / ``--input data.csv`` — and print the result
-    summary and time-ledger breakdown.
+    summary and time-ledger breakdown.  ``--kernel gemm`` switches the
+    assign arithmetic to the blocked GEMM backend; ``--no-model-costs``
+    runs pure numerics without the simulated time ledger.
 ``machine [--nodes NODES]``
     Render the simulated machine (the paper's Figure-1 block diagram plus
     the fleet summary).
@@ -113,7 +115,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     from .core.kmeans import HierarchicalKMeans
     level = "auto" if args.level is None else args.level
     model = HierarchicalKMeans(args.k, machine=machine, level=level,
-                               seed=args.seed, max_iter=args.max_iter)
+                               seed=args.seed, max_iter=args.max_iter,
+                               kernel=args.kernel,
+                               model_costs=not args.no_model_costs)
     result = model.fit(X)
     print(result.summary())
     if result.ledger is not None:
@@ -205,6 +209,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_cl.add_argument("--max-iter", type=int, default=100)
     p_cl.add_argument("--toy", action="store_true",
                       help="use a toy machine instead of SW26010 nodes")
+    p_cl.add_argument("--kernel", choices=("naive", "gemm"), default="naive",
+                      help="compute backend for the assign step")
+    p_cl.add_argument("--no-model-costs", action="store_true",
+                      help="run pure numerics (no time ledger, no "
+                           "modelled seconds)")
     p_cl.add_argument("--save", help="path to save the result (.npz)")
     p_cl.set_defaults(func=_cmd_cluster)
 

@@ -24,6 +24,13 @@ from .constraints import (
 )
 from .init import METHODS as INIT_METHODS
 from .init import init_centroids, spread_centroids
+from .kernels import (
+    KERNELS,
+    GemmKernel,
+    KernelBackend,
+    NaiveKernel,
+    resolve_kernel,
+)
 from .kmeans import LEVELS, HierarchicalKMeans, select_level
 from .level1 import Level1Executor, run_level1
 from .level2 import Level2Executor, run_level2
@@ -46,11 +53,15 @@ from .result import IterationStats, KMeansResult
 __all__ = [
     "ConstraintCheck",
     "FeasibilityReport",
+    "GemmKernel",
     "HierarchicalKMeans",
     "INIT_METHODS",
     "IterationStats",
+    "KERNELS",
     "KMeansResult",
+    "KernelBackend",
     "LEVELS",
+    "NaiveKernel",
     "Level1Executor",
     "Level1Plan",
     "Level2Executor",
@@ -77,6 +88,7 @@ __all__ = [
     "plan_level1",
     "plan_level2",
     "plan_level3",
+    "resolve_kernel",
     "run_level1",
     "run_level2",
     "run_level3",

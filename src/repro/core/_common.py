@@ -84,20 +84,27 @@ def chunk_ranges(n: int, chunk: int) -> Iterator[Tuple[int, int]]:
 
 def assign_chunked(X: np.ndarray, C: np.ndarray,
                    chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
-                   expanded: bool = False) -> np.ndarray:
+                   expanded: bool = False, kernel=None) -> np.ndarray:
     """Nearest-centroid assignment for every sample, bounded working set.
 
     Returns int64 indices; ties go to the lowest centroid index (np.argmin
     semantics), matching the deterministic hardware reduction trees of the
     simulated machine.
+
+    ``kernel`` (a backend name or :class:`~repro.core.kernels.KernelBackend`)
+    dispatches to the pluggable kernel layer; when None, the historical
+    direct/expanded chunked forms run here.
     """
+    if kernel is not None:
+        from .kernels import resolve_kernel  # late: kernels imports _common
+        return resolve_kernel(kernel).assign(X, C, chunk_elements)
     X, C = validate_data(X, C)
     n, k = X.shape[0], C.shape[0]
-    kernel = squared_distances_expanded if expanded else squared_distances
+    form = squared_distances_expanded if expanded else squared_distances
     rows = max(1, chunk_elements // max(k, 1))
     out = np.empty(n, dtype=np.int64)
     for lo, hi in chunk_ranges(n, rows):
-        out[lo:hi] = np.argmin(kernel(X[lo:hi], C), axis=1)
+        out[lo:hi] = np.argmin(form(X[lo:hi], C), axis=1)
     return out
 
 

@@ -18,8 +18,9 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..machine.machine import Machine
 from ..runtime.compute import ComputeModel
-from ..runtime.ledger import TimeLedger
+from ..runtime.ledger import NullLedger, TimeLedger
 from ._common import inertia, max_centroid_shift, validate_data
+from .kernels import KernelLike, resolve_kernel
 from .result import IterationStats, KMeansResult
 
 
@@ -45,6 +46,15 @@ class LevelExecutor(ABC):
         optimisation, ablated in ``benchmarks/bench_ablations.py``.
     compute_efficiency:
         Sustained fraction of peak FLOP/s assumed for the distance kernel.
+    kernel:
+        Compute backend for the fast-path Assign arithmetic ("naive",
+        "gemm", or a :class:`~repro.core.kernels.KernelBackend` instance).
+        Strict-CPE mode requires the naive backend: its per-slice dataflow
+        *is* the direct-form arithmetic.
+    model_costs:
+        When False the executor runs pure numerics against a
+        :class:`~repro.runtime.ledger.NullLedger` — no phase is priced, no
+        byte/flop accounting happens, and the result carries no ledger.
     """
 
     #: Partition level implemented by the subclass (1, 2 or 3).
@@ -52,12 +62,22 @@ class LevelExecutor(ABC):
 
     def __init__(self, machine: Machine, collective_algorithm: str = "ring",
                  strict_cpe: bool = False, overlap_dma: bool = False,
-                 compute_efficiency: float | None = None) -> None:
+                 compute_efficiency: float | None = None,
+                 kernel: KernelLike = "naive",
+                 model_costs: bool = True) -> None:
         self.machine = machine
         self.collective_algorithm = collective_algorithm
         self.strict_cpe = bool(strict_cpe)
         self.overlap_dma = bool(overlap_dma)
-        self.ledger = TimeLedger()
+        self.kernel = resolve_kernel(kernel)
+        if self.strict_cpe and self.kernel.name != "naive":
+            raise ConfigurationError(
+                f"strict_cpe fidelity mode requires the naive kernel "
+                f"(the hardware dataflow is the direct form); "
+                f"got kernel={self.kernel.name!r}"
+            )
+        self.model_costs = bool(model_costs)
+        self.ledger = TimeLedger() if self.model_costs else NullLedger()
         kwargs = {}
         if compute_efficiency is not None:
             kwargs["efficiency"] = compute_efficiency
@@ -150,6 +170,7 @@ class LevelExecutor(ABC):
             n_iter=it,
             converged=converged,
             history=history,
-            ledger=self.ledger,
+            # Pure-numerics runs report no ledger, like the serial baseline.
+            ledger=self.ledger if self.ledger.enabled else None,
             level=self.level,
         )

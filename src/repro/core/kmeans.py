@@ -16,6 +16,7 @@ import numpy as np
 from ..errors import ConfigurationError, PartitionError
 from ..machine.machine import Machine, sunway_machine
 from .init import METHODS, RngLike, init_centroids
+from .kernels import KernelLike, resolve_kernel
 from .level1 import Level1Executor
 from .level2 import Level2Executor
 from .level3 import Level3Executor
@@ -78,6 +79,16 @@ class HierarchicalKMeans:
         ``init``).  ``all_inertias_`` records every restart's objective.
     seed:
         Seed for stochastic initialisation (restarts derive child seeds).
+    kernel:
+        Compute backend for the Assign arithmetic: ``"naive"`` (direct-form
+        distances, the fidelity reference) or ``"gemm"`` (blocked
+        ``|x|^2 - 2 X C^T + |c|^2`` — one BLAS matmul per block, the fast
+        production path).  See :mod:`repro.core.kernels`.
+    model_costs:
+        When False, executors run pure numerics against a
+        :class:`~repro.runtime.ledger.NullLedger`: no modelled seconds are
+        charged and ``result.ledger`` is None — same centroids and
+        assignments, zero simulation overhead.
     executor_kwargs:
         Extra keyword arguments forwarded to the level executor
         (``collective_algorithm``, ``strict_cpe``, ``streaming``,
@@ -99,7 +110,8 @@ class HierarchicalKMeans:
     def __init__(self, n_clusters: int, machine: Optional[Machine] = None,
                  level: Union[str, int] = "auto", init: Union[str, np.ndarray] = "kmeans++",
                  max_iter: int = 100, tol: float = 0.0, n_init: int = 1,
-                 seed: RngLike = None, **executor_kwargs) -> None:
+                 seed: RngLike = None, kernel: KernelLike = "naive",
+                 model_costs: bool = True, **executor_kwargs) -> None:
         if n_clusters < 1:
             raise ConfigurationError(
                 f"n_clusters must be >= 1, got {n_clusters}"
@@ -128,6 +140,11 @@ class HierarchicalKMeans:
         self.tol = float(tol)
         self.n_init = int(n_init)
         self.seed = seed
+        # Resolve eagerly: invalid names fail at construction, and the
+        # backend instance (with its scratch buffers) is shared by every
+        # restart, executor, and predict() call.
+        self.kernel = resolve_kernel(kernel)
+        self.model_costs = bool(model_costs)
         self.executor_kwargs = executor_kwargs
         #: Filled by fit(): the level that actually ran.
         self.selected_level_: Optional[int] = None
@@ -198,7 +215,10 @@ class HierarchicalKMeans:
                 f"nkd partition); the resolved level is {level}"
             )
         if level == 0:
-            return lloyd(X, C0, max_iter=self.max_iter, tol=self.tol)
+            return lloyd(X, C0, max_iter=self.max_iter, tol=self.tol,
+                         kernel=self.kernel)
+        kwargs.setdefault("kernel", self.kernel)
+        kwargs.setdefault("model_costs", self.model_costs)
         if level == 1:
             executor = Level1Executor(self.machine, **kwargs)
             return executor.run(X, C0, max_iter=self.max_iter, tol=self.tol)
@@ -216,8 +236,7 @@ class HierarchicalKMeans:
         """Nearest-centroid assignment of new samples under the fitted model."""
         if self.result_ is None:
             raise ConfigurationError("fit() must be called before predict()")
-        from ._common import assign_chunked
-        return assign_chunked(np.asarray(X), self.result_.centroids)
+        return self.kernel.assign(np.asarray(X), self.result_.centroids)
 
     def fit_predict(self, X: np.ndarray) -> np.ndarray:
         """fit() then return the training assignments."""

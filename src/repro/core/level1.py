@@ -23,7 +23,7 @@ from ..runtime.compute import distance_flops
 from ..runtime.dma import DMAEngine
 from ..runtime.mpi import SimComm
 from ..runtime.regcomm import RegisterComm
-from ._common import accumulate, assign_chunked, update_centroids
+from ._common import accumulate, update_centroids
 from .executor_base import LevelExecutor
 from .partition import Level1Plan, plan_level1
 from .result import KMeansResult
@@ -72,10 +72,11 @@ class Level1Executor(LevelExecutor):
 
         # One-time broadcast of the initial centroids to every active CPE
         # (iteration epoch 0 in the ledger).
-        self.ledger.charge(
-            "network", "l1.setup.bcast_centroids",
-            self._comm.bcast_time(k * d * self._itemsize),
-        )
+        if self.model_costs:
+            self.ledger.charge(
+                "network", "l1.setup.bcast_centroids",
+                self._comm.bcast_time(k * d * self._itemsize),
+            )
 
     # -- one iteration ------------------------------------------------------------
 
@@ -100,20 +101,23 @@ class Level1Executor(LevelExecutor):
             for unit in units:
                 lo, hi = plan.sample_blocks[unit]
                 block = X[lo:hi]
-                assignments[lo:hi] = assign_chunked(block, C)
+                assignments[lo:hi] = self.kernel.assign(block, C)
                 sums, counts = accumulate(block, assignments[lo:hi], k)
                 unit_sums[unit] = sums
                 unit_counts[unit] = counts
-                # Sample stream + per-iteration centroid refresh, per paper's
-                # Tread = (n*d/m + k*d)/B.
-                cg_bytes += (block.shape[0] * d + k * d) * item
-                compute_times.append(self.compute.time_for_flops(
-                    distance_flops(block.shape[0], k, d)
-                    + block.shape[0] * d,  # accumulate adds
-                    n_cpes=1,
-                ))
-            dma_times.append(self._dma.transfer_time(cg_bytes))
-        self.charge_stream_phases("l1.assign", dma_times, compute_times)
+                if self.model_costs:
+                    # Sample stream + per-iteration centroid refresh, per
+                    # paper's Tread = (n*d/m + k*d)/B.
+                    cg_bytes += (block.shape[0] * d + k * d) * item
+                    compute_times.append(self.compute.time_for_flops(
+                        distance_flops(block.shape[0], k, d)
+                        + block.shape[0] * d,  # accumulate adds
+                        n_cpes=1,
+                    ))
+            if self.model_costs:
+                dma_times.append(self._dma.transfer_time(cg_bytes))
+        if self.model_costs:
+            self.charge_stream_phases("l1.assign", dma_times, compute_times)
 
         # ---- Update phase: AllReduce within CG (register comm) ----
         cg_sums: List[np.ndarray] = []
@@ -125,8 +129,9 @@ class Level1Executor(LevelExecutor):
             cg_sums.append(s)
             cg_counts.append(c)
         # Every CG performs the same-size mesh allreduce concurrently.
-        self.ledger.charge("regcomm", "l1.update.intra_cg_allreduce",
-                           self._regcomm.allreduce_time(payload))
+        if self.model_costs:
+            self.ledger.charge("regcomm", "l1.update.intra_cg_allreduce",
+                               self._regcomm.allreduce_time(payload))
 
         # ---- AllReduce across CGs (MPI) ----
         if self._comm.size > 1:
@@ -138,8 +143,9 @@ class Level1Executor(LevelExecutor):
             global_sums, global_counts = cg_sums[0], cg_counts[0]
 
         # ---- Divide (line 15) — every CPE updates its local copy ----
-        self.ledger.charge("compute", "l1.update.divide",
-                           self.compute.time_for_flops(k * d, n_cpes=1))
+        if self.model_costs:
+            self.ledger.charge("compute", "l1.update.divide",
+                               self.compute.time_for_flops(k * d, n_cpes=1))
         new_C = update_centroids(global_sums, global_counts, C)
         return assignments, new_C
 

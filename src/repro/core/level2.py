@@ -25,7 +25,7 @@ from ..runtime.compute import distance_flops
 from ..runtime.dma import DMAEngine
 from ..runtime.mpi import SimComm
 from ..runtime.regcomm import RegisterComm
-from ._common import accumulate, assign_chunked, squared_distances, update_centroids
+from ._common import accumulate, squared_distances, update_centroids
 from .executor_base import LevelExecutor
 from .partition import Level2Plan, plan_level2
 from .result import KMeansResult
@@ -77,10 +77,11 @@ class Level2Executor(LevelExecutor):
         self._comm = SimComm(self.machine, active_cgs, self.ledger,
                              self.collective_algorithm)
         # Initial scatter of centroid slices to every group member.
-        self.ledger.charge(
-            "network", "l2.setup.scatter_centroids",
-            self._comm.bcast_time(k * d * self._itemsize),
-        )
+        if self.model_costs:
+            self.ledger.charge(
+                "network", "l2.setup.scatter_centroids",
+                self._comm.bcast_time(k * d * self._itemsize),
+            )
 
     # -- one iteration ------------------------------------------------------------
 
@@ -94,7 +95,7 @@ class Level2Executor(LevelExecutor):
         """
         plan = self.plan
         if not self.strict_cpe:
-            return assign_chunked(block, C)
+            return self.kernel.assign(block, C)
         b = block.shape[0]
         best_val = np.full(b, np.inf, dtype=np.float64)
         best_idx = np.zeros(b, dtype=np.int64)
@@ -138,6 +139,8 @@ class Level2Executor(LevelExecutor):
                 sums, counts = accumulate(block, assignments[lo:hi], k)
                 group_sums[g] = sums
                 group_counts[g] = counts
+                if not self.model_costs:
+                    continue
                 # Every member CPE streams the whole block (the n*d*mgroup/m
                 # amplification of T'read) plus its centroid slice traffic
                 # (slice bytes once when resident, re-streamed per stage
@@ -155,17 +158,19 @@ class Level2Executor(LevelExecutor):
                 ]
                 accumulate_times.append(self.compute.time_for_flops(
                     max(slice_loads), n_cpes=1))
-            dma_times.append(self._dma.transfer_time(cg_bytes))
-        self.charge_stream_phases("l2.assign", dma_times, compute_times)
+            if self.model_costs:
+                dma_times.append(self._dma.transfer_time(cg_bytes))
+        if self.model_costs:
+            self.charge_stream_phases("l2.assign", dma_times, compute_times)
 
-        # MINLOC over each CPE group (line 10): one (value, index) pair per
-        # sample travels the mesh buses; groups operate concurrently.
-        max_block = max(hi - lo for lo, hi in plan.sample_blocks)
-        self.ledger.charge("regcomm", "l2.assign.minloc",
-                           self._regcomm.allreduce_time(max_block * 16))
+            # MINLOC over each CPE group (line 10): one (value, index) pair
+            # per sample travels the mesh buses; groups operate concurrently.
+            max_block = max(hi - lo for lo, hi in plan.sample_blocks)
+            self.ledger.charge("regcomm", "l2.assign.minloc",
+                               self._regcomm.allreduce_time(max_block * 16))
 
-        self.ledger.charge_parallel("compute", "l2.update.accumulate",
-                                    accumulate_times)
+            self.ledger.charge_parallel("compute", "l2.update.accumulate",
+                                        accumulate_times)
 
         # ---- Update phase: two-stage AllReduce of sliced accumulators ----
         payload = (k * d + k) * item
@@ -174,8 +179,9 @@ class Level2Executor(LevelExecutor):
         for cg_index, groups in sorted(self._groups_by_cg.items()):
             cg_sums.append(np.sum([group_sums[g] for g in groups], axis=0))
             cg_counts.append(np.sum([group_counts[g] for g in groups], axis=0))
-        self.ledger.charge("regcomm", "l2.update.intra_cg_allreduce",
-                           self._regcomm.allreduce_time(payload))
+        if self.model_costs:
+            self.ledger.charge("regcomm", "l2.update.intra_cg_allreduce",
+                               self._regcomm.allreduce_time(payload))
         if self._comm.size > 1:
             global_sums = self._comm.allreduce_sum(
                 cg_sums, label="l2.update.inter_cg_allreduce.sums")
@@ -185,9 +191,10 @@ class Level2Executor(LevelExecutor):
             global_sums, global_counts = cg_sums[0], cg_counts[0]
 
         # Divide: each member CPE finishes its own slice.
-        self.ledger.charge("compute", "l2.update.divide",
-                           self.compute.time_for_flops(widest_slice * d,
-                                                       n_cpes=1))
+        if self.model_costs:
+            self.ledger.charge("compute", "l2.update.divide",
+                               self.compute.time_for_flops(widest_slice * d,
+                                                           n_cpes=1))
         new_C = update_centroids(global_sums, global_counts, C)
         return assignments, new_C
 

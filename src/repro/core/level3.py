@@ -32,7 +32,7 @@ from ..runtime.compute import distance_flops
 from ..runtime.dma import DMAEngine
 from ..runtime.mpi import SimComm
 from ..runtime.regcomm import RegisterComm
-from ._common import accumulate, assign_chunked, update_centroids
+from ._common import accumulate, update_centroids
 from .executor_base import LevelExecutor
 from .partition import Level3Plan, plan_level3
 from .result import KMeansResult
@@ -94,11 +94,12 @@ class Level3Executor(LevelExecutor):
             for j in range(plan.mprime_group)
         ]
         # Initial distribution of centroid slices to every CG (epoch 0).
-        widest = max(hi - lo for lo, hi in plan.centroid_slices)
-        self.ledger.charge(
-            "network", "l3.setup.scatter_centroids",
-            self._member_comms[0].bcast_time(widest * d * self._itemsize),
-        )
+        if self.model_costs:
+            widest = max(hi - lo for lo, hi in plan.centroid_slices)
+            self.ledger.charge(
+                "network", "l3.setup.scatter_centroids",
+                self._member_comms[0].bcast_time(widest * d * self._itemsize),
+            )
 
     # -- assignment under the partition ------------------------------------------
 
@@ -112,7 +113,7 @@ class Level3Executor(LevelExecutor):
         """
         plan = self.plan
         if not self.strict_cpe:
-            return assign_chunked(block, C)
+            return self.kernel.assign(block, C)
         b = block.shape[0]
         best_val = np.full(b, np.inf, dtype=np.float64)
         best_idx = np.zeros(b, dtype=np.int64)
@@ -164,6 +165,8 @@ class Level3Executor(LevelExecutor):
             group_sums.append(sums)
             group_counts.append(counts)
 
+            if not self.model_costs:
+                continue
             # Every member CG streams the whole block across its CPEs plus
             # its centroid slice traffic (the n*d*m'group/m amplification
             # of T''read; re-stream traffic when not fully resident).
@@ -184,16 +187,18 @@ class Level3Executor(LevelExecutor):
             ]
             accumulate_times.append(self.compute.time_for_flops(
                 max(slice_loads), n_cpes=1))
-        self.charge_stream_phases("l3.assign", dma_times, compute_times)
-        # Partial-distance reduce across the mesh (dim slices -> CG total).
-        max_block = max(hi - lo for lo, hi in plan.sample_blocks)
-        self.ledger.charge("regcomm", "l3.assign.dim_reduce",
-                           self._regcomm.allreduce_time(
-                               max_block * widest_k * item))
-        self.ledger.charge_parallel("network", "l3.assign.minloc",
-                                    minloc_times)
-        self.ledger.charge_parallel("compute", "l3.update.accumulate",
-                                    accumulate_times)
+        if self.model_costs:
+            self.charge_stream_phases("l3.assign", dma_times, compute_times)
+            # Partial-distance reduce across the mesh (dim slices -> CG
+            # total).
+            max_block = max(hi - lo for lo, hi in plan.sample_blocks)
+            self.ledger.charge("regcomm", "l3.assign.dim_reduce",
+                               self._regcomm.allreduce_time(
+                                   max_block * widest_k * item))
+            self.ledger.charge_parallel("network", "l3.assign.minloc",
+                                        minloc_times)
+            self.ledger.charge_parallel("compute", "l3.update.accumulate",
+                                        accumulate_times)
 
         # ---- Update phase: AllReduce per centroid slice across CG groups ----
         if plan.n_groups > 1:
@@ -201,9 +206,10 @@ class Level3Executor(LevelExecutor):
             global_counts = np.zeros_like(group_counts[0])
             member_times: List[float] = []
             for j, (lo_k, hi_k) in enumerate(plan.centroid_slices):
-                comm = self._member_comms[j]
-                payload = ((hi_k - lo_k) * d + (hi_k - lo_k)) * item
-                member_times.append(comm.allreduce_time(payload))
+                if self.model_costs:
+                    comm = self._member_comms[j]
+                    payload = ((hi_k - lo_k) * d + (hi_k - lo_k)) * item
+                    member_times.append(comm.allreduce_time(payload))
                 if hi_k > lo_k:
                     global_sums[lo_k:hi_k] = np.sum(
                         [s[lo_k:hi_k] for s in group_sums], axis=0)
@@ -211,15 +217,18 @@ class Level3Executor(LevelExecutor):
                         [c[lo_k:hi_k] for c in group_counts], axis=0)
             # The m'group slice AllReduces proceed concurrently (disjoint
             # rank sets); the slowest member position is the critical path.
-            self.ledger.charge_parallel(
-                "network", "l3.update.inter_group_allreduce", member_times)
+            if self.model_costs:
+                self.ledger.charge_parallel(
+                    "network", "l3.update.inter_group_allreduce",
+                    member_times)
         else:
             global_sums, global_counts = group_sums[0], group_counts[0]
 
         # Divide: dimension-parallel across each CG's CPEs.
-        self.ledger.charge("compute", "l3.update.divide",
-                           self.compute.time_for_flops(widest_k * widest_d,
-                                                       n_cpes=1))
+        if self.model_costs:
+            self.ledger.charge("compute", "l3.update.divide",
+                               self.compute.time_for_flops(
+                                   widest_k * widest_d, n_cpes=1))
         new_C = update_centroids(global_sums, global_counts, C)
         return assignments, new_C
 

@@ -31,7 +31,7 @@ import numpy as np
 
 from ..machine.machine import Machine
 from ..runtime.compute import distance_flops
-from ._common import accumulate, squared_distances, update_centroids
+from ._common import accumulate, update_centroids
 from .level3 import Level3Executor
 from .result import KMeansResult
 
@@ -55,7 +55,7 @@ class Level3BoundedExecutor(Level3Executor):
     def _full_assign_with_bounds(self, X: np.ndarray, C: np.ndarray) -> None:
         """Exact assignment of every sample; establishes ub/lb."""
         n, k = X.shape[0], C.shape[0]
-        dist = np.sqrt(np.maximum(squared_distances(X, C), 0.0))
+        dist = np.sqrt(np.maximum(self.kernel.pairwise_sq(X, C), 0.0))
         order = np.argsort(dist, axis=1)
         self._assignments = order[:, 0].astype(np.int64)
         self._ub = dist[np.arange(n), order[:, 0]]
@@ -67,7 +67,7 @@ class Level3BoundedExecutor(Level3Executor):
         assert self._ub is not None and self._lb is not None
         k = C.shape[0]
         if k > 1:
-            cc = np.sqrt(np.maximum(squared_distances(C, C), 0.0))
+            cc = np.sqrt(np.maximum(self.kernel.pairwise_sq(C, C), 0.0))
             np.fill_diagonal(cc, np.inf)
             s = 0.5 * cc.min(axis=1)
         else:
@@ -82,7 +82,7 @@ class Level3BoundedExecutor(Level3Executor):
         if idx.size == 0:
             return
         k = C.shape[0]
-        dist = np.sqrt(np.maximum(squared_distances(X[idx], C), 0.0))
+        dist = np.sqrt(np.maximum(self.kernel.pairwise_sq(X[idx], C), 0.0))
         order = np.argsort(dist, axis=1)
         self._assignments[idx] = order[:, 0]
         self._ub[idx] = dist[np.arange(idx.size), order[:, 0]]
@@ -128,11 +128,13 @@ class Level3BoundedExecutor(Level3Executor):
             lo, hi = plan.sample_blocks[g]
             block = X[lo:hi]
             b = block.shape[0]
-            n_cand = int(candidate_mask[lo:hi].sum())
             sums, counts = accumulate(block, assignments[lo:hi], k)
             group_sums.append(sums)
             group_counts.append(counts)
 
+            if not self.model_costs:
+                continue
+            n_cand = int(candidate_mask[lo:hi].sum())
             # The full block still streams (Update needs every sample);
             # bound state (2 scalars/sample) rides along.
             cg_bytes = (b * (d + 2)) * item \
@@ -152,18 +154,19 @@ class Level3BoundedExecutor(Level3Executor):
             ]
             accumulate_times.append(self.compute.time_for_flops(
                 max(slice_loads), n_cpes=1))
-        self.charge_stream_phases("l3b.assign", dma_times, compute_times)
-        max_cand_block = max(
-            int(candidate_mask[lo:hi].sum())
-            for lo, hi in plan.sample_blocks
-        )
-        self.ledger.charge("regcomm", "l3b.assign.dim_reduce",
-                           self._regcomm.allreduce_time(
-                               max_cand_block * widest_k * item))
-        self.ledger.charge_parallel("network", "l3b.assign.minloc",
-                                    minloc_times)
-        self.ledger.charge_parallel("compute", "l3b.update.accumulate",
-                                    accumulate_times)
+        if self.model_costs:
+            self.charge_stream_phases("l3b.assign", dma_times, compute_times)
+            max_cand_block = max(
+                int(candidate_mask[lo:hi].sum())
+                for lo, hi in plan.sample_blocks
+            )
+            self.ledger.charge("regcomm", "l3b.assign.dim_reduce",
+                               self._regcomm.allreduce_time(
+                                   max_cand_block * widest_k * item))
+            self.ledger.charge_parallel("network", "l3b.assign.minloc",
+                                        minloc_times)
+            self.ledger.charge_parallel("compute", "l3b.update.accumulate",
+                                        accumulate_times)
 
         # ---- Update phase (identical to the unbounded executor) ----
         if plan.n_groups > 1:
@@ -171,22 +174,26 @@ class Level3BoundedExecutor(Level3Executor):
             global_counts = np.zeros_like(group_counts[0])
             member_times: List[float] = []
             for j, (lo_k, hi_k) in enumerate(plan.centroid_slices):
-                comm = self._member_comms[j]
-                payload = ((hi_k - lo_k) * d + (hi_k - lo_k)) * item
-                member_times.append(comm.allreduce_time(payload))
+                if self.model_costs:
+                    comm = self._member_comms[j]
+                    payload = ((hi_k - lo_k) * d + (hi_k - lo_k)) * item
+                    member_times.append(comm.allreduce_time(payload))
                 if hi_k > lo_k:
                     global_sums[lo_k:hi_k] = np.sum(
                         [s[lo_k:hi_k] for s in group_sums], axis=0)
                     global_counts[lo_k:hi_k] = np.sum(
                         [c[lo_k:hi_k] for c in group_counts], axis=0)
-            self.ledger.charge_parallel(
-                "network", "l3b.update.inter_group_allreduce", member_times)
+            if self.model_costs:
+                self.ledger.charge_parallel(
+                    "network", "l3b.update.inter_group_allreduce",
+                    member_times)
         else:
             global_sums, global_counts = group_sums[0], group_counts[0]
 
-        self.ledger.charge("compute", "l3b.update.divide",
-                           self.compute.time_for_flops(widest_k * widest_d,
-                                                       n_cpes=1))
+        if self.model_costs:
+            self.ledger.charge("compute", "l3b.update.divide",
+                               self.compute.time_for_flops(
+                                   widest_k * widest_d, n_cpes=1))
         new_C = update_centroids(global_sums, global_counts, C)
         self._prev_C = C.copy()
         return assignments, new_C

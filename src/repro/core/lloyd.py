@@ -20,18 +20,18 @@ from ..errors import ConfigurationError
 from ._common import (
     DEFAULT_CHUNK_ELEMENTS,
     accumulate,
-    assign_chunked,
     inertia,
     max_centroid_shift,
     update_centroids,
     validate_data,
 )
+from .kernels import KernelLike, resolve_kernel
 from .result import IterationStats, KMeansResult
 
 
 def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
           tol: float = 0.0, chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
-          ) -> KMeansResult:
+          kernel: KernelLike = "naive") -> KMeansResult:
     """Run serial Lloyd k-means from an explicit initial centroid set.
 
     Parameters
@@ -47,6 +47,9 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
         paper's loop runs "until each c_j is fixed", i.e. tol = 0.
     chunk_elements:
         Bound on the transient distance-matrix working set.
+    kernel:
+        Compute backend for the Assign step ("naive" or "gemm"; see
+        :mod:`repro.core.kernels`).
 
     Returns
     -------
@@ -56,6 +59,7 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
         raise ConfigurationError(f"max_iter must be >= 1, got {max_iter}")
     if tol < 0:
         raise ConfigurationError(f"tol must be >= 0, got {tol}")
+    backend = resolve_kernel(kernel)
     X, C = validate_data(X, np.array(centroids, copy=True))
     k = C.shape[0]
 
@@ -64,7 +68,7 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
     converged = False
     it = 0
     for it in range(1, max_iter + 1):
-        new_assignments = assign_chunked(X, C, chunk_elements)
+        new_assignments = backend.assign(X, C, chunk_elements)
         sums, counts = accumulate(X, new_assignments, k)
         new_C = update_centroids(sums, counts, C)
 
@@ -85,7 +89,7 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
     return KMeansResult(
         centroids=C,
         assignments=assignments,
-        inertia=inertia(X, C, assign_chunked(X, C, chunk_elements)),
+        inertia=inertia(X, C, backend.assign(X, C, chunk_elements)),
         n_iter=it,
         converged=converged,
         history=history,
@@ -96,6 +100,7 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
 
 def lloyd_single_iteration(X: np.ndarray, centroids: np.ndarray,
                            chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+                           kernel: KernelLike = "naive",
                            ) -> tuple[np.ndarray, np.ndarray]:
     """One Assign+Update step; returns (assignments, new_centroids).
 
@@ -103,6 +108,6 @@ def lloyd_single_iteration(X: np.ndarray, centroids: np.ndarray,
     against the reference without running to convergence.
     """
     X, C = validate_data(X, centroids)
-    assignments = assign_chunked(X, C, chunk_elements)
+    assignments = resolve_kernel(kernel).assign(X, C, chunk_elements)
     sums, counts = accumulate(X, assignments, C.shape[0])
     return assignments, update_centroids(sums, counts, C)

@@ -44,7 +44,8 @@ class KMeansResult:
     history:
         Per-iteration telemetry.
     ledger:
-        The simulator's time ledger (None for the serial baseline).
+        The simulator's time ledger (None for the serial baseline and for
+        pure-numerics runs with ``model_costs=False``).
     level:
         Which partition level produced the result (0 = serial).
     """

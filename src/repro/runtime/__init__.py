@@ -14,7 +14,14 @@ and prices them with the machine's published parameters:
 from .collectives import barrier, exscan_sum, gatherv, reduce_scatter_sum, scatterv
 from .compute import ComputeModel, DEFAULT_EFFICIENCY, distance_flops, update_flops
 from .dma import DMAEngine
-from .ledger import CATEGORIES, IterationBreakdown, PhaseRecord, TimeLedger
+from .ledger import (
+    CATEGORIES,
+    IterationBreakdown,
+    LedgerProtocol,
+    NullLedger,
+    PhaseRecord,
+    TimeLedger,
+)
 from .mpi import ALGORITHMS, SimComm, world_comm
 from .regcomm import RegisterComm
 
@@ -30,6 +37,8 @@ __all__ = [
     "DEFAULT_EFFICIENCY",
     "DMAEngine",
     "IterationBreakdown",
+    "LedgerProtocol",
+    "NullLedger",
     "PhaseRecord",
     "RegisterComm",
     "SimComm",

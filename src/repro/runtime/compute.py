@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from ..errors import ConfigurationError
 from ..machine.specs import CGSpec
-from .ledger import TimeLedger
+from .ledger import LedgerProtocol
 
 #: Fraction of peak FLOP/s the distance kernel sustains out of LDM.
 DEFAULT_EFFICIENCY = 0.35
@@ -34,7 +34,7 @@ def update_flops(n_samples: int, n_dims: int, n_centroids: int) -> int:
 class ComputeModel:
     """Charges CPE arithmetic time for one core group."""
 
-    def __init__(self, cg_spec: CGSpec, ledger: TimeLedger,
+    def __init__(self, cg_spec: CGSpec, ledger: LedgerProtocol,
                  efficiency: float = DEFAULT_EFFICIENCY) -> None:
         if not 0.0 < efficiency <= 1.0:
             raise ConfigurationError(

@@ -18,7 +18,7 @@ import math
 
 from ..errors import ConfigurationError
 from ..machine.specs import CGSpec
-from .ledger import TimeLedger
+from .ledger import LedgerProtocol
 
 
 class DMAEngine:
@@ -32,7 +32,7 @@ class DMAEngine:
         Ledger the engine charges time to.
     """
 
-    def __init__(self, cg_spec: CGSpec, ledger: TimeLedger) -> None:
+    def __init__(self, cg_spec: CGSpec, ledger: LedgerProtocol) -> None:
         self.spec = cg_spec
         self.ledger = ledger
         self._bytes_moved = 0

@@ -14,10 +14,17 @@ Parallel work is charged as the *maximum* over the concurrent units (the
 SPMD critical path); sequential phases add.  Iteration boundaries let the
 experiments report the paper's headline metric, **one-iteration completion
 time**.
+
+Cost charging is an *observer* of the numerics, not part of them: every
+executor and transport talks to the :class:`LedgerProtocol` interface, and
+:class:`NullLedger` is the no-op implementation that lets the same code run
+pure NumPy arithmetic with zero simulation bookkeeping
+(``HierarchicalKMeans(..., model_costs=False)``).
 """
 
 from __future__ import annotations
 
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Tuple
 
@@ -49,8 +56,95 @@ class IterationBreakdown:
         return sum(self.by_category.values())
 
 
-class TimeLedger:
+class LedgerProtocol(ABC):
+    """Observer interface every cost-charging site writes to.
+
+    Implementations: :class:`TimeLedger` (records everything — the default)
+    and :class:`NullLedger` (discards everything — pure-numerics mode).
+    Executors and transports must only depend on this interface so the two
+    are interchangeable.
+    """
+
+    #: False when charges are discarded; executors skip cost-model
+    #: bookkeeping entirely (byte counts, per-unit critical paths) when
+    #: their ledger is disabled.
+    enabled: bool = True
+
+    # -- recording -----------------------------------------------------------
+
+    @abstractmethod
+    def charge(self, category: str, label: str, seconds: float) -> None:
+        """Charge ``seconds`` of sequential time to a category."""
+
+    @abstractmethod
+    def charge_parallel(self, category: str, label: str,
+                        unit_seconds: Iterable[float]) -> float:
+        """Charge the critical path (max) over concurrent units."""
+
+    @abstractmethod
+    def next_iteration(self) -> int:
+        """Mark the start of a new algorithm iteration; returns its index."""
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def records(self) -> Tuple[PhaseRecord, ...]:
+        """Every phase charged so far."""
+
+    @property
+    @abstractmethod
+    def n_iterations(self) -> int:
+        """Number of iteration boundaries seen."""
+
+    @abstractmethod
+    def total(self) -> float:
+        """Total modelled seconds across the whole run."""
+
+
+class NullLedger(LedgerProtocol):
+    """Discards every charge — the pure-numerics observer.
+
+    Iteration boundaries are still counted (the convergence loop numbers
+    its telemetry through the ledger) but no records accumulate, every
+    total is 0.0, and nothing is ever validated or summed.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self._iteration = 0
+
+    def charge(self, category: str, label: str, seconds: float) -> None:
+        pass
+
+    def charge_parallel(self, category: str, label: str,
+                        unit_seconds: Iterable[float]) -> float:
+        return 0.0
+
+    def next_iteration(self) -> int:
+        self._iteration += 1
+        return self._iteration
+
+    @property
+    def records(self) -> Tuple[PhaseRecord, ...]:
+        return ()
+
+    @property
+    def n_iterations(self) -> int:
+        return self._iteration
+
+    def total(self) -> float:
+        return 0.0
+
+    def total_by_category(self) -> Dict[str, float]:
+        return {c: 0.0 for c in CATEGORIES}
+
+
+class TimeLedger(LedgerProtocol):
     """Accumulates modelled time over the run of a simulated algorithm."""
+
+    enabled = True
 
     def __init__(self) -> None:
         self._records: List[PhaseRecord] = []

@@ -27,7 +27,7 @@ import numpy as np
 
 from ..errors import CommunicatorError, ConfigurationError
 from ..machine.machine import Machine
-from .ledger import TimeLedger
+from .ledger import LedgerProtocol
 
 #: Collective algorithm names accepted by SimComm.
 ALGORITHMS = ("ring", "tree", "recursive-doubling")
@@ -53,7 +53,7 @@ class SimComm:
     """
 
     def __init__(self, machine: Machine, cg_indices: Sequence[int],
-                 ledger: TimeLedger, algorithm: str = "ring") -> None:
+                 ledger: LedgerProtocol, algorithm: str = "ring") -> None:
         if len(cg_indices) == 0:
             raise CommunicatorError("communicator must have at least one rank")
         if len(set(cg_indices)) != len(cg_indices):
@@ -253,7 +253,7 @@ class SimComm:
         return np.stack(arrays, axis=0)
 
 
-def world_comm(machine: Machine, ledger: TimeLedger,
+def world_comm(machine: Machine, ledger: LedgerProtocol,
                algorithm: str = "ring") -> SimComm:
     """A communicator over every CG of the machine, in global CG order."""
     return SimComm(machine, range(machine.n_cgs), ledger, algorithm)

@@ -24,7 +24,7 @@ import numpy as np
 
 from ..errors import CommunicatorError
 from ..machine.specs import CGSpec
-from .ledger import TimeLedger
+from .ledger import LedgerProtocol
 
 
 class RegisterComm:
@@ -38,7 +38,7 @@ class RegisterComm:
         Ledger the collective times are charged to.
     """
 
-    def __init__(self, cg_spec: CGSpec, ledger: TimeLedger) -> None:
+    def __init__(self, cg_spec: CGSpec, ledger: LedgerProtocol) -> None:
         self.spec = cg_spec
         self.ledger = ledger
 

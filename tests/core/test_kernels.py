@@ -1,0 +1,209 @@
+"""Kernel-backend and ledger-observer seams.
+
+Two invariants hold across the whole executor stack:
+
+* the ``gemm`` backend produces the same assignments (and inertias within
+  1e-9) as the ``naive`` reference on every level, for arbitrary (n, k, d);
+* ``model_costs=False`` (NullLedger) changes nothing about the numerics —
+  identical centroids and assignments, just no time ledger.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernels import (
+    KERNELS,
+    GemmKernel,
+    KernelBackend,
+    NaiveKernel,
+    resolve_kernel,
+)
+from repro.core.kmeans import HierarchicalKMeans
+from repro.core.lloyd import lloyd
+from repro.errors import ConfigurationError
+from repro.machine.machine import toy_machine
+from repro.runtime.ledger import LedgerProtocol, NullLedger, TimeLedger
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return toy_machine(n_nodes=2, cgs_per_node=2, mesh=4,
+                       ldm_bytes=16 * 1024)
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(3)
+    return rng.normal(size=(2000, 16))
+
+
+# ---------------------------------------------------------------------------
+# Raw backend parity
+# ---------------------------------------------------------------------------
+
+class TestBackendParity:
+    @given(n=st.integers(2, 400), k=st.integers(1, 32),
+           d=st.integers(1, 48), seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_assign_parity(self, n, k, d, seed):
+        rng = np.random.default_rng(seed)
+        k = min(k, n)
+        X = rng.normal(size=(n, d))
+        C = rng.normal(size=(k, d))
+        np.testing.assert_array_equal(
+            NaiveKernel().assign(X, C), GemmKernel().assign(X, C))
+
+    @given(n=st.integers(2, 200), k=st.integers(1, 16),
+           d=st.integers(1, 32), seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_pairwise_parity(self, n, k, d, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, d))
+        C = rng.normal(size=(min(k, n), d))
+        np.testing.assert_allclose(
+            GemmKernel().pairwise_sq(X, C), NaiveKernel().pairwise_sq(X, C),
+            rtol=0, atol=1e-9)
+
+    def test_assign_with_distances_parity(self):
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(500, 24))
+        C = rng.normal(size=(12, 24))
+        ia, da = NaiveKernel().assign_with_distances(X, C)
+        ib, db = GemmKernel().assign_with_distances(X, C)
+        np.testing.assert_array_equal(ia, ib)
+        np.testing.assert_allclose(da, db, rtol=0, atol=1e-9)
+
+    def test_chunked_equals_unchunked(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(300, 8))
+        C = rng.normal(size=(9, 8))
+        g = GemmKernel()
+        np.testing.assert_array_equal(
+            g.assign(X, C, chunk_elements=2 * C.shape[0]), g.assign(X, C))
+
+    def test_resolve_kernel(self):
+        assert resolve_kernel("naive").name == "naive"
+        assert resolve_kernel("gemm").name == "gemm"
+        inst = GemmKernel()
+        assert resolve_kernel(inst) is inst
+        with pytest.raises(ConfigurationError, match="kernel"):
+            resolve_kernel("blas3000")
+        assert set(KERNELS) == {"naive", "gemm"}
+
+    def test_backends_are_kernel_backends(self):
+        assert isinstance(NaiveKernel(), KernelBackend)
+        assert isinstance(GemmKernel(), KernelBackend)
+
+
+# ---------------------------------------------------------------------------
+# Whole-stack parity: every level, both backends
+# ---------------------------------------------------------------------------
+
+LEVEL_KWARGS = [
+    pytest.param(1, {}, id="level1"),
+    pytest.param(2, {}, id="level2"),
+    pytest.param(3, {}, id="level3"),
+    pytest.param(3, {"bounded": True}, id="level3-bounded"),
+]
+
+
+class TestExecutorKernelParity:
+    @pytest.mark.parametrize("level,extra", LEVEL_KWARGS)
+    def test_gemm_matches_naive(self, machine, blobs, level, extra):
+        runs = {}
+        for kernel in KERNELS:
+            model = HierarchicalKMeans(8, machine=machine, level=level,
+                                       init="first", max_iter=25,
+                                       kernel=kernel, **extra)
+            runs[kernel] = model.fit(blobs)
+        np.testing.assert_array_equal(runs["naive"].assignments,
+                                      runs["gemm"].assignments)
+        assert abs(runs["naive"].inertia
+                   - runs["gemm"].inertia) <= 1e-9
+        np.testing.assert_allclose(runs["naive"].centroids,
+                                   runs["gemm"].centroids,
+                                   rtol=0, atol=1e-9)
+
+    @given(n=st.integers(50, 600), k=st.integers(2, 12),
+           d=st.integers(2, 24), seed=st.integers(0, 999))
+    @settings(max_examples=15, deadline=None)
+    def test_lloyd_gemm_matches_naive(self, n, k, d, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, d))
+        C0 = X[:k].copy()
+        a = lloyd(X, C0, max_iter=10)
+        b = lloyd(X, C0, max_iter=10, kernel="gemm")
+        np.testing.assert_array_equal(a.assignments, b.assignments)
+        assert abs(a.inertia - b.inertia) <= 1e-9
+
+    def test_gemm_modelled_seconds_equal_naive(self, machine, blobs):
+        """The cost model prices the plan, not the host arithmetic — both
+        backends must charge identical modelled time."""
+        runs = [HierarchicalKMeans(8, machine=machine, level=2,
+                                   init="first", max_iter=10,
+                                   kernel=kern).fit(blobs)
+                for kern in KERNELS]
+        assert runs[0].ledger.total() == runs[1].ledger.total()
+
+    def test_strict_cpe_requires_naive(self, machine):
+        from repro.core.level2 import Level2Executor
+        with pytest.raises(ConfigurationError, match="strict_cpe"):
+            Level2Executor(machine, strict_cpe=True, kernel="gemm")
+
+    def test_predict_uses_selected_kernel(self, machine, blobs):
+        model = HierarchicalKMeans(8, machine=machine, init="first",
+                                   max_iter=10, kernel="gemm")
+        model.fit(blobs)
+        np.testing.assert_array_equal(
+            model.predict(blobs),
+            NaiveKernel().assign(blobs, model.result_.centroids))
+
+
+# ---------------------------------------------------------------------------
+# Ledger observer: NullLedger runs are numerically identical
+# ---------------------------------------------------------------------------
+
+class TestModelCostsOff:
+    @pytest.mark.parametrize("level,extra", LEVEL_KWARGS)
+    def test_null_ledger_preserves_numerics(self, machine, blobs, level,
+                                            extra):
+        ledgered = HierarchicalKMeans(8, machine=machine, level=level,
+                                      init="first", max_iter=25,
+                                      **extra).fit(blobs)
+        pure = HierarchicalKMeans(8, machine=machine, level=level,
+                                  init="first", max_iter=25,
+                                  model_costs=False, **extra).fit(blobs)
+        np.testing.assert_array_equal(ledgered.assignments, pure.assignments)
+        np.testing.assert_array_equal(ledgered.centroids, pure.centroids)
+        assert ledgered.inertia == pure.inertia
+        assert ledgered.n_iter == pure.n_iter
+        assert pure.ledger is None
+        assert ledgered.ledger is not None and ledgered.ledger.total() > 0.0
+        assert pure.mean_iteration_seconds() == 0.0
+
+    def test_history_still_counts_iterations(self, machine, blobs):
+        pure = HierarchicalKMeans(8, machine=machine, level=1, init="first",
+                                  max_iter=25, model_costs=False).fit(blobs)
+        assert [h.iteration for h in pure.history] == \
+            list(range(1, pure.n_iter + 1))
+        assert all(h.modelled_seconds == 0.0 for h in pure.history)
+
+    def test_null_ledger_interface(self):
+        ledger = NullLedger()
+        assert isinstance(ledger, LedgerProtocol)
+        assert not ledger.enabled
+        ledger.charge("compute", "x", 1.0)  # discarded, not validated
+        ledger.charge("not-a-category", "x", -5.0)  # still discarded
+        assert ledger.charge_parallel("dma", "y", [1.0, 2.0]) == 0.0
+        assert ledger.total() == 0.0
+        assert ledger.records == ()
+        assert ledger.next_iteration() == 1
+        assert ledger.n_iterations == 1
+        assert set(ledger.total_by_category()) == \
+            set(TimeLedger().total_by_category())
+
+    def test_time_ledger_is_protocol(self):
+        assert isinstance(TimeLedger(), LedgerProtocol)
+        assert TimeLedger().enabled

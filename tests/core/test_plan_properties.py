@@ -21,6 +21,7 @@ from repro.core.partition import (
     stage_level1,
     stage_level2,
     stage_level3,
+    stream_gate,
 )
 from repro.errors import PartitionError
 from repro.machine.machine import toy_machine
@@ -132,12 +133,25 @@ def test_level_escalation_is_consistent(machine, problem):
 @given(machine=machines, problem=problems)
 @settings(max_examples=40, deadline=None)
 def test_streaming_dominates_resident(machine, problem):
-    """Anything a resident Level-2/3 plan accepts, streaming accepts too."""
+    """Anything a resident Level-2/3 plan accepts, streaming accepts too —
+    whenever streaming's own staging buffers fit the LDM.
+
+    The two modes gate on different working sets: a resident plan needs the
+    centroid/accumulator slices in LDM, a streaming plan needs
+    ``STREAM_BUFFERS`` sample-slice staging buffers.  With a tiny LDM and a
+    wide sample (e.g. d=129 at 4 KiB) the resident windows can fit while
+    the staging double-buffers cannot, so streaming is legitimately
+    infeasible there and dominance only holds where the stream gate passes.
+    """
     n, k, d = problem
     assume(k <= n)
-    for planner in (plan_level2, plan_level3):
+    itemsize = 8  # float64, the planners' default dtype
+    d_slice_l3 = -(-d // machine.cpes_per_cg)
+    for planner, stream_elems in ((plan_level2, d), (plan_level3, d_slice_l3)):
         try:
             planner(machine, n, k, d)
         except PartitionError:
             continue
+        if not stream_gate(stream_elems, machine.ldm_bytes, itemsize):
+            continue  # staging buffers cannot fit: streaming infeasible
         planner(machine, n, k, d, streaming=True)  # must not raise

@@ -31,9 +31,16 @@ def test_example_runs(script, marker, tmp_path):
     argv = [sys.executable, path]
     if script == "reproduce_paper.py":
         argv += ["--out", str(tmp_path / "outputs")]
+    # The scripts import repro; make the repo's src importable by absolute
+    # path so a cwd-relative PYTHONPATH (e.g. "src") from the invoking
+    # test run doesn't silently vanish inside the subprocess's tmp cwd.
+    src = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "src"))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.run(
         argv, capture_output=True, text=True, timeout=600,
-        cwd=str(tmp_path),
+        cwd=str(tmp_path), env=env,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert marker in proc.stdout
