@@ -1,0 +1,235 @@
+"""Benchmarks of the fault-injection / checkpoint / recovery subsystem.
+
+The interesting costs here are *modelled* seconds, not host seconds: how
+much simulated time a checkpoint cadence buys or costs when core groups
+fail mid-run, and how retry backoff shows up in the ledger.  A host-time
+microbench of the injector hooks rides along to keep the zero-overhead
+claim honest.
+
+Two ways to run it:
+
+* ``pytest benchmarks/bench_faults.py --benchmark-only`` — the usual
+  pytest-benchmark microbenches below;
+* ``PYTHONPATH=src python benchmarks/bench_faults.py [--quick] [--check]
+  [--out BENCH_faults.json]`` — a standalone sweep: checkpoint cadence
+  (none, every 1/2/5/10 iterations) against a mid-run CG failure under the
+  replan policy, plus a transient-probability sweep under retry, written
+  as JSON.  ``--check`` exits non-zero if the fault-free run shows any
+  checkpoint/recovery charge, if a faulty replay is not bit-identical, or
+  if checkpoint overhead fails to grow with cadence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import CheckpointConfig, CheckpointStore
+from repro.core.kmeans import HierarchicalKMeans
+from repro.core.recovery import RetryPolicy
+from repro.data.synthetic import gaussian_blobs
+from repro.machine.machine import toy_machine
+from repro.runtime.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.runtime.ledger import TimeLedger
+
+
+@pytest.fixture(scope="module")
+def workload():
+    X, _ = gaussian_blobs(n=5_000, k=8, d=16, seed=11)
+    return X
+
+
+def _model(X, faults=None, recovery="fail_fast", checkpoint_every=None,
+           max_iter=25):
+    return HierarchicalKMeans(
+        8, machine=toy_machine(n_nodes=2), level=3, init="first",
+        seed=11, max_iter=max_iter, faults=faults, recovery=recovery,
+        checkpoint_every=checkpoint_every)
+
+
+def test_fit_without_injector(benchmark, workload):
+    result = benchmark(lambda: _model(workload).fit(workload))
+    assert result.fault_events == []
+
+
+def test_fit_with_idle_injector(benchmark, workload):
+    # A plan whose window never opens: hooks installed, nothing fires.
+    plan = FaultPlan([FaultSpec("transient_dma", iteration=10 ** 6)])
+    result = benchmark(
+        lambda: _model(workload, faults=plan, recovery="retry").fit(workload))
+    assert result.fault_events == []
+
+
+def test_fit_with_replan_recovery(benchmark, workload):
+    plan = FaultPlan([FaultSpec("cg_failure", iteration=2, cg_index=1)])
+    result = benchmark(
+        lambda: _model(workload, faults=plan, recovery="replan",
+                       checkpoint_every=1).fit(workload))
+    assert [e.action for e in result.fault_events] == ["replanned"]
+
+
+def test_injector_hook_overhead(benchmark):
+    # A window that never opens: the hook is pure bookkeeping.
+    injector = FaultInjector(
+        FaultPlan([FaultSpec("transient_dma", iteration=10 ** 6)]))
+    injector.begin_iteration(5)
+
+    def hammer():
+        for _ in range(1000):
+            injector.on_dma("dma.transfer", 4096)
+
+    benchmark(hammer)
+
+
+def test_checkpoint_save(benchmark):
+    store = CheckpointStore(CheckpointConfig(every=1), TimeLedger())
+    C = np.random.default_rng(0).normal(size=(256, 64))
+    it = [0]
+
+    def save():
+        it[0] += 1
+        store.maybe_save(it[0], C)
+
+    benchmark(save)
+    assert store.n_saved > 0
+
+
+# ---------------------------------------------------------------------------
+# Standalone sweep: checkpoint cadence vs recovery overhead
+# ---------------------------------------------------------------------------
+
+
+def _fit(X, max_iter, faults=None, recovery="fail_fast",
+         checkpoint_every=None):
+    import warnings
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        return _model(X, faults=faults, recovery=recovery,
+                      checkpoint_every=checkpoint_every,
+                      max_iter=max_iter).fit(X)
+
+
+def _cadence_sweep(X, max_iter):
+    plan = FaultPlan([FaultSpec("cg_failure", iteration=3, cg_index=1)])
+    rows = []
+    for every in (None, 1, 2, 5, 10):
+        result = _fit(X, max_iter, faults=plan, recovery="replan",
+                      checkpoint_every=every)
+        replay = _fit(X, max_iter, faults=plan, recovery="replan",
+                      checkpoint_every=every)
+        cats = result.ledger.total_by_category()
+        rows.append({
+            "checkpoint_every": every,
+            "n_iter": result.n_iter,
+            "converged": bool(result.converged),
+            "modelled_total_seconds": result.ledger.total(),
+            "checkpoint_seconds": cats["checkpoint"],
+            "recovery_seconds": cats["recovery"],
+            "fault_actions": [e.action for e in result.fault_events],
+            "replay_bit_identical": bool(
+                np.array_equal(result.centroids, replay.centroids)
+                and result.ledger.total() == replay.ledger.total()),
+        })
+        label = "none" if every is None else f"{every:4d}"
+        print(f"  cadence {label}: {result.n_iter:3d} iter  "
+              f"total {result.ledger.total():.6f}s  "
+              f"ckpt {cats['checkpoint']:.6f}s  "
+              f"recovery {cats['recovery']:.6f}s")
+    return rows
+
+
+def _retry_sweep(X, max_iter):
+    rows = []
+    for p in (0.0, 0.05, 0.2):
+        faults = (FaultPlan([FaultSpec("transient_dma", probability=p)],
+                            seed=5)
+                  if p else None)
+        result = _fit(X, max_iter, faults=faults,
+                      recovery=RetryPolicy(max_retries=10 ** 6))
+        cats = result.ledger.total_by_category()
+        rows.append({
+            "transient_probability": p,
+            "n_iter": result.n_iter,
+            "n_faults": len(result.fault_events),
+            "modelled_total_seconds": result.ledger.total(),
+            "recovery_seconds": cats["recovery"],
+            "checkpoint_seconds": cats["checkpoint"],
+        })
+        print(f"  p={p:4.2f}: {len(result.fault_events):3d} retries  "
+              f"total {result.ledger.total():.6f}s  "
+              f"recovery {cats['recovery']:.6f}s")
+    return rows
+
+
+def main(argv=None):
+    import argparse
+    import json
+    import platform
+
+    parser = argparse.ArgumentParser(
+        description="checkpoint-cadence vs recovery-overhead sweep")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workload (CI mode)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on nonzero fault-free overhead, "
+                             "non-deterministic replay, or non-monotone "
+                             "checkpoint cost")
+    parser.add_argument("--out", default="BENCH_faults.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    n = 2_000 if args.quick else 20_000
+    max_iter = 20 if args.quick else 60
+    # Well-separated blobs so every sweep configuration converges and the
+    # comparison is cadence-vs-overhead, not convergence luck.
+    X, _ = gaussian_blobs(n=n, k=8, d=16, spread=0.02, seed=11)
+
+    clean = _fit(X, max_iter)
+    clean_cats = clean.ledger.total_by_category()
+    print(f"clean run: {clean.n_iter} iter, "
+          f"total {clean.ledger.total():.6f}s modelled")
+    print("checkpoint cadence sweep (cg_failure@3 under replan):")
+    cadence_rows = _cadence_sweep(X, max_iter)
+    print("transient retry sweep:")
+    retry_rows = _retry_sweep(X, max_iter)
+
+    payload = {
+        "benchmark": "faults",
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "clean": {
+            "n_iter": clean.n_iter,
+            "modelled_total_seconds": clean.ledger.total(),
+            "checkpoint_seconds": clean_cats["checkpoint"],
+            "recovery_seconds": clean_cats["recovery"],
+        },
+        "cadence": cadence_rows,
+        "retry": retry_rows,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        if clean_cats["checkpoint"] or clean_cats["recovery"]:
+            print("CHECK FAILED: fault-free run charged checkpoint/recovery")
+            return 1
+        if not all(r["replay_bit_identical"] for r in cadence_rows):
+            print("CHECK FAILED: faulty replay not bit-identical")
+            return 1
+        ckpt = {r["checkpoint_every"]: r["checkpoint_seconds"]
+                for r in cadence_rows}
+        if not (ckpt[None] == 0.0 and ckpt[1] >= ckpt[2] >= ckpt[10]):
+            print("CHECK FAILED: checkpoint cost not monotone in cadence")
+            return 1
+        if not all(r["converged"] for r in cadence_rows):
+            print("CHECK FAILED: a replan run failed to converge")
+            return 1
+        print("check ok: zero fault-free overhead, deterministic replay, "
+              "monotone cadence cost")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

@@ -20,6 +20,7 @@ Quickstart
 
 from .core import (
     KERNELS,
+    CheckpointConfig,
     GemmKernel,
     HierarchicalKMeans,
     KernelBackend,
@@ -28,9 +29,11 @@ from .core import (
     Level2Executor,
     Level3Executor,
     NaiveKernel,
+    RecoveryPolicy,
     init_centroids,
     lloyd,
     resolve_kernel,
+    resolve_recovery,
     plan_level1,
     plan_level2,
     plan_level3,
@@ -40,21 +43,42 @@ from .core import (
     select_level,
 )
 from .errors import (
+    CGFailedError,
+    CollectiveTimeoutError,
     CommunicatorError,
     ConfigurationError,
+    ConvergenceWarning,
     DataShapeError,
+    FaultError,
     LDMOverflowError,
     PartitionError,
     ReproError,
+    TransientDMAError,
 )
-from .machine import Machine, machine_from_preset, sunway_machine, toy_machine
+from .machine import (
+    DegradedMachine,
+    Machine,
+    machine_from_preset,
+    sunway_machine,
+    toy_machine,
+)
+from .runtime import FaultEvent, FaultPlan, FaultSpec, parse_fault_plan
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "CGFailedError",
+    "CheckpointConfig",
+    "CollectiveTimeoutError",
     "CommunicatorError",
     "ConfigurationError",
+    "ConvergenceWarning",
     "DataShapeError",
+    "DegradedMachine",
+    "FaultError",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
     "GemmKernel",
     "HierarchicalKMeans",
     "KERNELS",
@@ -67,15 +91,19 @@ __all__ = [
     "Machine",
     "NaiveKernel",
     "PartitionError",
+    "RecoveryPolicy",
     "ReproError",
+    "TransientDMAError",
     "__version__",
     "init_centroids",
     "lloyd",
     "machine_from_preset",
+    "parse_fault_plan",
     "plan_level1",
     "plan_level2",
     "plan_level3",
     "resolve_kernel",
+    "resolve_recovery",
     "run_level1",
     "run_level2",
     "run_level3",

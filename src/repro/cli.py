@@ -16,6 +16,8 @@ Commands
     summary and time-ledger breakdown.  ``--kernel gemm`` switches the
     assign arithmetic to the blocked GEMM backend; ``--no-model-costs``
     runs pure numerics without the simulated time ledger.
+    ``--faults 'cg_failure@3:cg=1' --recovery replan --checkpoint-every 5``
+    injects machine faults and exercises the recovery policies.
 ``machine [--nodes NODES]``
     Render the simulated machine (the paper's Figure-1 block diagram plus
     the fleet summary).
@@ -117,12 +119,20 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     model = HierarchicalKMeans(args.k, machine=machine, level=level,
                                seed=args.seed, max_iter=args.max_iter,
                                kernel=args.kernel,
-                               model_costs=not args.no_model_costs)
+                               model_costs=not args.no_model_costs,
+                               faults=args.faults,
+                               recovery=args.recovery,
+                               checkpoint_every=args.checkpoint_every)
     result = model.fit(X)
     print(result.summary())
     if result.ledger is not None:
         for category, seconds in result.ledger.total_by_category().items():
             print(f"  {category:8s} {format_seconds(seconds)}")
+    for event in result.fault_events:
+        where = f" CG {event.cg_index}" if event.cg_index is not None else ""
+        print(f"  fault: {event.kind}{where} at iteration "
+              f"{event.iteration} -> {event.action} "
+              f"({format_seconds(event.recovery_seconds)} recovery)")
     if args.save:
         from .io import save_result
         save_result(result, args.save)
@@ -214,6 +224,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_cl.add_argument("--no-model-costs", action="store_true",
                       help="run pure numerics (no time ledger, no "
                            "modelled seconds)")
+    p_cl.add_argument("--faults",
+                      help="fault plan: 'kind[@iter][:key=val,...];...' "
+                           "(e.g. 'cg_failure@3:cg=1;transient_dma:p=0.01') "
+                           "or '@plan.json'")
+    p_cl.add_argument("--recovery", default="fail_fast",
+                      choices=("retry", "replan", "fail_fast"),
+                      help="policy applied when an injected fault fires")
+    p_cl.add_argument("--checkpoint-every", type=int, default=None,
+                      metavar="N",
+                      help="snapshot centroids every N iterations "
+                           "(modelled I/O charged to 'checkpoint')")
     p_cl.add_argument("--save", help="path to save the result (.npz)")
     p_cl.set_defaults(func=_cmd_cluster)
 

@@ -1,5 +1,6 @@
 """Core k-means algorithms: serial baseline + the three partition levels."""
 
+from .checkpoint import Checkpoint, CheckpointConfig, CheckpointStore
 from ._common import (
     accumulate,
     assign_chunked,
@@ -37,6 +38,15 @@ from .level2 import Level2Executor, run_level2
 from .level3 import Level3Executor, run_level3
 from .level3_bounded import Level3BoundedExecutor, run_level3_bounded
 from .lloyd import lloyd, lloyd_single_iteration
+from .recovery import (
+    RECOVERY_POLICIES,
+    FailFastPolicy,
+    RecoveryAction,
+    RecoveryPolicy,
+    ReplanPolicy,
+    RetryPolicy,
+    resolve_recovery,
+)
 from .partition import (
     Level1Plan,
     Level2Plan,
@@ -51,7 +61,11 @@ from .partition import (
 from .result import IterationStats, KMeansResult
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointConfig",
+    "CheckpointStore",
     "ConstraintCheck",
+    "FailFastPolicy",
     "FeasibilityReport",
     "GemmKernel",
     "HierarchicalKMeans",
@@ -69,6 +83,11 @@ __all__ = [
     "Level3BoundedExecutor",
     "Level3Executor",
     "Level3Plan",
+    "RECOVERY_POLICIES",
+    "RecoveryAction",
+    "RecoveryPolicy",
+    "ReplanPolicy",
+    "RetryPolicy",
     "accumulate",
     "assign_chunked",
     "bender_window",
@@ -89,6 +108,7 @@ __all__ = [
     "plan_level2",
     "plan_level3",
     "resolve_kernel",
+    "resolve_recovery",
     "run_level1",
     "run_level2",
     "run_level3",

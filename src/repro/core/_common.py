@@ -44,6 +44,12 @@ def validate_data(X: np.ndarray, C: np.ndarray) -> Tuple[np.ndarray, np.ndarray]
         X = X.astype(np.float64)
     if C.dtype != X.dtype:
         C = C.astype(X.dtype)
+    # Non-finite samples silently poison every distance, accumulator, and
+    # centroid downstream; fail loudly at the door instead.
+    if not np.isfinite(X).all():
+        raise DataShapeError("X contains non-finite values (NaN or Inf)")
+    if not np.isfinite(C).all():
+        raise DataShapeError("C contains non-finite values (NaN or Inf)")
     return X, C
 
 

@@ -1,0 +1,139 @@
+"""Checkpoint/restart state for the simulated convergence loop.
+
+Long-running Level-3 jobs on thousands of core groups cannot afford to lose
+the whole run to one failed CG, so the executor periodically snapshots the
+algorithm state — ``(iteration, centroids, rng state)`` is everything Lloyd
+needs, since the assignments are a pure function of ``(X, C)``.  The
+snapshot's modelled I/O cost (a burst-buffer write priced as
+``latency + nbytes / bandwidth``) is charged to the ledger's ``checkpoint``
+category; restoring after a fault charges the mirror read to ``recovery``.
+
+Checkpoints live in memory (the machine is simulated; there is nothing
+durable to write) but the *cost* is modelled faithfully so the
+cadence-vs-overhead trade-off in ``benchmarks/bench_faults.py`` is real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..runtime.ledger import LedgerProtocol
+
+#: Default modelled burst-buffer bandwidth for checkpoint I/O (bytes/s).
+DEFAULT_CHECKPOINT_BW = 1e9
+#: Default per-snapshot latency (seconds) — metadata + sync overhead.
+DEFAULT_CHECKPOINT_LATENCY = 1e-3
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Cadence and cost parameters of the checkpoint stream.
+
+    Parameters
+    ----------
+    every:
+        Snapshot every ``every`` successful iterations (None disables
+        periodic snapshots; the free epoch-0 snapshot of the initial
+        centroids is always kept so ``replan`` has a floor to restart from).
+    bandwidth:
+        Modelled I/O bandwidth in bytes/s.
+    latency:
+        Fixed per-snapshot overhead in seconds.
+    """
+
+    every: Optional[int] = None
+    bandwidth: float = DEFAULT_CHECKPOINT_BW
+    latency: float = DEFAULT_CHECKPOINT_LATENCY
+
+    def __post_init__(self) -> None:
+        if self.every is not None and self.every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1 or None, got {self.every}"
+            )
+        if not self.bandwidth > 0:
+            raise ConfigurationError(
+                f"checkpoint bandwidth must be > 0, got {self.bandwidth}"
+            )
+        if self.latency < 0:
+            raise ConfigurationError(
+                f"checkpoint latency must be >= 0, got {self.latency}"
+            )
+
+    def io_seconds(self, nbytes: int) -> float:
+        """Modelled time to move one ``nbytes`` snapshot (either way)."""
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One saved snapshot of the convergence-loop state."""
+
+    iteration: int
+    centroids: np.ndarray
+    rng_state: Optional[dict] = None
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.centroids.nbytes)
+
+
+class CheckpointStore:
+    """Holds the latest snapshot and charges its modelled I/O.
+
+    The store keeps only the most recent checkpoint (the restart point);
+    ``n_saved`` counts how many periodic snapshots were taken so benchmarks
+    can report checkpoint overhead per cadence.
+    """
+
+    def __init__(self, config: CheckpointConfig,
+                 ledger: LedgerProtocol) -> None:
+        self.config = config
+        self.ledger = ledger
+        self.last: Optional[Checkpoint] = None
+        self.n_saved = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether periodic snapshots are taken at all."""
+        return self.config.every is not None
+
+    def save_initial(self, centroids: np.ndarray) -> None:
+        """Record the free epoch-0 snapshot of the initial centroids.
+
+        The initial centroids are already resident everywhere after the
+        setup broadcast, so this costs nothing — it just guarantees that
+        ``restore`` always has a state to fall back to.
+        """
+        self.last = Checkpoint(iteration=0,
+                               centroids=np.array(centroids, copy=True))
+
+    def maybe_save(self, iteration: int, centroids: np.ndarray,
+                   rng_state: Optional[dict] = None) -> bool:
+        """Snapshot if the cadence says so; charge the write.
+
+        Returns True when a snapshot was taken.
+        """
+        if self.config.every is None or iteration % self.config.every != 0:
+            return False
+        self.last = Checkpoint(iteration=iteration,
+                               centroids=np.array(centroids, copy=True),
+                               rng_state=rng_state)
+        self.n_saved += 1
+        self.ledger.charge("checkpoint", "checkpoint.save",
+                           self.config.io_seconds(self.last.nbytes))
+        return True
+
+    def restore(self) -> Checkpoint:
+        """Return the latest snapshot, charging the read to ``recovery``."""
+        if self.last is None:
+            raise ConfigurationError(
+                "no checkpoint available to restore from "
+                "(setup never ran save_initial)"
+            )
+        self.ledger.charge("recovery", "recovery.restore_checkpoint",
+                           self.config.io_seconds(self.last.nbytes))
+        return self.last

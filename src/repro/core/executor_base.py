@@ -10,17 +10,21 @@ assembly, and the paper's stop rule ("until each c_j is fixed", tol = 0).
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
-from typing import Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ConfigurationError
-from ..machine.machine import Machine
+from ..errors import ConfigurationError, ConvergenceWarning, FaultError
+from ..machine.machine import DegradedMachine, Machine
 from ..runtime.compute import ComputeModel
+from ..runtime.faults import FaultInjector, resolve_fault_plan
 from ..runtime.ledger import NullLedger, TimeLedger
 from ._common import inertia, max_centroid_shift, validate_data
+from .checkpoint import CheckpointConfig, CheckpointStore
 from .kernels import KernelLike, resolve_kernel
+from .recovery import RecoveryLike, resolve_recovery
 from .result import IterationStats, KMeansResult
 
 
@@ -55,6 +59,25 @@ class LevelExecutor(ABC):
         When False the executor runs pure numerics against a
         :class:`~repro.runtime.ledger.NullLedger` — no phase is priced, no
         byte/flop accounting happens, and the result carries no ledger.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultPlan` (or compact spec
+        string, see :func:`~repro.runtime.faults.parse_fault_plan`) to
+        inject during the run.  Requires ``model_costs=True`` — the fault
+        hooks live on the cost-charging paths.  None (the default) attaches
+        no injector: the run is bit-identical, in centroids and modelled
+        seconds, to one without fault support.
+    recovery:
+        Policy applied when an injected fault fires: ``"retry"``,
+        ``"replan"``, ``"fail_fast"`` (default), or a
+        :class:`~repro.core.recovery.RecoveryPolicy` instance.
+    checkpoint_every:
+        Snapshot ``(iteration, centroids)`` every this many iterations,
+        charging the modelled I/O to the ``checkpoint`` category.  None
+        (default) disables periodic snapshots; the free epoch-0 snapshot of
+        the initial centroids is always kept.
+    checkpoint_config:
+        Full :class:`~repro.core.checkpoint.CheckpointConfig` overriding
+        ``checkpoint_every`` (cadence plus I/O bandwidth/latency).
     """
 
     #: Partition level implemented by the subclass (1, 2 or 3).
@@ -64,7 +87,11 @@ class LevelExecutor(ABC):
                  strict_cpe: bool = False, overlap_dma: bool = False,
                  compute_efficiency: float | None = None,
                  kernel: KernelLike = "naive",
-                 model_costs: bool = True) -> None:
+                 model_costs: bool = True,
+                 faults=None,
+                 recovery: RecoveryLike = "fail_fast",
+                 checkpoint_every: Optional[int] = None,
+                 checkpoint_config: Optional[CheckpointConfig] = None) -> None:
         self.machine = machine
         self.collective_algorithm = collective_algorithm
         self.strict_cpe = bool(strict_cpe)
@@ -78,6 +105,19 @@ class LevelExecutor(ABC):
             )
         self.model_costs = bool(model_costs)
         self.ledger = TimeLedger() if self.model_costs else NullLedger()
+        plan = resolve_fault_plan(faults)
+        if plan and not self.model_costs:
+            raise ConfigurationError(
+                "fault injection requires model_costs=True: the fault "
+                "hooks fire from the cost-charging paths that "
+                "model_costs=False skips entirely"
+            )
+        self.injector: Optional[FaultInjector] = \
+            FaultInjector(plan) if plan else None
+        self.recovery = resolve_recovery(recovery)
+        if checkpoint_config is None:
+            checkpoint_config = CheckpointConfig(every=checkpoint_every)
+        self.checkpoints = CheckpointStore(checkpoint_config, self.ledger)
         kwargs = {}
         if compute_efficiency is not None:
             kwargs["efficiency"] = compute_efficiency
@@ -125,6 +165,70 @@ class LevelExecutor(ABC):
                                f"{prefix}.compute+stream(overlap)",
                                compute_worst)
 
+    # -- fault handling ------------------------------------------------------------
+
+    def _reset_state_after_replan(self) -> None:
+        """Drop any executor state tied to the old partition plan.
+
+        The base executors keep no per-iteration state beyond what
+        ``setup`` rebuilds; subclasses with persistent acceleration state
+        (e.g. the Hamerly bounds of Level3Bounded) override this to
+        invalidate it, since a restored checkpoint makes stale bounds
+        unsound.
+        """
+
+    def _replan_after_failure(self, exc: FaultError,
+                              X: np.ndarray) -> np.ndarray:
+        """Excise the failed CG, re-plan on the survivors, restore state.
+
+        Fault-spec CG indices are in the *base* machine's physical
+        numbering, so repeated failures accumulate against the original
+        machine.  Returns the centroids to resume from (the last
+        checkpoint — the free epoch-0 snapshot at worst).
+        """
+        base = self.machine
+        failed: List[int] = []
+        if isinstance(base, DegradedMachine):
+            failed = list(base.failed_cgs)
+            base = base.base
+        failed.append(exc.cg_index if exc.cg_index is not None else 0)
+        self.machine = DegradedMachine(base, failed)
+        checkpoint = self.checkpoints.restore()  # charges "recovery" I/O
+        C = np.array(checkpoint.centroids, copy=True)
+        self._plan = None  # force a fresh partition plan on the survivors
+        self._reset_state_after_replan()
+        self.setup(X, C)
+        return C
+
+    def _handle_fault(self, exc: FaultError, attempt: int, X: np.ndarray,
+                      C: np.ndarray) -> np.ndarray:
+        """Apply the recovery policy to one caught fault.
+
+        Returns the centroids the iteration should re-run from (unchanged
+        for a retry, the restored checkpoint for a replan); re-raises the
+        fault when the policy gives up.
+        """
+        action = self.recovery.decide(exc, attempt)
+        event = getattr(exc, "event", None)
+        if action.kind == "retry":
+            if action.delay > 0:
+                self.ledger.charge("recovery", "recovery.retry_backoff",
+                                   action.delay)
+            if event is not None:
+                event.action = "retried"
+                event.recovery_seconds += action.delay
+            return C
+        if action.kind == "replan":
+            t_before = self.ledger.total()
+            C = self._replan_after_failure(exc, X)
+            if event is not None:
+                event.action = "replanned"
+                event.recovery_seconds += self.ledger.total() - t_before
+            return C
+        if event is not None:
+            event.action = "fatal"
+        raise exc
+
     # -- driver --------------------------------------------------------------------
 
     def run(self, X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
@@ -137,6 +241,7 @@ class LevelExecutor(ABC):
         X, C = validate_data(X, np.array(centroids, copy=True))
 
         self.setup(X, C)
+        self.checkpoints.save_initial(C)
 
         history = []
         assignments = np.full(X.shape[0], -1, dtype=np.int64)
@@ -145,7 +250,18 @@ class LevelExecutor(ABC):
         for _ in range(max_iter):
             it = self.ledger.next_iteration()
             t_before = self.ledger.total()
-            new_assignments, new_C = self.iterate(X, C)
+            attempt = 0
+            while True:
+                try:
+                    if self.injector is not None:
+                        self.injector.begin_iteration(it)
+                    new_assignments, new_C = self.iterate(X, C)
+                    break
+                except FaultError as exc:
+                    attempt += 1
+                    # Partial charges from the failed attempt stay on the
+                    # ledger as wasted work, exactly as on the real machine.
+                    C = self._handle_fault(exc, attempt, X, C)
             t_iter = self.ledger.total() - t_before
 
             shift = max_centroid_shift(C, new_C)
@@ -161,6 +277,17 @@ class LevelExecutor(ABC):
             if shift <= tol:
                 converged = True
                 break
+            self.checkpoints.maybe_save(it, C)
+
+        if not converged:
+            warnings.warn(
+                f"level {self.level} executor did not converge in "
+                f"{max_iter} iterations (last centroid shift "
+                f"{history[-1].centroid_shift:.3g} > tol {tol:g}); "
+                f"consider raising max_iter",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
 
         final_inertia = inertia(X, C, assignments)
         return KMeansResult(
@@ -173,4 +300,6 @@ class LevelExecutor(ABC):
             # Pure-numerics runs report no ledger, like the serial baseline.
             ledger=self.ledger if self.ledger.enabled else None,
             level=self.level,
+            fault_events=list(self.injector.events)
+            if self.injector is not None else [],
         )

@@ -15,8 +15,10 @@ import numpy as np
 
 from ..errors import ConfigurationError, PartitionError
 from ..machine.machine import Machine, sunway_machine
+from ..runtime.faults import resolve_fault_plan
 from .init import METHODS, RngLike, init_centroids
 from .kernels import KernelLike, resolve_kernel
+from .recovery import RecoveryLike, resolve_recovery
 from .level1 import Level1Executor
 from .level2 import Level2Executor
 from .level3 import Level3Executor
@@ -89,6 +91,21 @@ class HierarchicalKMeans:
         :class:`~repro.runtime.ledger.NullLedger`: no modelled seconds are
         charged and ``result.ledger`` is None — same centroids and
         assignments, zero simulation overhead.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultPlan` or compact spec
+        string (``"cg_failure@3:cg=1;transient_dma:p=0.01"``, see
+        :func:`~repro.runtime.faults.parse_fault_plan`) injected into the
+        simulated run.  Requires ``model_costs=True`` and a simulated
+        level (1-3).  Defaults to None: no injector is attached and the
+        run is bit-identical to one without fault support.
+    recovery:
+        What to do when an injected fault fires: ``"retry"``, ``"replan"``,
+        ``"fail_fast"`` (default), or a
+        :class:`~repro.core.recovery.RecoveryPolicy` instance.
+    checkpoint_every:
+        Snapshot the centroids every this many iterations (modelled I/O
+        charged to the ``checkpoint`` ledger category); None disables
+        periodic snapshots.
     executor_kwargs:
         Extra keyword arguments forwarded to the level executor
         (``collective_algorithm``, ``strict_cpe``, ``streaming``,
@@ -111,7 +128,10 @@ class HierarchicalKMeans:
                  level: Union[str, int] = "auto", init: Union[str, np.ndarray] = "kmeans++",
                  max_iter: int = 100, tol: float = 0.0, n_init: int = 1,
                  seed: RngLike = None, kernel: KernelLike = "naive",
-                 model_costs: bool = True, **executor_kwargs) -> None:
+                 model_costs: bool = True, faults=None,
+                 recovery: RecoveryLike = "fail_fast",
+                 checkpoint_every: Optional[int] = None,
+                 **executor_kwargs) -> None:
         if n_clusters < 1:
             raise ConfigurationError(
                 f"n_clusters must be >= 1, got {n_clusters}"
@@ -145,6 +165,23 @@ class HierarchicalKMeans:
         # restart, executor, and predict() call.
         self.kernel = resolve_kernel(kernel)
         self.model_costs = bool(model_costs)
+        # Resolve the fault plan and policy eagerly so a bad spec string or
+        # policy name fails at construction, not restarts deep into fit().
+        self.faults = resolve_fault_plan(
+            faults, seed=seed if isinstance(seed, int) else 0)
+        self.recovery = resolve_recovery(recovery)
+        self.checkpoint_every = checkpoint_every
+        if self.faults:
+            if not self.model_costs:
+                raise ConfigurationError(
+                    "faults= requires model_costs=True: fault hooks fire "
+                    "from the cost-charging paths"
+                )
+            if level == 0:
+                raise ConfigurationError(
+                    "faults= requires a simulated level (1-3); the serial "
+                    "Lloyd baseline (level=0) has no machine to fail"
+                )
         self.executor_kwargs = executor_kwargs
         #: Filled by fit(): the level that actually ran.
         self.selected_level_: Optional[int] = None
@@ -219,6 +256,11 @@ class HierarchicalKMeans:
                          kernel=self.kernel)
         kwargs.setdefault("kernel", self.kernel)
         kwargs.setdefault("model_costs", self.model_costs)
+        # A fresh injector is built per run (inside the executor), so every
+        # restart replays the same plan from the same seed.
+        kwargs.setdefault("faults", self.faults)
+        kwargs.setdefault("recovery", self.recovery)
+        kwargs.setdefault("checkpoint_every", self.checkpoint_every)
         if level == 1:
             executor = Level1Executor(self.machine, **kwargs)
             return executor.run(X, C0, max_iter=self.max_iter, tol=self.tol)

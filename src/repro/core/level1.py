@@ -39,8 +39,10 @@ class Level1Executor(LevelExecutor):
         super().__init__(machine, **kwargs)
         self._plan = plan
         self._itemsize = 8
-        self._regcomm = RegisterComm(machine.spec.processor.cg, self.ledger)
-        self._dma = DMAEngine(machine.spec.processor.cg, self.ledger)
+        self._regcomm = RegisterComm(machine.spec.processor.cg, self.ledger,
+                                     injector=self.injector)
+        self._dma = DMAEngine(machine.spec.processor.cg, self.ledger,
+                              injector=self.injector)
         self._comm: Optional[SimComm] = None
         #: active CPE units per CG: cg_index -> list of unit ids
         self._units_by_cg: Dict[int, List[int]] = {}
@@ -68,7 +70,8 @@ class Level1Executor(LevelExecutor):
 
         active_cgs = sorted(self._units_by_cg)
         self._comm = SimComm(self.machine, active_cgs, self.ledger,
-                             self.collective_algorithm)
+                             self.collective_algorithm,
+                             injector=self.injector)
 
         # One-time broadcast of the initial centroids to every active CPE
         # (iteration epoch 0 in the ledger).

@@ -44,8 +44,10 @@ class Level2Executor(LevelExecutor):
         self._mgroup_request = mgroup
         self._streaming = bool(streaming)
         self._itemsize = 8
-        self._regcomm = RegisterComm(machine.spec.processor.cg, self.ledger)
-        self._dma = DMAEngine(machine.spec.processor.cg, self.ledger)
+        self._regcomm = RegisterComm(machine.spec.processor.cg, self.ledger,
+                                     injector=self.injector)
+        self._dma = DMAEngine(machine.spec.processor.cg, self.ledger,
+                              injector=self.injector)
         self._comm: Optional[SimComm] = None
         self._groups_by_cg: Dict[int, List[int]] = {}
 
@@ -75,7 +77,8 @@ class Level2Executor(LevelExecutor):
 
         active_cgs = sorted(self._groups_by_cg)
         self._comm = SimComm(self.machine, active_cgs, self.ledger,
-                             self.collective_algorithm)
+                             self.collective_algorithm,
+                             injector=self.injector)
         # Initial scatter of centroid slices to every group member.
         if self.model_costs:
             self.ledger.charge(

@@ -53,8 +53,10 @@ class Level3Executor(LevelExecutor):
         self._supernode_aware = supernode_aware
         self._streaming = bool(streaming)
         self._itemsize = 8
-        self._regcomm = RegisterComm(machine.spec.processor.cg, self.ledger)
-        self._dma = DMAEngine(machine.spec.processor.cg, self.ledger)
+        self._regcomm = RegisterComm(machine.spec.processor.cg, self.ledger,
+                                     injector=self.injector)
+        self._dma = DMAEngine(machine.spec.processor.cg, self.ledger,
+                              injector=self.injector)
         #: one communicator per CG group (for the MINLOC step)
         self._group_comms: List[SimComm] = []
         #: one communicator per member position (for the update AllReduce)
@@ -84,13 +86,14 @@ class Level3Executor(LevelExecutor):
 
         self._group_comms = [
             SimComm(self.machine, members, self.ledger,
-                    self.collective_algorithm)
+                    self.collective_algorithm, injector=self.injector)
             for members in plan.cg_groups
         ]
         self._member_comms = [
             SimComm(self.machine,
                     [plan.cg_groups[g][j] for g in range(plan.n_groups)],
-                    self.ledger, self.collective_algorithm)
+                    self.ledger, self.collective_algorithm,
+                    injector=self.injector)
             for j in range(plan.mprime_group)
         ]
         # Initial distribution of centroid slices to every CG (epoch 0).

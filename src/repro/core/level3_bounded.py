@@ -50,6 +50,15 @@ class Level3BoundedExecutor(Level3Executor):
         #: candidates examined per iteration (for tests/reports).
         self.candidates_per_iteration: List[int] = []
 
+    def _reset_state_after_replan(self) -> None:
+        # The restored checkpoint invalidates the persistent Hamerly state:
+        # bounds drifted against centroids that no longer exist would be
+        # unsound, so the next iterate re-establishes them exactly.
+        self._ub = None
+        self._lb = None
+        self._assignments = None
+        self._prev_C = None
+
     # -- bound maintenance -------------------------------------------------------
 
     def _full_assign_with_bounds(self, X: np.ndarray, C: np.ndarray) -> None:

@@ -12,11 +12,12 @@ configuration; the integration tests enforce it.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ConvergenceWarning
 from ._common import (
     DEFAULT_CHUNK_ELEMENTS,
     accumulate,
@@ -85,6 +86,15 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
         if shift <= tol:
             converged = True
             break
+
+    if not converged:
+        warnings.warn(
+            f"lloyd did not converge in {max_iter} iterations (last "
+            f"centroid shift {history[-1].centroid_shift:.3g} > tol "
+            f"{tol:g}); consider raising max_iter",
+            ConvergenceWarning,
+            stacklevel=2,
+        )
 
     return KMeansResult(
         centroids=C,

@@ -1,0 +1,140 @@
+"""Recovery policies: what the convergence loop does when a fault fires.
+
+The executor's iteration driver catches every
+:class:`~repro.errors.FaultError` and asks its policy for a
+:class:`RecoveryAction`:
+
+* ``retry``     — re-run the failed operation after a backoff (transient
+  faults only; CG failures are permanent and cannot be retried away),
+* ``replan``    — drop the failed core groups, re-plan the partition on the
+  shrunken machine, and resume from the last checkpoint,
+* ``fail_fast`` — let the fault propagate to the caller.
+
+Policies are pure deciders: they never touch the ledger or the machine.  The
+executor performs the chosen action and charges its modelled time (backoff,
+checkpoint restore) to the ``recovery`` category, so the same policy object
+can be shared across runs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import CGFailedError, ConfigurationError, FaultError
+
+#: Names accepted by :func:`resolve_recovery` (and the CLI's ``--recovery``).
+RECOVERY_POLICIES = ("retry", "replan", "fail_fast")
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """The policy's verdict for one fault.
+
+    ``kind`` is ``"retry"`` (re-run the iteration after ``delay`` modelled
+    seconds of backoff), ``"replan"`` (shrink the machine and restart from
+    the last checkpoint), or ``"raise"`` (propagate the fault).
+    """
+
+    kind: str
+    delay: float = 0.0
+
+
+class RecoveryPolicy(ABC):
+    """Decides how the executor reacts to an injected fault."""
+
+    #: Name reported in results and accepted by :func:`resolve_recovery`.
+    name: str = ""
+
+    @abstractmethod
+    def decide(self, fault: FaultError, attempt: int) -> RecoveryAction:
+        """Choose an action for ``fault`` on retry ``attempt`` (1-based).
+
+        ``attempt`` counts the faults caught in the *current* iteration, so
+        a bounded-retry policy can give up once the same iteration keeps
+        failing.
+        """
+
+
+class FailFastPolicy(RecoveryPolicy):
+    """Propagate every fault to the caller — the default."""
+
+    name = "fail_fast"
+
+    def decide(self, fault: FaultError, attempt: int) -> RecoveryAction:
+        return RecoveryAction("raise")
+
+
+class RetryPolicy(RecoveryPolicy):
+    """Bounded retries with exponential backoff for transient faults.
+
+    Parameters
+    ----------
+    max_retries:
+        Retries allowed per iteration before giving up.
+    backoff:
+        Modelled seconds of the first backoff delay.
+    factor:
+        Multiplier applied to the delay on each subsequent retry.
+    """
+
+    name = "retry"
+
+    def __init__(self, max_retries: int = 3, backoff: float = 1e-3,
+                 factor: float = 2.0) -> None:
+        if max_retries < 1:
+            raise ConfigurationError(
+                f"max_retries must be >= 1, got {max_retries}"
+            )
+        if backoff < 0 or factor < 1.0:
+            raise ConfigurationError(
+                f"need backoff >= 0 and factor >= 1, "
+                f"got backoff={backoff}, factor={factor}"
+            )
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.factor = factor
+
+    def decide(self, fault: FaultError, attempt: int) -> RecoveryAction:
+        if not fault.transient or attempt > self.max_retries:
+            return RecoveryAction("raise")
+        return RecoveryAction(
+            "retry", delay=self.backoff * self.factor ** (attempt - 1)
+        )
+
+
+class ReplanPolicy(RetryPolicy):
+    """Retry transients; survive CG failures by re-planning.
+
+    A permanent :class:`~repro.errors.CGFailedError` triggers a replan —
+    the failed CG is excised, the partition is re-planned on the survivors,
+    and the run resumes from the last checkpoint.  Transient faults fall
+    back to the bounded-retry behaviour inherited from :class:`RetryPolicy`.
+    """
+
+    name = "replan"
+
+    def decide(self, fault: FaultError, attempt: int) -> RecoveryAction:
+        if isinstance(fault, CGFailedError):
+            return RecoveryAction("replan")
+        return super().decide(fault, attempt)
+
+
+RecoveryLike = Union[RecoveryPolicy, str]
+
+
+def resolve_recovery(policy: RecoveryLike) -> RecoveryPolicy:
+    """Accept a policy instance or one of :data:`RECOVERY_POLICIES`."""
+    if isinstance(policy, RecoveryPolicy):
+        return policy
+    if policy == "fail_fast":
+        return FailFastPolicy()
+    if policy == "retry":
+        return RetryPolicy()
+    if policy == "replan":
+        return ReplanPolicy()
+    raise ConfigurationError(
+        f"unknown recovery policy {policy!r}; "
+        f"expected one of {RECOVERY_POLICIES} or a RecoveryPolicy instance"
+    )

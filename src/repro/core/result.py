@@ -7,6 +7,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..runtime.faults import FaultEvent
 from ..runtime.ledger import TimeLedger
 
 
@@ -48,6 +49,9 @@ class KMeansResult:
         pure-numerics runs with ``model_costs=False``).
     level:
         Which partition level produced the result (0 = serial).
+    fault_events:
+        Every injected fault that fired during the run and how it was
+        handled (empty when no fault plan was attached).
     """
 
     centroids: np.ndarray
@@ -58,6 +62,7 @@ class KMeansResult:
     history: List[IterationStats] = field(default_factory=list)
     ledger: Optional[TimeLedger] = None
     level: int = 0
+    fault_events: List[FaultEvent] = field(default_factory=list)
 
     @property
     def k(self) -> int:

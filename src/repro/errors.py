@@ -58,3 +58,44 @@ class ConvergenceWarning(UserWarning):
 
 class DataShapeError(ReproError):
     """Input data does not have the shape an algorithm requires."""
+
+
+class FaultError(ReproError):
+    """Base class for injected machine faults (see :mod:`repro.runtime.faults`).
+
+    Attributes
+    ----------
+    iteration:
+        Ledger epoch during which the fault fired (0 = setup).
+    cg_index:
+        Core group the fault targets, when the fault has a location.
+    label:
+        Phase label of the operation that hit the fault (e.g. the DMA or
+        collective label), for diagnostics.
+    transient:
+        Class-level flag: True when a bounded retry can clear the fault,
+        False for permanent failures (a dead core group stays dead).
+    """
+
+    transient: bool = True
+
+    def __init__(self, message: str, *, iteration: int | None = None,
+                 cg_index: int | None = None, label: str = "") -> None:
+        self.iteration = iteration
+        self.cg_index = cg_index
+        self.label = label
+        super().__init__(message)
+
+
+class CGFailedError(FaultError):
+    """A core group failed permanently; its work must be re-placed."""
+
+    transient = False
+
+
+class TransientDMAError(FaultError):
+    """A DMA transfer was corrupted or dropped; retrying may succeed."""
+
+
+class CollectiveTimeoutError(FaultError):
+    """A collective did not complete in time; retrying may succeed."""

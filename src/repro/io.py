@@ -23,6 +23,7 @@ from .errors import ConfigurationError
 from .experiments.base import ExperimentOutput
 from .perfmodel.sweep import Series
 from .reporting.figures import series_csv
+from .runtime.faults import FaultEvent
 from .runtime.ledger import PhaseRecord, TimeLedger
 
 #: Format marker embedded in every saved result.
@@ -67,6 +68,11 @@ def save_result(result: KMeansResult, path: str) -> None:
             for s in result.history
         ],
         "ledger": _ledger_to_dict(result.ledger),
+        "fault_events": [
+            [e.iteration, e.kind, e.label, e.cg_index, e.action,
+             e.recovery_seconds]
+            for e in result.fault_events
+        ],
     }
     np.savez_compressed(
         path,
@@ -107,6 +113,14 @@ def load_result(path: str) -> KMeansResult:
         history=history,
         ledger=_ledger_from_dict(meta["ledger"]),
         level=int(meta["level"]),
+        # Absent in files saved before fault injection existed.
+        fault_events=[
+            FaultEvent(int(it), str(kind), str(label),
+                       None if cg is None else int(cg), str(action),
+                       float(sec))
+            for it, kind, label, cg, action, sec
+            in meta.get("fault_events", [])
+        ],
     )
 
 

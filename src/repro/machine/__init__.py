@@ -16,7 +16,13 @@ partitioning strategy is built around:
 
 from .core_group import CPE, CoreGroup
 from .ldm import Allocation, LDMAllocator
-from .machine import Machine, machine_from_preset, sunway_machine, toy_machine
+from .machine import (
+    DegradedMachine,
+    Machine,
+    machine_from_preset,
+    sunway_machine,
+    toy_machine,
+)
 from .render import render_level3_partition, render_machine, render_processor
 from .specs import (
     CGSpec,
@@ -37,6 +43,7 @@ __all__ = [
     "CPE",
     "CPESpec",
     "CoreGroup",
+    "DegradedMachine",
     "FatTreeTopology",
     "LDMAllocator",
     "Machine",

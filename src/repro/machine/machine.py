@@ -18,7 +18,7 @@ from .core_group import CoreGroup
 from .specs import MachineSpec, preset, sunway_spec, toy_spec
 from .topology import FatTreeTopology, build_topology
 
-__all__ = ["Machine", "sunway_machine", "toy_machine"]
+__all__ = ["DegradedMachine", "Machine", "sunway_machine", "toy_machine"]
 
 
 class Machine:
@@ -154,6 +154,70 @@ class Machine:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Machine(nodes={self.n_nodes}, cgs={self.n_cgs}, "
                 f"cpes={self.n_cpes}, supernodes={self.topology.n_supernodes})")
+
+
+class DegradedMachine(Machine):
+    """A machine with some core groups marked failed and excised.
+
+    The recovery path's ``replan`` policy re-plans the computation on the
+    surviving CGs after a :class:`~repro.errors.CGFailedError`.  Rather than
+    rebuilding a smaller :class:`~repro.machine.specs.MachineSpec` (which
+    would renumber nodes and change link pricing), the degraded machine keeps
+    the *physical* topology of the base machine and exposes a dense *logical*
+    CG numbering over the survivors: logical CG ``i`` is the ``i``-th
+    surviving physical CG.  Planners and communicators only consume
+    ``n_cgs``/``node_of_cg``/``place_cg_groups``, so they transparently plan
+    over the logical indices while traffic is still priced on the physical
+    links the survivors actually occupy.
+    """
+
+    def __init__(self, base: Machine, failed_cgs: Sequence[int]) -> None:
+        failed = sorted({int(c) for c in failed_cgs})
+        for cg in failed:
+            base.node_of_cg(cg)  # validates range on the *base* numbering
+        survivors = [i for i in range(base.n_cgs) if i not in set(failed)]
+        if not survivors:
+            raise ConfigurationError(
+                "cannot degrade a machine to zero surviving core groups"
+            )
+        super().__init__(base.spec, materialize_ldm=base._materialized)
+        self.base = base
+        self.failed_cgs = tuple(failed)
+        self._survivors = survivors
+
+    # -- structure (logical view over survivors) -------------------------------
+
+    @property
+    def n_cgs(self) -> int:
+        return len(self._survivors)
+
+    @property
+    def n_cpes(self) -> int:
+        return self.n_cgs * self.cpes_per_cg
+
+    def physical_cg(self, cg_index: int) -> int:
+        """Physical (base-machine) index of logical CG ``cg_index``."""
+        if not 0 <= cg_index < self.n_cgs:
+            raise ConfigurationError(
+                f"CG index {cg_index} out of range [0, {self.n_cgs})"
+            )
+        return self._survivors[cg_index]
+
+    def node_of_cg(self, cg_index: int) -> int:
+        return self.physical_cg(cg_index) // self._cgs_per_node
+
+    def core_group(self, cg_index: int) -> CoreGroup:
+        physical = self.physical_cg(cg_index)
+        if not self._materialized:
+            raise ConfigurationError(
+                "machine was built with materialize_ldm=False; "
+                "core-group objects are not available"
+            )
+        return self._core_groups[physical]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DegradedMachine(survivors={self.n_cgs}, "
+                f"failed={list(self.failed_cgs)})")
 
 
 def sunway_machine(n_nodes: int = 1, materialize_ldm: bool | None = None) -> Machine:

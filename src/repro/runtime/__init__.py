@@ -14,6 +14,15 @@ and prices them with the machine's published parameters:
 from .collectives import barrier, exscan_sum, gatherv, reduce_scatter_sum, scatterv
 from .compute import ComputeModel, DEFAULT_EFFICIENCY, distance_flops, update_flops
 from .dma import DMAEngine
+from .faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    parse_fault_plan,
+    resolve_fault_plan,
+)
 from .ledger import (
     CATEGORIES,
     IterationBreakdown,
@@ -36,6 +45,11 @@ __all__ = [
     "ComputeModel",
     "DEFAULT_EFFICIENCY",
     "DMAEngine",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "IterationBreakdown",
     "LedgerProtocol",
     "NullLedger",
@@ -44,6 +58,8 @@ __all__ = [
     "SimComm",
     "TimeLedger",
     "distance_flops",
+    "parse_fault_plan",
+    "resolve_fault_plan",
     "update_flops",
     "world_comm",
 ]

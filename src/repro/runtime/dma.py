@@ -30,11 +30,17 @@ class DMAEngine:
         Hardware parameters (bandwidth, startup latency) of the CG.
     ledger:
         Ledger the engine charges time to.
+    injector:
+        Optional :class:`~repro.runtime.faults.FaultInjector`; every
+        transfer passes through its DMA hook, which may raise
+        :class:`~repro.errors.TransientDMAError`.
     """
 
-    def __init__(self, cg_spec: CGSpec, ledger: LedgerProtocol) -> None:
+    def __init__(self, cg_spec: CGSpec, ledger: LedgerProtocol,
+                 injector=None) -> None:
         self.spec = cg_spec
         self.ledger = ledger
+        self.injector = injector
         self._bytes_moved = 0
 
     @property
@@ -42,8 +48,17 @@ class DMAEngine:
         """Total bytes transferred through this engine so far."""
         return self._bytes_moved
 
-    def transfer_time(self, nbytes: int, transactions: int = 1) -> float:
-        """Modelled time to move ``nbytes`` in ``transactions`` DMA ops."""
+    def transfer_time(self, nbytes: int, transactions: int = 1,
+                      label: str = "dma.transfer") -> float:
+        """Modelled time to move ``nbytes`` in ``transactions`` DMA ops.
+
+        Every transfer — including the pure cost queries the executors use
+        for their streaming phases — passes through the fault injector's
+        DMA hook, so an injected transient error surfaces exactly where the
+        hardware would raise it.
+        """
+        if self.injector is not None:
+            self.injector.on_dma(label, nbytes)
         if nbytes < 0:
             raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
         if transactions < 1:
@@ -61,14 +76,14 @@ class DMAEngine:
         (all CPEs' slices together); the CG's DMA bandwidth is shared, so the
         charge is the aggregate volume over the aggregate bandwidth.
         """
-        t = self.transfer_time(nbytes, transactions)
+        t = self.transfer_time(nbytes, transactions, label=label)
         self._bytes_moved += int(nbytes)
         self.ledger.charge("dma", label, t)
         return t
 
     def write(self, nbytes: int, label: str, transactions: int = 1) -> float:
         """Charge an LDM -> main-memory transfer (same cost shape as read)."""
-        t = self.transfer_time(nbytes, transactions)
+        t = self.transfer_time(nbytes, transactions, label=label)
         self._bytes_moved += int(nbytes)
         self.ledger.charge("dma", label, t)
         return t

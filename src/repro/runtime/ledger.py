@@ -30,8 +30,13 @@ from typing import Dict, Iterable, List, Tuple
 
 from ..errors import ConfigurationError
 
-#: The categories a phase may be charged to.
-CATEGORIES = ("compute", "dma", "regcomm", "network")
+#: The categories a phase may be charged to.  ``checkpoint`` holds the I/O
+#: cost of periodic state snapshots and ``recovery`` the time lost to
+#: fault handling (retry backoff, checkpoint restore, re-planning) — both
+#: are empty unless fault tolerance is enabled (see
+#: :mod:`repro.runtime.faults`).
+CATEGORIES = ("compute", "dma", "regcomm", "network", "checkpoint",
+              "recovery")
 
 
 @dataclass(frozen=True)

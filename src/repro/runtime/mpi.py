@@ -50,10 +50,16 @@ class SimComm:
         Ledger that collective costs are charged to.
     algorithm:
         Default collective algorithm (see :data:`ALGORITHMS`).
+    injector:
+        Optional :class:`~repro.runtime.faults.FaultInjector`; every
+        collective passes through its hook (which may raise
+        :class:`~repro.errors.CollectiveTimeoutError`) and link pricing
+        honours its degraded-link bandwidth factor.
     """
 
     def __init__(self, machine: Machine, cg_indices: Sequence[int],
-                 ledger: LedgerProtocol, algorithm: str = "ring") -> None:
+                 ledger: LedgerProtocol, algorithm: str = "ring",
+                 injector=None) -> None:
         if len(cg_indices) == 0:
             raise CommunicatorError("communicator must have at least one rank")
         if len(set(cg_indices)) != len(cg_indices):
@@ -66,6 +72,7 @@ class SimComm:
         self.machine = machine
         self.ledger = ledger
         self.algorithm = algorithm
+        self.injector = injector
         self._cgs: Tuple[int, ...] = tuple(int(i) for i in cg_indices)
         for cg in self._cgs:
             machine.node_of_cg(cg)  # validates range
@@ -95,31 +102,47 @@ class SimComm:
         for group in groups:
             members = [self._cgs[r] for r in group]
             comms.append(SimComm(self.machine, members, self.ledger,
-                                 self.algorithm))
+                                 self.algorithm, injector=self.injector))
         return comms
 
     # -- link pricing ---------------------------------------------------------------
 
     def _link(self) -> Tuple[float, float]:
-        """(bandwidth bytes/s, latency s) of the worst link in this comm."""
+        """(bandwidth bytes/s, latency s) of the worst link in this comm.
+
+        An active ``degraded_link`` fault derates the bandwidth (latency is
+        unaffected — the link is slow, not long).
+        """
         nodes = set(self._nodes)
         net = self.machine.spec.network
         if len(nodes) <= 1:
             # All ranks on one node: shared-memory transport.
             bw = self.machine.spec.processor.cg.dma_bw * _ONNODE_BW_FACTOR
-            return bw, self.machine.spec.processor.cg.dma_latency
-        same_super = not self.machine.topology.spans_supernodes(nodes)
-        return net.bandwidth(same_super), net.latency(same_super)
+            lat = self.machine.spec.processor.cg.dma_latency
+        else:
+            same_super = not self.machine.topology.spans_supernodes(nodes)
+            bw, lat = net.bandwidth(same_super), net.latency(same_super)
+        if self.injector is not None:
+            bw *= self.injector.link_bandwidth_factor()
+        return bw, lat
+
+    def _inject(self, label: str, nbytes: int) -> None:
+        """Fault hook for every collective (cost query or data-carrying)."""
+        if self.injector is not None:
+            self.injector.on_collective(label, nbytes)
 
     # -- cost model -------------------------------------------------------------------
 
     def allreduce_time(self, nbytes: int,
-                       algorithm: Optional[str] = None) -> float:
+                       algorithm: Optional[str] = None,
+                       label: str = "mpi.allreduce") -> float:
         """Modelled time of an allreduce of ``nbytes`` per rank."""
+        self._inject(label, nbytes)
         return self._collective_time(nbytes, algorithm or self.algorithm,
                                      kind="allreduce")
 
-    def bcast_time(self, nbytes: int) -> float:
+    def bcast_time(self, nbytes: int, label: str = "mpi.bcast") -> float:
+        self._inject(label, nbytes)
         p = self.size
         if p == 1 or nbytes == 0:
             return 0.0
@@ -127,8 +150,10 @@ class SimComm:
         steps = math.ceil(math.log2(p))
         return steps * (lat + nbytes / bw)
 
-    def allgather_time(self, nbytes_per_rank: int) -> float:
+    def allgather_time(self, nbytes_per_rank: int,
+                       label: str = "mpi.allgather") -> float:
         """Ring allgather: each rank contributes ``nbytes_per_rank``."""
+        self._inject(label, nbytes_per_rank)
         p = self.size
         if p == 1 or nbytes_per_rank == 0:
             return 0.0
@@ -179,7 +204,7 @@ class SimComm:
         total = arr.sum(axis=0)
         self.ledger.charge(
             "network", label,
-            self.allreduce_time(total.nbytes, algorithm)
+            self.allreduce_time(total.nbytes, algorithm, label=label)
         )
         return total
 
@@ -205,7 +230,8 @@ class SimComm:
         best_vals = vals[winner, cols]
         best_pays = pays[winner, cols]
         nbytes = int(vals[0].nbytes + pays[0].nbytes)
-        self.ledger.charge("network", label, self.allreduce_time(nbytes))
+        self.ledger.charge("network", label,
+                           self.allreduce_time(nbytes, label=label))
         return best_vals, best_pays
 
     def allgather(self, buffers: Sequence[np.ndarray],
@@ -217,7 +243,8 @@ class SimComm:
             )
         out = np.concatenate([np.asarray(b) for b in buffers], axis=0)
         per_rank = max(int(np.asarray(b).nbytes) for b in buffers)
-        self.ledger.charge("network", label, self.allgather_time(per_rank))
+        self.ledger.charge("network", label,
+                           self.allgather_time(per_rank, label=label))
         return out
 
     def bcast(self, buffer: np.ndarray, root: int = 0,
@@ -225,7 +252,8 @@ class SimComm:
         """Broadcast ``buffer`` from ``root`` to all ranks."""
         self._check_rank(root)
         buffer = np.asarray(buffer)
-        self.ledger.charge("network", label, self.bcast_time(buffer.nbytes))
+        self.ledger.charge("network", label,
+                           self.bcast_time(buffer.nbytes, label=label))
         return buffer
 
     # -- helpers ------------------------------------------------------------------------

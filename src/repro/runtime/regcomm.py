@@ -36,11 +36,17 @@ class RegisterComm:
         Mesh geometry and register-bus bandwidth/latency.
     ledger:
         Ledger the collective times are charged to.
+    injector:
+        Optional :class:`~repro.runtime.faults.FaultInjector`; mesh
+        allreduces pass through its collective hook, which may raise
+        :class:`~repro.errors.CollectiveTimeoutError`.
     """
 
-    def __init__(self, cg_spec: CGSpec, ledger: LedgerProtocol) -> None:
+    def __init__(self, cg_spec: CGSpec, ledger: LedgerProtocol,
+                 injector=None) -> None:
         self.spec = cg_spec
         self.ledger = ledger
+        self.injector = injector
 
     # -- cost model ------------------------------------------------------------
 
@@ -61,8 +67,15 @@ class RegisterComm:
         """Broadcast has the mirror cost of a reduction on this mesh."""
         return self.reduce_time(nbytes)
 
-    def allreduce_time(self, nbytes: int) -> float:
-        """AllReduce = reduce sweep + broadcast sweep."""
+    def allreduce_time(self, nbytes: int,
+                       label: str = "regcomm.allreduce") -> float:
+        """AllReduce = reduce sweep + broadcast sweep.
+
+        Every mesh allreduce — the executors charge through this entry —
+        passes the fault injector's collective hook first.
+        """
+        if self.injector is not None:
+            self.injector.on_collective(label, nbytes)
         return self.reduce_time(nbytes) + self.broadcast_time(nbytes)
 
     # -- data-carrying collectives ----------------------------------------------

@@ -1,0 +1,83 @@
+"""Tests for checkpoint/restart state and its modelled I/O cost."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    Checkpoint,
+    CheckpointConfig,
+    CheckpointStore,
+)
+from repro.errors import ConfigurationError
+from repro.runtime.ledger import TimeLedger
+
+
+class TestCheckpointConfig:
+    def test_defaults_disable_cadence(self):
+        config = CheckpointConfig()
+        assert config.every is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="checkpoint_every"):
+            CheckpointConfig(every=0)
+        with pytest.raises(ConfigurationError, match="bandwidth"):
+            CheckpointConfig(bandwidth=0.0)
+        with pytest.raises(ConfigurationError, match="latency"):
+            CheckpointConfig(latency=-1.0)
+
+    def test_io_seconds_shape(self):
+        config = CheckpointConfig(bandwidth=1e9, latency=1e-3)
+        assert config.io_seconds(0) == pytest.approx(1e-3)
+        assert config.io_seconds(10 ** 9) == pytest.approx(1.001)
+
+
+class TestCheckpointStore:
+    def make(self, every):
+        ledger = TimeLedger()
+        store = CheckpointStore(CheckpointConfig(every=every), ledger)
+        return store, ledger
+
+    def test_save_initial_is_free(self):
+        store, ledger = self.make(every=2)
+        C = np.ones((3, 4))
+        store.save_initial(C)
+        assert ledger.total() == 0.0
+        assert store.last.iteration == 0
+        # The snapshot is a copy: mutating the live centroids later must
+        # not corrupt the restart state.
+        C[0, 0] = 99.0
+        assert store.last.centroids[0, 0] == 1.0
+
+    def test_cadence(self):
+        store, ledger = self.make(every=2)
+        C = np.ones((3, 4))
+        assert not store.maybe_save(1, C)
+        assert store.maybe_save(2, C)
+        assert not store.maybe_save(3, C)
+        assert store.maybe_save(4, C)
+        assert store.n_saved == 2
+        assert store.last.iteration == 4
+        cats = ledger.total_by_category()
+        assert cats["checkpoint"] > 0.0
+        assert cats["recovery"] == 0.0
+
+    def test_disabled_cadence_never_saves_or_charges(self):
+        store, ledger = self.make(every=None)
+        assert not store.enabled
+        for it in range(1, 10):
+            assert not store.maybe_save(it, np.ones((2, 2)))
+        assert ledger.total() == 0.0
+
+    def test_restore_charges_recovery(self):
+        store, ledger = self.make(every=1)
+        store.save_initial(np.zeros((2, 2)))
+        store.maybe_save(1, np.ones((2, 2)))
+        checkpoint = store.restore()
+        assert isinstance(checkpoint, Checkpoint)
+        assert checkpoint.iteration == 1
+        assert ledger.total_by_category()["recovery"] > 0.0
+
+    def test_restore_without_state_fails(self):
+        store, _ = self.make(every=1)
+        with pytest.raises(ConfigurationError, match="no checkpoint"):
+            store.restore()

@@ -55,6 +55,27 @@ class TestValidation:
         Xv, Cv = validate_data(X[::2], C)
         assert Xv.flags["C_CONTIGUOUS"]
 
+    def test_nan_samples_rejected(self, data):
+        X, C = data
+        X = X.copy()
+        X[17, 3] = np.nan
+        with pytest.raises(DataShapeError, match="non-finite"):
+            validate_data(X, C)
+
+    def test_inf_samples_rejected(self, data):
+        X, C = data
+        X = X.copy()
+        X[0, 0] = np.inf
+        with pytest.raises(DataShapeError, match="non-finite"):
+            validate_data(X, C)
+
+    def test_non_finite_centroids_rejected(self, data):
+        X, C = data
+        C = C.copy()
+        C[1, 1] = -np.inf
+        with pytest.raises(DataShapeError, match="non-finite"):
+            validate_data(X, C)
+
 
 class TestDistances:
     def test_direct_matches_manual(self, data):

@@ -6,6 +6,8 @@ centroids within fp-reassociation tolerance) for any feasible configuration,
 while charging a plausible cost breakdown to its ledger.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -15,7 +17,7 @@ from repro.core.level2 import Level2Executor, run_level2
 from repro.core.level3 import Level3Executor, run_level3
 from repro.core.lloyd import lloyd
 from repro.data.synthetic import gaussian_blobs
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ConvergenceWarning
 from repro.machine.machine import toy_machine
 
 RUNNERS = {1: run_level1, 2: run_level2, 3: run_level3}
@@ -187,6 +189,21 @@ class TestEdgeCases:
         X, C0 = workload
         result = RUNNERS[level](X, C0, machine, max_iter=1)
         assert result.n_iter == 1
+
+    @pytest.mark.parametrize("level", [1, 2, 3])
+    def test_unconverged_run_warns(self, level, machine, workload):
+        X, C0 = workload
+        with pytest.warns(ConvergenceWarning, match="did not converge"):
+            result = RUNNERS[level](X, C0, machine, max_iter=1)
+        assert not result.converged
+
+    @pytest.mark.parametrize("level", [1, 2, 3])
+    def test_converged_run_does_not_warn(self, level, machine, workload):
+        X, C0 = workload
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ConvergenceWarning)
+            result = RUNNERS[level](X, C0, machine, max_iter=60)
+        assert result.converged
 
     @pytest.mark.parametrize("level", [1, 2, 3])
     def test_empty_cluster_keeps_centroid(self, level, machine):

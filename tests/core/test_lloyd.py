@@ -1,5 +1,7 @@
 """Tests for the serial Lloyd baseline."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -7,7 +9,7 @@ from repro.core._common import assign_chunked, inertia
 from repro.core.init import init_centroids
 from repro.core.lloyd import lloyd, lloyd_single_iteration
 from repro.data.synthetic import gaussian_blobs
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ConvergenceWarning
 
 
 @pytest.fixture
@@ -42,8 +44,23 @@ class TestConvergence:
     def test_max_iter_respected(self, blobs):
         X, _ = blobs
         C0 = init_centroids(X, 5, method="first")
-        result = lloyd(X, C0, max_iter=2)
+        with pytest.warns(ConvergenceWarning):
+            result = lloyd(X, C0, max_iter=2)
         assert result.n_iter <= 2
+
+    def test_unconverged_run_warns(self, blobs):
+        X, _ = blobs
+        C0 = init_centroids(X, 5, method="first")
+        with pytest.warns(ConvergenceWarning, match="did not converge"):
+            lloyd(X, C0, max_iter=1)
+
+    def test_converged_run_does_not_warn(self, blobs):
+        X, _ = blobs
+        C0 = init_centroids(X, 5, method="kmeans++", seed=7)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ConvergenceWarning)
+            result = lloyd(X, C0, max_iter=100)
+        assert result.converged
 
     def test_tol_loosens_convergence(self, blobs):
         X, _ = blobs

@@ -1,0 +1,229 @@
+"""Tests for recovery policies and the executor's fault-handling loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.kmeans import HierarchicalKMeans
+from repro.core.level3 import Level3Executor
+from repro.core.lloyd import lloyd
+from repro.core.recovery import (
+    RECOVERY_POLICIES,
+    FailFastPolicy,
+    RecoveryAction,
+    ReplanPolicy,
+    RetryPolicy,
+    resolve_recovery,
+)
+from repro.errors import (
+    CGFailedError,
+    ConfigurationError,
+    TransientDMAError,
+)
+from repro.machine.machine import DegradedMachine, toy_machine
+from repro.runtime.faults import FaultPlan, FaultSpec
+
+
+def _transient():
+    return TransientDMAError("boom", iteration=1)
+
+
+def _permanent():
+    return CGFailedError("gone", iteration=1, cg_index=0)
+
+
+class TestPolicies:
+    def test_fail_fast_always_raises(self):
+        policy = FailFastPolicy()
+        assert policy.decide(_transient(), 1).kind == "raise"
+        assert policy.decide(_permanent(), 1).kind == "raise"
+
+    def test_retry_backs_off_exponentially(self):
+        policy = RetryPolicy(max_retries=3, backoff=1e-3, factor=2.0)
+        delays = [policy.decide(_transient(), a).delay for a in (1, 2, 3)]
+        assert delays == pytest.approx([1e-3, 2e-3, 4e-3])
+        assert policy.decide(_transient(), 4).kind == "raise"
+
+    def test_retry_refuses_permanent_faults(self):
+        assert RetryPolicy().decide(_permanent(), 1).kind == "raise"
+
+    def test_replan_on_cg_failure_retry_on_transient(self):
+        policy = ReplanPolicy()
+        assert policy.decide(_permanent(), 1).kind == "replan"
+        assert policy.decide(_transient(), 1).kind == "retry"
+
+    def test_retry_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(factor=0.5)
+
+    def test_resolve_recovery(self):
+        for name in RECOVERY_POLICIES:
+            assert resolve_recovery(name).name == name
+        policy = RetryPolicy(max_retries=7)
+        assert resolve_recovery(policy) is policy
+        with pytest.raises(ConfigurationError, match="unknown recovery"):
+            resolve_recovery("pray")
+
+
+class TestDegradedMachine:
+    def test_logical_remap(self):
+        base = toy_machine(n_nodes=2)  # 4 CGs, 2 per node
+        dm = DegradedMachine(base, [1])
+        assert dm.n_cgs == 3
+        assert [dm.physical_cg(i) for i in range(3)] == [0, 2, 3]
+        assert dm.node_of_cg(0) == 0
+        assert dm.node_of_cg(1) == 1
+        assert dm.core_group(1).index == 2
+        assert dm.n_cpes == 3 * base.cpes_per_cg
+
+    def test_cannot_kill_everything(self):
+        base = toy_machine(n_nodes=1)
+        with pytest.raises(ConfigurationError, match="zero surviving"):
+            DegradedMachine(base, range(base.n_cgs))
+
+    def test_out_of_range_failure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DegradedMachine(toy_machine(n_nodes=1), [99])
+
+
+@pytest.fixture
+def workload():
+    rng = np.random.default_rng(42)
+    X = rng.normal(size=(400, 6))
+    C0 = X[:4].copy()
+    return X, C0
+
+
+class TestExecutorRecovery:
+    def test_fail_fast_propagates(self, workload):
+        X, C0 = workload
+        machine = toy_machine(n_nodes=2)
+        plan = FaultPlan([FaultSpec("transient_dma", iteration=2)])
+        executor = Level3Executor(machine, faults=plan)
+        with pytest.raises(TransientDMAError):
+            executor.run(X, C0, max_iter=30)
+
+    def test_retry_recovers_transient(self, workload):
+        X, C0 = workload
+        machine = toy_machine(n_nodes=2)
+        clean = Level3Executor(toy_machine(n_nodes=2)).run(X, C0, max_iter=30)
+        plan = FaultPlan([FaultSpec("transient_dma", iteration=2)])
+        executor = Level3Executor(machine, faults=plan, recovery="retry")
+        result = executor.run(X, C0, max_iter=30)
+        np.testing.assert_array_equal(result.centroids, clean.centroids)
+        assert [e.action for e in result.fault_events] == ["retried"]
+        # Backoff time is visible in the recovery category.
+        assert result.ledger.total_by_category()["recovery"] > 0.0
+        # ... and the faulty run costs more than the clean one.
+        assert result.ledger.total() > clean.ledger.total()
+
+    def test_retry_gives_up_eventually(self, workload):
+        X, C0 = workload
+        machine = toy_machine(n_nodes=2)
+        plan = FaultPlan([FaultSpec("transient_dma", probability=1.0)])
+        executor = Level3Executor(
+            machine, faults=plan,
+            recovery=RetryPolicy(max_retries=2),
+        )
+        with pytest.raises(TransientDMAError):
+            executor.run(X, C0, max_iter=30)
+        assert executor.injector.events[-1].action == "fatal"
+
+    def test_replan_survives_cg_failure(self, workload):
+        X, C0 = workload
+        machine = toy_machine(n_nodes=2)
+        plan = FaultPlan([FaultSpec("cg_failure", iteration=3, cg_index=1)])
+        executor = Level3Executor(machine, faults=plan, recovery="replan",
+                                  checkpoint_every=1)
+        result = executor.run(X, C0, max_iter=50)
+        assert result.converged
+        assert [e.action for e in result.fault_events] == ["replanned"]
+        assert isinstance(executor.machine, DegradedMachine)
+        assert executor.machine.failed_cgs == (1,)
+        cats = result.ledger.total_by_category()
+        assert cats["checkpoint"] > 0.0
+        assert cats["recovery"] > 0.0
+
+    def test_replan_matches_lloyd_restarted_from_checkpoint(self, workload):
+        """Acceptance: post-failure trajectory == Lloyd from the snapshot.
+
+        With checkpoint_every=1 the snapshot taken right before the
+        iteration-3 failure holds the end-of-iteration-2 centroids, so the
+        faulty run must finish exactly where serial Lloyd finishes when
+        restarted from those centroids.
+        """
+        X, C0 = workload
+        machine = toy_machine(n_nodes=2)
+        plan = FaultPlan([FaultSpec("cg_failure", iteration=3, cg_index=1)])
+        executor = Level3Executor(machine, faults=plan, recovery="replan",
+                                  checkpoint_every=1)
+        result = executor.run(X, C0, max_iter=50)
+
+        with pytest.warns(Warning):  # max_iter=2 is deliberately short
+            reference = lloyd(X, C0, max_iter=2)  # state the checkpoint froze
+        resumed = lloyd(X, reference.centroids, max_iter=50)
+        # Same fp-reassociation tolerance as the clean equivalence tests:
+        # the degraded machine re-partitions the reduction tree.
+        np.testing.assert_allclose(result.centroids, resumed.centroids,
+                                   rtol=1e-9, atol=1e-12)
+        np.testing.assert_array_equal(result.assignments,
+                                      resumed.assignments)
+
+    def test_replan_falls_back_to_initial_centroids(self, workload):
+        """Without periodic checkpoints the free epoch-0 snapshot is used,
+        so the run is a full restart on the degraded machine — and still
+        reaches the same fixed point as clean Lloyd."""
+        X, C0 = workload
+        machine = toy_machine(n_nodes=2)
+        plan = FaultPlan([FaultSpec("cg_failure", iteration=2, cg_index=0)])
+        executor = Level3Executor(machine, faults=plan, recovery="replan")
+        result = executor.run(X, C0, max_iter=60)
+        clean = lloyd(X, C0, max_iter=60)
+        np.testing.assert_allclose(result.centroids, clean.centroids,
+                                   rtol=1e-9, atol=1e-12)
+
+    def test_repeated_failures_accumulate(self, workload):
+        X, C0 = workload
+        machine = toy_machine(n_nodes=2)
+        plan = FaultPlan([
+            FaultSpec("cg_failure", iteration=2, cg_index=1),
+            FaultSpec("cg_failure", iteration=4, cg_index=3),
+        ])
+        executor = Level3Executor(machine, faults=plan, recovery="replan",
+                                  checkpoint_every=1)
+        result = executor.run(X, C0, max_iter=60)
+        assert result.converged
+        assert executor.machine.failed_cgs == (1, 3)
+        assert [e.action for e in result.fault_events] \
+            == ["replanned", "replanned"]
+
+
+class TestFacadeKnobs:
+    def test_faults_require_model_costs(self):
+        with pytest.raises(ConfigurationError, match="model_costs"):
+            HierarchicalKMeans(4, machine=toy_machine(2), level=1,
+                               faults="transient_dma@1",
+                               model_costs=False)
+
+    def test_faults_refuse_serial_level(self):
+        with pytest.raises(ConfigurationError, match="simulated level"):
+            HierarchicalKMeans(4, machine=toy_machine(2), level=0,
+                               faults="transient_dma@1")
+
+    def test_bad_spec_string_fails_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalKMeans(4, machine=toy_machine(2), level=1,
+                               faults="meteor_strike@1")
+
+    def test_facade_fault_run_end_to_end(self, workload):
+        X, C0 = workload
+        machine = toy_machine(n_nodes=2)
+        clean = HierarchicalKMeans(
+            4, machine=machine, level=1, init=C0, max_iter=50).fit(X)
+        faulty = HierarchicalKMeans(
+            4, machine=toy_machine(n_nodes=2), level=1, init=C0, max_iter=50,
+            faults="transient_dma@2", recovery="retry").fit(X)
+        np.testing.assert_array_equal(clean.centroids, faulty.centroids)
+        assert len(faulty.fault_events) == 1
+        assert clean.fault_events == []

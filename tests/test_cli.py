@@ -66,6 +66,41 @@ class TestCluster:
         assert "error" in capsys.readouterr().err
 
 
+class TestClusterFaults:
+    def test_retry_run_reports_fault_events(self, capsys):
+        code = main(["cluster", "--n", "200", "--k", "4", "--d", "4",
+                     "--toy", "--level", "1", "--seed", "3",
+                     "--max-iter", "20", "--faults", "transient_dma@2",
+                     "--recovery", "retry", "--checkpoint-every", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault: transient_dma" in out
+        assert "-> retried" in out
+
+    def test_replan_run_reports_fault_events(self, capsys):
+        code = main(["cluster", "--n", "200", "--k", "4", "--d", "4",
+                     "--toy", "--nodes", "2", "--level", "3", "--seed", "3",
+                     "--max-iter", "40", "--faults", "cg_failure@2:cg=1",
+                     "--recovery", "replan", "--checkpoint-every", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault: cg_failure CG 1" in out
+        assert "-> replanned" in out
+
+    def test_unrecovered_fault_is_exit_2(self, capsys):
+        code = main(["cluster", "--n", "200", "--k", "4", "--d", "4",
+                     "--toy", "--level", "1", "--max-iter", "20",
+                     "--faults", "transient_dma@2"])  # default fail_fast
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_fault_spec_is_exit_2(self, capsys):
+        code = main(["cluster", "--n", "200", "--k", "4", "--d", "4",
+                     "--toy", "--faults", "meteor_strike@1"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestExperimentCommand:
     def test_runs_one_experiment(self, capsys):
         assert main(["experiment", "table2"]) == 0

@@ -79,6 +79,29 @@ class TestResultRoundTrip:
         with pytest.raises(ConfigurationError):
             load_result(path)
 
+    def test_fault_events_survive(self, tmp_path):
+        from repro.core.level3 import Level3Executor
+        from repro.runtime.faults import FaultPlan, FaultSpec
+        machine = toy_machine(n_nodes=2, cgs_per_node=2, mesh=2,
+                              ldm_bytes=16 * 1024)
+        X, _ = gaussian_blobs(n=300, k=4, d=6, seed=3)
+        C0 = init_centroids(X, 4, method="first")
+        plan = FaultPlan([FaultSpec("cg_failure", iteration=2, cg_index=1)])
+        executor = Level3Executor(machine, faults=plan, recovery="replan",
+                                  checkpoint_every=1)
+        faulty = executor.run(X, C0, max_iter=40)
+        assert faulty.fault_events
+
+        path = str(tmp_path / "faulty.npz")
+        save_result(faulty, path)
+        loaded = load_result(path)
+        assert loaded.fault_events == faulty.fault_events
+
+    def test_results_without_fault_events_load_empty(self, result, tmp_path):
+        path = str(tmp_path / "r.npz")
+        save_result(result, path)
+        assert load_result(path).fault_events == []
+
 
 class TestExperimentExport:
     def test_series_csv_file(self, tmp_path):
