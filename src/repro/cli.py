@@ -14,8 +14,10 @@ Commands
     Run the execute backend on a synthetic workload — or on your own data
     via ``--input data.npy`` / ``--input data.csv`` — and print the result
     summary and time-ledger breakdown.  ``--kernel gemm`` switches the
-    assign arithmetic to the blocked GEMM backend; ``--no-model-costs``
-    runs pure numerics without the simulated time ledger.
+    assign arithmetic to the blocked GEMM backend; ``--engine thread``
+    (optionally with ``--workers N``) maps the numerics across a host
+    thread pool with bit-identical results; ``--no-model-costs`` runs
+    pure numerics without the simulated time ledger.
     ``--faults 'cg_failure@3:cg=1' --recovery replan --checkpoint-every 5``
     injects machine faults and exercises the recovery policies.
 ``machine [--nodes NODES]``
@@ -119,6 +121,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     model = HierarchicalKMeans(args.k, machine=machine, level=level,
                                seed=args.seed, max_iter=args.max_iter,
                                kernel=args.kernel,
+                               engine=args.engine, workers=args.workers,
                                model_costs=not args.no_model_costs,
                                faults=args.faults,
                                recovery=args.recovery,
@@ -221,6 +224,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="use a toy machine instead of SW26010 nodes")
     p_cl.add_argument("--kernel", choices=("naive", "gemm"), default="naive",
                       help="compute backend for the assign step")
+    p_cl.add_argument("--engine", choices=("serial", "thread"), default=None,
+                      help="host execution engine for the numerics "
+                           "(default: REPRO_ENGINE env var, else serial)")
+    p_cl.add_argument("--workers", type=int, default=None, metavar="N",
+                      help="thread count for --engine thread "
+                           "(default: REPRO_WORKERS env var, else CPU count)")
     p_cl.add_argument("--no-model-costs", action="store_true",
                       help="run pure numerics (no time ledger, no "
                            "modelled seconds)")

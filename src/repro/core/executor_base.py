@@ -19,6 +19,7 @@ import numpy as np
 from ..errors import ConfigurationError, ConvergenceWarning, FaultError
 from ..machine.machine import DegradedMachine, Machine
 from ..runtime.compute import ComputeModel
+from ..runtime.engine import EngineLike, resolve_engine
 from ..runtime.faults import FaultInjector, resolve_fault_plan
 from ..runtime.ledger import NullLedger, TimeLedger
 from ._common import inertia, max_centroid_shift, validate_data
@@ -78,6 +79,17 @@ class LevelExecutor(ABC):
     checkpoint_config:
         Full :class:`~repro.core.checkpoint.CheckpointConfig` overriding
         ``checkpoint_every`` (cadence plus I/O bandwidth/latency).
+    engine:
+        Host execution engine for the per-sample-block numerics
+        (``"serial"``, ``"thread"``, or an
+        :class:`~repro.runtime.engine.ExecutionEngine` instance).  None
+        consults the ``REPRO_ENGINE`` environment variable.  Engines only
+        change host scheduling: per-shard ``(sums, counts)`` partials merge
+        in fixed block order, so centroids, assignments, modelled ledger
+        seconds, and fault replays are bit-identical across engines.
+    workers:
+        Thread count for the thread engine (``workers > 1`` alone implies
+        ``engine="thread"``); None uses ``os.cpu_count()``.
     """
 
     #: Partition level implemented by the subclass (1, 2 or 3).
@@ -91,11 +103,18 @@ class LevelExecutor(ABC):
                  faults=None,
                  recovery: RecoveryLike = "fail_fast",
                  checkpoint_every: Optional[int] = None,
-                 checkpoint_config: Optional[CheckpointConfig] = None) -> None:
+                 checkpoint_config: Optional[CheckpointConfig] = None,
+                 engine: EngineLike = None,
+                 workers: Optional[int] = None) -> None:
         self.machine = machine
         self.collective_algorithm = collective_algorithm
         self.strict_cpe = bool(strict_cpe)
         self.overlap_dma = bool(overlap_dma)
+        self.engine = resolve_engine(engine, workers)
+        #: Per-iteration inertia under the incoming centroids, stashed by
+        #: iterate() when the fused kernel already produced the winning
+        #: distances; None makes run() fall back to an explicit pass.
+        self._iter_inertia: Optional[float] = None
         self.kernel = resolve_kernel(kernel)
         if self.strict_cpe and self.kernel.name != "naive":
             raise ConfigurationError(
@@ -255,6 +274,7 @@ class LevelExecutor(ABC):
                 try:
                     if self.injector is not None:
                         self.injector.begin_iteration(it)
+                    self._iter_inertia = None
                     new_assignments, new_C = self.iterate(X, C)
                     break
                 except FaultError as exc:
@@ -267,7 +287,12 @@ class LevelExecutor(ABC):
             shift = max_centroid_shift(C, new_C)
             history.append(IterationStats(
                 iteration=it,
-                inertia=inertia(X, C, new_assignments),
+                # The fused Assign+Accumulate already produced the winning
+                # distances; only executors without them (the bounded
+                # executor, whose ub is a drifted bound, not a distance)
+                # pay a fresh X - C[assignments] pass here.
+                inertia=(self._iter_inertia if self._iter_inertia is not None
+                         else inertia(X, C, new_assignments)),
                 centroid_shift=shift,
                 n_reassigned=int((new_assignments != assignments).sum()),
                 modelled_seconds=t_iter,

@@ -25,6 +25,7 @@ rounding of near-exact ties can differ between formulations.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from typing import Optional, Tuple, Union
 
@@ -33,6 +34,7 @@ import numpy as np
 from ..errors import ConfigurationError
 from ._common import (
     DEFAULT_CHUNK_ELEMENTS,
+    accumulate,
     chunk_ranges,
     squared_distances,
     validate_data,
@@ -70,6 +72,20 @@ class KernelBackend(ABC):
                   ctx: object) -> np.ndarray:
         """Full (b, k) squared-distance block for one sample block."""
 
+    # -- chunk policy -------------------------------------------------------------
+
+    def chunk_rows(self, n: int, k: int, d: int,
+                   chunk_elements: int = DEFAULT_CHUNK_ELEMENTS) -> int:
+        """Sample rows per chunk so the transient working set stays bounded.
+
+        The default assumes the largest per-chunk temporary is the
+        (rows, k) distance block.  Backends whose intermediates scale
+        differently (the naive form's (rows, k, d) subtraction temporary)
+        override this — it is the single place the chunk shape is decided,
+        so the fused and unfused sweeps always agree on boundaries.
+        """
+        return max(1, chunk_elements // max(k, 1))
+
     # -- public API ---------------------------------------------------------------
 
     def assign(self, X: np.ndarray, C: np.ndarray,
@@ -77,20 +93,18 @@ class KernelBackend(ABC):
         """Nearest-centroid assignment for every sample (int64 indices)."""
         X, C = validate_data(X, C)
         n, k = X.shape[0], C.shape[0]
-        rows = max(1, chunk_elements // max(k, 1))
+        rows = self.chunk_rows(n, k, X.shape[1], chunk_elements)
         ctx = self._prepare(C, min(rows, n))
         out = np.empty(n, dtype=np.int64)
         for lo, hi in chunk_ranges(n, rows):
             out[lo:hi] = self._argmin_block(X[lo:hi], C, ctx)
         return out
 
-    def assign_with_distances(self, X: np.ndarray, C: np.ndarray,
-                              chunk_elements: int = DEFAULT_CHUNK_ELEMENTS
-                              ) -> Tuple[np.ndarray, np.ndarray]:
-        """Assignments plus the squared distance to the winning centroid."""
-        X, C = validate_data(X, C)
+    def _sweep(self, X: np.ndarray, C: np.ndarray, chunk_elements: int
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        """One chunked pass: winning index and squared distance per sample."""
         n, k = X.shape[0], C.shape[0]
-        rows = max(1, chunk_elements // max(k, 1))
+        rows = self.chunk_rows(n, k, X.shape[1], chunk_elements)
         ctx = self._prepare(C, min(rows, n))
         idx = np.empty(n, dtype=np.int64)
         best = np.empty(n, dtype=X.dtype)
@@ -101,13 +115,40 @@ class KernelBackend(ABC):
             best[lo:hi] = d2[np.arange(hi - lo), local]
         return idx, best
 
+    def assign_with_distances(self, X: np.ndarray, C: np.ndarray,
+                              chunk_elements: int = DEFAULT_CHUNK_ELEMENTS
+                              ) -> Tuple[np.ndarray, np.ndarray]:
+        """Assignments plus the squared distance to the winning centroid."""
+        X, C = validate_data(X, C)
+        return self._sweep(X, C, chunk_elements)
+
+    def assign_accumulate(self, X: np.ndarray, C: np.ndarray,
+                          chunk_elements: int = DEFAULT_CHUNK_ELEMENTS
+                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                     np.ndarray]:
+        """Fused Assign+Accumulate: ``(assignments, best_d2, sums, counts)``.
+
+        The executors' hot path.  One chunked sweep produces the winning
+        index *and* its squared distance (the per-iteration inertia then
+        costs a vector mean instead of a fresh ``X - C[assignments]``
+        pass), followed by one bincount accumulation over the whole block.
+        The accumulation deliberately runs over the full block rather than
+        per chunk so the sums are bit-identical to the unfused
+        ``assign_with_distances`` + ``accumulate`` pair — the property the
+        engine-parity tests and fault replays rely on.
+        """
+        X, C = validate_data(X, C)
+        idx, best = self._sweep(X, C, chunk_elements)
+        sums, counts = accumulate(X, idx, C.shape[0])
+        return idx, best, sums, counts
+
     def pairwise_sq(self, X: np.ndarray, C: np.ndarray,
                     chunk_elements: int = DEFAULT_CHUNK_ELEMENTS
                     ) -> np.ndarray:
         """Dense (n, k) squared distances, assembled chunk by chunk."""
         X, C = validate_data(X, C)
         n, k = X.shape[0], C.shape[0]
-        rows = max(1, chunk_elements // max(k, 1))
+        rows = self.chunk_rows(n, k, X.shape[1], chunk_elements)
         ctx = self._prepare(C, min(rows, n))
         out = np.empty((n, k), dtype=X.dtype)
         for lo, hi in chunk_ranges(n, rows):
@@ -124,6 +165,13 @@ class NaiveKernel(KernelBackend):
     """
 
     name = "naive"
+
+    def chunk_rows(self, n: int, k: int, d: int,
+                   chunk_elements: int = DEFAULT_CHUNK_ELEMENTS) -> int:
+        # The direct form materialises a (rows, k, d) subtraction
+        # temporary, so sizing rows by k alone would overshoot the
+        # working-set bound by a factor of d.
+        return max(1, chunk_elements // max(k * d, 1))
 
     def _prepare(self, C: np.ndarray, max_rows: int) -> object:
         return None
@@ -145,18 +193,24 @@ class GemmKernel(KernelBackend):
     call, and one (rows, k) scratch buffer is reused across chunks (and
     across calls, while shapes allow) so the steady-state loop allocates
     nothing.  The argmin drops the per-row-constant ``|x|^2`` term.
+
+    The scratch buffer is thread-local: one backend instance is shared by
+    every executor, restart, and predict() call, and the thread engine maps
+    block sweeps of the *same* instance across a pool concurrently.
     """
 
     name = "gemm"
 
     def __init__(self) -> None:
-        self._buf: Optional[np.ndarray] = None
+        self._scratch = threading.local()
 
     def _buffer(self, rows: int, k: int, dtype: np.dtype) -> np.ndarray:
-        if (self._buf is None or self._buf.shape[0] < rows
-                or self._buf.shape[1] != k or self._buf.dtype != dtype):
-            self._buf = np.empty((rows, k), dtype=dtype)
-        return self._buf
+        buf: Optional[np.ndarray] = getattr(self._scratch, "buf", None)
+        if (buf is None or buf.shape[0] < rows
+                or buf.shape[1] != k or buf.dtype != dtype):
+            buf = np.empty((rows, k), dtype=dtype)
+            self._scratch.buf = buf
+        return buf
 
     def _prepare(self, C: np.ndarray, max_rows: int) -> object:
         c_sq = np.einsum("kd,kd->k", C, C)

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..errors import ConfigurationError, PartitionError
 from ..machine.machine import Machine, sunway_machine
+from ..runtime.engine import EngineLike, resolve_engine
 from ..runtime.faults import resolve_fault_plan
 from .init import METHODS, RngLike, init_centroids
 from .kernels import KernelLike, resolve_kernel
@@ -86,6 +87,17 @@ class HierarchicalKMeans:
         distances, the fidelity reference) or ``"gemm"`` (blocked
         ``|x|^2 - 2 X C^T + |c|^2`` — one BLAS matmul per block, the fast
         production path).  See :mod:`repro.core.kernels`.
+    engine:
+        Host execution engine for the numerics: ``"serial"`` (default) or
+        ``"thread"`` — the latter maps per-block Assign+Accumulate work
+        across a thread pool (NumPy/BLAS release the GIL) while the
+        modelled cost charges stay in a fixed serial order, so centroids,
+        ledgers, and fault replays are bit-identical either way.  Unset,
+        the ``REPRO_ENGINE``/``REPRO_WORKERS`` environment variables are
+        consulted.  See :mod:`repro.runtime.engine`.
+    workers:
+        Thread count for the thread engine (defaults to the CPU count;
+        ``workers > 1`` with ``engine`` unset implies ``"thread"``).
     model_costs:
         When False, executors run pure numerics against a
         :class:`~repro.runtime.ledger.NullLedger`: no modelled seconds are
@@ -128,6 +140,7 @@ class HierarchicalKMeans:
                  level: Union[str, int] = "auto", init: Union[str, np.ndarray] = "kmeans++",
                  max_iter: int = 100, tol: float = 0.0, n_init: int = 1,
                  seed: RngLike = None, kernel: KernelLike = "naive",
+                 engine: EngineLike = None, workers: Optional[int] = None,
                  model_costs: bool = True, faults=None,
                  recovery: RecoveryLike = "fail_fast",
                  checkpoint_every: Optional[int] = None,
@@ -164,6 +177,10 @@ class HierarchicalKMeans:
         # backend instance (with its scratch buffers) is shared by every
         # restart, executor, and predict() call.
         self.kernel = resolve_kernel(kernel)
+        # Same eager rule for the execution engine: bad names (or a
+        # serial/workers conflict) fail here, and one engine instance is
+        # shared by every restart and executor.
+        self.engine = resolve_engine(engine, workers)
         self.model_costs = bool(model_costs)
         # Resolve the fault plan and policy eagerly so a bad spec string or
         # policy name fails at construction, not restarts deep into fit().
@@ -253,8 +270,9 @@ class HierarchicalKMeans:
             )
         if level == 0:
             return lloyd(X, C0, max_iter=self.max_iter, tol=self.tol,
-                         kernel=self.kernel)
+                         kernel=self.kernel, engine=self.engine)
         kwargs.setdefault("kernel", self.kernel)
+        kwargs.setdefault("engine", self.engine)
         kwargs.setdefault("model_costs", self.model_costs)
         # A fresh injector is built per run (inside the executor), so every
         # restart replays the same plan from the same seed.

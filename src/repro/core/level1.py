@@ -23,7 +23,7 @@ from ..runtime.compute import distance_flops
 from ..runtime.dma import DMAEngine
 from ..runtime.mpi import SimComm
 from ..runtime.regcomm import RegisterComm
-from ._common import accumulate, update_centroids
+from ._common import update_centroids
 from .executor_base import LevelExecutor
 from .partition import Level1Plan, plan_level1
 from .result import KMeansResult
@@ -92,34 +92,47 @@ class Level1Executor(LevelExecutor):
         assert self._comm is not None
 
         assignments = np.empty(n, dtype=np.int64)
-        # Per-unit partial accumulators, later reduced within CG then across.
-        unit_sums: Dict[int, np.ndarray] = {}
-        unit_counts: Dict[int, np.ndarray] = {}
+        best_d2 = np.empty(n, dtype=X.dtype)
 
         # ---- Assign phase: fully parallel over active CPEs ----
-        dma_times: List[float] = []       # one per CG (shared engine)
-        compute_times: List[float] = []   # one per CPE
-        for cg_index, units in self._units_by_cg.items():
-            cg_bytes = 0
-            for unit in units:
-                lo, hi = plan.sample_blocks[unit]
-                block = X[lo:hi]
-                assignments[lo:hi] = self.kernel.assign(block, C)
-                sums, counts = accumulate(block, assignments[lo:hi], k)
-                unit_sums[unit] = sums
-                unit_counts[unit] = counts
-                if self.model_costs:
+        # The per-unit numerics (fused assign + accumulate) fan out over the
+        # host execution engine; every unit writes disjoint output slices
+        # and returns its partials, which are merged in fixed unit order so
+        # the result is engine-independent.
+        def unit_work(unit: int) -> Tuple[np.ndarray, np.ndarray]:
+            lo, hi = plan.sample_blocks[unit]
+            idx, best, sums, counts = self.kernel.assign_accumulate(
+                X[lo:hi], C)
+            assignments[lo:hi] = idx
+            best_d2[lo:hi] = best
+            return sums, counts
+
+        partials = self.engine.map(unit_work, range(plan.units))
+        # Per-unit partial accumulators, later reduced within CG then across.
+        unit_sums: Dict[int, np.ndarray] = {
+            u: partials[u][0] for u in range(plan.units)}
+        unit_counts: Dict[int, np.ndarray] = {
+            u: partials[u][1] for u in range(plan.units)}
+        self._iter_inertia = float(best_d2.sum() / n)
+
+        # ---- cost model (fixed CG/unit order, independent of the engine) ----
+        if self.model_costs:
+            dma_times: List[float] = []       # one per CG (shared engine)
+            compute_times: List[float] = []   # one per CPE
+            for cg_index, units in self._units_by_cg.items():
+                cg_bytes = 0
+                for unit in units:
+                    lo, hi = plan.sample_blocks[unit]
+                    b = hi - lo
                     # Sample stream + per-iteration centroid refresh, per
                     # paper's Tread = (n*d/m + k*d)/B.
-                    cg_bytes += (block.shape[0] * d + k * d) * item
+                    cg_bytes += (b * d + k * d) * item
                     compute_times.append(self.compute.time_for_flops(
-                        distance_flops(block.shape[0], k, d)
-                        + block.shape[0] * d,  # accumulate adds
+                        distance_flops(b, k, d)
+                        + b * d,  # accumulate adds
                         n_cpes=1,
                     ))
-            if self.model_costs:
                 dma_times.append(self._dma.transfer_time(cg_bytes))
-        if self.model_costs:
             self.charge_stream_phases("l1.assign", dma_times, compute_times)
 
         # ---- Update phase: AllReduce within CG (register comm) ----

@@ -96,9 +96,14 @@ class Level2Executor(LevelExecutor):
         a(i)'), then a MINLOC reduction (line 10) combines the mgroup partial
         winners.  Fast mode computes the same argmin in one vectorised pass.
         """
-        plan = self.plan
         if not self.strict_cpe:
             return self.kernel.assign(block, C)
+        return self._strict_assign_block(block, C)[0]
+
+    def _strict_assign_block(self, block: np.ndarray, C: np.ndarray
+                             ) -> Tuple[np.ndarray, np.ndarray]:
+        """Strict dataflow winner (index, squared distance) per sample."""
+        plan = self.plan
         b = block.shape[0]
         best_val = np.full(b, np.inf, dtype=np.float64)
         best_idx = np.zeros(b, dtype=np.int64)
@@ -113,7 +118,7 @@ class Level2Executor(LevelExecutor):
             better = vals < best_val
             best_val[better] = vals[better]
             best_idx[better] = lo + local[better]
-        return best_idx
+        return best_idx, best_val
 
     def iterate(self, X: np.ndarray, C: np.ndarray
                 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -125,45 +130,61 @@ class Level2Executor(LevelExecutor):
         widest_slice = max(hi - lo for lo, hi in plan.centroid_slices)
 
         assignments = np.empty(n, dtype=np.int64)
-        group_sums: Dict[int, np.ndarray] = {}
-        group_counts: Dict[int, np.ndarray] = {}
+        best_d2 = np.empty(n, dtype=X.dtype)
 
-        # ---- Assign phase ----
-        dma_times: List[float] = []
-        compute_times: List[float] = []
-        accumulate_times: List[float] = []
-        for cg_index, groups in self._groups_by_cg.items():
-            cg_bytes = 0
-            for g in groups:
-                lo, hi = plan.sample_blocks[g]
-                block = X[lo:hi]
-                b = block.shape[0]
-                assignments[lo:hi] = self._assign_block(block, C)
-                sums, counts = accumulate(block, assignments[lo:hi], k)
-                group_sums[g] = sums
-                group_counts[g] = counts
-                if not self.model_costs:
-                    continue
-                # Every member CPE streams the whole block (the n*d*mgroup/m
-                # amplification of T'read) plus its centroid slice traffic
-                # (slice bytes once when resident, re-streamed per stage
-                # otherwise — see StreamingInfo).
-                cg_bytes += (b * d * plan.mgroup) * item \
-                    + plan.mgroup * plan.cent_traffic_bytes_per_cpe()
-                # Member CPEs work concurrently, each over its slice.
-                compute_times.append(self.compute.time_for_flops(
-                    distance_flops(b, widest_slice, d), n_cpes=1))
-                # Accumulation load per member = samples assigned to its
-                # slice; the critical path is the most loaded member.
-                slice_loads = [
-                    int(counts[s_lo:s_hi].sum()) * d
-                    for s_lo, s_hi in plan.centroid_slices
-                ]
-                accumulate_times.append(self.compute.time_for_flops(
-                    max(slice_loads), n_cpes=1))
-            if self.model_costs:
-                dma_times.append(self._dma.transfer_time(cg_bytes))
+        # ---- Assign phase: numerics fan out over the execution engine ----
+        # Each group writes disjoint output slices and returns its partial
+        # accumulators; partials are merged in fixed group order below, so
+        # the result is engine-independent.
+        def group_work(g: int) -> Tuple[np.ndarray, np.ndarray]:
+            lo, hi = plan.sample_blocks[g]
+            block = X[lo:hi]
+            if self.strict_cpe:
+                idx, best = self._strict_assign_block(block, C)
+                sums, counts = accumulate(block, idx, k)
+            else:
+                idx, best, sums, counts = self.kernel.assign_accumulate(
+                    block, C)
+            assignments[lo:hi] = idx
+            best_d2[lo:hi] = best
+            return sums, counts
+
+        partials = self.engine.map(group_work, range(plan.n_groups))
+        group_sums: Dict[int, np.ndarray] = {
+            g: partials[g][0] for g in range(plan.n_groups)}
+        group_counts: Dict[int, np.ndarray] = {
+            g: partials[g][1] for g in range(plan.n_groups)}
+        self._iter_inertia = float(best_d2.sum() / n)
+
+        # ---- cost model (fixed CG/group order, independent of the engine) ----
         if self.model_costs:
+            dma_times: List[float] = []
+            compute_times: List[float] = []
+            accumulate_times: List[float] = []
+            for cg_index, groups in self._groups_by_cg.items():
+                cg_bytes = 0
+                for g in groups:
+                    lo, hi = plan.sample_blocks[g]
+                    b = hi - lo
+                    # Every member CPE streams the whole block (the
+                    # n*d*mgroup/m amplification of T'read) plus its centroid
+                    # slice traffic (slice bytes once when resident,
+                    # re-streamed per stage otherwise — see StreamingInfo).
+                    cg_bytes += (b * d * plan.mgroup) * item \
+                        + plan.mgroup * plan.cent_traffic_bytes_per_cpe()
+                    # Member CPEs work concurrently, each over its slice.
+                    compute_times.append(self.compute.time_for_flops(
+                        distance_flops(b, widest_slice, d), n_cpes=1))
+                    # Accumulation load per member = samples assigned to its
+                    # slice; the critical path is the most loaded member.
+                    counts = group_counts[g]
+                    slice_loads = [
+                        int(counts[s_lo:s_hi].sum()) * d
+                        for s_lo, s_hi in plan.centroid_slices
+                    ]
+                    accumulate_times.append(self.compute.time_for_flops(
+                        max(slice_loads), n_cpes=1))
+                dma_times.append(self._dma.transfer_time(cg_bytes))
             self.charge_stream_phases("l2.assign", dma_times, compute_times)
 
             # MINLOC over each CPE group (line 10): one (value, index) pair

@@ -114,9 +114,14 @@ class Level3Executor(LevelExecutor):
         and must agree with the fast vectorised path (the fidelity tests
         compare the two).
         """
-        plan = self.plan
         if not self.strict_cpe:
             return self.kernel.assign(block, C)
+        return self._strict_assign_block(block, C)[0]
+
+    def _strict_assign_block(self, block: np.ndarray, C: np.ndarray
+                             ) -> Tuple[np.ndarray, np.ndarray]:
+        """Strict dataflow winner (index, squared distance) per sample."""
+        plan = self.plan
         b = block.shape[0]
         best_val = np.full(b, np.inf, dtype=np.float64)
         best_idx = np.zeros(b, dtype=np.int64)
@@ -137,7 +142,7 @@ class Level3Executor(LevelExecutor):
             better = vals < best_val
             best_val[better] = vals[better]
             best_idx[better] = lo_k + local[better]
-        return best_idx
+        return best_idx, best_val
 
     # -- one iteration ------------------------------------------------------------
 
@@ -151,46 +156,64 @@ class Level3Executor(LevelExecutor):
         widest_d = max(hi - lo for lo, hi in plan.dim_slices)
 
         assignments = np.empty(n, dtype=np.int64)
-        group_sums: List[np.ndarray] = []
-        group_counts: List[np.ndarray] = []
+        best_d2 = np.empty(n, dtype=X.dtype)
 
         # ---- Assign phase (CG groups fully parallel) ----
-        dma_times: List[float] = []
-        compute_times: List[float] = []
-        minloc_times: List[float] = []
-        accumulate_times: List[float] = []
-        for g, members in enumerate(plan.cg_groups):
+        # Numerics fan out over the execution engine; every group writes
+        # disjoint output slices and its partials merge in fixed group order
+        # below, so the result is engine-independent.
+        def group_work(g: int) -> Tuple[np.ndarray, np.ndarray]:
             lo, hi = plan.sample_blocks[g]
             block = X[lo:hi]
-            b = block.shape[0]
-            assignments[lo:hi] = self._assign_block(block, C)
-            sums, counts = accumulate(block, assignments[lo:hi], k)
-            group_sums.append(sums)
-            group_counts.append(counts)
+            if self.strict_cpe:
+                idx, best = self._strict_assign_block(block, C)
+                sums, counts = accumulate(block, idx, k)
+            else:
+                idx, best, sums, counts = self.kernel.assign_accumulate(
+                    block, C)
+            assignments[lo:hi] = idx
+            best_d2[lo:hi] = best
+            return sums, counts
 
-            if not self.model_costs:
-                continue
-            # Every member CG streams the whole block across its CPEs plus
-            # its centroid slice traffic (the n*d*m'group/m amplification
-            # of T''read; re-stream traffic when not fully resident).
-            cg_bytes = b * d * item \
-                + self.machine.cpes_per_cg * plan.cent_traffic_bytes_per_cpe()
-            dma_times.append(self._dma.transfer_time(cg_bytes))
-            # Each CPE covers (its dim slice) x (the CG's centroid slice).
-            compute_times.append(self.compute.time_for_flops(
-                distance_flops(b, widest_k, widest_d), n_cpes=1))
-            # MINLOC across the group's CGs: (distance, index) per sample.
-            minloc_times.append(
-                self._group_comms[g].allreduce_time(b * 16))
-            # Accumulation is dimension-parallel over the CG's CPEs; the
-            # critical member holds the most-assigned centroid slice.
-            slice_loads = [
-                int(counts[s_lo:s_hi].sum()) * widest_d
-                for s_lo, s_hi in plan.centroid_slices
-            ]
-            accumulate_times.append(self.compute.time_for_flops(
-                max(slice_loads), n_cpes=1))
+        partials = self.engine.map(group_work, range(plan.n_groups))
+        group_sums: List[np.ndarray] = [p[0] for p in partials]
+        group_counts: List[np.ndarray] = [p[1] for p in partials]
+        self._iter_inertia = float(best_d2.sum() / n)
+
+        # ---- cost model (fixed group order, independent of the engine) ----
         if self.model_costs:
+            dma_times: List[float] = []
+            compute_times: List[float] = []
+            minloc_times: List[float] = []
+            accumulate_times: List[float] = []
+            for g, members in enumerate(plan.cg_groups):
+                lo, hi = plan.sample_blocks[g]
+                b = hi - lo
+                # Every member CG streams the whole block across its CPEs
+                # plus its centroid slice traffic (the n*d*m'group/m
+                # amplification of T''read; re-stream traffic when not fully
+                # resident).
+                cg_bytes = b * d * item \
+                    + self.machine.cpes_per_cg \
+                    * plan.cent_traffic_bytes_per_cpe()
+                dma_times.append(self._dma.transfer_time(cg_bytes))
+                # Each CPE covers (its dim slice) x (the CG's centroid
+                # slice).
+                compute_times.append(self.compute.time_for_flops(
+                    distance_flops(b, widest_k, widest_d), n_cpes=1))
+                # MINLOC across the group's CGs: (distance, index) per
+                # sample.
+                minloc_times.append(
+                    self._group_comms[g].allreduce_time(b * 16))
+                # Accumulation is dimension-parallel over the CG's CPEs; the
+                # critical member holds the most-assigned centroid slice.
+                counts = group_counts[g]
+                slice_loads = [
+                    int(counts[s_lo:s_hi].sum()) * widest_d
+                    for s_lo, s_hi in plan.centroid_slices
+                ]
+                accumulate_times.append(self.compute.time_for_flops(
+                    max(slice_loads), n_cpes=1))
             self.charge_stream_phases("l3.assign", dma_times, compute_times)
             # Partial-distance reduce across the mesh (dim slices -> CG
             # total).

@@ -126,44 +126,47 @@ class Level3BoundedExecutor(Level3Executor):
         assignments = self._assignments.copy()
         self.candidates_per_iteration.append(int(candidate_mask.sum()))
 
-        # ---- charge per-group costs, scaled by surviving candidates ----
-        dma_times: List[float] = []
-        compute_times: List[float] = []
-        minloc_times: List[float] = []
-        accumulate_times: List[float] = []
-        group_sums: List[np.ndarray] = []
-        group_counts: List[np.ndarray] = []
-        for g, members in enumerate(plan.cg_groups):
+        # ---- per-group accumulation (fans out over the execution engine) ----
+        def group_work(g: int) -> Tuple[np.ndarray, np.ndarray]:
             lo, hi = plan.sample_blocks[g]
-            block = X[lo:hi]
-            b = block.shape[0]
-            sums, counts = accumulate(block, assignments[lo:hi], k)
-            group_sums.append(sums)
-            group_counts.append(counts)
+            return accumulate(X[lo:hi], assignments[lo:hi], k)
 
-            if not self.model_costs:
-                continue
-            n_cand = int(candidate_mask[lo:hi].sum())
-            # The full block still streams (Update needs every sample);
-            # bound state (2 scalars/sample) rides along.
-            cg_bytes = (b * (d + 2)) * item \
-                + self.machine.cpes_per_cg * plan.cent_traffic_bytes_per_cpe()
-            dma_times.append(self._dma.transfer_time(cg_bytes))
-            # Only candidates pay the distance kernel; skipped samples pay
-            # one bound comparison each (2 flops, negligible but charged).
-            compute_times.append(self.compute.time_for_flops(
-                distance_flops(n_cand, widest_k, widest_d)
-                + 2.0 * (b - n_cand), n_cpes=1))
-            # Only candidates enter the MINLOC chain.
-            minloc_times.append(
-                self._group_comms[g].allreduce_time(n_cand * 16))
-            slice_loads = [
-                int(counts[s_lo:s_hi].sum()) * widest_d
-                for s_lo, s_hi in plan.centroid_slices
-            ]
-            accumulate_times.append(self.compute.time_for_flops(
-                max(slice_loads), n_cpes=1))
+        partials = self.engine.map(group_work, range(plan.n_groups))
+        group_sums: List[np.ndarray] = [p[0] for p in partials]
+        group_counts: List[np.ndarray] = [p[1] for p in partials]
+
+        # ---- cost model, scaled by surviving candidates (fixed order) ----
         if self.model_costs:
+            dma_times: List[float] = []
+            compute_times: List[float] = []
+            minloc_times: List[float] = []
+            accumulate_times: List[float] = []
+            for g, members in enumerate(plan.cg_groups):
+                lo, hi = plan.sample_blocks[g]
+                b = hi - lo
+                n_cand = int(candidate_mask[lo:hi].sum())
+                # The full block still streams (Update needs every sample);
+                # bound state (2 scalars/sample) rides along.
+                cg_bytes = (b * (d + 2)) * item \
+                    + self.machine.cpes_per_cg \
+                    * plan.cent_traffic_bytes_per_cpe()
+                dma_times.append(self._dma.transfer_time(cg_bytes))
+                # Only candidates pay the distance kernel; skipped samples
+                # pay one bound comparison each (2 flops, negligible but
+                # charged).
+                compute_times.append(self.compute.time_for_flops(
+                    distance_flops(n_cand, widest_k, widest_d)
+                    + 2.0 * (b - n_cand), n_cpes=1))
+                # Only candidates enter the MINLOC chain.
+                minloc_times.append(
+                    self._group_comms[g].allreduce_time(n_cand * 16))
+                counts = group_counts[g]
+                slice_loads = [
+                    int(counts[s_lo:s_hi].sum()) * widest_d
+                    for s_lo, s_hi in plan.centroid_slices
+                ]
+                accumulate_times.append(self.compute.time_for_flops(
+                    max(slice_loads), n_cpes=1))
             self.charge_stream_phases("l3b.assign", dma_times, compute_times)
             max_cand_block = max(
                 int(candidate_mask[lo:hi].sum())

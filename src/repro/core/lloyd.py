@@ -13,26 +13,66 @@ configuration; the integration tests enforce it.
 from __future__ import annotations
 
 import warnings
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError, ConvergenceWarning
+from ..runtime.engine import EngineLike, resolve_engine
 from ._common import (
     DEFAULT_CHUNK_ELEMENTS,
     accumulate,
+    chunk_ranges,
     inertia,
     max_centroid_shift,
     update_centroids,
     validate_data,
 )
-from .kernels import KernelLike, resolve_kernel
+from .kernels import KernelBackend, KernelLike, resolve_kernel
 from .result import IterationStats, KMeansResult
+
+
+def _fused_step(X: np.ndarray, C: np.ndarray, backend: KernelBackend,
+                chunk_elements: int, engine
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One fused Assign+Accumulate pass, sharded over the execution engine.
+
+    Shard boundaries come from the backend's own chunk policy (so they are
+    a function of the problem shape only, never of the engine or worker
+    count), each shard runs the fused kernel, and the per-shard partial
+    accumulators merge in fixed shard order — making the result
+    bit-identical across engines for a given shard list.
+    """
+    n, k = X.shape[0], C.shape[0]
+    rows = backend.chunk_rows(n, k, X.shape[1], chunk_elements)
+    shards = list(chunk_ranges(n, rows))
+    assignments = np.empty(n, dtype=np.int64)
+    best_d2 = np.empty(n, dtype=X.dtype)
+
+    def shard_work(bounds: Tuple[int, int]) -> Tuple[np.ndarray, np.ndarray]:
+        lo, hi = bounds
+        idx, best, sums, counts = backend.assign_accumulate(
+            X[lo:hi], C, chunk_elements)
+        assignments[lo:hi] = idx
+        best_d2[lo:hi] = best
+        return sums, counts
+
+    partials = engine.map(shard_work, shards)
+    sums = partials[0][0]
+    counts = partials[0][1]
+    if len(partials) > 1:
+        sums = sums.copy()
+        counts = counts.copy()
+        for s, c in partials[1:]:
+            sums += s
+            counts += c
+    return assignments, best_d2, sums, counts
 
 
 def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
           tol: float = 0.0, chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
-          kernel: KernelLike = "naive") -> KMeansResult:
+          kernel: KernelLike = "naive", engine: EngineLike = None,
+          workers: Optional[int] = None) -> KMeansResult:
     """Run serial Lloyd k-means from an explicit initial centroid set.
 
     Parameters
@@ -51,6 +91,13 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
     kernel:
         Compute backend for the Assign step ("naive" or "gemm"; see
         :mod:`repro.core.kernels`).
+    engine:
+        Host execution engine ("serial" or "thread"; see
+        :mod:`repro.runtime.engine`).  Shards the fused Assign+Accumulate
+        pass over a thread pool without changing the numbers.
+    workers:
+        Thread count for the thread engine (implies ``engine="thread"``
+        when > 1 and ``engine`` is unset).
 
     Returns
     -------
@@ -61,23 +108,27 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
     if tol < 0:
         raise ConfigurationError(f"tol must be >= 0, got {tol}")
     backend = resolve_kernel(kernel)
+    exec_engine = resolve_engine(engine, workers)
     X, C = validate_data(X, np.array(centroids, copy=True))
-    k = C.shape[0]
+    n = X.shape[0]
 
-    history = []
-    assignments = np.full(X.shape[0], -1, dtype=np.int64)
+    history: List[IterationStats] = []
+    assignments = np.full(n, -1, dtype=np.int64)
     converged = False
     it = 0
     for it in range(1, max_iter + 1):
-        new_assignments = backend.assign(X, C, chunk_elements)
-        sums, counts = accumulate(X, new_assignments, k)
+        new_assignments, best_d2, sums, counts = _fused_step(
+            X, C, backend, chunk_elements, exec_engine)
         new_C = update_centroids(sums, counts, C)
 
         shift = max_centroid_shift(C, new_C)
         n_reassigned = int((new_assignments != assignments).sum())
         history.append(IterationStats(
             iteration=it,
-            inertia=inertia(X, C, new_assignments),
+            # Mean winning squared distance under the incoming C — the same
+            # objective the einsum re-pass computed, without the extra
+            # O(n d) sweep.
+            inertia=float(best_d2.sum() / n),
             centroid_shift=shift,
             n_reassigned=n_reassigned,
         ))
@@ -99,7 +150,11 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
     return KMeansResult(
         centroids=C,
         assignments=assignments,
-        inertia=inertia(X, C, backend.assign(X, C, chunk_elements)),
+        # The held assignments are already the nearest-centroid labels
+        # whenever the run converged (fixed point), and the best available
+        # labels otherwise — recomputing them cost a full extra Assign pass
+        # (O(n k d)) for a number the O(n d) einsum gets from what we hold.
+        inertia=inertia(X, C, assignments),
         n_iter=it,
         converged=converged,
         history=history,
@@ -118,6 +173,6 @@ def lloyd_single_iteration(X: np.ndarray, centroids: np.ndarray,
     against the reference without running to convergence.
     """
     X, C = validate_data(X, centroids)
-    assignments = resolve_kernel(kernel).assign(X, C, chunk_elements)
-    sums, counts = accumulate(X, assignments, C.shape[0])
+    assignments, _, sums, counts = resolve_kernel(kernel).assign_accumulate(
+        X, C, chunk_elements)
     return assignments, update_centroids(sums, counts, C)

@@ -14,6 +14,14 @@ and prices them with the machine's published parameters:
 from .collectives import barrier, exscan_sum, gatherv, reduce_scatter_sum, scatterv
 from .compute import ComputeModel, DEFAULT_EFFICIENCY, distance_flops, update_flops
 from .dma import DMAEngine
+from .engine import (
+    ENGINES,
+    ExecutionEngine,
+    SerialEngine,
+    ThreadEngine,
+    resolve_engine,
+    shutdown_pools,
+)
 from .faults import (
     FAULT_KINDS,
     FaultEvent,
@@ -45,6 +53,8 @@ __all__ = [
     "ComputeModel",
     "DEFAULT_EFFICIENCY",
     "DMAEngine",
+    "ENGINES",
+    "ExecutionEngine",
     "FAULT_KINDS",
     "FaultEvent",
     "FaultInjector",
@@ -55,11 +65,15 @@ __all__ = [
     "NullLedger",
     "PhaseRecord",
     "RegisterComm",
+    "SerialEngine",
     "SimComm",
+    "ThreadEngine",
     "TimeLedger",
     "distance_flops",
     "parse_fault_plan",
     "resolve_fault_plan",
+    "resolve_engine",
+    "shutdown_pools",
     "update_flops",
     "world_comm",
 ]

@@ -1,0 +1,189 @@
+"""Pluggable execution engine: how per-block work runs on the *host*.
+
+Everything in :mod:`repro.core` charges **modelled** Sunway seconds; this
+module decides how the simulator's own numerics are scheduled on the machine
+actually running the Python process.  The Assign+Accumulate dataflow of every
+partition level is embarrassingly parallel over sample blocks — the paper's
+whole point — so the executors hand each block to an
+:class:`ExecutionEngine` and merge the per-block ``(sums, counts)`` partials
+in fixed block order.
+
+Two engines ship:
+
+``serial``
+    A plain in-process loop.  The reference engine.
+
+``thread``
+    A shared :class:`~concurrent.futures.ThreadPoolExecutor`.  The block
+    kernels are NumPy/BLAS calls that release the GIL, so block-sharded
+    GEMM assignment scales on real cores without any pickling or forking.
+
+Determinism contract: an engine only changes *scheduling*, never results.
+Both engines run the identical per-block function over the identical block
+list and return results in submission order; because the callers merge the
+float partials in that fixed order, centroids, assignments, modelled ledger
+seconds, and fault-event replays are bit-identical across engines and
+worker counts.  ``tests/runtime/test_engine.py`` enforces this.
+
+Selection: ``HierarchicalKMeans(..., engine="thread", workers=4)``, the same
+knobs on every executor and on :func:`~repro.core.lloyd.lloyd`, or the
+``REPRO_ENGINE`` / ``REPRO_WORKERS`` environment variables (read only when
+no explicit ``engine=`` is given — this is how CI runs the whole test suite
+under the thread engine).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar, Union
+
+from ..errors import ConfigurationError
+
+#: Names accepted by :func:`resolve_engine`.
+ENGINES = ("serial", "thread")
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+class ExecutionEngine(ABC):
+    """Maps a function over work items; subclasses choose the scheduling."""
+
+    #: Registry name of the engine ("serial", "thread", ...).
+    name: str = ""
+    #: Host threads the engine may occupy (1 for the serial engine).
+    workers: int = 1
+
+    @abstractmethod
+    def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> List[_R]:
+        """Apply ``fn`` to every item; results in submission order.
+
+        Implementations must not reorder results — callers rely on the
+        fixed order to merge float partials deterministically.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialEngine(ExecutionEngine):
+    """In-process loop — the reference scheduling."""
+
+    name = "serial"
+    workers = 1
+
+    def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> List[_R]:
+        return [fn(item) for item in items]
+
+
+# One shared pool per worker count.  Pools are processwide because
+# ThreadPoolExecutor keeps its idle threads alive until shutdown: a pool per
+# engine instance would leak a thread set per fit() call.
+_POOLS: Dict[int, ThreadPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _shared_pool(workers: int) -> ThreadPoolExecutor:
+    with _POOLS_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix=f"repro-engine-{workers}",
+            )
+            _POOLS[workers] = pool
+        return pool
+
+
+def shutdown_pools() -> None:
+    """Shut down every shared pool (test teardown helper)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True)
+
+
+class ThreadEngine(ExecutionEngine):
+    """Thread-pool scheduling for the GIL-releasing block kernels.
+
+    Parameters
+    ----------
+    workers:
+        Pool width; ``None`` uses ``os.cpu_count()``.  ``workers=1``
+        degenerates to the in-process loop (no pool is touched), so the
+        engine is safe to select unconditionally.
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        workers = int(workers)
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> List[_R]:
+        work: Sequence[_T] = list(items)
+        if self.workers == 1 or len(work) <= 1:
+            return [fn(item) for item in work]
+        # Executor.map yields results in submission order regardless of
+        # completion order — exactly the determinism contract.
+        return list(_shared_pool(self.workers).map(fn, work))
+
+
+#: Anything :func:`resolve_engine` accepts.
+EngineLike = Union[str, ExecutionEngine, None]
+
+#: Environment overrides, consulted only when ``engine=None`` is passed.
+ENGINE_ENV = "REPRO_ENGINE"
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_engine(engine: EngineLike = None,
+                   workers: Optional[int] = None) -> ExecutionEngine:
+    """Turn an engine name (or ready instance) into an :class:`ExecutionEngine`.
+
+    ``engine=None`` consults ``REPRO_ENGINE`` (default ``"serial"``) and, if
+    ``workers`` is also None, ``REPRO_WORKERS`` — except that an explicit
+    ``workers > 1`` alone implies the thread engine, so
+    ``HierarchicalKMeans(..., workers=4)`` does what it says.
+    """
+    if isinstance(engine, ExecutionEngine):
+        if workers is not None and workers != engine.workers:
+            raise ConfigurationError(
+                f"workers={workers} conflicts with the provided engine "
+                f"instance ({engine.workers} workers); pass one or the other"
+            )
+        return engine
+    if engine is None:
+        if workers is not None and workers > 1:
+            engine = "thread"
+        else:
+            engine = os.environ.get(ENGINE_ENV, "serial")
+            if workers is None and WORKERS_ENV in os.environ:
+                raw = os.environ[WORKERS_ENV]
+                try:
+                    workers = int(raw)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"{WORKERS_ENV} must be an integer, got {raw!r}"
+                    ) from None
+    if engine == "serial":
+        if workers is not None and workers > 1:
+            raise ConfigurationError(
+                f"the serial engine is single-threaded; workers={workers} "
+                f"requires engine=\"thread\""
+            )
+        return SerialEngine()
+    if engine == "thread":
+        return ThreadEngine(workers)
+    raise ConfigurationError(
+        f"engine must be an ExecutionEngine instance or one of {ENGINES}, "
+        f"got {engine!r}"
+    )

@@ -162,6 +162,27 @@ class TestAccumulate:
         with pytest.raises(DataShapeError):
             accumulate(np.ones((3, 2)), np.zeros(2, dtype=np.int64), k=1)
 
+    def test_out_of_range_assignment_rejected(self):
+        X = np.ones((3, 2))
+        with pytest.raises(DataShapeError):
+            accumulate(X, np.array([0, 1, 2]), k=2)
+        with pytest.raises(DataShapeError):
+            accumulate(X, np.array([0, -1, 1]), k=2)
+
+    def test_bincount_matches_add_at_bitwise(self):
+        # The bincount formulation replaced an np.add.at scatter; both add
+        # element-for-element in sample order, so a single-pass bincount is
+        # bit-identical, not merely close.
+        rng = np.random.default_rng(23)
+        X = rng.normal(size=(1500, 17)) * rng.lognormal(size=(1500, 1))
+        k = 13
+        a = rng.integers(0, k, size=1500)
+        sums, counts = accumulate(X, a, k)
+        ref_sums = np.zeros((k, X.shape[1]))
+        np.add.at(ref_sums, a, X)
+        np.testing.assert_array_equal(sums, ref_sums)
+        np.testing.assert_array_equal(counts, np.bincount(a, minlength=k))
+
 
 class TestUpdate:
     def test_means_computed(self):

@@ -75,6 +75,33 @@ class TestBackendParity:
         np.testing.assert_array_equal(ia, ib)
         np.testing.assert_allclose(da, db, rtol=0, atol=1e-9)
 
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_assign_accumulate_matches_unfused(self, kernel):
+        from repro.core._common import accumulate
+        rng = np.random.default_rng(19)
+        X = rng.normal(size=(700, 20))
+        C = rng.normal(size=(11, 20))
+        backend = resolve_kernel(kernel)
+        for chunk in (256, 4_000_000):
+            idx, best, sums, counts = backend.assign_accumulate(
+                X, C, chunk_elements=chunk)
+            ref_idx, ref_best = backend.assign_with_distances(
+                X, C, chunk_elements=chunk)
+            ref_sums, ref_counts = accumulate(X, ref_idx, C.shape[0])
+            np.testing.assert_array_equal(idx, ref_idx)
+            np.testing.assert_array_equal(best, ref_best)
+            np.testing.assert_array_equal(sums, ref_sums)
+            np.testing.assert_array_equal(counts, ref_counts)
+
+    def test_chunk_rows_policy(self):
+        # The naive form materialises a (rows, k, d) temporary, so its rows
+        # shrink by a factor of d relative to the (rows, k) GEMM output.
+        n, k, d, budget = 10_000, 16, 32, 4096
+        assert NaiveKernel().chunk_rows(n, k, d, budget) == budget // (k * d)
+        assert GemmKernel().chunk_rows(n, k, d, budget) == budget // k
+        # Degenerate budgets still make progress.
+        assert NaiveKernel().chunk_rows(n, k, d, 1) == 1
+
     def test_chunked_equals_unchunked(self):
         rng = np.random.default_rng(7)
         X = rng.normal(size=(300, 8))
