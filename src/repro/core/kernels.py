@@ -72,6 +72,21 @@ class KernelBackend(ABC):
                   ctx: object) -> np.ndarray:
         """Full (b, k) squared-distance block for one sample block."""
 
+    def _argmin_best_block(self, block: np.ndarray, C: np.ndarray,
+                           ctx: object) -> Tuple[np.ndarray, np.ndarray]:
+        """Winning index plus its squared distance for one sample block.
+
+        Must pick the winner exactly like :meth:`_argmin_block` — same
+        formulation, same ties — so ``assign()`` and the sweeps behind
+        ``assign_with_distances()`` / ``assign_accumulate()`` never
+        disagree.  Backends whose argmin runs on a cheaper partial form
+        override this to argmin that form and materialise the full
+        distance for the winner only.
+        """
+        d2 = self._sq_block(block, C, ctx)
+        local = np.argmin(d2, axis=1)
+        return local, d2[np.arange(block.shape[0]), local]
+
     # -- chunk policy -------------------------------------------------------------
 
     def chunk_rows(self, n: int, k: int, d: int,
@@ -109,10 +124,9 @@ class KernelBackend(ABC):
         idx = np.empty(n, dtype=np.int64)
         best = np.empty(n, dtype=X.dtype)
         for lo, hi in chunk_ranges(n, rows):
-            d2 = self._sq_block(X[lo:hi], C, ctx)
-            local = np.argmin(d2, axis=1)
+            local, best_block = self._argmin_best_block(X[lo:hi], C, ctx)
             idx[lo:hi] = local
-            best[lo:hi] = d2[np.arange(hi - lo), local]
+            best[lo:hi] = best_block
         return idx, best
 
     def assign_with_distances(self, X: np.ndarray, C: np.ndarray,
@@ -239,6 +253,18 @@ class GemmKernel(KernelBackend):
         d2 += np.einsum("bd,bd->b", block, block)[:, None]
         np.maximum(d2, 0.0, out=d2)
         return d2
+
+    def _argmin_best_block(self, block: np.ndarray, C: np.ndarray,
+                           ctx: object) -> Tuple[np.ndarray, np.ndarray]:
+        # Argmin over the same partial form assign() uses — adding the
+        # per-row |x|^2 and clamping first can flip near-exact ties — then
+        # materialise the full squared distance for the winner only.
+        g = self._partial_block(block, C, ctx)
+        local = np.argmin(g, axis=1)
+        best = g[np.arange(block.shape[0]), local]
+        best += np.einsum("bd,bd->b", block, block)
+        np.maximum(best, 0.0, out=best)
+        return local, best
 
 
 #: Anything :func:`resolve_kernel` accepts.

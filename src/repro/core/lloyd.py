@@ -116,6 +116,7 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
     assignments = np.full(n, -1, dtype=np.int64)
     converged = False
     it = 0
+    shift = np.inf
     for it in range(1, max_iter + 1):
         new_assignments, best_d2, sums, counts = _fused_step(
             X, C, backend, chunk_elements, exec_engine)
@@ -147,14 +148,23 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
             stacklevel=2,
         )
 
+    # Final objective under the final C.  At an exact fixed point
+    # (shift == 0) the held assignments *are* the nearest-centroid labels
+    # for the final C, so the O(n d) einsum suffices with no extra Assign
+    # pass.  A tol > 0 stop (or max_iter exhaustion) halts one Update past
+    # the last Assign, so the held labels may be stale against the final C
+    # — recompute them for the objective only, keeping result.inertia the
+    # true O(C) as before.  result.assignments stays the last-Assign labels
+    # in every case.
+    if converged and shift == 0.0:
+        final_inertia = inertia(X, C, assignments)
+    else:
+        final_inertia = inertia(X, C, backend.assign(X, C, chunk_elements))
+
     return KMeansResult(
         centroids=C,
         assignments=assignments,
-        # The held assignments are already the nearest-centroid labels
-        # whenever the run converged (fixed point), and the best available
-        # labels otherwise — recomputing them cost a full extra Assign pass
-        # (O(n k d)) for a number the O(n d) einsum gets from what we hold.
-        inertia=inertia(X, C, assignments),
+        inertia=final_inertia,
         n_iter=it,
         converged=converged,
         history=history,

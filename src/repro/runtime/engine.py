@@ -150,9 +150,12 @@ def resolve_engine(engine: EngineLike = None,
     """Turn an engine name (or ready instance) into an :class:`ExecutionEngine`.
 
     ``engine=None`` consults ``REPRO_ENGINE`` (default ``"serial"``) and, if
-    ``workers`` is also None, ``REPRO_WORKERS`` — except that an explicit
-    ``workers > 1`` alone implies the thread engine, so
-    ``HierarchicalKMeans(..., workers=4)`` does what it says.
+    ``workers`` is also None, ``REPRO_WORKERS``; empty or whitespace-only
+    values count as unset (CI matrices export empty strings for the legs
+    that don't use a knob).  ``workers > 1`` alone implies the thread
+    engine whether it arrives as an argument or via ``REPRO_WORKERS``, so
+    ``HierarchicalKMeans(..., workers=4)`` and ``REPRO_WORKERS=4`` both do
+    what they say.
     """
     if isinstance(engine, ExecutionEngine):
         if workers is not None and workers != engine.workers:
@@ -165,15 +168,22 @@ def resolve_engine(engine: EngineLike = None,
         if workers is not None and workers > 1:
             engine = "thread"
         else:
-            engine = os.environ.get(ENGINE_ENV, "serial")
-            if workers is None and WORKERS_ENV in os.environ:
-                raw = os.environ[WORKERS_ENV]
-                try:
-                    workers = int(raw)
-                except ValueError:
-                    raise ConfigurationError(
-                        f"{WORKERS_ENV} must be an integer, got {raw!r}"
-                    ) from None
+            env_engine = os.environ.get(ENGINE_ENV, "").strip()
+            if workers is None:
+                raw = os.environ.get(WORKERS_ENV, "").strip()
+                if raw:
+                    try:
+                        workers = int(raw)
+                    except ValueError:
+                        raise ConfigurationError(
+                            f"{WORKERS_ENV} must be an integer, got {raw!r}"
+                        ) from None
+            if env_engine:
+                engine = env_engine
+            elif workers is not None and workers > 1:
+                engine = "thread"
+            else:
+                engine = "serial"
     if engine == "serial":
         if workers is not None and workers > 1:
             raise ConfigurationError(

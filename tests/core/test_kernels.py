@@ -93,6 +93,29 @@ class TestBackendParity:
             np.testing.assert_array_equal(sums, ref_sums)
             np.testing.assert_array_equal(counts, ref_counts)
 
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_sweep_winner_matches_assign_on_ties(self, kernel):
+        # assign() and the sweeps behind assign_with_distances() /
+        # assign_accumulate() must break near-exact ties identically: the
+        # winner has to come from the same distance form in both paths
+        # (the gemm partial form drops |x|^2; adding it back and clamping
+        # before the argmin can flip ties).
+        backend = resolve_kernel(kernel)
+        rng = np.random.default_rng(23)
+        for _ in range(20):
+            base = rng.normal(size=(6, 4))
+            # Duplicated / barely-perturbed centroids make exact and
+            # near-exact ties; the 1e3 offset makes |x|^2 dwarf the gaps.
+            C = np.vstack([base,
+                           base + rng.normal(scale=1e-12, size=base.shape)])
+            C += 1e3
+            X = np.repeat(base, 4, axis=0) + 1e3
+            ref = backend.assign(X, C)
+            idx, _ = backend.assign_with_distances(X, C)
+            np.testing.assert_array_equal(idx, ref)
+            np.testing.assert_array_equal(
+                backend.assign_accumulate(X, C)[0], ref)
+
     def test_chunk_rows_policy(self):
         # The naive form materialises a (rows, k, d) temporary, so its rows
         # shrink by a factor of d relative to the (rows, k) GEMM output.

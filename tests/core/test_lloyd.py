@@ -69,6 +69,26 @@ class TestConvergence:
         loose = lloyd(X, C0, tol=1.0)
         assert loose.n_iter <= tight.n_iter
 
+    def test_final_inertia_is_true_objective_with_tol(self, blobs):
+        # A tol > 0 stop halts one Update past the last Assign, so the held
+        # labels can be stale against the final centroids; result.inertia
+        # must still be the true objective O(C) under nearest-centroid
+        # labels, exactly as the pre-fused implementation computed it.
+        X, _ = blobs
+        C0 = init_centroids(X, 5, method="first")
+        result = lloyd(X, C0, tol=0.5, max_iter=50)
+        fresh = assign_chunked(X, result.centroids)
+        assert result.inertia == inertia(X, result.centroids, fresh)
+
+    def test_final_inertia_is_true_objective_when_not_converged(self, blobs):
+        X, _ = blobs
+        C0 = init_centroids(X, 5, method="first")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            result = lloyd(X, C0, max_iter=1)
+        fresh = assign_chunked(X, result.centroids)
+        assert result.inertia == inertia(X, result.centroids, fresh)
+
 
 class TestCorrectness:
     def test_recovers_ground_truth_blobs(self, blobs):

@@ -95,6 +95,27 @@ class TestResolveEngine:
         with pytest.raises(ConfigurationError):
             resolve_engine()
 
+    @pytest.mark.parametrize("value", ["", "  "])
+    def test_env_empty_values_are_unset(self, monkeypatch, value):
+        # CI matrices export empty strings for legs that don't use a knob;
+        # an empty REPRO_WORKERS/REPRO_ENGINE must behave like no override.
+        monkeypatch.setenv(ENGINE_ENV, value)
+        monkeypatch.setenv(WORKERS_ENV, value)
+        assert isinstance(resolve_engine(), SerialEngine)
+
+    def test_env_workers_alone_implies_thread(self, monkeypatch):
+        # Same implication as resolve_engine(workers=4): REPRO_WORKERS > 1
+        # without REPRO_ENGINE selects the thread engine rather than
+        # rejecting workers on the serial default.
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        eng = resolve_engine()
+        assert isinstance(eng, ThreadEngine)
+        assert eng.workers == 4
+
+    def test_env_workers_one_stays_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "1")
+        assert isinstance(resolve_engine(), SerialEngine)
+
 
 class TestMapSemantics:
     @pytest.mark.parametrize("engine", [SerialEngine(), ThreadEngine(2),
