@@ -1,0 +1,238 @@
+"""Host-chaos harness: supervised runs survive, unsupervised runs fail.
+
+The tentpole claim of the host robustness layer, measured end to end with
+seeded chaos injected at the engine seam (block-task exceptions, slow
+blocks, NaN-poisoned partials):
+
+* **lloyd** — a supervised run (bounded retries with backoff) under
+  exception + slow-block chaos finishes **bit-identical** to the
+  fault-free serial baseline, on both the serial and thread engines; the
+  same chaos with retries disabled kills the run;
+* **executor** — levels 1-3 under NaN-corruption chaos survive via the
+  numerical guard + checkpoint rollback (``recovery="replan"``),
+  bit-identical to the clean baseline; under the default fail-fast
+  recovery the guard turns the corruption into a loud
+  ``NumericalFaultError`` instead of silently converging to garbage.
+
+Every row records both halves (``supervised_identical`` and
+``unsupervised_failed``) plus the host-event counts that prove the chaos
+actually fired.  Run::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py \
+        [--quick] [--check] [--workers N] [--out BENCH_chaos.json]
+
+``--check`` exits non-zero when any supervised run is not bit-identical,
+any unsupervised run fails to fail, or no chaos fired at all.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+import warnings
+
+import numpy as np
+
+from repro.core.init import init_centroids
+from repro.core.kmeans import HierarchicalKMeans
+from repro.core.lloyd import lloyd
+from repro.data.synthetic import gaussian_blobs
+from repro.errors import ChaosError, NumericalFaultError
+from repro.machine.machine import toy_machine
+from repro.runtime.chaos import ChaosInjector, parse_chaos_plan
+from repro.runtime.engine import SerialEngine, TaskPolicy, ThreadEngine
+
+# Exception + slow-block chaos: numerically invisible once retried, so a
+# supervised run must land on the bit-identical fixed point.
+LLOYD_CHAOS = "task_exception:p=0.15;slow_task:p=0.1,delay=0.002;seed=7"
+
+
+def _event_counts(result):
+    counts = {}
+    for event in result.host_events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return counts
+
+
+def _identical(a, b):
+    return (bool(np.array_equal(a.centroids, b.centroids))
+            and bool(np.array_equal(a.assignments, b.assignments))
+            and a.inertia == b.inertia)
+
+
+# ---------------------------------------------------------------------------
+# lloyd sweep: exception/slow-block chaos, serial + thread engines
+# ---------------------------------------------------------------------------
+
+def _lloyd_sweep(shapes, workers, chunk_elements, max_iter):
+    rows = []
+    for (n, k, d, seed) in shapes:
+        X, _ = gaussian_blobs(n=n, k=k, d=d, seed=seed)
+        C0 = init_centroids(X, k, method="first")
+
+        def run(engine):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                return lloyd(X, C0, max_iter=max_iter,
+                             chunk_elements=chunk_elements, engine=engine)
+
+        def chaotic_engine(engine_workers, max_retries):
+            injector = ChaosInjector(parse_chaos_plan(LLOYD_CHAOS))
+            policy = TaskPolicy(max_retries=max_retries, backoff_s=0.0)
+            if engine_workers > 1:
+                return ThreadEngine(engine_workers, policy=policy,
+                                    chaos=injector)
+            return SerialEngine(policy=policy, chaos=injector)
+
+        t0 = time.perf_counter()
+        clean = run(SerialEngine())
+        clean_seconds = time.perf_counter() - t0
+        for engine_workers in (1, workers):
+            t0 = time.perf_counter()
+            survived = run(chaotic_engine(engine_workers, max_retries=3))
+            supervised_seconds = time.perf_counter() - t0
+            counts = _event_counts(survived)
+            unsupervised_failed = False
+            try:
+                run(chaotic_engine(engine_workers, max_retries=0))
+            except ChaosError:
+                unsupervised_failed = True
+            rows.append({
+                "n": n, "k": k, "d": d, "engine_workers": engine_workers,
+                "chaos": LLOYD_CHAOS,
+                "supervised_identical": _identical(clean, survived),
+                "unsupervised_failed": unsupervised_failed,
+                "chaos_events": counts.get("chaos", 0),
+                "task_retries": counts.get("task_retry", 0),
+                "clean_seconds": clean_seconds,
+                "supervised_seconds": supervised_seconds,
+            })
+            r = rows[-1]
+            print(f"  lloyd n={n:6d} k={k:3d} d={d:2d} "
+                  f"workers={engine_workers}: "
+                  f"{r['chaos_events']:3d} chaos, "
+                  f"{r['task_retries']:3d} retries  "
+                  f"supervised "
+                  f"{'ok' if r['supervised_identical'] else 'MISMATCH'}  "
+                  f"unsupervised "
+                  f"{'failed (good)' if unsupervised_failed else 'SURVIVED'}")
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# executor sweep: NaN corruption -> numerical guard -> rollback
+# ---------------------------------------------------------------------------
+
+def _executor_sweep(n, k, d, max_iter):
+    X, _ = gaussian_blobs(n=n, k=k, d=d, seed=4)
+    machine = toy_machine(n_nodes=2)
+    rows = []
+    for level in (1, 2, 3):
+        def fit(engine=None, **kwargs):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                return HierarchicalKMeans(
+                    k, machine=machine, level=level, seed=11,
+                    max_iter=max_iter, engine=engine, **kwargs).fit(X)
+
+        def nan_engine():
+            return SerialEngine(chaos=ChaosInjector(
+                parse_chaos_plan("nan_result@2")))
+
+        clean = fit()
+        survived = fit(engine=nan_engine(), recovery="replan",
+                       checkpoint_every=1)
+        counts = _event_counts(survived)
+        guard_fired = False
+        try:
+            fit(engine=nan_engine())  # default fail_fast recovery
+        except NumericalFaultError:
+            guard_fired = True
+        rows.append({
+            "level": level, "n": n, "k": k, "d": d,
+            "chaos": "nan_result@2",
+            "supervised_identical": _identical(clean, survived),
+            "unsupervised_failed": guard_fired,
+            "chaos_events": counts.get("chaos", 0),
+            "rollbacks": counts.get("rollback", 0),
+        })
+        r = rows[-1]
+        print(f"  executor level {level}: {r['rollbacks']} rollback(s)  "
+              f"supervised "
+              f"{'ok' if r['supervised_identical'] else 'MISMATCH'}  "
+              f"fail-fast guard "
+              f"{'raised (good)' if guard_fired else 'SILENT'}")
+    return rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="host-chaos harness: supervised runs survive "
+                    "bit-identically, unsupervised runs fail")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller shapes (CI mode)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless every supervised run is "
+                             "bit-identical, every unsupervised run "
+                             "fails, and chaos actually fired")
+    parser.add_argument("--workers", type=int,
+                        default=max(2, os.cpu_count() or 1),
+                        help="thread-engine width (default: cpu count, "
+                             "min 2)")
+    parser.add_argument("--out", default="BENCH_chaos.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        shapes = [(400, 8, 6, 3)]
+        executor_shape = (300, 3, 5)
+        chunk_elements, max_iter = 4096, 30
+    else:
+        shapes = [(400, 8, 6, 3), (20_000, 16, 8, 3)]
+        executor_shape = (20_000, 8, 16)
+        chunk_elements, max_iter = 16_384, 40
+
+    print(f"lloyd chaos sweep ({args.workers} workers, "
+          f"cpu_count={os.cpu_count()}):")
+    lloyd_rows = _lloyd_sweep(shapes, args.workers, chunk_elements, max_iter)
+    print("executor NaN-rollback sweep:")
+    executor_rows = _executor_sweep(*executor_shape, max_iter=max_iter)
+
+    payload = {
+        "benchmark": "chaos",
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "workers": args.workers,
+        "lloyd": lloyd_rows,
+        "executor": executor_rows,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        rows = lloyd_rows + executor_rows
+        broken = [r for r in rows if not r["supervised_identical"]]
+        if broken:
+            print(f"CHECK FAILED: supervised run diverged in "
+                  f"{len(broken)} row(s)")
+            return 1
+        tame = [r for r in rows if not r["unsupervised_failed"]]
+        if tame:
+            print(f"CHECK FAILED: unsupervised run survived in "
+                  f"{len(tame)} row(s)")
+            return 1
+        if not any(r["chaos_events"] for r in rows):
+            print("CHECK FAILED: no chaos fired anywhere")
+            return 1
+        print("CHECK OK: supervised bit-identical, unsupervised failed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

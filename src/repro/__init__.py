@@ -44,15 +44,20 @@ from .core import (
 )
 from .errors import (
     CGFailedError,
+    ChaosError,
     CollectiveTimeoutError,
     CommunicatorError,
     ConfigurationError,
     ConvergenceWarning,
     DataShapeError,
+    DeadlineExceededError,
     FaultError,
+    HostFaultError,
     LDMOverflowError,
+    NumericalFaultError,
     PartitionError,
     ReproError,
+    TaskTimeoutError,
     TransientDMAError,
 )
 from .machine import (
@@ -62,24 +67,38 @@ from .machine import (
     sunway_machine,
     toy_machine,
 )
-from .runtime import FaultEvent, FaultPlan, FaultSpec, parse_fault_plan
+from .runtime import (
+    ChaosPlan,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    HostEvent,
+    RunSupervisor,
+    parse_chaos_plan,
+    parse_fault_plan,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CGFailedError",
+    "ChaosError",
+    "ChaosPlan",
     "CheckpointConfig",
     "CollectiveTimeoutError",
     "CommunicatorError",
     "ConfigurationError",
     "ConvergenceWarning",
     "DataShapeError",
+    "DeadlineExceededError",
     "DegradedMachine",
     "FaultError",
     "FaultEvent",
     "FaultPlan",
     "FaultSpec",
     "GemmKernel",
+    "HostEvent",
+    "HostFaultError",
     "HierarchicalKMeans",
     "KERNELS",
     "KMeansResult",
@@ -90,14 +109,18 @@ __all__ = [
     "Level3Executor",
     "Machine",
     "NaiveKernel",
+    "NumericalFaultError",
     "PartitionError",
     "RecoveryPolicy",
     "ReproError",
+    "RunSupervisor",
+    "TaskTimeoutError",
     "TransientDMAError",
     "__version__",
     "init_centroids",
     "lloyd",
     "machine_from_preset",
+    "parse_chaos_plan",
     "parse_fault_plan",
     "plan_level1",
     "plan_level2",

@@ -20,6 +20,9 @@ Commands
     pure numerics without the simulated time ledger.
     ``--faults 'cg_failure@3:cg=1' --recovery replan --checkpoint-every 5``
     injects machine faults and exercises the recovery policies.
+    ``--checkpoint-dir DIR`` persists every snapshot durably so a killed
+    run restarts bit-identically with ``--resume``; ``--deadline S``
+    bounds the *real* wall-clock time (exit code 3 when exceeded).
 ``machine [--nodes NODES]``
     Render the simulated machine (the paper's Figure-1 block diagram plus
     the fleet summary).
@@ -37,7 +40,7 @@ from typing import List, Optional
 
 from . import __version__
 from .data.synthetic import gaussian_blobs
-from .errors import ReproError
+from .errors import DeadlineExceededError, ReproError
 from .experiments import EXPERIMENTS, EXTRA_EXPERIMENTS, run_experiment
 from .machine.machine import sunway_machine, toy_machine
 from .machine.specs import sunway_spec
@@ -125,7 +128,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                                model_costs=not args.no_model_costs,
                                faults=args.faults,
                                recovery=args.recovery,
-                               checkpoint_every=args.checkpoint_every)
+                               checkpoint_every=args.checkpoint_every,
+                               checkpoint_dir=args.checkpoint_dir,
+                               resume=args.resume,
+                               deadline_s=args.deadline,
+                               empty_action=args.empty_action)
     result = model.fit(X)
     print(result.summary())
     if result.ledger is not None:
@@ -136,6 +143,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         print(f"  fault: {event.kind}{where} at iteration "
               f"{event.iteration} -> {event.action} "
               f"({format_seconds(event.recovery_seconds)} recovery)")
+    for host_event in result.host_events:
+        print(f"  host: {host_event.describe()}")
     if args.save:
         from .io import save_result
         save_result(result, args.save)
@@ -244,6 +253,22 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="N",
                       help="snapshot centroids every N iterations "
                            "(modelled I/O charged to 'checkpoint')")
+    p_cl.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                      help="persist snapshots durably to DIR/checkpoint.npz "
+                           "(atomic write; default: REPRO_CHECKPOINT_DIR "
+                           "env var)")
+    p_cl.add_argument("--resume", action="store_true",
+                      help="restart from the snapshot in --checkpoint-dir; "
+                           "the continuation is bit-identical to the "
+                           "uninterrupted run")
+    p_cl.add_argument("--deadline", type=float, default=None, metavar="S",
+                      help="real wall-clock budget in seconds; the run "
+                           "aborts with exit code 3 at the first iteration "
+                           "boundary past it (default: REPRO_DEADLINE "
+                           "env var)")
+    p_cl.add_argument("--empty-action", default="keep",
+                      choices=("keep", "reseed_farthest"),
+                      help="empty-cluster rule for the Update step")
     p_cl.add_argument("--save", help="path to save the result (.npz)")
     p_cl.set_defaults(func=_cmd_cluster)
 
@@ -269,6 +294,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except DeadlineExceededError as e:
+        # Distinct exit code so schedulers can tell "ran out of wall
+        # clock" (retryable with a bigger budget / --resume) from a
+        # configuration error.
+        print(f"deadline exceeded: {e}", file=sys.stderr)
+        return 3
     except ReproError as e:
         print(f"error: {e}", file=sys.stderr)
         return 2

@@ -1,7 +1,13 @@
 """Core k-means algorithms: serial baseline + the three partition levels."""
 
-from .checkpoint import Checkpoint, CheckpointConfig, CheckpointStore
+from .checkpoint import (
+    Checkpoint,
+    CheckpointConfig,
+    CheckpointStore,
+    load_checkpoint,
+)
 from ._common import (
+    EMPTY_ACTIONS,
     accumulate,
     assign_chunked,
     even_slices,
@@ -65,6 +71,7 @@ __all__ = [
     "CheckpointConfig",
     "CheckpointStore",
     "ConstraintCheck",
+    "EMPTY_ACTIONS",
     "FailFastPolicy",
     "FeasibilityReport",
     "GemmKernel",
@@ -99,6 +106,7 @@ __all__ = [
     "level2_feasibility",
     "level3_feasibility",
     "lloyd",
+    "load_checkpoint",
     "lloyd_single_iteration",
     "max_centroid_shift",
     "max_feasible_k_level1",

@@ -17,10 +17,13 @@ from typing import Iterator, List, Tuple
 
 import numpy as np
 
-from ..errors import DataShapeError
+from ..errors import ConfigurationError, DataShapeError
 
 #: Number of distance-matrix elements a single chunk may hold.
 DEFAULT_CHUNK_ELEMENTS = 4_000_000
+
+#: Empty-cluster rules :func:`update_centroids` accepts.
+EMPTY_ACTIONS = ("keep", "reseed_farthest")
 
 #: Elements of the flat scatter-index temporary one accumulate pass may
 #: build (bounds the int64 temp at ~128 MB).  Below this, accumulation is a
@@ -181,17 +184,55 @@ def accumulate(X: np.ndarray, assignments: np.ndarray, k: int
 
 
 def update_centroids(sums: np.ndarray, counts: np.ndarray,
-                     previous: np.ndarray) -> np.ndarray:
-    """New centroids = sums / counts; empty clusters keep their old centroid.
+                     previous: np.ndarray, empty_action: str = "keep",
+                     X: np.ndarray = None,
+                     best_d2: np.ndarray = None) -> np.ndarray:
+    """New centroids = sums / counts, with a deterministic empty-cluster rule.
 
     The paper's Algorithm 1 line 15 divides unconditionally; a real run never
     hits count == 0 on its benchmarks, but a robust library must not emit
     NaNs.  Every level shares this rule so their trajectories agree.
+
+    ``empty_action="keep"`` (the default, and the historical rule) leaves an
+    empty cluster's previous centroid in place.  ``"reseed_farthest"``
+    relocates each empty cluster onto the sample farthest from its winning
+    centroid — the standard farthest-point re-seeding, made deterministic by
+    a stable sort (equal distances break toward the lower sample index).  It
+    needs ``X`` and the per-sample winning squared distances ``best_d2``;
+    when only ``X`` is available the distances are recomputed, and this
+    happens *only* when an empty cluster actually occurs, so the common path
+    pays nothing.
     """
+    if empty_action not in EMPTY_ACTIONS:
+        raise ConfigurationError(
+            f"empty_action must be one of {EMPTY_ACTIONS}, "
+            f"got {empty_action!r}"
+        )
     counts = np.asarray(counts)
     new = np.array(previous, dtype=np.float64, copy=True)
     nonempty = counts > 0
     new[nonempty] = sums[nonempty] / counts[nonempty, None]
+    if empty_action == "reseed_farthest" and not nonempty.all():
+        if X is None:
+            raise ConfigurationError(
+                "empty_action='reseed_farthest' needs the samples X to "
+                "reseed from"
+            )
+        if best_d2 is None:
+            # Only executors without exact winning distances (the bounded
+            # variant keeps drifted bounds, not distances) land here, and
+            # only on the rare empty-cluster iteration.
+            _, best_d2 = assign_with_distances(X, previous)
+        # Farthest samples first; kind="stable" pins the order of exact
+        # distance ties to the lower sample index, keeping the rule
+        # bit-reproducible across engines and worker counts.
+        farthest = np.argsort(-np.asarray(best_d2), kind="stable")
+        empty_idx = np.flatnonzero(~nonempty)
+        picks = farthest[:len(empty_idx)]
+        # k > n can leave more empty clusters than samples; the overflow
+        # falls back to the keep rule.
+        empty_idx = empty_idx[:len(picks)]
+        new[empty_idx] = X[picks]
     return new.astype(previous.dtype, copy=False)
 
 

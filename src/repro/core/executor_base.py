@@ -16,14 +16,26 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ConfigurationError, ConvergenceWarning, FaultError
+from ..errors import (
+    ConfigurationError,
+    ConvergenceWarning,
+    FaultError,
+    NumericalFaultError,
+)
 from ..machine.machine import DegradedMachine, Machine
 from ..runtime.compute import ComputeModel
 from ..runtime.engine import EngineLike, resolve_engine
 from ..runtime.faults import FaultInjector, resolve_fault_plan
 from ..runtime.ledger import NullLedger, TimeLedger
-from ._common import inertia, max_centroid_shift, validate_data
-from .checkpoint import CheckpointConfig, CheckpointStore
+from ..runtime.supervisor import SupervisorLike, resolve_supervisor
+from ._common import (
+    EMPTY_ACTIONS,
+    inertia,
+    max_centroid_shift,
+    update_centroids,
+    validate_data,
+)
+from .checkpoint import CheckpointConfig, CheckpointStore, load_checkpoint
 from .kernels import KernelLike, resolve_kernel
 from .recovery import RecoveryLike, resolve_recovery
 from .result import IterationStats, KMeansResult
@@ -79,6 +91,32 @@ class LevelExecutor(ABC):
     checkpoint_config:
         Full :class:`~repro.core.checkpoint.CheckpointConfig` overriding
         ``checkpoint_every`` (cadence plus I/O bandwidth/latency).
+    checkpoint_dir:
+        Directory for *durable* snapshots: every checkpoint is also
+        persisted to ``checkpoint_dir/checkpoint.npz`` via an atomic
+        write-tmp → fsync → rename, so a killed process can ``resume``
+        from disk.  Modelled cost charging is unchanged — host I/O is
+        real time, not simulated Sunway time.
+    resume:
+        Restart from the snapshot in ``checkpoint_dir`` (required) instead
+        of the passed initial centroids.  The continuation is bit-identical
+        to the uninterrupted run: assignments are a pure function of
+        ``(X, C)``, so ``(iteration, centroids)`` is complete restart
+        state.  An empty directory falls back to a cold start.
+    deadline_s:
+        Wall-clock budget in *real* seconds; the run aborts with
+        :class:`~repro.errors.DeadlineExceededError` at the first
+        iteration boundary past it.  None consults ``REPRO_DEADLINE``.
+    watchdog_s:
+        Per-iteration real-time threshold; slower iterations are flagged
+        as ``slow_iteration`` host events (never killed).
+    supervisor:
+        Full :class:`~repro.runtime.supervisor.RunSupervisor` instance
+        overriding ``deadline_s``/``watchdog_s``.
+    empty_action:
+        Empty-cluster rule for the Update step: ``"keep"`` (default,
+        historical) or ``"reseed_farthest"`` (deterministic farthest-point
+        re-seeding; see :func:`~repro.core._common.update_centroids`).
     engine:
         Host execution engine for the per-sample-block numerics
         (``"serial"``, ``"thread"``, or an
@@ -104,6 +142,12 @@ class LevelExecutor(ABC):
                  recovery: RecoveryLike = "fail_fast",
                  checkpoint_every: Optional[int] = None,
                  checkpoint_config: Optional[CheckpointConfig] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 resume: bool = False,
+                 deadline_s: Optional[float] = None,
+                 watchdog_s: Optional[float] = None,
+                 supervisor: SupervisorLike = None,
+                 empty_action: str = "keep",
                  engine: EngineLike = None,
                  workers: Optional[int] = None) -> None:
         self.machine = machine
@@ -136,7 +180,22 @@ class LevelExecutor(ABC):
         self.recovery = resolve_recovery(recovery)
         if checkpoint_config is None:
             checkpoint_config = CheckpointConfig(every=checkpoint_every)
-        self.checkpoints = CheckpointStore(checkpoint_config, self.ledger)
+        self.checkpoints = CheckpointStore(checkpoint_config, self.ledger,
+                                           directory=checkpoint_dir)
+        if resume and checkpoint_dir is None:
+            raise ConfigurationError(
+                "resume=True needs checkpoint_dir= (there is no on-disk "
+                "snapshot to resume from otherwise)"
+            )
+        self.resume = bool(resume)
+        self.supervisor = resolve_supervisor(supervisor, deadline_s,
+                                             watchdog_s)
+        if empty_action not in EMPTY_ACTIONS:
+            raise ConfigurationError(
+                f"empty_action must be one of {EMPTY_ACTIONS}, "
+                f"got {empty_action!r}"
+            )
+        self.empty_action = empty_action
         kwargs = {}
         if compute_efficiency is not None:
             kwargs["efficiency"] = compute_efficiency
@@ -183,6 +242,42 @@ class LevelExecutor(ABC):
             self.ledger.charge("compute",
                                f"{prefix}.compute+stream(overlap)",
                                compute_worst)
+
+    def update_step(self, sums: np.ndarray, counts: np.ndarray,
+                    C: np.ndarray, X: Optional[np.ndarray] = None,
+                    best_d2: Optional[np.ndarray] = None) -> np.ndarray:
+        """The shared Update step under this executor's empty-cluster rule.
+
+        Subclass ``iterate`` implementations call this instead of
+        :func:`~repro.core._common.update_centroids` directly so the
+        configured ``empty_action`` applies uniformly across levels.
+        """
+        return update_centroids(sums, counts, C,
+                                empty_action=self.empty_action,
+                                X=X, best_d2=best_d2)
+
+    def _check_finite(self, new_C: np.ndarray, iteration: int) -> None:
+        """Per-iteration numerical guard.
+
+        A NaN/Inf in the fresh centroids (or in the fused pass's inertia)
+        means a partial was corrupted — e.g. host-side bit rot injected at
+        the engine seam — and every subsequent iteration would silently
+        converge to garbage.  Raise a transient
+        :class:`~repro.errors.NumericalFaultError` instead so the recovery
+        policy can re-run the iteration (``retry``) or roll back to the
+        last checkpoint (``replan``).
+        """
+        if not np.isfinite(new_C).all():
+            raise NumericalFaultError(
+                f"non-finite centroids after the iteration {iteration} "
+                f"Update step", iteration=iteration,
+            )
+        if self._iter_inertia is not None \
+                and not np.isfinite(self._iter_inertia):
+            raise NumericalFaultError(
+                f"non-finite inertia at iteration {iteration}",
+                iteration=iteration,
+            )
 
     # -- fault handling ------------------------------------------------------------
 
@@ -244,11 +339,58 @@ class LevelExecutor(ABC):
                 event.action = "replanned"
                 event.recovery_seconds += self.ledger.total() - t_before
             return C
+        if action.kind == "rollback":
+            # The machine is healthy; only the numbers went bad.  Restore
+            # the last checkpoint (charging the modelled read), drop any
+            # acceleration state keyed to the poisoned trajectory, and
+            # re-run from the snapshot.  No re-plan, no excised CGs.
+            checkpoint = self.checkpoints.restore()
+            C = np.array(checkpoint.centroids, copy=True)
+            self._reset_state_after_replan()
+            self.supervisor.record(
+                "rollback",
+                f"restored checkpoint from iteration "
+                f"{checkpoint.iteration} after {type(exc).__name__}: {exc}",
+            )
+            if event is not None:
+                event.action = "rolled_back"
+            return C
         if event is not None:
             event.action = "fatal"
         raise exc
 
     # -- driver --------------------------------------------------------------------
+
+    def _load_resume_state(self, C: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Load the durable snapshot for a ``resume=True`` run.
+
+        Returns the centroids to start from and the iteration they were
+        taken at (0 when the directory holds no snapshot yet — a cold
+        start).  The snapshot must match the requested problem shape.
+        """
+        snapshot = load_checkpoint(self.checkpoints.directory)
+        if snapshot is None:
+            self.supervisor.record(
+                "resume",
+                f"no snapshot in {self.checkpoints.directory!r}; "
+                f"cold start",
+            )
+            return C, 0
+        if snapshot.centroids.shape != C.shape:
+            raise ConfigurationError(
+                f"checkpoint in {self.checkpoints.directory!r} holds "
+                f"centroids of shape {snapshot.centroids.shape}, but this "
+                f"run uses {C.shape}"
+            )
+        self.checkpoints.adopt(snapshot)
+        self.supervisor.record(
+            "resume",
+            f"resumed from {self.checkpoints.directory!r} at iteration "
+            f"{snapshot.iteration}",
+        )
+        restored = np.array(snapshot.centroids, copy=True).astype(
+            C.dtype, copy=False)
+        return restored, int(snapshot.iteration)
 
     def run(self, X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
             tol: float = 0.0) -> KMeansResult:
@@ -259,15 +401,26 @@ class LevelExecutor(ABC):
             raise ConfigurationError(f"tol must be >= 0, got {tol}")
         X, C = validate_data(X, np.array(centroids, copy=True))
 
+        start_iteration = 0
+        if self.resume:
+            C, start_iteration = self._load_resume_state(C)
         self.setup(X, C)
-        self.checkpoints.save_initial(C)
+        if start_iteration > 0:
+            # Epoch numbering continues where the killed run left off, so
+            # the resumed trajectory's telemetry lines up bit-for-bit with
+            # the uninterrupted run's.
+            self.ledger.skip_to(start_iteration)
+        else:
+            self.checkpoints.save_initial(C)
 
+        self.supervisor.start()
         history = []
         assignments = np.full(X.shape[0], -1, dtype=np.int64)
         converged = False
-        it = 0
-        for _ in range(max_iter):
+        it = start_iteration
+        for _ in range(start_iteration, max_iter):
             it = self.ledger.next_iteration()
+            self.supervisor.begin_iteration(it)
             t_before = self.ledger.total()
             attempt = 0
             while True:
@@ -276,12 +429,15 @@ class LevelExecutor(ABC):
                         self.injector.begin_iteration(it)
                     self._iter_inertia = None
                     new_assignments, new_C = self.iterate(X, C)
+                    self._check_finite(new_C, it)
                     break
                 except FaultError as exc:
                     attempt += 1
                     # Partial charges from the failed attempt stay on the
                     # ledger as wasted work, exactly as on the real machine.
                     C = self._handle_fault(exc, attempt, X, C)
+                finally:
+                    self.supervisor.absorb(self.engine)
             t_iter = self.ledger.total() - t_before
 
             shift = max_centroid_shift(C, new_C)
@@ -299,12 +455,13 @@ class LevelExecutor(ABC):
             ))
             assignments = new_assignments
             C = new_C
+            self.supervisor.end_iteration(it)
             if shift <= tol:
                 converged = True
                 break
             self.checkpoints.maybe_save(it, C)
 
-        if not converged:
+        if not converged and history:
             warnings.warn(
                 f"level {self.level} executor did not converge in "
                 f"{max_iter} iterations (last centroid shift "
@@ -314,6 +471,11 @@ class LevelExecutor(ABC):
                 stacklevel=2,
             )
 
+        if (assignments < 0).any():
+            # A resume at start_iteration >= max_iter runs zero iterations;
+            # label against the restored centroids so the result is usable.
+            assignments = self.kernel.assign(X, C)
+        self.supervisor.absorb(self.engine)
         final_inertia = inertia(X, C, assignments)
         return KMeansResult(
             centroids=C,
@@ -327,4 +489,5 @@ class LevelExecutor(ABC):
             level=self.level,
             fault_events=list(self.injector.events)
             if self.injector is not None else [],
+            host_events=list(self.supervisor.events),
         )

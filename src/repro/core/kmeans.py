@@ -9,6 +9,7 @@ footprint exceeds a core group's memory pay for the full nkd partition.
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Union
 
 import numpy as np
@@ -17,6 +18,8 @@ from ..errors import ConfigurationError, PartitionError
 from ..machine.machine import Machine, sunway_machine
 from ..runtime.engine import EngineLike, resolve_engine
 from ..runtime.faults import resolve_fault_plan
+from ._common import EMPTY_ACTIONS
+from .checkpoint import CHECKPOINT_DIR_ENV
 from .init import METHODS, RngLike, init_centroids
 from .kernels import KernelLike, resolve_kernel
 from .recovery import RecoveryLike, resolve_recovery
@@ -118,6 +121,26 @@ class HierarchicalKMeans:
         Snapshot the centroids every this many iterations (modelled I/O
         charged to the ``checkpoint`` ledger category); None disables
         periodic snapshots.
+    checkpoint_dir:
+        Directory for *durable* snapshots: every checkpoint is also
+        persisted as an atomic write-tmp → fsync → rename ``.npz``, so a
+        killed process can ``resume``.  None consults the
+        ``REPRO_CHECKPOINT_DIR`` environment variable.
+    resume:
+        Restart from the snapshot in ``checkpoint_dir`` instead of a fresh
+        initialisation; the continuation is bit-identical to the
+        uninterrupted run.  Incompatible with ``n_init > 1`` (a resumed
+        trajectory belongs to exactly one restart).
+    deadline_s:
+        Wall-clock budget for each run in *real* seconds; past it the run
+        aborts with :class:`~repro.errors.DeadlineExceededError` at the
+        next iteration boundary.  None consults ``REPRO_DEADLINE``.
+    watchdog_s:
+        Per-iteration real-time threshold; slower iterations are flagged
+        as ``slow_iteration`` entries in ``result.host_events``.
+    empty_action:
+        Empty-cluster rule for the Update step: ``"keep"`` (default) or
+        ``"reseed_farthest"`` (deterministic farthest-point re-seeding).
     executor_kwargs:
         Extra keyword arguments forwarded to the level executor
         (``collective_algorithm``, ``strict_cpe``, ``streaming``,
@@ -144,6 +167,11 @@ class HierarchicalKMeans:
                  model_costs: bool = True, faults=None,
                  recovery: RecoveryLike = "fail_fast",
                  checkpoint_every: Optional[int] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 resume: bool = False,
+                 deadline_s: Optional[float] = None,
+                 watchdog_s: Optional[float] = None,
+                 empty_action: str = "keep",
                  **executor_kwargs) -> None:
         if n_clusters < 1:
             raise ConfigurationError(
@@ -188,6 +216,37 @@ class HierarchicalKMeans:
             faults, seed=seed if isinstance(seed, int) else 0)
         self.recovery = resolve_recovery(recovery)
         self.checkpoint_every = checkpoint_every
+        if checkpoint_dir is None:
+            env_dir = os.environ.get(CHECKPOINT_DIR_ENV, "").strip()
+            checkpoint_dir = env_dir or None
+        self.checkpoint_dir = checkpoint_dir
+        if resume and checkpoint_dir is None:
+            raise ConfigurationError(
+                "resume=True needs checkpoint_dir= (or the "
+                f"{CHECKPOINT_DIR_ENV} environment variable)"
+            )
+        if resume and n_init > 1:
+            raise ConfigurationError(
+                "resume=True is incompatible with n_init > 1: a resumed "
+                "trajectory belongs to exactly one restart"
+            )
+        self.resume = bool(resume)
+        if deadline_s is not None and not deadline_s > 0:
+            raise ConfigurationError(
+                f"deadline_s must be > 0 or None, got {deadline_s}"
+            )
+        self.deadline_s = deadline_s
+        if watchdog_s is not None and not watchdog_s > 0:
+            raise ConfigurationError(
+                f"watchdog_s must be > 0 or None, got {watchdog_s}"
+            )
+        self.watchdog_s = watchdog_s
+        if empty_action not in EMPTY_ACTIONS:
+            raise ConfigurationError(
+                f"empty_action must be one of {EMPTY_ACTIONS}, "
+                f"got {empty_action!r}"
+            )
+        self.empty_action = empty_action
         if self.faults:
             if not self.model_costs:
                 raise ConfigurationError(
@@ -270,7 +329,13 @@ class HierarchicalKMeans:
             )
         if level == 0:
             return lloyd(X, C0, max_iter=self.max_iter, tol=self.tol,
-                         kernel=self.kernel, engine=self.engine)
+                         kernel=self.kernel, engine=self.engine,
+                         empty_action=self.empty_action,
+                         deadline_s=self.deadline_s,
+                         watchdog_s=self.watchdog_s,
+                         checkpoint_every=self.checkpoint_every,
+                         checkpoint_dir=self.checkpoint_dir,
+                         resume=self.resume)
         kwargs.setdefault("kernel", self.kernel)
         kwargs.setdefault("engine", self.engine)
         kwargs.setdefault("model_costs", self.model_costs)
@@ -279,6 +344,11 @@ class HierarchicalKMeans:
         kwargs.setdefault("faults", self.faults)
         kwargs.setdefault("recovery", self.recovery)
         kwargs.setdefault("checkpoint_every", self.checkpoint_every)
+        kwargs.setdefault("checkpoint_dir", self.checkpoint_dir)
+        kwargs.setdefault("resume", self.resume)
+        kwargs.setdefault("deadline_s", self.deadline_s)
+        kwargs.setdefault("watchdog_s", self.watchdog_s)
+        kwargs.setdefault("empty_action", self.empty_action)
         if level == 1:
             executor = Level1Executor(self.machine, **kwargs)
             return executor.run(X, C0, max_iter=self.max_iter, tol=self.tol)

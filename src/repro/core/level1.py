@@ -23,7 +23,6 @@ from ..runtime.compute import distance_flops
 from ..runtime.dma import DMAEngine
 from ..runtime.mpi import SimComm
 from ..runtime.regcomm import RegisterComm
-from ._common import update_centroids
 from .executor_base import LevelExecutor
 from .partition import Level1Plan, plan_level1
 from .result import KMeansResult
@@ -162,7 +161,8 @@ class Level1Executor(LevelExecutor):
         if self.model_costs:
             self.ledger.charge("compute", "l1.update.divide",
                                self.compute.time_for_flops(k * d, n_cpes=1))
-        new_C = update_centroids(global_sums, global_counts, C)
+        new_C = self.update_step(global_sums, global_counts, C,
+                                 X=X, best_d2=best_d2)
         return assignments, new_C
 
 

@@ -25,7 +25,7 @@ from ..runtime.compute import distance_flops
 from ..runtime.dma import DMAEngine
 from ..runtime.mpi import SimComm
 from ..runtime.regcomm import RegisterComm
-from ._common import accumulate, squared_distances, update_centroids
+from ._common import accumulate, squared_distances
 from .executor_base import LevelExecutor
 from .partition import Level2Plan, plan_level2
 from .result import KMeansResult
@@ -219,7 +219,8 @@ class Level2Executor(LevelExecutor):
             self.ledger.charge("compute", "l2.update.divide",
                                self.compute.time_for_flops(widest_slice * d,
                                                            n_cpes=1))
-        new_C = update_centroids(global_sums, global_counts, C)
+        new_C = self.update_step(global_sums, global_counts, C,
+                                 X=X, best_d2=best_d2)
         return assignments, new_C
 
 

@@ -32,7 +32,7 @@ from ..runtime.compute import distance_flops
 from ..runtime.dma import DMAEngine
 from ..runtime.mpi import SimComm
 from ..runtime.regcomm import RegisterComm
-from ._common import accumulate, update_centroids
+from ._common import accumulate
 from .executor_base import LevelExecutor
 from .partition import Level3Plan, plan_level3
 from .result import KMeansResult
@@ -255,7 +255,8 @@ class Level3Executor(LevelExecutor):
             self.ledger.charge("compute", "l3.update.divide",
                                self.compute.time_for_flops(
                                    widest_k * widest_d, n_cpes=1))
-        new_C = update_centroids(global_sums, global_counts, C)
+        new_C = self.update_step(global_sums, global_counts, C,
+                                 X=X, best_d2=best_d2)
         return assignments, new_C
 
 

@@ -31,7 +31,7 @@ import numpy as np
 
 from ..machine.machine import Machine
 from ..runtime.compute import distance_flops
-from ._common import accumulate, update_centroids
+from ._common import accumulate
 from .level3 import Level3Executor
 from .result import KMeansResult
 
@@ -206,7 +206,10 @@ class Level3BoundedExecutor(Level3Executor):
             self.ledger.charge("compute", "l3b.update.divide",
                                self.compute.time_for_flops(
                                    widest_k * widest_d, n_cpes=1))
-        new_C = update_centroids(global_sums, global_counts, C)
+        # No exact winning distances here — the Hamerly upper bounds are
+        # drifted bounds, not distances — so reseed_farthest recomputes them
+        # on the (rare) empty-cluster iteration.
+        new_C = self.update_step(global_sums, global_counts, C, X=X)
         self._prev_C = C.copy()
         return assignments, new_C
 

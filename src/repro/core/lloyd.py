@@ -17,8 +17,14 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ConfigurationError, ConvergenceWarning
+from ..errors import (
+    ConfigurationError,
+    ConvergenceWarning,
+    NumericalFaultError,
+)
 from ..runtime.engine import EngineLike, resolve_engine
+from ..runtime.ledger import NullLedger
+from ..runtime.supervisor import SupervisorLike, resolve_supervisor
 from ._common import (
     DEFAULT_CHUNK_ELEMENTS,
     accumulate,
@@ -28,6 +34,7 @@ from ._common import (
     update_centroids,
     validate_data,
 )
+from .checkpoint import CheckpointConfig, CheckpointStore, load_checkpoint
 from .kernels import KernelBackend, KernelLike, resolve_kernel
 from .result import IterationStats, KMeansResult
 
@@ -72,7 +79,13 @@ def _fused_step(X: np.ndarray, C: np.ndarray, backend: KernelBackend,
 def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
           tol: float = 0.0, chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
           kernel: KernelLike = "naive", engine: EngineLike = None,
-          workers: Optional[int] = None) -> KMeansResult:
+          workers: Optional[int] = None, empty_action: str = "keep",
+          deadline_s: Optional[float] = None,
+          watchdog_s: Optional[float] = None,
+          supervisor: SupervisorLike = None,
+          checkpoint_every: Optional[int] = None,
+          checkpoint_dir: Optional[str] = None,
+          resume: bool = False) -> KMeansResult:
     """Run serial Lloyd k-means from an explicit initial centroid set.
 
     Parameters
@@ -98,6 +111,32 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
     workers:
         Thread count for the thread engine (implies ``engine="thread"``
         when > 1 and ``engine`` is unset).
+    empty_action:
+        Empty-cluster rule for the Update step (``"keep"`` or
+        ``"reseed_farthest"``; see
+        :func:`~repro.core._common.update_centroids`).
+    deadline_s:
+        Wall-clock budget in *real* seconds; the run aborts with
+        :class:`~repro.errors.DeadlineExceededError` at the first
+        iteration boundary past it.  None consults ``REPRO_DEADLINE``.
+    watchdog_s:
+        Per-iteration real-time threshold; slower iterations are flagged
+        as ``slow_iteration`` host events.
+    supervisor:
+        Full :class:`~repro.runtime.supervisor.RunSupervisor` instance
+        overriding ``deadline_s``/``watchdog_s``.
+    checkpoint_every:
+        Snapshot ``(iteration, centroids)`` every this many iterations.
+        Level 0 has no time ledger, so nothing is charged — the knob only
+        matters together with ``checkpoint_dir``.
+    checkpoint_dir:
+        Persist every snapshot durably to ``checkpoint_dir/checkpoint.npz``
+        (atomic write-tmp → fsync → rename) so a killed process can
+        ``resume``.
+    resume:
+        Restart from the snapshot in ``checkpoint_dir`` (required) instead
+        of ``centroids``; the continuation is bit-identical to the
+        uninterrupted run.
 
     Returns
     -------
@@ -107,20 +146,68 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
         raise ConfigurationError(f"max_iter must be >= 1, got {max_iter}")
     if tol < 0:
         raise ConfigurationError(f"tol must be >= 0, got {tol}")
+    if resume and checkpoint_dir is None:
+        raise ConfigurationError(
+            "resume=True needs checkpoint_dir= (there is no on-disk "
+            "snapshot to resume from otherwise)"
+        )
     backend = resolve_kernel(kernel)
     exec_engine = resolve_engine(engine, workers)
+    run_supervisor = resolve_supervisor(supervisor, deadline_s, watchdog_s)
+    # Level 0 has no time ledger: the NullLedger swallows the modelled
+    # checkpoint charges, leaving only the durable host-side persistence.
+    checkpoints = CheckpointStore(CheckpointConfig(every=checkpoint_every),
+                                  NullLedger(), directory=checkpoint_dir)
     X, C = validate_data(X, np.array(centroids, copy=True))
     n = X.shape[0]
 
+    start_iteration = 0
+    if resume:
+        snapshot = load_checkpoint(checkpoint_dir)
+        if snapshot is None:
+            run_supervisor.record(
+                "resume", f"no snapshot in {checkpoint_dir!r}; cold start")
+        elif snapshot.centroids.shape != C.shape:
+            raise ConfigurationError(
+                f"checkpoint in {checkpoint_dir!r} holds centroids of "
+                f"shape {snapshot.centroids.shape}, but this run uses "
+                f"{C.shape}"
+            )
+        else:
+            C = np.array(snapshot.centroids, copy=True).astype(
+                X.dtype, copy=False)
+            start_iteration = int(snapshot.iteration)
+            checkpoints.adopt(snapshot)
+            run_supervisor.record(
+                "resume",
+                f"resumed from {checkpoint_dir!r} at iteration "
+                f"{start_iteration}",
+            )
+    if start_iteration == 0:
+        checkpoints.save_initial(C)
+
+    run_supervisor.start()
     history: List[IterationStats] = []
     assignments = np.full(n, -1, dtype=np.int64)
     converged = False
-    it = 0
+    it = start_iteration
     shift = np.inf
-    for it in range(1, max_iter + 1):
+    for it in range(start_iteration + 1, max_iter + 1):
+        run_supervisor.begin_iteration(it)
         new_assignments, best_d2, sums, counts = _fused_step(
             X, C, backend, chunk_elements, exec_engine)
-        new_C = update_centroids(sums, counts, C)
+        new_C = update_centroids(sums, counts, C,
+                                 empty_action=empty_action,
+                                 X=X, best_d2=best_d2)
+        run_supervisor.absorb(exec_engine)
+        # Numerical guard: level 0 has no recovery loop, so a poisoned
+        # partial (e.g. host-side corruption at the engine seam) fails
+        # loudly here instead of converging to garbage.
+        if not np.isfinite(new_C).all():
+            raise NumericalFaultError(
+                f"non-finite centroids after the iteration {it} Update "
+                f"step", iteration=it,
+            )
 
         shift = max_centroid_shift(C, new_C)
         n_reassigned = int((new_assignments != assignments).sum())
@@ -135,11 +222,13 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
         ))
         assignments = new_assignments
         C = new_C
+        run_supervisor.end_iteration(it)
         if shift <= tol:
             converged = True
             break
+        checkpoints.maybe_save(it, C)
 
-    if not converged:
+    if not converged and history:
         warnings.warn(
             f"lloyd did not converge in {max_iter} iterations (last "
             f"centroid shift {history[-1].centroid_shift:.3g} > tol "
@@ -156,6 +245,10 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
     # — recompute them for the objective only, keeping result.inertia the
     # true O(C) as before.  result.assignments stays the last-Assign labels
     # in every case.
+    if (assignments < 0).any():
+        # A resume at start_iteration >= max_iter runs zero iterations;
+        # label against the restored centroids so the result is usable.
+        assignments = backend.assign(X, C, chunk_elements)
     if converged and shift == 0.0:
         final_inertia = inertia(X, C, assignments)
     else:
@@ -170,6 +263,7 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
         history=history,
         ledger=None,
         level=0,
+        host_events=list(run_supervisor.events),
     )
 
 

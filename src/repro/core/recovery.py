@@ -10,6 +10,12 @@ The executor's iteration driver catches every
   shrunken machine, and resume from the last checkpoint,
 * ``fail_fast`` — let the fault propagate to the caller.
 
+A fourth action, ``rollback``, is issued by the ``replan`` policy for
+:class:`~repro.errors.NumericalFaultError`: the machine is healthy — the
+*numbers* went bad (a NaN leaked into the centroids, e.g. from host-side
+corruption at the engine seam) — so the run restores the last checkpoint
+without excising any core group or re-planning the partition.
+
 Policies are pure deciders: they never touch the ledger or the machine.  The
 executor performs the chosen action and charges its modelled time (backoff,
 checkpoint restore) to the ``recovery`` category, so the same policy object
@@ -22,7 +28,12 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Union
 
-from ..errors import CGFailedError, ConfigurationError, FaultError
+from ..errors import (
+    CGFailedError,
+    ConfigurationError,
+    FaultError,
+    NumericalFaultError,
+)
 
 #: Names accepted by :func:`resolve_recovery` (and the CLI's ``--recovery``).
 RECOVERY_POLICIES = ("retry", "replan", "fail_fast")
@@ -34,7 +45,9 @@ class RecoveryAction:
 
     ``kind`` is ``"retry"`` (re-run the iteration after ``delay`` modelled
     seconds of backoff), ``"replan"`` (shrink the machine and restart from
-    the last checkpoint), or ``"raise"`` (propagate the fault).
+    the last checkpoint), ``"rollback"`` (restore the last checkpoint on
+    the *unchanged* machine — numerical faults), or ``"raise"`` (propagate
+    the fault).
     """
 
     kind: str
@@ -109,8 +122,13 @@ class ReplanPolicy(RetryPolicy):
 
     A permanent :class:`~repro.errors.CGFailedError` triggers a replan —
     the failed CG is excised, the partition is re-planned on the survivors,
-    and the run resumes from the last checkpoint.  Transient faults fall
-    back to the bounded-retry behaviour inherited from :class:`RetryPolicy`.
+    and the run resumes from the last checkpoint.  A
+    :class:`~repro.errors.NumericalFaultError` triggers a rollback — the
+    machine is fine, so only the state is restored from the last
+    checkpoint (bounded by ``max_retries`` per iteration: persistently
+    NaN-producing state propagates rather than looping forever).  Other
+    transient faults fall back to the bounded-retry behaviour inherited
+    from :class:`RetryPolicy`.
     """
 
     name = "replan"
@@ -118,6 +136,10 @@ class ReplanPolicy(RetryPolicy):
     def decide(self, fault: FaultError, attempt: int) -> RecoveryAction:
         if isinstance(fault, CGFailedError):
             return RecoveryAction("replan")
+        if isinstance(fault, NumericalFaultError):
+            if attempt > self.max_retries:
+                return RecoveryAction("raise")
+            return RecoveryAction("rollback")
         return super().decide(fault, attempt)
 
 

@@ -9,6 +9,7 @@ import numpy as np
 
 from ..runtime.faults import FaultEvent
 from ..runtime.ledger import TimeLedger
+from ..runtime.supervisor import HostEvent
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,12 @@ class KMeansResult:
     fault_events:
         Every injected fault that fired during the run and how it was
         handled (empty when no fault plan was attached).
+    host_events:
+        Host-side occurrences recorded by the run supervisor — task
+        retries, timeouts, quarantines, chaos firings, slow iterations,
+        checkpoint resumes (empty when nothing noteworthy happened on the
+        host).  Mirrors ``fault_events`` for the real machine running the
+        numerics.
     """
 
     centroids: np.ndarray
@@ -63,6 +70,7 @@ class KMeansResult:
     ledger: Optional[TimeLedger] = None
     level: int = 0
     fault_events: List[FaultEvent] = field(default_factory=list)
+    host_events: List[HostEvent] = field(default_factory=list)
 
     @property
     def k(self) -> int:

@@ -99,3 +99,42 @@ class TransientDMAError(FaultError):
 
 class CollectiveTimeoutError(FaultError):
     """A collective did not complete in time; retrying may succeed."""
+
+
+class NumericalFaultError(FaultError):
+    """An iteration produced non-finite centroids or inertia.
+
+    Raised by the per-iteration numerical guard when NaN/Inf leaks into
+    the centroid matrix or the objective.  Transient: a NaN injected at
+    the engine seam (or a corrupted partial) clears on a clean re-run,
+    and the ``replan`` policy rolls back to the last checkpoint instead.
+    """
+
+
+class HostFaultError(ReproError):
+    """Base class for *host-side* failures (the real Python process).
+
+    Distinct from :class:`FaultError`, which models faults of the
+    simulated Sunway machine: host faults are raised by the execution
+    engine and the run supervisor about the process actually running
+    the numerics, and deliberately do not flow through the modelled
+    recovery policies.
+    """
+
+
+class ChaosError(HostFaultError):
+    """An injected host-chaos block-task failure (see repro.runtime.chaos)."""
+
+    def __init__(self, message: str, *, task_id: int | None = None,
+                 kind: str = "") -> None:
+        self.task_id = task_id
+        self.kind = kind
+        super().__init__(message)
+
+
+class TaskTimeoutError(HostFaultError):
+    """A block task exceeded the engine's per-task timeout on every attempt."""
+
+
+class DeadlineExceededError(HostFaultError):
+    """The run supervisor's wall-clock deadline expired mid-run."""

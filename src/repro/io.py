@@ -25,6 +25,7 @@ from .perfmodel.sweep import Series
 from .reporting.figures import series_csv
 from .runtime.faults import FaultEvent
 from .runtime.ledger import PhaseRecord, TimeLedger
+from .runtime.supervisor import HostEvent
 
 #: Format marker embedded in every saved result.
 _FORMAT_VERSION = 1
@@ -73,6 +74,10 @@ def save_result(result: KMeansResult, path: str) -> None:
              e.recovery_seconds]
             for e in result.fault_events
         ],
+        "host_events": [
+            [e.iteration, e.kind, e.detail, e.seconds]
+            for e in result.host_events
+        ],
     }
     np.savez_compressed(
         path,
@@ -120,6 +125,11 @@ def load_result(path: str) -> KMeansResult:
                        float(sec))
             for it, kind, label, cg, action, sec
             in meta.get("fault_events", [])
+        ],
+        # Absent in files saved before host supervision existed.
+        host_events=[
+            HostEvent(int(it), str(kind), str(detail), float(sec))
+            for it, kind, detail, sec in meta.get("host_events", [])
         ],
     )
 

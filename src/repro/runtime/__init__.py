@@ -11,6 +11,14 @@ and prices them with the machine's published parameters:
 * :mod:`repro.runtime.ledger` — where every modelled second is recorded.
 """
 
+from .chaos import (
+    CHAOS_KINDS,
+    ChaosInjector,
+    ChaosPlan,
+    ChaosSpec,
+    parse_chaos_plan,
+    resolve_chaos,
+)
 from .collectives import barrier, exscan_sum, gatherv, reduce_scatter_sum, scatterv
 from .compute import ComputeModel, DEFAULT_EFFICIENCY, distance_flops, update_flops
 from .dma import DMAEngine
@@ -18,8 +26,10 @@ from .engine import (
     ENGINES,
     ExecutionEngine,
     SerialEngine,
+    TaskPolicy,
     ThreadEngine,
     resolve_engine,
+    resolve_task_policy,
     shutdown_pools,
 )
 from .faults import (
@@ -41,6 +51,11 @@ from .ledger import (
 )
 from .mpi import ALGORITHMS, SimComm, world_comm
 from .regcomm import RegisterComm
+from .supervisor import (
+    HostEvent,
+    RunSupervisor,
+    resolve_supervisor,
+)
 
 __all__ = [
     "ALGORITHMS",
@@ -50,6 +65,10 @@ __all__ = [
     "reduce_scatter_sum",
     "scatterv",
     "CATEGORIES",
+    "CHAOS_KINDS",
+    "ChaosInjector",
+    "ChaosPlan",
+    "ChaosSpec",
     "ComputeModel",
     "DEFAULT_EFFICIENCY",
     "DMAEngine",
@@ -60,19 +79,26 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "HostEvent",
     "IterationBreakdown",
     "LedgerProtocol",
     "NullLedger",
     "PhaseRecord",
     "RegisterComm",
+    "RunSupervisor",
     "SerialEngine",
     "SimComm",
+    "TaskPolicy",
     "ThreadEngine",
     "TimeLedger",
     "distance_flops",
+    "parse_chaos_plan",
     "parse_fault_plan",
+    "resolve_chaos",
     "resolve_fault_plan",
     "resolve_engine",
+    "resolve_supervisor",
+    "resolve_task_policy",
     "shutdown_pools",
     "update_flops",
     "world_comm",

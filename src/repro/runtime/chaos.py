@@ -1,0 +1,318 @@
+"""Seeded host-chaos injection at the execution-engine seam.
+
+PR 2's :mod:`repro.runtime.faults` injects faults into the *simulated*
+Sunway machine (modelled DMA errors, CG deaths, collective timeouts).  This
+module injects faults into the *host* process actually running the numerics
+— the block tasks the :class:`~repro.runtime.engine.ExecutionEngine` maps —
+so the robustness layer of PR 4 can be exercised end to end:
+
+``task_exception``
+    The block task raises :class:`~repro.errors.ChaosError` instead of
+    running.  The engine's bounded-retry ladder must absorb it.
+
+``slow_task``
+    The block task sleeps ``delay`` real seconds before running, turning it
+    into a straggler for the per-task timeout / speculative re-execution
+    path.
+
+``nan_result``
+    The block task's returned partial is corrupted with a NaN.  The engine
+    cannot see this; the per-iteration numerical guard must catch the
+    poisoned centroids and the recovery policy roll the iteration back.
+
+Determinism: every firing decision is a pure function of
+``(plan seed, spec index, task id)`` — task ids are assigned at submission
+time in fixed order — so a chaos plan replays bit-identically across
+engines, worker counts, and thread interleavings.  Chaos only ever fires on
+a task's *first* attempt (attempt 0): retries and speculative re-runs are
+clean, which is exactly the transient-fault model the retry ladder is built
+for.
+
+Selection: attach a :class:`ChaosInjector` to an engine (``engine.chaos``),
+or export ``REPRO_CHAOS`` with the compact grammar below and let
+:func:`~repro.runtime.engine.resolve_engine` attach one — this is how the
+CI chaos leg runs the whole test suite under injected host faults.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ChaosError, ConfigurationError
+
+#: Chaos kinds a :class:`ChaosSpec` may carry.
+CHAOS_KINDS = ("task_exception", "slow_task", "nan_result")
+
+#: Environment override: compact chaos-plan string consulted by
+#: :func:`resolve_chaos` (empty/whitespace counts as unset).
+CHAOS_ENV = "REPRO_CHAOS"
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One scheduled or stochastic host fault.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`CHAOS_KINDS`.
+    task_id:
+        Fire deterministically on this exact task id (ids count engine
+        submissions from 0).  ``None`` fires stochastically per task with
+        ``probability``.
+    probability:
+        Per-task firing probability for specs with ``task_id=None``.
+    delay:
+        ``slow_task`` only: real seconds the afflicted task sleeps.
+    """
+
+    kind: str
+    task_id: Optional[int] = None
+    probability: float = 0.0
+    delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ConfigurationError(
+                f"unknown chaos kind {self.kind!r}; "
+                f"expected one of {CHAOS_KINDS}"
+            )
+        if self.task_id is not None and self.task_id < 0:
+            raise ConfigurationError(
+                f"chaos task_id must be >= 0, got {self.task_id}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"chaos probability must be in [0, 1], "
+                f"got {self.probability}"
+            )
+        if self.task_id is None and self.probability == 0.0:
+            raise ConfigurationError(
+                f"a stochastic {self.kind} chaos spec needs probability > 0 "
+                f"(or target it with task_id=t)"
+            )
+        if self.delay < 0:
+            raise ConfigurationError(
+                f"chaos delay must be >= 0, got {self.delay}"
+            )
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded schedule of host faults, replayable bit-for-bit.
+
+    The plan is immutable and stateless: firing decisions are a pure
+    function of ``(seed, spec index, task id)``, so one plan can drive many
+    concurrent engines without shared-stream races.
+    """
+
+    specs: Tuple[ChaosSpec, ...] = ()
+    seed: int = 0
+
+    def __init__(self, specs: Sequence[ChaosSpec] = (), seed: int = 0) -> None:
+        object.__setattr__(self, "specs", tuple(specs))
+        object.__setattr__(self, "seed", int(seed))
+        for spec in self.specs:
+            if not isinstance(spec, ChaosSpec):
+                raise ConfigurationError(
+                    f"ChaosPlan specs must be ChaosSpec instances, "
+                    f"got {type(spec).__name__}"
+                )
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "seed": self.seed,
+            "chaos": [asdict(s) for s in self.specs],
+        }, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as e:
+            raise ConfigurationError(f"invalid chaos-plan JSON: {e}") from None
+        try:
+            specs = [ChaosSpec(**entry) for entry in data.get("chaos", [])]
+        except TypeError as e:
+            raise ConfigurationError(f"invalid chaos spec: {e}") from None
+        return cls(specs, seed=int(data.get("seed", 0)))
+
+
+def parse_chaos_plan(text: str, seed: int = 0) -> ChaosPlan:
+    """Parse the compact chaos-plan grammar (or a ``@file`` reference).
+
+    Grammar: semicolon-separated events, each ``kind[@task][:key=val,...]``
+    (mirroring :func:`~repro.runtime.faults.parse_fault_plan`):
+
+    * ``task_exception@7`` — the task with id 7 raises on its first attempt,
+    * ``task_exception:p=0.02`` — each task raises with probability 0.02,
+    * ``slow_task:p=0.01,delay=0.2`` — stragglers sleeping 0.2 s,
+    * ``nan_result@3`` — task 3's returned partial is NaN-poisoned,
+    * ``seed=42`` — seed the stochastic draws.
+
+    ``@path.json`` loads a :meth:`ChaosPlan.to_json` file instead.
+    """
+    text = text.strip()
+    if text.startswith("@"):
+        try:
+            with open(text[1:], "r", encoding="utf-8") as fh:
+                return ChaosPlan.from_json(fh.read())
+        except OSError as e:
+            raise ConfigurationError(
+                f"cannot read chaos plan {text[1:]!r}: {e}"
+            ) from None
+    key_map = {"p": "probability", "delay": "delay"}
+    specs: List[ChaosSpec] = []
+    for event in filter(None, (e.strip() for e in text.split(";"))):
+        if event.startswith("seed="):
+            seed = int(event[len("seed="):])
+            continue
+        head, _, opts = event.partition(":")
+        kind, _, when = head.partition("@")
+        kwargs: dict = {"kind": kind.strip()}
+        if when:
+            try:
+                kwargs["task_id"] = int(when)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad chaos task id {when!r} in {event!r}"
+                ) from None
+        for pair in filter(None, (p.strip() for p in opts.split(","))):
+            key, eq, value = pair.partition("=")
+            if not eq or key not in key_map:
+                raise ConfigurationError(
+                    f"bad chaos option {pair!r} in {event!r} "
+                    f"(expected p=, delay=)"
+                )
+            try:
+                kwargs[key_map[key]] = float(value)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad value {value!r} for {key!r} in {event!r}"
+                ) from None
+        specs.append(ChaosSpec(**kwargs))
+    if not specs:
+        raise ConfigurationError(f"chaos plan {text!r} contains no events")
+    return ChaosPlan(specs, seed=seed)
+
+
+ChaosLike = Union["ChaosInjector", ChaosPlan, str, None]
+
+
+def _poison_first_array(result):
+    """Return ``result`` with a NaN written into its first float ndarray.
+
+    Engine block tasks return float partials (``(sums, counts)`` tuples or
+    a lone array); the corruption copies before writing so a retried task —
+    which recomputes from the pristine inputs — is unaffected.
+    """
+    def poison(value):
+        if isinstance(value, np.ndarray) \
+                and np.issubdtype(value.dtype, np.floating) and value.size:
+            bad = value.copy()
+            bad.flat[0] = np.nan
+            return bad, True
+        return value, False
+
+    if isinstance(result, tuple):
+        out = []
+        done = False
+        for value in result:
+            if not done:
+                value, done = poison(value)
+            out.append(value)
+        return tuple(out) if done else result
+    poisoned, done = poison(result)
+    return poisoned if done else result
+
+
+class ChaosInjector:
+    """Fires a :class:`ChaosPlan` from the engine's task hooks.
+
+    The engine calls :meth:`before_task` as an attempt starts and
+    :meth:`after_task` on its result.  Both receive the engine's
+    ``record(kind, detail, seconds)`` callback so every firing lands in the
+    run's ``host_events``.
+    """
+
+    def __init__(self, plan: ChaosPlan,
+                 sleeper: Callable[[float], None] = time.sleep) -> None:
+        if isinstance(plan, str):
+            plan = parse_chaos_plan(plan)
+        self.plan = plan
+        self._sleep = sleeper
+
+    def _fires(self, spec_index: int, spec: ChaosSpec, task_id: int) -> bool:
+        if spec.task_id is not None:
+            return spec.task_id == task_id
+        # Fresh generator per decision: no shared stream for racing threads
+        # to perturb, so the outcome depends only on the ids.
+        u = np.random.default_rng(
+            [self.plan.seed, spec_index, task_id]).random()
+        return u < spec.probability
+
+    def before_task(self, task_id: int, attempt: int,
+                    record: Callable[[str, str, float], None]) -> None:
+        """Pre-execution hook: may sleep (straggler) or raise ChaosError."""
+        if attempt != 0:  # retries and speculative re-runs are clean
+            return
+        for i, spec in enumerate(self.plan.specs):
+            if spec.kind == "slow_task" and self._fires(i, spec, task_id):
+                record("chaos", f"slow_task: task {task_id} delayed "
+                       f"{spec.delay:g}s", spec.delay)
+                self._sleep(spec.delay)
+        for i, spec in enumerate(self.plan.specs):
+            if spec.kind == "task_exception" and self._fires(i, spec, task_id):
+                record("chaos", f"task_exception: task {task_id} killed",
+                       0.0)
+                raise ChaosError(
+                    f"injected task_exception on task {task_id} (attempt 0)",
+                    task_id=task_id, kind="task_exception",
+                )
+
+    def after_task(self, task_id: int, attempt: int, result,
+                   record: Callable[[str, str, float], None]):
+        """Post-execution hook: may NaN-poison the returned partial."""
+        if attempt != 0:
+            return result
+        for i, spec in enumerate(self.plan.specs):
+            if spec.kind == "nan_result" and self._fires(i, spec, task_id):
+                poisoned = _poison_first_array(result)
+                if poisoned is not result:
+                    record("chaos",
+                           f"nan_result: task {task_id} partial poisoned",
+                           0.0)
+                    result = poisoned
+        return result
+
+
+def resolve_chaos(chaos: ChaosLike = None) -> Optional[ChaosInjector]:
+    """Build (or pass through) a chaos injector.
+
+    ``chaos=None`` consults ``REPRO_CHAOS``; an empty or whitespace-only
+    value counts as unset and returns None (no injection).
+    """
+    if isinstance(chaos, ChaosInjector):
+        return chaos
+    if chaos is None:
+        raw = os.environ.get(CHAOS_ENV, "").strip()
+        if not raw:
+            return None
+        chaos = raw
+    if isinstance(chaos, str):
+        chaos = parse_chaos_plan(chaos)
+    if isinstance(chaos, ChaosPlan):
+        return ChaosInjector(chaos) if chaos else None
+    raise ConfigurationError(
+        f"chaos must be a ChaosInjector, ChaosPlan, spec string, or None; "
+        f"got {type(chaos).__name__}"
+    )

@@ -25,28 +25,161 @@ float partials in that fixed order, centroids, assignments, modelled ledger
 seconds, and fault-event replays are bit-identical across engines and
 worker counts.  ``tests/runtime/test_engine.py`` enforces this.
 
+Host robustness (PR 4): every task runs under a :class:`TaskPolicy` —
+bounded retries with exponential backoff and deterministic jitter, an
+optional per-task wall-clock timeout with speculative re-execution of
+stragglers, quarantine of a worker slot after repeated failures, and a
+sticky degradation ``thread → serial`` once the pool has no healthy slot
+left.  The retry path re-runs the *identical pure block function*, so the
+determinism contract survives: only scheduling changes, never numbers.
+Modelled :class:`~repro.errors.FaultError` faults are exempt from engine
+retries — they belong to the simulated machine and flow straight to the
+recovery policies of :mod:`repro.core.recovery`.
+
 Selection: ``HierarchicalKMeans(..., engine="thread", workers=4)``, the same
 knobs on every executor and on :func:`~repro.core.lloyd.lloyd`, or the
 ``REPRO_ENGINE`` / ``REPRO_WORKERS`` environment variables (read only when
 no explicit ``engine=`` is given — this is how CI runs the whole test suite
-under the thread engine).
+under the thread engine).  ``REPRO_CHAOS`` attaches a seeded host-chaos
+injector (see :mod:`repro.runtime.chaos`) the same way.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
+import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar, Union
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
-from ..errors import ConfigurationError
+import numpy as np
+
+from ..errors import ConfigurationError, FaultError, TaskTimeoutError
 
 #: Names accepted by :func:`resolve_engine`.
 ENGINES = ("serial", "thread")
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+#: Environment overrides for the default :class:`TaskPolicy`.
+TASK_RETRIES_ENV = "REPRO_TASK_RETRIES"
+TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+
+
+@dataclass(frozen=True)
+class TaskPolicy:
+    """Retry/timeout/quarantine policy for one block task on the host.
+
+    Parameters
+    ----------
+    max_retries:
+        Extra attempts allowed per task after the first one fails (0
+        disables retries).
+    backoff_s:
+        Real seconds of the first backoff delay.
+    backoff_factor:
+        Multiplier applied to the delay on each subsequent retry.
+    jitter:
+        Fractional jitter added to each delay.  The jitter is a pure
+        function of ``(task_id, attempt)`` — not of the wall clock or a
+        shared RNG stream — so replays are bit-identical across engines,
+        worker counts, and processes.
+    timeout_s:
+        Per-task wall-clock timeout in real seconds (thread engine only;
+        None disables).  A task that exceeds it is speculatively re-run —
+        the straggler's slot is marked hung and its eventual result
+        discarded.  Inline (serial / degraded) execution cannot be
+        preempted, so timeouts are not enforced there.
+    quarantine_after:
+        Failures on one worker slot before the slot is quarantined.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.01
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+    timeout_s: Optional[float] = None
+    quarantine_after: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_s < 0 or self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"need backoff_s >= 0 and backoff_factor >= 1, got "
+                f"backoff_s={self.backoff_s}, factor={self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+        if self.timeout_s is not None and not self.timeout_s > 0:
+            raise ConfigurationError(
+                f"timeout_s must be > 0 or None, got {self.timeout_s}"
+            )
+        if self.quarantine_after < 1:
+            raise ConfigurationError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
+
+    def backoff_delay(self, task_id: int, attempt: int) -> float:
+        """Deterministically jittered delay before retry ``attempt`` (1-based)."""
+        base = self.backoff_s * self.backoff_factor ** (attempt - 1)
+        if base == 0.0 or self.jitter == 0.0:
+            return base
+        # Seeded by (task_id, attempt): stable across processes, unlike
+        # hash(), and no shared RNG stream for threads to race on.
+        u = np.random.default_rng([task_id, attempt]).random()
+        return base * (1.0 + self.jitter * u)
+
+
+def resolve_task_policy(policy: Optional[TaskPolicy] = None) -> TaskPolicy:
+    """Pass through an explicit policy, else build one from the environment.
+
+    ``REPRO_TASK_RETRIES`` and ``REPRO_TASK_TIMEOUT`` override the
+    defaults; empty or whitespace-only values count as unset.
+    """
+    if policy is not None:
+        return policy
+    kwargs = {}
+    raw = os.environ.get(TASK_RETRIES_ENV, "").strip()
+    if raw:
+        try:
+            kwargs["max_retries"] = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{TASK_RETRIES_ENV} must be an integer, got {raw!r}"
+            ) from None
+    raw = os.environ.get(TASK_TIMEOUT_ENV, "").strip()
+    if raw:
+        try:
+            kwargs["timeout_s"] = float(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{TASK_TIMEOUT_ENV} must be a number of seconds, got {raw!r}"
+            ) from None
+    return TaskPolicy(**kwargs)
+
+
+class _QuarantinedSlot(Exception):
+    """Internal: a quarantined pool thread refused a task (re-run elsewhere)."""
 
 
 class ExecutionEngine(ABC):
@@ -57,6 +190,17 @@ class ExecutionEngine(ABC):
     #: Host threads the engine may occupy (1 for the serial engine).
     workers: int = 1
 
+    def __init__(self, policy: Optional[TaskPolicy] = None,
+                 chaos=None) -> None:
+        self.policy = resolve_task_policy(policy)
+        #: Optional :class:`~repro.runtime.chaos.ChaosInjector` perturbing
+        #: task execution at this seam (None = no chaos).
+        self.chaos = chaos
+        self._events: List[Tuple[str, str, float]] = []
+        self._events_lock = threading.Lock()
+        self._task_counter = 0
+        self._counter_lock = threading.Lock()
+
     @abstractmethod
     def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> List[_R]:
         """Apply ``fn`` to every item; results in submission order.
@@ -65,8 +209,69 @@ class ExecutionEngine(ABC):
         fixed order to merge float partials deterministically.
         """
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"{type(self).__name__}(workers={self.workers})"
+    # -- host-event plumbing -------------------------------------------------
+
+    def _record(self, kind: str, detail: str, seconds: float = 0.0) -> None:
+        with self._events_lock:
+            self._events.append((kind, detail, float(seconds)))
+
+    def drain_events(self) -> List[Tuple[str, str, float]]:
+        """Return and clear pending ``(kind, detail, seconds)`` host events."""
+        with self._events_lock:
+            events, self._events = self._events, []
+        return events
+
+    # -- task execution ------------------------------------------------------
+
+    def _issue_task_ids(self, n: int) -> range:
+        """Globally-ordered task ids, assigned at submission time.
+
+        Ids are a pure function of submission order, never of completion
+        order, so chaos decisions and retry jitter keyed on them replay
+        identically across engines and worker counts.
+        """
+        with self._counter_lock:
+            start = self._task_counter
+            self._task_counter += n
+        return range(start, start + n)
+
+    def _attempt(self, fn: Callable[[_T], _R], item: _T, task_id: int,
+                 attempt: int) -> _R:
+        """One attempt at one task, with the chaos hooks around it."""
+        if self.chaos is not None:
+            self.chaos.before_task(task_id, attempt, self._record)
+        result = fn(item)
+        if self.chaos is not None:
+            result = self.chaos.after_task(task_id, attempt, result,
+                                           self._record)
+        return result
+
+    def _run_serial_task(self, fn: Callable[[_T], _R], item: _T,
+                         task_id: int) -> _R:
+        """Inline execution with the bounded-retry policy (no timeout)."""
+        attempt = 0
+        while True:
+            try:
+                return self._attempt(fn, item, task_id, attempt)
+            except FaultError:
+                # Modelled machine faults belong to the recovery policies,
+                # not to host retries.
+                raise
+            except _QuarantinedSlot:  # pragma: no cover - inline never
+                raise
+            except Exception as exc:
+                attempt += 1
+                if attempt > self.policy.max_retries:
+                    raise
+                delay = self.policy.backoff_delay(task_id, attempt)
+                self._record(
+                    "task_retry",
+                    f"task {task_id} attempt {attempt} after "
+                    f"{type(exc).__name__}: {exc}",
+                    delay,
+                )
+                if delay > 0:
+                    time.sleep(delay)
 
 
 class SerialEngine(ExecutionEngine):
@@ -76,7 +281,10 @@ class SerialEngine(ExecutionEngine):
     workers = 1
 
     def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> List[_R]:
-        return [fn(item) for item in items]
+        work: Sequence[_T] = list(items)
+        task_ids = self._issue_task_ids(len(work))
+        return [self._run_serial_task(fn, item, tid)
+                for item, tid in zip(work, task_ids)]
 
 
 # One shared pool per worker count.  Pools are processwide because
@@ -98,13 +306,22 @@ def _shared_pool(workers: int) -> ThreadPoolExecutor:
         return pool
 
 
-def shutdown_pools() -> None:
-    """Shut down every shared pool (test teardown helper)."""
+def shutdown_pools(wait: bool = True) -> None:
+    """Shut down every shared pool (test teardown + interpreter exit).
+
+    ``wait=False`` is used by the :mod:`atexit` hook so a straggler thread
+    abandoned by a task timeout can never hang interpreter exit.
+    """
     with _POOLS_LOCK:
         pools = list(_POOLS.values())
         _POOLS.clear()
     for pool in pools:
-        pool.shutdown(wait=True)
+        pool.shutdown(wait=wait, cancel_futures=not wait)
+
+
+# Cached pools must never outlive the interpreter's will to exit: a hung
+# worker slot (see ThreadEngine timeouts) would otherwise block the join.
+atexit.register(shutdown_pools, wait=False)
 
 
 class ThreadEngine(ExecutionEngine):
@@ -116,25 +333,190 @@ class ThreadEngine(ExecutionEngine):
         Pool width; ``None`` uses ``os.cpu_count()``.  ``workers=1``
         degenerates to the in-process loop (no pool is touched), so the
         engine is safe to select unconditionally.
+    policy:
+        :class:`TaskPolicy` for retries/timeouts/quarantine; None builds
+        one from the ``REPRO_TASK_RETRIES``/``REPRO_TASK_TIMEOUT``
+        environment.
+
+    Robustness behaviour (all recorded as host events):
+
+    * a failed task attempt is retried up to ``policy.max_retries`` times
+      with jittered exponential backoff, inline in the collecting thread;
+    * a task exceeding ``policy.timeout_s`` marks its slot hung, is
+      speculatively re-run, and the straggler's result is discarded;
+    * a slot that accumulates ``policy.quarantine_after`` failures is
+      quarantined — it refuses further tasks, which re-run elsewhere;
+    * when hung + quarantined slots exhaust the pool, the engine
+      degrades (stickily) to inline serial execution.
+
+    None of this changes results: every re-run executes the identical
+    pure block function, and results return in submission order.
     """
 
     name = "thread"
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(self, workers: Optional[int] = None,
+                 policy: Optional[TaskPolicy] = None, chaos=None) -> None:
+        super().__init__(policy=policy, chaos=chaos)
         if workers is None:
             workers = os.cpu_count() or 1
         workers = int(workers)
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self._state_lock = threading.Lock()
+        self._slot_failures: Dict[int, int] = {}
+        self._quarantined: set = set()
+        self._hung = 0
+        self._degraded = False
+
+    # -- pool-health bookkeeping --------------------------------------------
+
+    @property
+    def healthy_slots(self) -> int:
+        """Worker slots neither hung on a straggler nor quarantined."""
+        with self._state_lock:
+            return self.workers - self._hung - len(self._quarantined)
+
+    @property
+    def degraded(self) -> bool:
+        """True once the engine has fallen back to inline serial execution."""
+        return self._degraded
+
+    def _note_slot_failure(self) -> None:
+        ident = threading.get_ident()
+        with self._state_lock:
+            count = self._slot_failures.get(ident, 0) + 1
+            self._slot_failures[ident] = count
+            if (count >= self.policy.quarantine_after
+                    and ident not in self._quarantined):
+                self._quarantined.add(ident)
+                quarantined = True
+            else:
+                quarantined = False
+        if quarantined:
+            self._record(
+                "quarantine",
+                f"worker slot {ident} quarantined after {count} failures",
+            )
+        self._maybe_degrade()
+
+    def _note_hung_slot(self) -> None:
+        with self._state_lock:
+            self._hung += 1
+        self._maybe_degrade()
+
+    def _maybe_degrade(self) -> None:
+        if not self._degraded and self.healthy_slots < 1:
+            self._degraded = True
+            self._record(
+                "degraded_serial",
+                f"thread pool exhausted ({self.workers} workers, "
+                f"{self._hung} hung, {len(self._quarantined)} quarantined); "
+                f"falling back to inline serial execution",
+            )
+
+    # -- task execution ------------------------------------------------------
+
+    def _pool_attempt(self, fn: Callable[[_T], _R], item: _T, task_id: int,
+                      attempt: int) -> _R:
+        # The quarantine check precedes the chaos hooks so a refused task
+        # consumes no chaos decision — its re-run elsewhere sees the same
+        # (task_id, attempt) and therefore the same injected behaviour.
+        if threading.get_ident() in self._quarantined:
+            raise _QuarantinedSlot()
+        try:
+            return self._attempt(fn, item, task_id, attempt)
+        except FaultError:
+            raise
+        except Exception:
+            self._note_slot_failure()
+            raise
+
+    def _collect(self, pool: ThreadPoolExecutor, fn: Callable[[_T], _R],
+                 item: _T, task_id: int, future) -> _R:
+        """Resolve one task's attempt-0 future, driving the retry ladder."""
+        attempt = 0
+        timeouts = 0
+        while True:
+            if future is not None:
+                try:
+                    return future.result(timeout=self.policy.timeout_s)
+                except _FuturesTimeout:
+                    timeouts += 1
+                    self._note_hung_slot()
+                    self._record(
+                        "task_timeout",
+                        f"task {task_id} attempt {attempt} still running "
+                        f"after {self.policy.timeout_s:g}s; speculative "
+                        f"re-run",
+                        self.policy.timeout_s or 0.0,
+                    )
+                    if timeouts > self.policy.max_retries:
+                        raise TaskTimeoutError(
+                            f"task {task_id} timed out on {timeouts} "
+                            f"attempts ({self.policy.timeout_s:g}s each)"
+                        ) from None
+                    # Speculative re-execution: same (task_id, attempt) so
+                    # a chaos slow-block decision is not re-rolled; the
+                    # straggler's eventual result is simply discarded.
+                    future = None
+                    continue
+                except _QuarantinedSlot:
+                    # Not a real attempt — re-run at the same attempt number.
+                    future = None
+                    continue
+                except FaultError:
+                    raise
+                except Exception as exc:
+                    attempt += 1
+                    if attempt > self.policy.max_retries:
+                        raise
+                    delay = self.policy.backoff_delay(task_id, attempt)
+                    self._record(
+                        "task_retry",
+                        f"task {task_id} attempt {attempt} after "
+                        f"{type(exc).__name__}: {exc}",
+                        delay,
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+                    future = None
+                    continue
+            # Re-runs execute inline in the collecting thread: deterministic,
+            # immune to further pool sickness, and exempt from timeouts
+            # (inline code cannot be preempted).
+            try:
+                return self._attempt(fn, item, task_id, attempt)
+            except FaultError:
+                raise
+            except Exception as exc:
+                attempt += 1
+                if attempt > self.policy.max_retries:
+                    raise
+                delay = self.policy.backoff_delay(task_id, attempt)
+                self._record(
+                    "task_retry",
+                    f"task {task_id} attempt {attempt} after "
+                    f"{type(exc).__name__}: {exc}",
+                    delay,
+                )
+                if delay > 0:
+                    time.sleep(delay)
 
     def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> List[_R]:
         work: Sequence[_T] = list(items)
-        if self.workers == 1 or len(work) <= 1:
-            return [fn(item) for item in work]
-        # Executor.map yields results in submission order regardless of
-        # completion order — exactly the determinism contract.
-        return list(_shared_pool(self.workers).map(fn, work))
+        task_ids = self._issue_task_ids(len(work))
+        if self.workers == 1 or len(work) <= 1 or self._degraded:
+            return [self._run_serial_task(fn, item, tid)
+                    for item, tid in zip(work, task_ids)]
+        pool = _shared_pool(self.workers)
+        futures = [pool.submit(self._pool_attempt, fn, item, tid, 0)
+                   for item, tid in zip(work, task_ids)]
+        # Collect in submission order regardless of completion order —
+        # exactly the determinism contract.
+        return [self._collect(pool, fn, item, tid, fut)
+                for item, tid, fut in zip(work, task_ids, futures)]
 
 
 #: Anything :func:`resolve_engine` accepts.
@@ -156,6 +538,11 @@ def resolve_engine(engine: EngineLike = None,
     engine whether it arrives as an argument or via ``REPRO_WORKERS``, so
     ``HierarchicalKMeans(..., workers=4)`` and ``REPRO_WORKERS=4`` both do
     what they say.
+
+    Engines built here (not instance passthrough) also consult
+    ``REPRO_CHAOS`` and attach a seeded host-chaos injector when it is set
+    — this is how the CI chaos leg runs the whole suite under injected
+    host faults.
     """
     if isinstance(engine, ExecutionEngine):
         if workers is not None and workers != engine.workers:
@@ -184,15 +571,17 @@ def resolve_engine(engine: EngineLike = None,
                 engine = "thread"
             else:
                 engine = "serial"
+    from .chaos import resolve_chaos  # late import: chaos imports errors only
+    chaos = resolve_chaos()
     if engine == "serial":
         if workers is not None and workers > 1:
             raise ConfigurationError(
                 f"the serial engine is single-threaded; workers={workers} "
                 f"requires engine=\"thread\""
             )
-        return SerialEngine()
+        return SerialEngine(chaos=chaos)
     if engine == "thread":
-        return ThreadEngine(workers)
+        return ThreadEngine(workers, chaos=chaos)
     raise ConfigurationError(
         f"engine must be an ExecutionEngine instance or one of {ENGINES}, "
         f"got {engine!r}"

@@ -90,6 +90,16 @@ class LedgerProtocol(ABC):
     def next_iteration(self) -> int:
         """Mark the start of a new algorithm iteration; returns its index."""
 
+    def skip_to(self, iteration: int) -> None:
+        """Fast-forward the iteration counter without charging anything.
+
+        Used by the resume path: a run restarted from an on-disk
+        checkpoint at iteration ``j`` continues its epoch numbering at
+        ``j + 1``, so telemetry and per-iteration records line up with the
+        uninterrupted run's.  Never rewinds.
+        """
+        self._iteration = max(self._iteration, int(iteration))
+
     # -- queries ---------------------------------------------------------------
 
     @property

@@ -1,12 +1,16 @@
 """Tests for checkpoint/restart state and its modelled I/O cost."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core.checkpoint import (
+    CHECKPOINT_FILENAME,
     Checkpoint,
     CheckpointConfig,
     CheckpointStore,
+    load_checkpoint,
 )
 from repro.errors import ConfigurationError
 from repro.runtime.ledger import TimeLedger
@@ -81,3 +85,86 @@ class TestCheckpointStore:
         store, _ = self.make(every=1)
         with pytest.raises(ConfigurationError, match="no checkpoint"):
             store.restore()
+
+
+class TestDurableCheckpoints:
+    def make(self, directory, every=1):
+        ledger = TimeLedger()
+        store = CheckpointStore(CheckpointConfig(every=every), ledger,
+                                directory=str(directory))
+        return store, ledger
+
+    def test_in_memory_store_is_not_durable(self):
+        store = CheckpointStore(CheckpointConfig(every=1), TimeLedger())
+        assert not store.durable
+
+    def test_snapshot_round_trips_bit_exact(self, tmp_path):
+        store, _ = self.make(tmp_path)
+        assert store.durable
+        C = np.random.default_rng(0).normal(size=(5, 7))
+        store.save_initial(np.zeros_like(C))
+        store.maybe_save(3, C)
+        snapshot = load_checkpoint(str(tmp_path))
+        assert snapshot.iteration == 3
+        np.testing.assert_array_equal(snapshot.centroids, C)
+
+    def test_save_initial_persists(self, tmp_path):
+        store, _ = self.make(tmp_path)
+        store.save_initial(np.ones((2, 2)))
+        snapshot = load_checkpoint(str(tmp_path))
+        assert snapshot.iteration == 0
+
+    def test_missing_snapshot_is_none(self, tmp_path):
+        assert load_checkpoint(str(tmp_path)) is None
+
+    def test_orphaned_tmp_file_ignored(self, tmp_path):
+        # A process killed mid-write leaves only the .tmp; the last
+        # complete snapshot (written before it) must still load.
+        store, _ = self.make(tmp_path)
+        store.save_initial(np.full((2, 2), 7.0))
+        tmp = tmp_path / (CHECKPOINT_FILENAME + ".tmp")
+        tmp.write_bytes(b"torn half-written garbage")
+        snapshot = load_checkpoint(str(tmp_path))
+        assert snapshot.centroids[0, 0] == 7.0
+
+    def test_corrupt_snapshot_rejected(self, tmp_path):
+        (tmp_path / CHECKPOINT_FILENAME).write_bytes(b"not an npz")
+        with pytest.raises(ConfigurationError, match="cannot load"):
+            load_checkpoint(str(tmp_path))
+
+    def test_directory_created_on_init(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        self.make(nested)
+        assert nested.is_dir()
+
+    def test_adopt_neither_charges_nor_rewrites(self, tmp_path):
+        store, ledger = self.make(tmp_path)
+        store.save_initial(np.zeros((2, 2)))
+        store.maybe_save(2, np.ones((2, 2)))
+        mtime = os.path.getmtime(tmp_path / CHECKPOINT_FILENAME)
+        charged = ledger.total()
+        store.adopt(load_checkpoint(str(tmp_path)))
+        assert store.last.iteration == 2
+        assert ledger.total() == charged
+        assert os.path.getmtime(tmp_path / CHECKPOINT_FILENAME) == mtime
+
+    def test_latest_snapshot_wins(self, tmp_path):
+        store, _ = self.make(tmp_path)
+        store.save_initial(np.zeros((2, 2)))
+        for it in range(1, 5):
+            store.maybe_save(it, np.full((2, 2), float(it)))
+        snapshot = load_checkpoint(str(tmp_path))
+        assert snapshot.iteration == 4
+        assert snapshot.centroids[0, 0] == 4.0
+
+    def test_modelled_charges_unchanged_by_durability(self, tmp_path):
+        # Durability is host I/O, not simulated Sunway time: both stores
+        # charge the identical modelled seconds.
+        volatile = CheckpointStore(CheckpointConfig(every=1), TimeLedger())
+        durable, _ = self.make(tmp_path)
+        C = np.ones((4, 4))
+        for store in (volatile, durable):
+            store.save_initial(C)
+            store.maybe_save(1, C)
+            store.restore()
+        assert volatile.ledger.records == durable.ledger.records

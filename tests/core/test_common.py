@@ -16,7 +16,7 @@ from repro.core._common import (
     update_centroids,
     validate_data,
 )
-from repro.errors import DataShapeError
+from repro.errors import ConfigurationError, DataShapeError
 
 
 @pytest.fixture
@@ -208,6 +208,62 @@ class TestUpdate:
         prev = np.ones((2, 2))
         update_centroids(np.full((2, 2), 4.0), np.array([2, 2]), prev)
         np.testing.assert_allclose(prev, 1.0)
+
+
+class TestReseedFarthest:
+    def test_empty_cluster_takes_farthest_sample(self):
+        # Cluster 1 is empty; the sample farthest from its winning
+        # centroid (the origin here) becomes its new centroid.
+        X = np.array([[0.0, 0.0], [1.0, 0.0], [9.0, 0.0]])
+        sums = np.array([[10.0, 0.0], [0.0, 0.0]])
+        counts = np.array([3, 0])
+        prev = np.zeros((2, 2))
+        _, best_d2 = assign_with_distances(X, prev)
+        new = update_centroids(sums, counts, prev,
+                               empty_action="reseed_farthest", X=X,
+                               best_d2=best_d2)
+        np.testing.assert_allclose(new[1], [9.0, 0.0])
+
+    def test_distances_recomputed_when_missing(self):
+        X = np.array([[0.0, 0.0], [1.0, 0.0], [9.0, 0.0]])
+        sums = np.array([[10.0, 0.0], [0.0, 0.0]])
+        counts = np.array([3, 0])
+        new = update_centroids(sums, counts, np.zeros((2, 2)),
+                               empty_action="reseed_farthest", X=X)
+        np.testing.assert_allclose(new[1], [9.0, 0.0])
+
+    def test_nonempty_clusters_unchanged_by_action(self):
+        sums = np.array([[4.0, 8.0], [3.0, 3.0]])
+        counts = np.array([2, 3])
+        prev = np.zeros((2, 2))
+        X = np.ones((5, 2))
+        keep = update_centroids(sums, counts, prev)
+        reseed = update_centroids(sums, counts, prev,
+                                  empty_action="reseed_farthest", X=X)
+        np.testing.assert_array_equal(keep, reseed)
+
+    def test_reseed_requires_samples(self):
+        with pytest.raises(ConfigurationError, match="needs the samples"):
+            update_centroids(np.zeros((2, 2)), np.array([1, 0]),
+                             np.zeros((2, 2)),
+                             empty_action="reseed_farthest")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty_action"):
+            update_centroids(np.zeros((2, 2)), np.array([1, 1]),
+                             np.zeros((2, 2)), empty_action="explode")
+
+    def test_more_empty_clusters_than_samples_fall_back_to_keep(self):
+        # k > n: only one sample to reseed from; the second empty cluster
+        # keeps its previous centroid instead of crashing.
+        X = np.array([[5.0, 5.0]])
+        sums = np.array([[5.0, 5.0], [0.0, 0.0], [0.0, 0.0]])
+        counts = np.array([1, 0, 0])
+        prev = np.full((3, 2), 2.0)
+        new = update_centroids(sums, counts, prev,
+                               empty_action="reseed_farthest", X=X)
+        np.testing.assert_allclose(new[1], [5.0, 5.0])
+        np.testing.assert_allclose(new[2], [2.0, 2.0])
 
 
 class TestHelpers:

@@ -17,6 +17,7 @@ from repro.core.recovery import (
 from repro.errors import (
     CGFailedError,
     ConfigurationError,
+    NumericalFaultError,
     TransientDMAError,
 )
 from repro.machine.machine import DegradedMachine, toy_machine
@@ -50,6 +51,19 @@ class TestPolicies:
         policy = ReplanPolicy()
         assert policy.decide(_permanent(), 1).kind == "replan"
         assert policy.decide(_transient(), 1).kind == "retry"
+
+    def test_replan_rolls_back_numerical_faults(self):
+        # Poisoned numbers on healthy hardware: restore the checkpoint
+        # (no re-plan, no excised CGs) while attempts remain, then give up.
+        policy = ReplanPolicy(max_retries=3)
+        exc = NumericalFaultError("non-finite centroid", iteration=4)
+        assert policy.decide(exc, 1).kind == "rollback"
+        assert policy.decide(exc, 3).kind == "rollback"
+        assert policy.decide(exc, 4).kind == "raise"
+
+    def test_fail_fast_raises_numerical_faults(self):
+        exc = NumericalFaultError("non-finite centroid", iteration=4)
+        assert FailFastPolicy().decide(exc, 1).kind == "raise"
 
     def test_retry_validation(self):
         with pytest.raises(ConfigurationError):

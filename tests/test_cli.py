@@ -101,6 +101,41 @@ class TestClusterFaults:
         assert "error" in capsys.readouterr().err
 
 
+class TestClusterRobustness:
+    def test_deadline_exceeded_is_exit_3(self, capsys):
+        # A sub-microsecond budget trips on the first iteration.  Exit 3
+        # is pinned as distinct from the configuration-error exit 2 so
+        # schedulers can tell "ran out of wall clock" apart.
+        code = main(["cluster", "--n", "500", "--k", "5", "--d", "8",
+                     "--toy", "--level", "1", "--deadline", "1e-9"])
+        assert code == 3
+        assert "deadline exceeded" in capsys.readouterr().err
+
+    def test_resume_without_checkpoint_dir_is_exit_2(self, capsys):
+        code = main(["cluster", "--n", "200", "--k", "3", "--d", "4",
+                     "--toy", "--resume"])
+        assert code == 2
+        assert "checkpoint_dir" in capsys.readouterr().err
+
+    def test_checkpoint_dir_then_resume(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        base = ["cluster", "--n", "300", "--k", "4", "--d", "6", "--toy",
+                "--level", "1", "--seed", "5", "--checkpoint-every", "1",
+                "--checkpoint-dir", str(ckpt)]
+        assert main(base) == 0
+        assert (ckpt / "checkpoint.npz").exists()
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "host:" in out and "resume" in out
+
+    def test_empty_action_flag(self, capsys):
+        code = main(["cluster", "--n", "200", "--k", "4", "--d", "4",
+                     "--toy", "--level", "1",
+                     "--empty-action", "reseed_farthest"])
+        assert code == 0
+        assert "inertia" in capsys.readouterr().out
+
+
 class TestExperimentCommand:
     def test_runs_one_experiment(self, capsys):
         assert main(["experiment", "table2"]) == 0

@@ -18,12 +18,13 @@ from repro.runtime.faults import FaultPlan, FaultSpec
 
 
 def _run(level, faults=None, recovery="fail_fast", checkpoint_every=None,
-         seed=13):
+         seed=13, engine=None, workers=None):
     X, _ = gaussian_blobs(n=420, k=4, d=6, seed=8)
     model = HierarchicalKMeans(
         4, machine=toy_machine(n_nodes=2), level=level, seed=seed,
         max_iter=40, faults=faults, recovery=recovery,
         checkpoint_every=checkpoint_every,
+        engine=engine, workers=workers,
     )
     return model.fit(X)
 
@@ -58,12 +59,34 @@ def test_identical_seed_and_plan_replay_bit_identically(level):
 
 @pytest.mark.parametrize("level", [1, 2, 3])
 def test_replan_replays_bit_identically(level):
-    plan = FaultPlan([FaultSpec("cg_failure", iteration=3, cg_index=1)])
+    # iteration=2: late enough that a checkpoint exists, early enough that
+    # the run (which converges in ~3 iterations) actually reaches it.
+    plan = FaultPlan([FaultSpec("cg_failure", iteration=2, cg_index=1)])
     a = _run(level, faults=plan, recovery="replan", checkpoint_every=1)
     b = _run(level, faults=plan, recovery="replan", checkpoint_every=1)
     np.testing.assert_array_equal(a.centroids, b.centroids)
     assert a.ledger.total() == b.ledger.total()
     assert a.fault_events == b.fault_events
+    assert any(e.action == "replanned" for e in a.fault_events)
+
+
+@pytest.mark.parametrize("level", [1, 2, 3])
+@pytest.mark.parametrize("workers", [2, 4])
+def test_replan_replays_bit_identically_across_engines(level, workers):
+    # The replan path restores a mid-run checkpoint, excises the failed CG
+    # and re-plans — all of which must be invisible to the engine choice:
+    # the thread engine's retry-capable task path replays the same
+    # trajectory, fault log, and modelled seconds as serial.
+    plan = FaultPlan([FaultSpec("cg_failure", iteration=2, cg_index=1)])
+    serial = _run(level, faults=plan, recovery="replan", checkpoint_every=1,
+                  engine="serial")
+    threaded = _run(level, faults=plan, recovery="replan",
+                    checkpoint_every=1, engine="thread", workers=workers)
+    np.testing.assert_array_equal(serial.centroids, threaded.centroids)
+    np.testing.assert_array_equal(serial.assignments, threaded.assignments)
+    assert serial.fault_events == threaded.fault_events
+    assert any(e.action == "replanned" for e in serial.fault_events)
+    assert serial.ledger.records == threaded.ledger.records
 
 
 @pytest.mark.parametrize("level", [1, 2, 3])
