@@ -1,7 +1,33 @@
-"""Model-selection and robustness analysis on top of the public API."""
+"""Analysis tools: model selection, stability, and static analysis.
 
-from .elbow import SweepResult, inertia_sweep, knee_point, silhouette_sweep
-from .stability import StabilityReport, bootstrap_stability
+Two families live here:
+
+* **Model-selection and robustness analysis** on top of the public API —
+  :mod:`repro.analysis.elbow` and :mod:`repro.analysis.stability`.
+* **Static analysis of the repo itself** — :mod:`repro.analysis.reprolint`,
+  an AST rule framework enforcing the determinism / ledger / LDM
+  invariants (run it as ``python -m repro.analysis``), and
+  :mod:`repro.analysis.envvars`, the central registry of every ``REPRO_*``
+  environment knob.
+
+The numeric helpers import :mod:`repro.core`, while low-level runtime
+modules import :mod:`repro.analysis.envvars`; to keep that from becoming an
+import cycle this ``__init__`` loads the heavy submodules lazily via module
+``__getattr__`` instead of eagerly re-exporting them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .elbow import (  # noqa: F401
+        SweepResult,
+        inertia_sweep,
+        knee_point,
+        silhouette_sweep,
+    )
+    from .stability import StabilityReport, bootstrap_stability  # noqa: F401
 
 __all__ = [
     "StabilityReport",
@@ -11,3 +37,22 @@ __all__ = [
     "knee_point",
     "silhouette_sweep",
 ]
+
+_ELBOW = ("SweepResult", "inertia_sweep", "knee_point", "silhouette_sweep")
+_STABILITY = ("StabilityReport", "bootstrap_stability")
+
+
+def __getattr__(name: str) -> Any:
+    if name in _ELBOW:
+        from . import elbow
+
+        return getattr(elbow, name)
+    if name in _STABILITY:
+        from . import stability
+
+        return getattr(stability, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> "list[str]":
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,76 @@
+"""``python -m repro.analysis`` — run reprolint over the tree.
+
+Exit codes: 0 = clean (or suppressed-only), 1 = unsuppressed findings,
+2 = bad invocation.  The CI lint job runs::
+
+    python -m repro.analysis --check src/ benchmarks/ examples/
+
+See ``docs/invariants.md`` for the rule catalogue and the suppression
+syntax.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .reprolint import all_rules, lint_paths, render_human, render_json
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="reprolint: static analysis of the repo's determinism, "
+                    "ledger, LDM, env, and typing invariants.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="gate mode (the default behaviour; kept explicit for CI "
+             "readability): exit 1 on any unsuppressed finding")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as JSON instead of human-readable lines")
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print findings silenced by suppression comments")
+    parser.add_argument(
+        "--rules", metavar="IDS",
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            scope = ", ".join(rule.scopes) if rule.scopes else "everywhere"
+            print(f"{rule.id}  {rule.name}  [{scope}]")
+            print(f"      {rule.summary}")
+        return 0
+    if args.rules:
+        wanted = {rule_id.strip() for rule_id in args.rules.split(",")}
+        unknown = wanted - {rule.id for rule in rules}
+        if unknown:
+            print(f"unknown rule ids: {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.id in wanted]
+    findings = lint_paths(args.paths, rules=rules)
+    if args.as_json:
+        print(render_json(findings))
+    else:
+        print(render_human(findings, show_suppressed=args.show_suppressed))
+    active: List[str] = [f.rule for f in findings if not f.suppressed]
+    return 1 if active else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

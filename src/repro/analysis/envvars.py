@@ -1,0 +1,203 @@
+"""Central registry of every ``REPRO_*`` environment variable.
+
+Four PRs grew ad-hoc ``os.environ`` reads across :mod:`repro.runtime` and
+:mod:`repro.core`, each re-implementing the same "empty or whitespace-only
+counts as unset" convention.  This module is now the single source of truth:
+
+* every knob the package reads from the environment is declared here as an
+  :class:`EnvVar` and listed in :data:`REGISTRY`,
+* the typed accessors (:func:`read_str`, :func:`read_int`,
+  :func:`read_float`) implement the empty/whitespace-as-unset semantics
+  exactly once,
+* reprolint's E-series rules mechanically enforce that no other module
+  touches ``os.environ`` directly and that every ``REPRO_*`` name appearing
+  anywhere in the tree is declared here (see ``docs/invariants.md``),
+* a test cross-checks that every registered variable is documented in
+  ``docs/api.md``.
+
+The module deliberately imports nothing heavier than :mod:`repro.errors`
+so that low-level runtime modules can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "ENV_CHAOS",
+    "ENV_CHECKPOINT_DIR",
+    "ENV_DEADLINE",
+    "ENV_ENGINE",
+    "ENV_TASK_RETRIES",
+    "ENV_TASK_TIMEOUT",
+    "ENV_WORKERS",
+    "EnvVar",
+    "REGISTRY",
+    "read_float",
+    "read_int",
+    "read_raw",
+    "read_str",
+]
+
+
+@dataclass(frozen=True)
+class EnvVar:
+    """Declaration of one environment knob.
+
+    Parameters
+    ----------
+    name:
+        The variable's name in the process environment (``REPRO_*``).
+    kind:
+        The parsed type: ``"str"``, ``"int"``, or ``"float"``.  Used by the
+        docs table and to pick the right accessor in reviews; the accessors
+        themselves are explicit (:func:`read_int` on a ``"str"`` variable is
+        a bug the type checker cannot see, so keep them matched).
+    description:
+        One-line summary for the registry table in ``docs/api.md``.
+    consumer:
+        The module that consults the variable (dotted path).
+    """
+
+    name: str
+    kind: str
+    description: str
+    consumer: str
+
+    def __post_init__(self) -> None:
+        if not self.name.startswith("REPRO_"):
+            raise ConfigurationError(
+                f"environment knobs must be namespaced REPRO_*, "
+                f"got {self.name!r}"
+            )
+        if self.kind not in ("str", "int", "float"):
+            raise ConfigurationError(
+                f"EnvVar kind must be str/int/float, got {self.kind!r}"
+            )
+
+
+ENV_ENGINE = EnvVar(
+    name="REPRO_ENGINE",
+    kind="str",
+    description='Default execution engine ("serial" or "thread") when no '
+                "explicit engine= is given.",
+    consumer="repro.runtime.engine",
+)
+ENV_WORKERS = EnvVar(
+    name="REPRO_WORKERS",
+    kind="int",
+    description="Default worker count; > 1 implies the thread engine.",
+    consumer="repro.runtime.engine",
+)
+ENV_TASK_RETRIES = EnvVar(
+    name="REPRO_TASK_RETRIES",
+    kind="int",
+    description="Default TaskPolicy.max_retries for host block tasks.",
+    consumer="repro.runtime.engine",
+)
+ENV_TASK_TIMEOUT = EnvVar(
+    name="REPRO_TASK_TIMEOUT",
+    kind="float",
+    description="Default TaskPolicy.timeout_s (seconds) for host block "
+                "tasks.",
+    consumer="repro.runtime.engine",
+)
+ENV_DEADLINE = EnvVar(
+    name="REPRO_DEADLINE",
+    kind="float",
+    description="Default wall-clock deadline (seconds) when no explicit "
+                "deadline_s= is given.",
+    consumer="repro.runtime.supervisor",
+)
+ENV_CHAOS = EnvVar(
+    name="REPRO_CHAOS",
+    kind="str",
+    description="Host-chaos plan (compact grammar or @file) attached to "
+                "engines built by resolve_engine.",
+    consumer="repro.runtime.chaos",
+)
+ENV_CHECKPOINT_DIR = EnvVar(
+    name="REPRO_CHECKPOINT_DIR",
+    kind="str",
+    description="Durable checkpoint directory when no explicit "
+                "checkpoint_dir= is given.",
+    consumer="repro.core.kmeans",
+)
+
+#: Every environment variable the package reads, keyed by name.  reprolint
+#: rule E402 fails the build on any ``REPRO_*`` literal not listed here.
+REGISTRY: Dict[str, EnvVar] = {
+    var.name: var
+    for var in (
+        ENV_ENGINE,
+        ENV_WORKERS,
+        ENV_TASK_RETRIES,
+        ENV_TASK_TIMEOUT,
+        ENV_DEADLINE,
+        ENV_CHAOS,
+        ENV_CHECKPOINT_DIR,
+    )
+}
+
+
+def _require_registered(var: EnvVar) -> None:
+    if REGISTRY.get(var.name) is not var:
+        raise ConfigurationError(
+            f"environment variable {var.name!r} is not declared in "
+            f"repro.analysis.envvars.REGISTRY"
+        )
+
+
+def read_raw(var: EnvVar) -> Optional[str]:
+    """The variable's stripped value, or None when unset.
+
+    Empty and whitespace-only values count as unset: CI matrices export
+    empty strings for the legs that do not use a knob, and those must
+    behave exactly like an absent variable.
+    """
+    _require_registered(var)
+    value = os.environ.get(var.name, "").strip()
+    return value or None
+
+
+def read_str(var: EnvVar) -> Optional[str]:
+    """String-typed read (alias of :func:`read_raw`, named for call sites)."""
+    return read_raw(var)
+
+
+def read_int(var: EnvVar) -> Optional[int]:
+    """Integer-typed read; raises :class:`ConfigurationError` on junk."""
+    raw = read_raw(var)
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{var.name} must be an integer, got {raw!r}"
+        ) from None
+
+
+def read_float(var: EnvVar) -> Optional[float]:
+    """Float-typed read; raises :class:`ConfigurationError` on junk."""
+    raw = read_raw(var)
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{var.name} must be a number of seconds, got {raw!r}"
+        ) from None
+
+
+def registry_rows() -> Tuple[Tuple[str, str, str, str], ...]:
+    """(name, kind, consumer, description) rows in name order (for docs)."""
+    return tuple(
+        (v.name, v.kind, v.consumer, v.description)
+        for _, v in sorted(REGISTRY.items())
+    )

@@ -1,0 +1,363 @@
+"""reprolint — AST static analysis enforcing the repo's invariants.
+
+The package's load-bearing property is that runs are **bit-identical**
+across engines, fault replays, and checkpoint resumes.  That property is a
+set of coding disciplines (fixed-order merges, seeded RNGs, charging in the
+serial loop, registered env knobs, LDM-feasible configs), and disciplines
+erode unless something mechanical holds them.  reprolint is that mechanism:
+a small rule framework over :mod:`ast` with
+
+* a registry of :class:`Rule` subclasses, each owning one invariant and one
+  stable id (``D101``, ``L201``, ...; see ``docs/invariants.md``),
+* per-line and per-file suppression comments that *require a reason*::
+
+      thing = risky()  # reprolint: disable=D103 -- insertion order is sorted here
+
+      # reprolint: disable-file=E401 -- this module IS the env accessor
+
+* human and JSON output plus a CLI (``python -m repro.analysis``); the CI
+  lint job fails on any unsuppressed finding.
+
+Rules are scoped by path component (a rule about engine partials applies to
+``core/`` and ``runtime/``, not to ``reporting/``), and every rule ships a
+positive and a negative fixture in ``tests/analysis/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "all_rules",
+    "dotted_name",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "render_human",
+    "render_json",
+]
+
+#: ``# reprolint: disable=D101,D102 -- reason`` (trailing or whole-line) /
+#: ``# reprolint: disable-file=E401 -- reason``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Z][0-9]{3}(?:\s*,\s*[A-Z][0-9]{3})*)"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation (or meta-finding) at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    reason: Optional[str] = None
+
+    def format(self) -> str:
+        mark = "  [suppressed: " + (self.reason or "") + "]" \
+            if self.suppressed else ""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.message}{mark}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class _Suppression:
+    """One parsed suppression comment."""
+
+    line: int
+    kind: str                 # "disable" | "disable-file"
+    rules: Tuple[str, ...]
+    reason: Optional[str]
+    own_line: bool            # comment stands alone on its line
+    used: bool = False
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may inspect about one file."""
+
+    path: str                     # display path (as given to the runner)
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    parts: Tuple[str, ...] = ()   # posix path components, file stem last
+
+    @classmethod
+    def from_source(cls, source: str, path: str) -> "LintContext":
+        tree = ast.parse(source, filename=path)
+        posix = PurePosixPath(str(path).replace("\\", "/"))
+        parts = tuple(posix.parts[:-1]) + (posix.stem,)
+        return cls(path=path, source=source, tree=tree,
+                   lines=source.splitlines(), parts=parts)
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        return Finding(rule=rule.id, path=self.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       message=message)
+
+
+class Rule:
+    """One enforced invariant.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    registration is explicit via :func:`register_rule` so the rule set is
+    importable (and testable) piecemeal.
+    """
+
+    #: Stable identifier, e.g. ``"D101"`` (letter = series, see docs).
+    id: str = ""
+    #: Short kebab-ish name shown by ``--list-rules``.
+    name: str = ""
+    #: One-line statement of the invariant.
+    summary: str = ""
+    #: Path components the rule applies to (empty = every file).  A file
+    #: matches when any scope appears among its path components (the module
+    #: stem counts as a component, so ``"errors"`` scopes a single module).
+    scopes: Tuple[str, ...] = ()
+    #: Path components the rule never applies to, checked before scopes.
+    exempt: Tuple[str, ...] = ()
+
+    def applies(self, ctx: LintContext) -> bool:
+        if any(part in self.exempt for part in ctx.parts):
+            return False
+        if not self.scopes:
+            return True
+        return any(scope in ctx.parts for scope in self.scopes)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one rule instance to the global registry."""
+    rule = cls()
+    if not rule.id or not rule.summary:
+        raise ValueError(f"rule {cls.__name__} needs an id and a summary")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in id order (imports the rule modules)."""
+    _load_builtin_rules()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def _load_builtin_rules() -> None:
+    # Import for the registration side effect; late so that the framework
+    # itself stays importable from the rule modules.
+    from . import (  # noqa: F401
+        rules_config,
+        rules_determinism,
+        rules_env,
+        rules_ledger,
+        rules_typing,
+    )
+
+
+# -- AST helpers shared by the rule modules ---------------------------------
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for Name/Attribute chains, else '' (calls are opaque)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+# -- suppression handling ----------------------------------------------------
+
+def _parse_suppressions(lines: Sequence[str]) -> List[_Suppression]:
+    found: List[_Suppression] = []
+    for i, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = tuple(r.strip() for r in match.group("rules").split(","))
+        found.append(_Suppression(
+            line=i,
+            kind=match.group("kind"),
+            rules=rules,
+            reason=match.group("reason"),
+            own_line=line.strip().startswith("#"),
+        ))
+    return found
+
+
+def _apply_suppressions(findings: List[Finding],
+                        suppressions: List[_Suppression],
+                        ctx: LintContext,
+                        known_ids: Iterable[str]) -> List[Finding]:
+    """Mark findings suppressed and emit the R-series meta-findings.
+
+    * ``R001`` — a suppression without a ``-- reason`` string,
+    * ``R002`` — a suppression naming an unknown rule id.
+
+    A ``disable`` comment covers its own line, and — when it stands alone —
+    the next line (so long statements can carry the comment above them).
+    A ``disable-file`` comment covers the whole file for its rules.
+    """
+    known = set(known_ids)
+    meta: List[Finding] = []
+    file_wide: Dict[str, _Suppression] = {}
+    by_line: Dict[int, List[_Suppression]] = {}
+    for sup in suppressions:
+        if sup.reason is None:
+            meta.append(Finding(
+                rule="R001", path=ctx.path, line=sup.line, col=1,
+                message="suppression needs a reason: "
+                        "`# reprolint: disable=ID -- why`",
+            ))
+        for rule_id in sup.rules:
+            if rule_id not in known:
+                meta.append(Finding(
+                    rule="R002", path=ctx.path, line=sup.line, col=1,
+                    message=f"suppression names unknown rule {rule_id!r}",
+                ))
+        if sup.kind == "disable-file":
+            for rule_id in sup.rules:
+                file_wide.setdefault(rule_id, sup)
+        else:
+            by_line.setdefault(sup.line, []).append(sup)
+            if sup.own_line:
+                by_line.setdefault(sup.line + 1, []).append(sup)
+
+    out: List[Finding] = []
+    for finding in findings:
+        covering: Optional[_Suppression] = None
+        for sup in by_line.get(finding.line, ()):
+            if finding.rule in sup.rules:
+                covering = sup
+                break
+        if covering is None:
+            covering = file_wide.get(finding.rule)
+        if covering is not None and covering.reason is not None:
+            covering.used = True
+            out.append(Finding(
+                rule=finding.rule, path=finding.path, line=finding.line,
+                col=finding.col, message=finding.message,
+                suppressed=True, reason=covering.reason,
+            ))
+        else:
+            out.append(finding)
+    return out + meta
+
+
+# -- runners -----------------------------------------------------------------
+
+def lint_source(source: str, path: str,
+                rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint one source string presented as ``path`` (fixtures use this)."""
+    if rules is None:
+        rules = all_rules()
+    try:
+        ctx = LintContext.from_source(source, path)
+    except SyntaxError as exc:
+        return [Finding(rule="R003", path=path, line=exc.lineno or 1,
+                        col=(exc.offset or 0) + 1,
+                        message=f"file does not parse: {exc.msg}")]
+    findings: List[Finding] = []
+    for rule in rules:
+        if rule.applies(ctx):
+            findings.extend(rule.check(ctx))
+    suppressions = _parse_suppressions(ctx.lines)
+    findings = _apply_suppressions(findings, suppressions, ctx,
+                                   [r.id for r in rules])
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(path: "str | Path",
+              rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(source, str(path), rules=rules)
+
+
+def iter_python_files(paths: Iterable["str | Path"]) -> Iterator[Path]:
+    """Expand files/directories to ``.py`` files, in sorted order.
+
+    Cache and fixture directories are skipped: fixture snippets violate
+    rules on purpose.
+    """
+    skip_dirs = {"__pycache__", ".git", "fixtures", "build", "dist"}
+    for entry in paths:
+        root = Path(entry)
+        if root.is_file():
+            if root.suffix == ".py":
+                yield root
+            continue
+        for candidate in sorted(root.rglob("*.py")):
+            if not skip_dirs.intersection(candidate.parts):
+                yield candidate
+
+
+def lint_paths(paths: Iterable["str | Path"],
+               rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint every python file under ``paths``."""
+    if rules is None:
+        rules = all_rules()
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules=rules))
+    return findings
+
+
+# -- output ------------------------------------------------------------------
+
+def render_human(findings: Sequence[Finding],
+                 show_suppressed: bool = False) -> str:
+    shown = [f for f in findings if show_suppressed or not f.suppressed]
+    lines = [f.format() for f in shown]
+    active = sum(1 for f in findings if not f.suppressed)
+    muted = len(findings) - active
+    lines.append(
+        f"reprolint: {active} finding{'s' if active != 1 else ''}"
+        + (f" ({muted} suppressed)" if muted else "")
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps({
+        "findings": [f.to_dict() for f in findings],
+        "counts": {
+            "active": sum(1 for f in findings if not f.suppressed),
+            "suppressed": sum(1 for f in findings if f.suppressed),
+        },
+    }, indent=2)

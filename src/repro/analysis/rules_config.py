@@ -1,0 +1,212 @@
+"""C-series rules: LDM feasibility of statically-known level configs.
+
+The paper's §III constraint table (C1/C2/C3 and their primed variants,
+implemented in :mod:`repro.core.constraints`) decides whether a partition
+plan *can exist* on the SW26010.  Experiment, benchmark, and example
+scripts construct plans from literal shapes; when those literals provably
+violate a machine-independent constraint the script is dead on arrival —
+a fact a reviewer can know without running it.  These rules partially
+evaluate literal ``(k, d, mgroup, m'group, dtype)`` call sites against the
+default SW26010 budget (64 KiB LDM per CPE, 64 CPEs per CG) and flag
+provable infeasibility.  Anything not statically resolvable is left to the
+runtime planner — the rules never guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from ..machine.specs import CGSpec
+from .reprolint import Finding, LintContext, Rule, dotted_name, register_rule
+
+#: SW26010 defaults used for partial evaluation (kept in lock-step with
+#: repro.machine.specs — a unit test asserts the equality).
+_CG = CGSpec()
+LDM_BYTES_PER_CPE = _CG.cpe.ldm_bytes
+CPES_PER_CG = _CG.n_cpes
+
+#: Planner entry points whose positional tail is ``(n, k, d)`` after the
+#: machine argument.
+_PLANNERS = ("plan_level1", "plan_level2", "plan_level3")
+
+
+def _module_int_constants(tree: ast.Module) -> Dict[str, int]:
+    """Module-level ``NAME = <int literal>`` bindings (incl. tuple form)."""
+    consts: Dict[str, int] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) \
+                    and isinstance(node.value, ast.Constant) \
+                    and isinstance(node.value.value, int):
+                consts[target.id] = node.value.value
+            elif isinstance(target, ast.Tuple) \
+                    and isinstance(node.value, ast.Tuple) \
+                    and len(target.elts) == len(node.value.elts):
+                for name_node, val in zip(target.elts, node.value.elts):
+                    if isinstance(name_node, ast.Name) \
+                            and isinstance(val, ast.Constant) \
+                            and isinstance(val.value, int):
+                        consts[name_node.id] = val.value
+    return consts
+
+
+class _Evaluator:
+    """Resolve an expression to an int where literals allow, else None."""
+
+    def __init__(self, consts: Dict[str, int]) -> None:
+        self._consts = consts
+
+    def resolve(self, node: ast.AST) -> Optional[int]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+                and not isinstance(node.value, bool):
+            return node.value
+        if isinstance(node, ast.Name):
+            return self._consts.get(node.id)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            inner = self.resolve(node.operand)
+            return None if inner is None else -inner
+        if isinstance(node, ast.BinOp):
+            left = self.resolve(node.left)
+            right = self.resolve(node.right)
+            if left is None or right is None:
+                return None
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, ast.FloorDiv) and right != 0:
+                return left // right
+            if isinstance(node.op, ast.Pow) and 0 <= right <= 64:
+                return left ** right
+        return None
+
+
+def _dtype_itemsize(node: Optional[ast.AST]) -> Optional[int]:
+    """Itemsize of a literal dtype reference (None = default float64)."""
+    if node is None:
+        return 8
+    name = dotted_name(node)
+    tail = name.rsplit(".", 1)[-1] if name else ""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        tail = node.value
+    sizes = {"float64": 8, "float32": 4, "float16": 2, "float": 8}
+    return sizes.get(tail)
+
+
+@register_rule
+class LDMInfeasibleConfig(Rule):
+    """C301: literal shapes must satisfy the paper's LDM constraint table."""
+
+    id = "C301"
+    name = "ldm-infeasible-config"
+    summary = ("plan_level{1,2,3} calls with literal (k, d) shapes must "
+               "satisfy the §III LDM constraints for the SW26010")
+    scopes = ("experiments", "benchmarks", "examples")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        evaluator = _Evaluator(_module_int_constants(ctx.tree))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = dotted_name(node.func).rsplit(".", 1)[-1]
+            if func not in _PLANNERS or len(node.args) < 4:
+                continue
+            kwargs = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+            if self._is_true(kwargs.get("streaming")):
+                continue  # streaming plans stage slices; residency is lifted
+            k = evaluator.resolve(node.args[2])
+            d = evaluator.resolve(node.args[3])
+            itemsize = _dtype_itemsize(kwargs.get("dtype"))
+            if k is None or d is None or k < 1 or d < 1 or itemsize is None:
+                continue
+            ldm = LDM_BYTES_PER_CPE // itemsize
+            yield from self._check_level(ctx, node, func, k, d, ldm,
+                                         kwargs, evaluator)
+
+    @staticmethod
+    def _is_true(node: Optional[ast.AST]) -> bool:
+        return isinstance(node, ast.Constant) and node.value is True
+
+    def _check_level(self, ctx: LintContext, node: ast.Call, func: str,
+                     k: int, d: int, ldm: int, kwargs: Dict[str, ast.AST],
+                     evaluator: _Evaluator) -> Iterator[Finding]:
+        buffers = d * (1 + 2 * k) + k  # the C1 left-hand side
+        if func == "plan_level1":
+            if buffers > ldm:
+                yield ctx.finding(
+                    self, node,
+                    f"Level 1 C1 violated: d(1+2k)+k = {buffers} > "
+                    f"LDM = {ldm} elements for k={k}, d={d}; use Level 2/3 "
+                    f"or streaming")
+        elif func == "plan_level2":
+            mgroup = evaluator.resolve(kwargs["mgroup"]) \
+                if "mgroup" in kwargs else None
+            group = mgroup if mgroup is not None else CPES_PER_CG
+            if 1 <= group <= CPES_PER_CG and buffers > group * ldm:
+                bound = "mgroup" if mgroup is not None else \
+                    f"even mgroup={CPES_PER_CG}"
+                yield ctx.finding(
+                    self, node,
+                    f"Level 2 C1' violated: d(1+2k)+k = {buffers} > "
+                    f"{group}*LDM = {group * ldm} elements with {bound} "
+                    f"(k={k}, d={d}); use Level 3 or streaming")
+            if 3 * d + 1 > ldm:
+                yield ctx.finding(
+                    self, node,
+                    f"Level 2 C2' violated: 3d+1 = {3 * d + 1} > LDM = "
+                    f"{ldm} elements (d={d}); Level 2 keeps whole samples "
+                    f"per CPE — use Level 3's dimension partition")
+        elif func == "plan_level3":
+            if 3 * d + 1 > CPES_PER_CG * ldm:
+                yield ctx.finding(
+                    self, node,
+                    f"Level 3 C2'' violated: 3d+1 = {3 * d + 1} > 64*LDM "
+                    f"= {CPES_PER_CG * ldm} elements (d={d}); no m'group "
+                    f"can fix a per-CG dimension overflow")
+            mprime = evaluator.resolve(kwargs["mprime_group"]) \
+                if "mprime_group" in kwargs else None
+            if mprime is not None and mprime >= 1 \
+                    and buffers > CPES_PER_CG * mprime * ldm:
+                yield ctx.finding(
+                    self, node,
+                    f"Level 3 C1'' violated: d(1+2k)+k = {buffers} > "
+                    f"64*m'group*LDM = {CPES_PER_CG * mprime * ldm} "
+                    f"elements with m'group={mprime} (k={k}, d={d}); "
+                    f"raise m'group or enable streaming")
+
+
+@register_rule
+class PartitionParameterBounds(Rule):
+    """C302: literal group sizes must lie in the machine's bounds."""
+
+    id = "C302"
+    name = "partition-parameter-bounds"
+    summary = ("literal mgroup must be in [1, 64] and literal m'group "
+               ">= 1 wherever a plan or executor is configured")
+    scopes = ("experiments", "benchmarks", "examples", "core")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        evaluator = _Evaluator(_module_int_constants(ctx.tree))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if kw.arg == "mgroup":
+                    value = evaluator.resolve(kw.value)
+                    if value is not None \
+                            and not 1 <= value <= CPES_PER_CG:
+                        yield ctx.finding(
+                            self, kw.value,
+                            f"mgroup={value} is outside [1, {CPES_PER_CG}] "
+                            f"(a CG has {CPES_PER_CG} CPEs)")
+                elif kw.arg == "mprime_group":
+                    value = evaluator.resolve(kw.value)
+                    if value is not None and value < 1:
+                        yield ctx.finding(
+                            self, kw.value,
+                            f"mprime_group={value} must be >= 1")

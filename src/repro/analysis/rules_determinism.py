@@ -1,0 +1,221 @@
+"""D-series rules: bit-identical numerics.
+
+The determinism contract (docs/architecture.md "Determinism",
+``tests/runtime/test_engine.py``) says centroids, modelled ledger seconds,
+and fault replays are bit-identical across engines, worker counts, fault
+replays, and checkpoint resumes.  These rules catch the coding patterns
+that historically break that contract in parallel k-means codes: hidden
+entropy sources, order-sensitive float reductions, and float equality.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from .reprolint import Finding, LintContext, Rule, dotted_name, register_rule
+
+#: Samplers on numpy's *global* stream — unseeded, shared, mutable state.
+_GLOBAL_SAMPLERS = frozenset({
+    "rand", "randn", "random", "random_sample", "randint", "choice",
+    "shuffle", "permutation", "seed", "normal", "uniform", "standard_normal",
+})
+
+#: Wall-clock reads that must not feed modelled numerics.
+_CLOCK_CALLS = frozenset({
+    "time.time", "time.perf_counter", "time.monotonic", "time.process_time",
+    "time.time_ns", "time.perf_counter_ns", "time.monotonic_ns",
+    "datetime.now", "datetime.utcnow",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+})
+
+_NUMERIC_SCOPES: Tuple[str, ...] = ("core", "runtime")
+
+
+@register_rule
+class UnseededRandomness(Rule):
+    """D101: no hidden entropy in the numeric packages."""
+
+    id = "D101"
+    name = "unseeded-randomness"
+    summary = ("numerics must draw from explicitly seeded generators: no "
+               "`import random`, no `np.random.default_rng()` without a "
+               "seed, no global-stream `np.random.*` samplers")
+    scopes = ("core", "runtime", "machine")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "random":
+                        yield ctx.finding(
+                            self, node,
+                            "stdlib `random` is process-global state; use "
+                            "np.random.default_rng(seed) instead")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is not None \
+                        and node.module.split(".")[0] == "random":
+                    yield ctx.finding(
+                        self, node,
+                        "stdlib `random` is process-global state; use "
+                        "np.random.default_rng(seed) instead")
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name.endswith("random.default_rng") \
+                        and not node.args and not node.keywords:
+                    yield ctx.finding(
+                        self, node,
+                        "np.random.default_rng() without a seed is fresh OS "
+                        "entropy per call; pass an explicit seed sequence")
+                elif name.startswith(("np.random.", "numpy.random.")) \
+                        and name.rsplit(".", 1)[-1] in _GLOBAL_SAMPLERS:
+                    yield ctx.finding(
+                        self, node,
+                        f"`{name}` uses numpy's shared global stream; "
+                        f"draw from np.random.default_rng(seed)")
+
+
+@register_rule
+class WallClockInNumerics(Rule):
+    """D102: `core/` charges modelled seconds, never the host clock."""
+
+    id = "D102"
+    name = "wall-clock-in-core"
+    summary = ("repro.core must not read the host clock; host timing "
+               "belongs to runtime/supervisor.py")
+    scopes = ("core",)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) \
+                    and dotted_name(node.func) in _CLOCK_CALLS:
+                yield ctx.finding(
+                    self, node,
+                    f"`{dotted_name(node.func)}` reads the host wall clock "
+                    f"inside core numerics; modelled time comes from the "
+                    f"ledger, host time from RunSupervisor")
+
+
+def _is_dict_view_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("items", "values", "keys")
+            and not node.args and not node.keywords)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+@register_rule
+class UnorderedIteration(Rule):
+    """D103: merges and charges iterate in a *stated* fixed order."""
+
+    id = "D103"
+    name = "unordered-iteration"
+    summary = ("loops and reductions in core/runtime must not consume "
+               "dict-view or set iteration order directly; wrap the "
+               "iterable in sorted(...) or iterate a list with fixed order")
+    scopes = _NUMERIC_SCOPES
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Name) \
+                    and node.func.id in ("sum", "max", "min") and node.args:
+                iters.append(node.args[0])
+            for it in iters:
+                if _is_dict_view_call(it):
+                    yield ctx.finding(
+                        self, it,
+                        f"iterating `.{it.func.attr}()` consumes dict "  # type: ignore[attr-defined]
+                        f"insertion order; make the order explicit "
+                        f"(sorted(...) or a fixed key list)")
+                elif _is_set_expr(it):
+                    yield ctx.finding(
+                        self, it,
+                        "iterating a set consumes hash order; sort it or "
+                        "use an ordered container")
+
+
+@register_rule
+class FloatEquality(Rule):
+    """D104: centroid/inertia floats never compare with == / !=."""
+
+    id = "D104"
+    name = "float-equality"
+    summary = ("no float == / != on centroid or inertia values (exact-zero "
+               "sentinels are exempt); compare shifts against a tolerance")
+    scopes = _NUMERIC_SCOPES
+
+    _NAMES = ("inertia", "centroid", "distance")
+    #: Non-float attributes of arrays named like centroid/distance buffers.
+    _METADATA_ATTRS = ("shape", "dtype", "ndim", "size", "nbytes")
+
+    def _suspicious(self, node: ast.AST) -> str:
+        if isinstance(node, ast.Constant) and isinstance(node.value, float) \
+                and node.value != 0.0:
+            return f"float literal {node.value!r}"
+        name = dotted_name(node)
+        if not name or name.rsplit(".", 1)[-1] in self._METADATA_ATTRS:
+            return ""
+        low = name.lower()
+        for needle in self._NAMES:
+            if needle in low:
+                return f"`{name}`"
+        return ""
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            for operand in [node.left, *node.comparators]:
+                what = self._suspicious(operand)
+                if what:
+                    yield ctx.finding(
+                        self, node,
+                        f"exact float comparison on {what}; equality on "
+                        f"accumulated floats is order- and platform-"
+                        f"sensitive — compare a shift against a tolerance")
+                    break
+
+
+@register_rule
+class CompletionOrderCollection(Rule):
+    """D105: engine results merge in submission order, never completion."""
+
+    id = "D105"
+    name = "completion-order-collection"
+    summary = ("core/runtime must not collect futures in completion order "
+               "(`as_completed`, FIRST_COMPLETED); partials merge in "
+               "submission order")
+    scopes = _NUMERIC_SCOPES
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            names = []
+            if isinstance(node, ast.ImportFrom):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, (ast.Name, ast.Attribute)):
+                dotted = dotted_name(node)
+                names = [dotted.rsplit(".", 1)[-1]] if dotted else []
+            for name in names:
+                if name in ("as_completed", "FIRST_COMPLETED"):
+                    yield ctx.finding(
+                        self, node,
+                        f"`{name}` yields completion order, which varies "
+                        f"run to run; collect futures in submission order "
+                        f"so float partials merge deterministically")
+                    break

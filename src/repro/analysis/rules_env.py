@@ -1,0 +1,148 @@
+"""E-series rules: environment hygiene and fault-path integrity.
+
+Every ``REPRO_*`` knob is declared once in
+:mod:`repro.analysis.envvars` and read through its typed accessors, so the
+empty/whitespace-as-unset semantics live in exactly one place and the docs
+table cannot drift from the code.  The fault-path rule guards PR 2's
+contract: modelled :class:`~repro.errors.FaultError` faults belong to the
+recovery policies and must never be swallowed by a broad host-side
+``except``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List
+
+from .reprolint import Finding, LintContext, Rule, dotted_name, register_rule
+
+_REPRO_NAME = re.compile(r"^REPRO_[A-Z0-9_]+$")
+
+#: The one module allowed to touch ``os.environ``.
+_ACCESSOR_MODULE = "envvars"
+
+
+@register_rule
+class RawEnvironRead(Rule):
+    """E401: all environment access goes through the typed accessors."""
+
+    id = "E401"
+    name = "raw-environ-read"
+    summary = ("only repro.analysis.envvars may touch os.environ / "
+               "os.getenv; everything else uses its typed accessors")
+    scopes = ("repro",)
+    exempt = (_ACCESSOR_MODULE,)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            name = ""
+            if isinstance(node, (ast.Attribute, ast.Name)):
+                name = dotted_name(node)
+            if name.endswith("os.environ") or name == "os.environ" \
+                    or name.endswith("os.getenv") or name == "os.getenv":
+                yield ctx.finding(
+                    self, node,
+                    "direct environment access; read knobs through "
+                    "repro.analysis.envvars (read_str/read_int/read_float) "
+                    "so empty-as-unset semantics and the registry hold")
+
+
+@register_rule
+class UndeclaredEnvVar(Rule):
+    """E402: every REPRO_* literal is declared in the central registry."""
+
+    id = "E402"
+    name = "undeclared-env-var"
+    summary = ("string literals naming a REPRO_* variable must be declared "
+               "in repro.analysis.envvars.REGISTRY")
+    scopes = ("repro",)
+    exempt = (_ACCESSOR_MODULE,)
+
+    def _registered(self) -> frozenset:
+        from .envvars import REGISTRY
+        return frozenset(REGISTRY)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        registered = self._registered()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Constant) \
+                    and isinstance(node.value, str) \
+                    and _REPRO_NAME.match(node.value) \
+                    and node.value not in registered:
+                yield ctx.finding(
+                    self, node,
+                    f"{node.value} is not declared in "
+                    f"repro.analysis.envvars.REGISTRY; add an EnvVar entry "
+                    f"(and its docs/api.md row) before reading it")
+
+
+def _catches_fault_error(handler: ast.ExceptHandler) -> bool:
+    """True when the handler's type names FaultError or a subclass of it."""
+    names: List[str] = []
+    node = handler.type
+    if node is None:
+        return False
+    for sub in ast.walk(node):
+        dotted = dotted_name(sub)
+        if dotted:
+            names.append(dotted.rsplit(".", 1)[-1])
+    return any(name == "FaultError" or name.endswith("FaultError")
+               or name in ("CGFailedError", "TransientDMAError",
+                           "CollectiveTimeoutError")
+               for name in names)
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    for sub in ast.walk(handler.type):
+        dotted = dotted_name(sub)
+        if dotted.rsplit(".", 1)[-1] in ("Exception", "BaseException"):
+            return True
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """The handler re-raises (a bare ``raise`` or raising the bound name)."""
+    bound = handler.name
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            if node.exc is None:
+                return True
+            if bound is not None and isinstance(node.exc, ast.Name) \
+                    and node.exc.id == bound:
+                return True
+            if node.cause is not None or node.exc is not None:
+                # Raising *something* (possibly wrapping) still propagates.
+                return True
+    return False
+
+
+@register_rule
+class SwallowedFaultError(Rule):
+    """E403: broad excepts must let modelled FaultErrors propagate."""
+
+    id = "E403"
+    name = "swallowed-fault-error"
+    summary = ("an `except Exception`/bare except in core/runtime must be "
+               "preceded by an `except FaultError: raise` arm or itself "
+               "re-raise — modelled faults belong to the recovery policies")
+    scopes = ("core", "runtime")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            fault_handled = False
+            for handler in node.handlers:
+                if _catches_fault_error(handler):
+                    fault_handled = True
+                    continue
+                if _is_broad(handler) and not fault_handled \
+                        and not _reraises(handler):
+                    yield ctx.finding(
+                        self, handler,
+                        "broad except swallows FaultError: add an earlier "
+                        "`except FaultError: raise` arm (or re-raise) so "
+                        "modelled faults reach the recovery policies")

@@ -13,11 +13,14 @@ analogue of streaming samples through the LDM.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError, DataShapeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .kernels import KernelBackend
 
 #: Number of distance-matrix elements a single chunk may hold.
 DEFAULT_CHUNK_ELEMENTS = 4_000_000
@@ -101,7 +104,8 @@ def chunk_ranges(n: int, chunk: int) -> Iterator[Tuple[int, int]]:
 
 def assign_chunked(X: np.ndarray, C: np.ndarray,
                    chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
-                   expanded: bool = False, kernel=None) -> np.ndarray:
+                   expanded: bool = False,
+                   kernel: Optional["KernelBackend"] = None) -> np.ndarray:
     """Nearest-centroid assignment for every sample, bounded working set.
 
     Returns int64 indices; ties go to the lowest centroid index (np.argmin
@@ -131,7 +135,8 @@ def assign_chunked(X: np.ndarray, C: np.ndarray,
 
 def assign_with_distances(X: np.ndarray, C: np.ndarray,
                           chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
-                          kernel=None) -> Tuple[np.ndarray, np.ndarray]:
+                          kernel: Optional["KernelBackend"] = None
+                          ) -> Tuple[np.ndarray, np.ndarray]:
     """Assignments plus the squared distance to the winning centroid.
 
     A thin dispatcher into the kernel layer's

@@ -25,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..analysis.envvars import ENV_CHECKPOINT_DIR
 from ..errors import ConfigurationError
 from ..runtime.ledger import LedgerProtocol
 
@@ -34,8 +35,9 @@ DEFAULT_CHECKPOINT_BW = 1e9
 DEFAULT_CHECKPOINT_LATENCY = 1e-3
 
 #: Environment override for the durable checkpoint directory, consulted by
-#: the facade when ``checkpoint_dir=None`` (empty/whitespace = unset).
-CHECKPOINT_DIR_ENV = "REPRO_CHECKPOINT_DIR"
+#: the facade when ``checkpoint_dir=None`` (empty/whitespace = unset;
+#: declared in :mod:`repro.analysis.envvars`).
+CHECKPOINT_DIR_ENV = ENV_CHECKPOINT_DIR.name
 
 #: Filename of the durable snapshot inside ``checkpoint_dir``.
 CHECKPOINT_FILENAME = "checkpoint.npz"

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import warnings
 from abc import ABC, abstractmethod
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -217,8 +217,9 @@ class LevelExecutor(ABC):
         ``self.ledger`` before returning.
         """
 
-    def charge_stream_phases(self, prefix: str, dma_times, compute_times
-                             ) -> None:
+    def charge_stream_phases(self, prefix: str,
+                             dma_times: Sequence[float],
+                             compute_times: Sequence[float]) -> None:
         """Charge the sample-stream DMA and distance compute phases.
 
         Without overlap the phases serialise (charge both); with

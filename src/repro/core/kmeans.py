@@ -9,11 +9,11 @@ footprint exceeds a core group's memory pay for the full nkd partition.
 
 from __future__ import annotations
 
-import os
 from typing import Optional, Union
 
 import numpy as np
 
+from ..analysis.envvars import ENV_CHECKPOINT_DIR, read_str
 from ..errors import ConfigurationError, PartitionError
 from ..machine.machine import Machine, sunway_machine
 from ..runtime.engine import EngineLike, resolve_engine
@@ -217,8 +217,7 @@ class HierarchicalKMeans:
         self.recovery = resolve_recovery(recovery)
         self.checkpoint_every = checkpoint_every
         if checkpoint_dir is None:
-            env_dir = os.environ.get(CHECKPOINT_DIR_ENV, "").strip()
-            checkpoint_dir = env_dir or None
+            checkpoint_dir = read_str(ENV_CHECKPOINT_DIR)
         self.checkpoint_dir = checkpoint_dir
         if resume and checkpoint_dir is None:
             raise ConfigurationError(

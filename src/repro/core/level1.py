@@ -118,7 +118,7 @@ class Level1Executor(LevelExecutor):
         if self.model_costs:
             dma_times: List[float] = []       # one per CG (shared engine)
             compute_times: List[float] = []   # one per CPE
-            for cg_index, units in self._units_by_cg.items():
+            for cg_index, units in sorted(self._units_by_cg.items()):
                 cg_bytes = 0
                 for unit in units:
                     lo, hi = plan.sample_blocks[unit]
@@ -168,7 +168,7 @@ class Level1Executor(LevelExecutor):
 
 def run_level1(X: np.ndarray, centroids: np.ndarray, machine: Machine,
                max_iter: int = 100, tol: float = 0.0,
-               **executor_kwargs) -> KMeansResult:
+               **executor_kwargs: object) -> KMeansResult:
     """Convenience wrapper: plan, execute, and return the result."""
     executor = Level1Executor(machine, **executor_kwargs)
     return executor.run(X, centroids, max_iter=max_iter, tol=tol)

@@ -161,7 +161,7 @@ class Level2Executor(LevelExecutor):
             dma_times: List[float] = []
             compute_times: List[float] = []
             accumulate_times: List[float] = []
-            for cg_index, groups in self._groups_by_cg.items():
+            for cg_index, groups in sorted(self._groups_by_cg.items()):
                 cg_bytes = 0
                 for g in groups:
                     lo, hi = plan.sample_blocks[g]
@@ -226,7 +226,7 @@ class Level2Executor(LevelExecutor):
 
 def run_level2(X: np.ndarray, centroids: np.ndarray, machine: Machine,
                mgroup: Optional[int] = None, max_iter: int = 100,
-               tol: float = 0.0, **executor_kwargs) -> KMeansResult:
+               tol: float = 0.0, **executor_kwargs: object) -> KMeansResult:
     """Convenience wrapper: plan, execute, and return the result."""
     executor = Level2Executor(machine, mgroup=mgroup, **executor_kwargs)
     return executor.run(X, centroids, max_iter=max_iter, tol=tol)

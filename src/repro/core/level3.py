@@ -263,7 +263,7 @@ class Level3Executor(LevelExecutor):
 def run_level3(X: np.ndarray, centroids: np.ndarray, machine: Machine,
                mprime_group: Optional[int] = None, max_iter: int = 100,
                tol: float = 0.0, supernode_aware: bool = True,
-               **executor_kwargs) -> KMeansResult:
+               **executor_kwargs: object) -> KMeansResult:
     """Convenience wrapper: plan, execute, and return the result."""
     executor = Level3Executor(machine, mprime_group=mprime_group,
                               supernode_aware=supernode_aware,

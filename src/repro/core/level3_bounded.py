@@ -216,7 +216,7 @@ class Level3BoundedExecutor(Level3Executor):
 
 def run_level3_bounded(X: np.ndarray, centroids: np.ndarray,
                        machine: Machine, max_iter: int = 100,
-                       tol: float = 0.0, **executor_kwargs) -> KMeansResult:
+                       tol: float = 0.0, **executor_kwargs: object) -> KMeansResult:
     """Convenience wrapper: bounded Level-3 run."""
     executor = Level3BoundedExecutor(machine, **executor_kwargs)
     return executor.run(X, centroids, max_iter=max_iter, tol=tol)

@@ -8,11 +8,14 @@ diagrams cannot drift from the implementation.
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, List
 
 from ..errors import ConfigurationError
 from .machine import Machine
 from .specs import MachineSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.partition import Level3Plan
 
 
 def render_processor(spec: MachineSpec) -> str:
@@ -65,7 +68,7 @@ def render_machine(spec: MachineSpec) -> str:
     ])
 
 
-def render_level3_partition(plan, machine: Machine,
+def render_level3_partition(plan: "Level3Plan", machine: Machine,
                             max_groups: int = 4,
                             max_members: int = 4) -> str:
     """Diagram of an nkd partition (the paper's Figure 2), from a real plan.

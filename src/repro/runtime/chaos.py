@@ -37,21 +37,22 @@ CI chaos leg runs the whole test suite under injected host faults.
 from __future__ import annotations
 
 import json
-import os
 import time
 from dataclasses import asdict, dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..analysis.envvars import ENV_CHAOS, read_str
 from ..errors import ChaosError, ConfigurationError
 
 #: Chaos kinds a :class:`ChaosSpec` may carry.
 CHAOS_KINDS = ("task_exception", "slow_task", "nan_result")
 
 #: Environment override: compact chaos-plan string consulted by
-#: :func:`resolve_chaos` (empty/whitespace counts as unset).
-CHAOS_ENV = "REPRO_CHAOS"
+#: :func:`resolve_chaos` (empty/whitespace counts as unset; declared in
+#: :mod:`repro.analysis.envvars`).
+CHAOS_ENV = ENV_CHAOS.name
 
 
 @dataclass(frozen=True)
@@ -215,7 +216,7 @@ def _poison_first_array(result):
     a lone array); the corruption copies before writing so a retried task —
     which recomputes from the pristine inputs — is unaffected.
     """
-    def poison(value):
+    def poison(value: object) -> Tuple[object, bool]:
         if isinstance(value, np.ndarray) \
                 and np.issubdtype(value.dtype, np.floating) and value.size:
             bad = value.copy()
@@ -279,8 +280,8 @@ class ChaosInjector:
                     task_id=task_id, kind="task_exception",
                 )
 
-    def after_task(self, task_id: int, attempt: int, result,
-                   record: Callable[[str, str, float], None]):
+    def after_task(self, task_id: int, attempt: int, result: object,
+                   record: Callable[[str, str, float], None]) -> object:
         """Post-execution hook: may NaN-poison the returned partial."""
         if attempt != 0:
             return result
@@ -304,8 +305,8 @@ def resolve_chaos(chaos: ChaosLike = None) -> Optional[ChaosInjector]:
     if isinstance(chaos, ChaosInjector):
         return chaos
     if chaos is None:
-        raw = os.environ.get(CHAOS_ENV, "").strip()
-        if not raw:
+        raw = read_str(ENV_CHAOS)
+        if raw is None:
             return None
         chaos = raw
     if isinstance(chaos, str):

@@ -68,6 +68,15 @@ from typing import (
 
 import numpy as np
 
+from ..analysis.envvars import (
+    ENV_ENGINE,
+    ENV_TASK_RETRIES,
+    ENV_TASK_TIMEOUT,
+    ENV_WORKERS,
+    read_float,
+    read_int,
+    read_str,
+)
 from ..errors import ConfigurationError, FaultError, TaskTimeoutError
 
 #: Names accepted by :func:`resolve_engine`.
@@ -76,9 +85,10 @@ ENGINES = ("serial", "thread")
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
-#: Environment overrides for the default :class:`TaskPolicy`.
-TASK_RETRIES_ENV = "REPRO_TASK_RETRIES"
-TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+#: Environment overrides for the default :class:`TaskPolicy` (declared in
+#: :mod:`repro.analysis.envvars`; the string aliases are kept for callers).
+TASK_RETRIES_ENV = ENV_TASK_RETRIES.name
+TASK_TIMEOUT_ENV = ENV_TASK_TIMEOUT.name
 
 
 @dataclass(frozen=True)
@@ -158,24 +168,13 @@ def resolve_task_policy(policy: Optional[TaskPolicy] = None) -> TaskPolicy:
     """
     if policy is not None:
         return policy
-    kwargs = {}
-    raw = os.environ.get(TASK_RETRIES_ENV, "").strip()
-    if raw:
-        try:
-            kwargs["max_retries"] = int(raw)
-        except ValueError:
-            raise ConfigurationError(
-                f"{TASK_RETRIES_ENV} must be an integer, got {raw!r}"
-            ) from None
-    raw = os.environ.get(TASK_TIMEOUT_ENV, "").strip()
-    if raw:
-        try:
-            kwargs["timeout_s"] = float(raw)
-        except ValueError:
-            raise ConfigurationError(
-                f"{TASK_TIMEOUT_ENV} must be a number of seconds, got {raw!r}"
-            ) from None
-    return TaskPolicy(**kwargs)
+    retries = read_int(ENV_TASK_RETRIES)
+    timeout = read_float(ENV_TASK_TIMEOUT)
+    defaults = TaskPolicy()
+    return TaskPolicy(
+        max_retries=defaults.max_retries if retries is None else retries,
+        timeout_s=defaults.timeout_s if timeout is None else timeout,
+    )
 
 
 class _QuarantinedSlot(Exception):
@@ -522,9 +521,10 @@ class ThreadEngine(ExecutionEngine):
 #: Anything :func:`resolve_engine` accepts.
 EngineLike = Union[str, ExecutionEngine, None]
 
-#: Environment overrides, consulted only when ``engine=None`` is passed.
-ENGINE_ENV = "REPRO_ENGINE"
-WORKERS_ENV = "REPRO_WORKERS"
+#: Environment overrides, consulted only when ``engine=None`` is passed
+#: (declared in :mod:`repro.analysis.envvars`; string aliases for callers).
+ENGINE_ENV = ENV_ENGINE.name
+WORKERS_ENV = ENV_WORKERS.name
 
 
 def resolve_engine(engine: EngineLike = None,
@@ -555,17 +555,10 @@ def resolve_engine(engine: EngineLike = None,
         if workers is not None and workers > 1:
             engine = "thread"
         else:
-            env_engine = os.environ.get(ENGINE_ENV, "").strip()
+            env_engine = read_str(ENV_ENGINE)
             if workers is None:
-                raw = os.environ.get(WORKERS_ENV, "").strip()
-                if raw:
-                    try:
-                        workers = int(raw)
-                    except ValueError:
-                        raise ConfigurationError(
-                            f"{WORKERS_ENV} must be an integer, got {raw!r}"
-                        ) from None
-            if env_engine:
+                workers = read_int(ENV_WORKERS)
+            if env_engine is not None:
                 engine = env_engine
             elif workers is not None and workers > 1:
                 engine = "thread"

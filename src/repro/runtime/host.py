@@ -24,9 +24,12 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.result import KMeansResult
 
 from ..core._common import (
     accumulate,
@@ -121,13 +124,15 @@ def parallel_assign_accumulate(
 def _fork_available() -> bool:
     try:
         return "fork" in mp.get_all_start_methods()
+    # reprolint: disable=E403 -- platform probe; no FaultError can originate here
     except Exception:  # pragma: no cover - platform-specific
         return False
 
 
 def lloyd_parallel(X: np.ndarray, centroids: np.ndarray,
                    max_iter: int = 100, tol: float = 0.0,
-                   n_workers: Optional[int] = None):
+                   n_workers: Optional[int] = None
+                   ) -> "KMeansResult":
     """Serial-Lloyd semantics, host-parallel Assign phase.
 
     Produces the same trajectory as :func:`repro.core.lloyd.lloyd` (same

@@ -58,7 +58,13 @@ class IterationBreakdown:
 
     @property
     def total(self) -> float:
-        return sum(self.by_category.values())
+        # Sum in the canonical category order (then any custom keys,
+        # sorted) so float addition order never depends on how the dict
+        # was built.  For ledgers built by TimeLedger this is bit-identical
+        # to insertion order.
+        extras = sorted(k for k in self.by_category if k not in CATEGORIES)
+        return sum(self.by_category[c]
+                   for c in (*CATEGORIES, *extras) if c in self.by_category)
 
 
 class LedgerProtocol(ABC):

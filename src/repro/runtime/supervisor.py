@@ -27,17 +27,18 @@ explicit ``deadline_s=`` is given).
 
 from __future__ import annotations
 
-import os
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Union
 
+from ..analysis.envvars import ENV_DEADLINE, read_float
 from ..errors import ConfigurationError, DeadlineExceededError
 
 #: Environment override for the wall-clock deadline, consulted only when
-#: ``deadline_s=None`` is passed (empty/whitespace value counts as unset).
-DEADLINE_ENV = "REPRO_DEADLINE"
+#: ``deadline_s=None`` is passed (empty/whitespace value counts as unset;
+#: declared in :mod:`repro.analysis.envvars`).
+DEADLINE_ENV = ENV_DEADLINE.name
 
 
 @dataclass
@@ -157,7 +158,7 @@ class RunSupervisor:
             self.events.append(event)
         return event
 
-    def absorb(self, engine) -> None:
+    def absorb(self, engine: object) -> None:
         """Drain an engine's pending host events into this supervisor.
 
         Engine events are recorded without an iteration number (the engine
@@ -194,13 +195,5 @@ def resolve_supervisor(supervisor: SupervisorLike = None,
             )
         return supervisor
     if deadline_s is None:
-        raw = os.environ.get(DEADLINE_ENV, "").strip()
-        if raw:
-            try:
-                deadline_s = float(raw)
-            except ValueError:
-                raise ConfigurationError(
-                    f"{DEADLINE_ENV} must be a number of seconds, "
-                    f"got {raw!r}"
-                ) from None
+        deadline_s = read_float(ENV_DEADLINE)
     return RunSupervisor(deadline_s=deadline_s, watchdog_s=watchdog_s)

@@ -1,0 +1,94 @@
+"""`python -m repro.analysis` — exit codes, JSON output, rule selection."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis.__main__ import main
+
+REPO = Path(__file__).resolve().parents[2]
+
+DIRTY = textwrap.dedent("""
+    import random
+
+    def merge(partials):
+        for k, v in partials.items():
+            consume(k, v)
+""")
+
+CLEAN = textwrap.dedent("""
+    import numpy as np
+
+    def assign(X: np.ndarray, C: np.ndarray) -> np.ndarray:
+        return X @ C
+""")
+
+
+def write_tree(tmp_path, source):
+    # The fabricated layout puts the file in scope of the core rules.
+    target = tmp_path / "src" / "repro" / "core"
+    target.mkdir(parents=True)
+    (target / "snippet.py").write_text(source, encoding="utf-8")
+    return tmp_path / "src"
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    root = write_tree(tmp_path, CLEAN)
+    assert main(["--check", str(root)]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_dirty_tree_exits_one(tmp_path, capsys):
+    root = write_tree(tmp_path, DIRTY)
+    assert main(["--check", str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "D101" in out and "D103" in out
+
+
+def test_json_output_is_parseable(tmp_path, capsys):
+    root = write_tree(tmp_path, DIRTY)
+    assert main(["--check", "--json", str(root)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    rules = {f["rule"] for f in payload["findings"]}
+    assert {"D101", "D103"} <= rules
+    assert payload["counts"]["active"] >= 2
+
+
+def test_rule_selection_limits_the_run(tmp_path, capsys):
+    root = write_tree(tmp_path, DIRTY)
+    assert main(["--check", "--rules", "D101", str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "D101" in out and "D103" not in out
+
+
+def test_unknown_rule_id_is_usage_error(tmp_path, capsys):
+    root = write_tree(tmp_path, CLEAN)
+    assert main(["--check", "--rules", "Z999", str(root)]) == 2
+    assert "Z999" in capsys.readouterr().err
+
+
+def test_list_rules_prints_catalogue(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("D101", "L201", "C301", "E401", "T501"):
+        assert rule_id in out
+
+
+def test_fixture_directories_are_skipped(tmp_path, capsys):
+    root = write_tree(tmp_path, CLEAN)
+    bad = tmp_path / "src" / "repro" / "core" / "fixtures"
+    bad.mkdir()
+    (bad / "violation.py").write_text(DIRTY, encoding="utf-8")
+    assert main(["--check", str(root)]) == 0
+
+
+def test_module_entrypoint_runs():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--list-rules"],
+        cwd=REPO, capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "D101" in proc.stdout

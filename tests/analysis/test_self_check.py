@@ -1,0 +1,65 @@
+"""The linted tree is the shipping tree: src/repro itself must be clean.
+
+This is the meta-test the whole PR hangs on — a rule set that the package
+cannot pass is either a broken rule or undisciplined code, and either way
+the build should say so.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import rules_config
+from repro.analysis.envvars import REGISTRY
+from repro.analysis.reprolint import lint_paths
+from repro.machine.specs import CGSpec
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_src_repro_is_lint_clean():
+    findings = [f for f in lint_paths([REPO / "src" / "repro"])
+                if not f.suppressed]
+    assert findings == [], "\n" + "\n".join(f.format() for f in findings)
+
+
+@pytest.mark.parametrize("tree", ["experiments", "benchmarks", "examples"])
+def test_script_trees_are_lint_clean(tree):
+    root = REPO / tree
+    if not root.exists():
+        pytest.skip(f"{tree}/ not present")
+    findings = [f for f in lint_paths([root]) if not f.suppressed]
+    assert findings == [], "\n" + "\n".join(f.format() for f in findings)
+
+
+def test_suppressions_in_tree_all_carry_reasons():
+    # R001 would have failed the clean check above; this documents the
+    # stronger expectation explicitly.
+    findings = lint_paths([REPO / "src" / "repro"])
+    for f in findings:
+        if f.suppressed:
+            assert f.reason, f.format()
+
+
+def test_c_series_budget_matches_machine_specs():
+    cg = CGSpec()
+    assert rules_config.LDM_BYTES_PER_CPE == cg.cpe.ldm_bytes
+    assert rules_config.CPES_PER_CG == cg.n_cpes
+
+
+def test_every_registered_env_var_is_documented():
+    api = (REPO / "docs" / "api.md").read_text(encoding="utf-8")
+    for name in REGISTRY:
+        assert f"`{name}`" in api, (
+            f"{name} is in the envvars registry but undocumented in "
+            f"docs/api.md")
+
+
+def test_invariants_doc_covers_every_rule():
+    from repro.analysis.reprolint import all_rules
+
+    doc = (REPO / "docs" / "invariants.md").read_text(encoding="utf-8")
+    for rule in all_rules():
+        assert rule.id in doc, (
+            f"rule {rule.id} is registered but undocumented in "
+            f"docs/invariants.md")

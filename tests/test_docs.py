@@ -16,7 +16,7 @@ import pytest
 REPO = os.path.join(os.path.dirname(__file__), "..")
 DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md",
         "docs/architecture.md", "docs/api.md", "docs/usage.md",
-        "docs/performance_model.md"]
+        "docs/performance_model.md", "docs/invariants.md"]
 
 
 @pytest.mark.parametrize("doc", DOCS)
