@@ -32,6 +32,7 @@ __all__ = [
     "ENV_CHECKPOINT_DIR",
     "ENV_DEADLINE",
     "ENV_ENGINE",
+    "ENV_REDUCE",
     "ENV_TASK_RETRIES",
     "ENV_TASK_TIMEOUT",
     "ENV_WORKERS",
@@ -120,6 +121,13 @@ ENV_CHAOS = EnvVar(
                 "engines built by resolve_engine.",
     consumer="repro.runtime.chaos",
 )
+ENV_REDUCE = EnvVar(
+    name="REPRO_REDUCE",
+    kind="str",
+    description='Default reduction topology ("serial" or "tree") when no '
+                "explicit reduce= is given.",
+    consumer="repro.runtime.reduce",
+)
 ENV_CHECKPOINT_DIR = EnvVar(
     name="REPRO_CHECKPOINT_DIR",
     kind="str",
@@ -140,6 +148,7 @@ REGISTRY: Dict[str, EnvVar] = {
         ENV_DEADLINE,
         ENV_CHAOS,
         ENV_CHECKPOINT_DIR,
+        ENV_REDUCE,
     )
 }
 

@@ -125,6 +125,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                                seed=args.seed, max_iter=args.max_iter,
                                kernel=args.kernel,
                                engine=args.engine, workers=args.workers,
+                               reduce=args.reduce,
                                model_costs=not args.no_model_costs,
                                faults=args.faults,
                                recovery=args.recovery,
@@ -239,6 +240,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_cl.add_argument("--workers", type=int, default=None, metavar="N",
                       help="thread count for --engine thread "
                            "(default: REPRO_WORKERS env var, else CPU count)")
+    p_cl.add_argument("--reduce", choices=("serial", "tree"), default=None,
+                      help="partial-merge reduction topology "
+                           "(default: REPRO_REDUCE env var, else serial)")
     p_cl.add_argument("--no-model-costs", action="store_true",
                       help="run pure numerics (no time ledger, no "
                            "modelled seconds)")

@@ -26,6 +26,7 @@ from ..machine.machine import DegradedMachine, Machine
 from ..runtime.compute import ComputeModel
 from ..runtime.engine import EngineLike, resolve_engine
 from ..runtime.faults import FaultInjector, resolve_fault_plan
+from ..runtime.reduce import ReduceLike, resolve_reduce
 from ..runtime.ledger import NullLedger, TimeLedger
 from ..runtime.supervisor import SupervisorLike, resolve_supervisor
 from ._common import (
@@ -128,6 +129,18 @@ class LevelExecutor(ABC):
     workers:
         Thread count for the thread engine (``workers > 1`` alone implies
         ``engine="thread"``); None uses ``os.cpu_count()``.
+    reduce:
+        Reduction topology merging the per-block ``(sums, counts)``
+        partials (``"serial"``, ``"tree"``, or a
+        :class:`~repro.runtime.reduce.ReduceTopology` instance).  None
+        consults ``REPRO_REDUCE``.  The merge schedule is a pure function
+        of the block count (never of thread timing), so for a fixed
+        topology the results are bit-identical across engines and worker
+        counts; the serial default reproduces the historical in-order
+        fold exactly.  Executors with a hierarchical merge (Level 1/2)
+        lift the topology with
+        :meth:`~repro.runtime.reduce.ReduceTopology.for_groups` so the
+        within-CG stage and the cross-CG stage keep their shape.
     """
 
     #: Partition level implemented by the subclass (1, 2 or 3).
@@ -149,12 +162,14 @@ class LevelExecutor(ABC):
                  supervisor: SupervisorLike = None,
                  empty_action: str = "keep",
                  engine: EngineLike = None,
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 reduce: ReduceLike = None) -> None:
         self.machine = machine
         self.collective_algorithm = collective_algorithm
         self.strict_cpe = bool(strict_cpe)
         self.overlap_dma = bool(overlap_dma)
         self.engine = resolve_engine(engine, workers)
+        self.reduce = resolve_reduce(reduce)
         #: Per-iteration inertia under the incoming centroids, stashed by
         #: iterate() when the fused kernel already produced the winning
         #: distances; None makes run() fall back to an explicit pass.

@@ -17,6 +17,7 @@ from ..analysis.envvars import ENV_CHECKPOINT_DIR, read_str
 from ..errors import ConfigurationError, PartitionError
 from ..machine.machine import Machine, sunway_machine
 from ..runtime.engine import EngineLike, resolve_engine
+from ..runtime.reduce import ReduceLike, resolve_reduce
 from ..runtime.faults import resolve_fault_plan
 from ._common import EMPTY_ACTIONS
 from .checkpoint import CHECKPOINT_DIR_ENV
@@ -101,6 +102,16 @@ class HierarchicalKMeans:
     workers:
         Thread count for the thread engine (defaults to the CPU count;
         ``workers > 1`` with ``engine`` unset implies ``"thread"``).
+    reduce:
+        Reduction topology merging the per-block ``(sums, counts)``
+        partials: ``"serial"`` (default — the historical in-order fold,
+        bit-identical to previous releases) or ``"tree"`` (balanced
+        pairwise merges that run as engine tasks, unlocking parallel
+        reduction at large k·d).  Either way the merge schedule is a pure
+        function of the block count, so results are bit-identical across
+        engines and worker counts for a fixed topology.  Unset, the
+        ``REPRO_REDUCE`` environment variable is consulted.  See
+        :mod:`repro.runtime.reduce`.
     model_costs:
         When False, executors run pure numerics against a
         :class:`~repro.runtime.ledger.NullLedger`: no modelled seconds are
@@ -164,6 +175,7 @@ class HierarchicalKMeans:
                  max_iter: int = 100, tol: float = 0.0, n_init: int = 1,
                  seed: RngLike = None, kernel: KernelLike = "naive",
                  engine: EngineLike = None, workers: Optional[int] = None,
+                 reduce: ReduceLike = None,
                  model_costs: bool = True, faults=None,
                  recovery: RecoveryLike = "fail_fast",
                  checkpoint_every: Optional[int] = None,
@@ -209,6 +221,9 @@ class HierarchicalKMeans:
         # serial/workers conflict) fail here, and one engine instance is
         # shared by every restart and executor.
         self.engine = resolve_engine(engine, workers)
+        # ... and for the reduction topology: a bad name fails here, and
+        # the same topology drives every restart's partial merges.
+        self.reduce = resolve_reduce(reduce)
         self.model_costs = bool(model_costs)
         # Resolve the fault plan and policy eagerly so a bad spec string or
         # policy name fails at construction, not restarts deep into fit().
@@ -329,6 +344,7 @@ class HierarchicalKMeans:
         if level == 0:
             return lloyd(X, C0, max_iter=self.max_iter, tol=self.tol,
                          kernel=self.kernel, engine=self.engine,
+                         reduce=self.reduce,
                          empty_action=self.empty_action,
                          deadline_s=self.deadline_s,
                          watchdog_s=self.watchdog_s,
@@ -337,6 +353,7 @@ class HierarchicalKMeans:
                          resume=self.resume)
         kwargs.setdefault("kernel", self.kernel)
         kwargs.setdefault("engine", self.engine)
+        kwargs.setdefault("reduce", self.reduce)
         kwargs.setdefault("model_costs", self.model_costs)
         # A fresh injector is built per run (inside the executor), so every
         # restart replays the same plan from the same seed.

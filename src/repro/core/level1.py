@@ -96,8 +96,10 @@ class Level1Executor(LevelExecutor):
         # ---- Assign phase: fully parallel over active CPEs ----
         # The per-unit numerics (fused assign + accumulate) fan out over the
         # host execution engine; every unit writes disjoint output slices
-        # and returns its partials, which are merged in fixed unit order so
-        # the result is engine-independent.
+        # and returns its partials.  The merge mirrors the hardware
+        # hierarchy: partials reduce within each CG first, then across CGs
+        # in sorted-CG order — a grouped topology whose schedule depends
+        # only on the unit layout, so the result is engine-independent.
         def unit_work(unit: int) -> Tuple[np.ndarray, np.ndarray]:
             lo, hi = plan.sample_blocks[unit]
             idx, best, sums, counts = self.kernel.assign_accumulate(
@@ -106,12 +108,10 @@ class Level1Executor(LevelExecutor):
             best_d2[lo:hi] = best
             return sums, counts
 
-        partials = self.engine.map(unit_work, range(plan.units))
-        # Per-unit partial accumulators, later reduced within CG then across.
-        unit_sums: Dict[int, np.ndarray] = {
-            u: partials[u][0] for u in range(plan.units)}
-        unit_counts: Dict[int, np.ndarray] = {
-            u: partials[u][1] for u in range(plan.units)}
+        topology = self.reduce.for_groups(
+            [self._units_by_cg[cg] for cg in sorted(self._units_by_cg)])
+        global_sums, global_counts = self.engine.map_reduce(
+            unit_work, range(plan.units), topology=topology)
         self._iter_inertia = float(best_d2.sum() / n)
 
         # ---- cost model (fixed CG/unit order, independent of the engine) ----
@@ -135,27 +135,30 @@ class Level1Executor(LevelExecutor):
             self.charge_stream_phases("l1.assign", dma_times, compute_times)
 
         # ---- Update phase: AllReduce within CG (register comm) ----
-        cg_sums: List[np.ndarray] = []
-        cg_counts: List[np.ndarray] = []
+        # The within-CG and cross-CG merges already ran (in this exact
+        # hierarchical order) inside map_reduce; here the modelled cost of
+        # each stage is charged, every CG performing the same-size mesh
+        # allreduce concurrently.
         payload = (k * d + k) * item
-        for cg_index, units in sorted(self._units_by_cg.items()):
-            s = np.sum([unit_sums[u] for u in units], axis=0)
-            c = np.sum([unit_counts[u] for u in units], axis=0)
-            cg_sums.append(s)
-            cg_counts.append(c)
-        # Every CG performs the same-size mesh allreduce concurrently.
         if self.model_costs:
             self.ledger.charge("regcomm", "l1.update.intra_cg_allreduce",
                                self._regcomm.allreduce_time(payload))
 
         # ---- AllReduce across CGs (MPI) ----
+        # allreduce_time fires the same fault-injection probe, with the
+        # same label and payload, as the data-carrying collective it
+        # prices.
         if self._comm.size > 1:
-            global_sums = self._comm.allreduce_sum(
-                cg_sums, label="l1.update.inter_cg_allreduce.sums")
-            global_counts = self._comm.allreduce_sum(
-                cg_counts, label="l1.update.inter_cg_allreduce.counts")
-        else:
-            global_sums, global_counts = cg_sums[0], cg_counts[0]
+            self.ledger.charge(
+                "network", "l1.update.inter_cg_allreduce.sums",
+                self._comm.allreduce_time(
+                    global_sums.nbytes,
+                    label="l1.update.inter_cg_allreduce.sums"))
+            self.ledger.charge(
+                "network", "l1.update.inter_cg_allreduce.counts",
+                self._comm.allreduce_time(
+                    global_counts.nbytes,
+                    label="l1.update.inter_cg_allreduce.counts"))
 
         # ---- Divide (line 15) — every CPE updates its local copy ----
         if self.model_costs:

@@ -149,11 +149,15 @@ class Level2Executor(LevelExecutor):
             best_d2[lo:hi] = best
             return sums, counts
 
-        partials = self.engine.map(group_work, range(plan.n_groups))
-        group_sums: Dict[int, np.ndarray] = {
-            g: partials[g][0] for g in range(plan.n_groups)}
-        group_counts: Dict[int, np.ndarray] = {
-            g: partials[g][1] for g in range(plan.n_groups)}
+        # The merge mirrors the hardware hierarchy: partials reduce within
+        # each CG first, then across CGs in sorted-CG order — a grouped
+        # topology whose schedule depends only on the group layout.  The
+        # per-group partials also feed the accumulate cost model below.
+        topology = self.reduce.for_groups(
+            [self._groups_by_cg[cg] for cg in sorted(self._groups_by_cg)])
+        (global_sums, global_counts), partials = self.engine.map_reduce(
+            group_work, range(plan.n_groups), topology=topology,
+            return_partials=True)
         self._iter_inertia = float(best_d2.sum() / n)
 
         # ---- cost model (fixed CG/group order, independent of the engine) ----
@@ -177,7 +181,7 @@ class Level2Executor(LevelExecutor):
                         distance_flops(b, widest_slice, d), n_cpes=1))
                     # Accumulation load per member = samples assigned to its
                     # slice; the critical path is the most loaded member.
-                    counts = group_counts[g]
+                    counts = partials[g][1]
                     slice_loads = [
                         int(counts[s_lo:s_hi].sum()) * d
                         for s_lo, s_hi in plan.centroid_slices
@@ -197,22 +201,26 @@ class Level2Executor(LevelExecutor):
                                         accumulate_times)
 
         # ---- Update phase: two-stage AllReduce of sliced accumulators ----
+        # Both stages already ran (in this exact hierarchical order) inside
+        # map_reduce; here each stage's modelled cost is charged.
+        # allreduce_time fires the same fault-injection probe, with the
+        # same label and payload, as the data-carrying collective it
+        # prices.
         payload = (k * d + k) * item
-        cg_sums: List[np.ndarray] = []
-        cg_counts: List[np.ndarray] = []
-        for cg_index, groups in sorted(self._groups_by_cg.items()):
-            cg_sums.append(np.sum([group_sums[g] for g in groups], axis=0))
-            cg_counts.append(np.sum([group_counts[g] for g in groups], axis=0))
         if self.model_costs:
             self.ledger.charge("regcomm", "l2.update.intra_cg_allreduce",
                                self._regcomm.allreduce_time(payload))
         if self._comm.size > 1:
-            global_sums = self._comm.allreduce_sum(
-                cg_sums, label="l2.update.inter_cg_allreduce.sums")
-            global_counts = self._comm.allreduce_sum(
-                cg_counts, label="l2.update.inter_cg_allreduce.counts")
-        else:
-            global_sums, global_counts = cg_sums[0], cg_counts[0]
+            self.ledger.charge(
+                "network", "l2.update.inter_cg_allreduce.sums",
+                self._comm.allreduce_time(
+                    global_sums.nbytes,
+                    label="l2.update.inter_cg_allreduce.sums"))
+            self.ledger.charge(
+                "network", "l2.update.inter_cg_allreduce.counts",
+                self._comm.allreduce_time(
+                    global_counts.nbytes,
+                    label="l2.update.inter_cg_allreduce.counts"))
 
         # Divide: each member CPE finishes its own slice.
         if self.model_costs:

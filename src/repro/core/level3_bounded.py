@@ -131,9 +131,12 @@ class Level3BoundedExecutor(Level3Executor):
             lo, hi = plan.sample_blocks[g]
             return accumulate(X[lo:hi], assignments[lo:hi], k)
 
-        partials = self.engine.map(group_work, range(plan.n_groups))
-        group_sums: List[np.ndarray] = [p[0] for p in partials]
-        group_counts: List[np.ndarray] = [p[1] for p in partials]
+        # The merge runs under the executor's reduction topology (schedule
+        # a pure function of the group count, so engine-independent); the
+        # per-group partials also feed the accumulate cost model below.
+        (global_sums, global_counts), partials = self.engine.map_reduce(
+            group_work, range(plan.n_groups), topology=self.reduce,
+            return_partials=True)
 
         # ---- cost model, scaled by surviving candidates (fixed order) ----
         if self.model_costs:
@@ -160,7 +163,7 @@ class Level3BoundedExecutor(Level3Executor):
                 # Only candidates enter the MINLOC chain.
                 minloc_times.append(
                     self._group_comms[g].allreduce_time(n_cand * 16))
-                counts = group_counts[g]
+                counts = partials[g][1]
                 slice_loads = [
                     int(counts[s_lo:s_hi].sum()) * widest_d
                     for s_lo, s_hi in plan.centroid_slices
@@ -181,26 +184,20 @@ class Level3BoundedExecutor(Level3Executor):
                                         accumulate_times)
 
         # ---- Update phase (identical to the unbounded executor) ----
+        # The cross-group merge already ran inside map_reduce; here each
+        # slice's modelled allreduce is priced (allreduce_time fires the
+        # same fault-injection probe as the data-carrying collective did).
         if plan.n_groups > 1:
-            global_sums = np.zeros_like(group_sums[0])
-            global_counts = np.zeros_like(group_counts[0])
             member_times: List[float] = []
             for j, (lo_k, hi_k) in enumerate(plan.centroid_slices):
                 if self.model_costs:
                     comm = self._member_comms[j]
                     payload = ((hi_k - lo_k) * d + (hi_k - lo_k)) * item
                     member_times.append(comm.allreduce_time(payload))
-                if hi_k > lo_k:
-                    global_sums[lo_k:hi_k] = np.sum(
-                        [s[lo_k:hi_k] for s in group_sums], axis=0)
-                    global_counts[lo_k:hi_k] = np.sum(
-                        [c[lo_k:hi_k] for c in group_counts], axis=0)
             if self.model_costs:
                 self.ledger.charge_parallel(
                     "network", "l3b.update.inter_group_allreduce",
                     member_times)
-        else:
-            global_sums, global_counts = group_sums[0], group_counts[0]
 
         if self.model_costs:
             self.ledger.charge("compute", "l3b.update.divide",

@@ -24,6 +24,7 @@ from ..errors import (
 )
 from ..runtime.engine import EngineLike, resolve_engine
 from ..runtime.ledger import NullLedger
+from ..runtime.reduce import ReduceLike, ReduceTopology, resolve_reduce
 from ..runtime.supervisor import SupervisorLike, resolve_supervisor
 from ._common import (
     DEFAULT_CHUNK_ELEMENTS,
@@ -40,15 +41,17 @@ from .result import IterationStats, KMeansResult
 
 
 def _fused_step(X: np.ndarray, C: np.ndarray, backend: KernelBackend,
-                chunk_elements: int, engine
+                chunk_elements: int, engine,
+                topology: Optional[ReduceTopology] = None
                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """One fused Assign+Accumulate pass, sharded over the execution engine.
 
     Shard boundaries come from the backend's own chunk policy (so they are
     a function of the problem shape only, never of the engine or worker
     count), each shard runs the fused kernel, and the per-shard partial
-    accumulators merge in fixed shard order — making the result
-    bit-identical across engines for a given shard list.
+    accumulators merge under the reduction topology — whose schedule is a
+    pure function of the shard count — making the result bit-identical
+    across engines and worker counts for a given topology.
     """
     n, k = X.shape[0], C.shape[0]
     rows = backend.chunk_rows(n, k, X.shape[1], chunk_elements)
@@ -64,22 +67,15 @@ def _fused_step(X: np.ndarray, C: np.ndarray, backend: KernelBackend,
         best_d2[lo:hi] = best
         return sums, counts
 
-    partials = engine.map(shard_work, shards)
-    sums = partials[0][0]
-    counts = partials[0][1]
-    if len(partials) > 1:
-        sums = sums.copy()
-        counts = counts.copy()
-        for s, c in partials[1:]:
-            sums += s
-            counts += c
+    sums, counts = engine.map_reduce(shard_work, shards, topology=topology)
     return assignments, best_d2, sums, counts
 
 
 def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
           tol: float = 0.0, chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
           kernel: KernelLike = "naive", engine: EngineLike = None,
-          workers: Optional[int] = None, empty_action: str = "keep",
+          workers: Optional[int] = None, reduce: ReduceLike = None,
+          empty_action: str = "keep",
           deadline_s: Optional[float] = None,
           watchdog_s: Optional[float] = None,
           supervisor: SupervisorLike = None,
@@ -111,6 +107,14 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
     workers:
         Thread count for the thread engine (implies ``engine="thread"``
         when > 1 and ``engine`` is unset).
+    reduce:
+        Reduction topology merging the per-shard partials (``"serial"``,
+        ``"tree"``, or a :class:`~repro.runtime.reduce.ReduceTopology`
+        instance; see :mod:`repro.runtime.reduce`).  None consults
+        ``REPRO_REDUCE``.  The serial default folds in shard order —
+        bit-identical to the historical loop; the tree runs pairwise
+        combines as engine tasks, bit-identical across engines and worker
+        counts for a fixed topology.
     empty_action:
         Empty-cluster rule for the Update step (``"keep"`` or
         ``"reseed_farthest"``; see
@@ -153,6 +157,7 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
         )
     backend = resolve_kernel(kernel)
     exec_engine = resolve_engine(engine, workers)
+    topology = resolve_reduce(reduce)
     run_supervisor = resolve_supervisor(supervisor, deadline_s, watchdog_s)
     # Level 0 has no time ledger: the NullLedger swallows the modelled
     # checkpoint charges, leaving only the durable host-side persistence.
@@ -195,7 +200,7 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
     for it in range(start_iteration + 1, max_iter + 1):
         run_supervisor.begin_iteration(it)
         new_assignments, best_d2, sums, counts = _fused_step(
-            X, C, backend, chunk_elements, exec_engine)
+            X, C, backend, chunk_elements, exec_engine, topology)
         new_C = update_centroids(sums, counts, C,
                                  empty_action=empty_action,
                                  X=X, best_d2=best_d2)

@@ -55,6 +55,7 @@ from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass
 from typing import (
+    Any,
     Callable,
     Dict,
     Iterable,
@@ -78,6 +79,13 @@ from ..analysis.envvars import (
     read_str,
 )
 from ..errors import ConfigurationError, FaultError, TaskTimeoutError
+from .reduce import (
+    CombineFn,
+    ReduceLike,
+    combine_partials,
+    resolve_reduce,
+    validate_schedule,
+)
 
 #: Names accepted by :func:`resolve_engine`.
 ENGINES = ("serial", "thread")
@@ -207,6 +215,78 @@ class ExecutionEngine(ABC):
         Implementations must not reorder results — callers rely on the
         fixed order to merge float partials deterministically.
         """
+
+    # -- map/combine/reduce contract ----------------------------------------
+
+    def reduce_partials(self, partials: Sequence[Any],
+                        combine: CombineFn = combine_partials,
+                        topology: ReduceLike = None) -> Any:
+        """Reduce ordered partials under a deterministic merge topology.
+
+        The topology's schedule is a pure function of ``len(partials)``
+        (see :mod:`repro.runtime.reduce`), so the merge order — and hence
+        the bits — never depends on thread timing:
+
+        * a non-pooled topology (serial, the default) folds inline in the
+          caller, issuing **no** task ids and running **no** chaos hooks —
+          exactly the hand-rolled loop this method replaced, preserving
+          the pre-refactor task-id stream bit-for-bit;
+        * a pooled topology (tree) runs each round's independent merges as
+          real engine tasks via :meth:`map` — the TaskPolicy retry ladder,
+          slot quarantine, and chaos hooks all apply, and task ids are
+          issued in canonical slot order per round, so fault/chaos plans
+          replay identically across engines and worker counts.
+
+        ``combine`` must be pure and non-mutating (retries re-run it on
+        the original operands).  Combines never charge the ledger — the
+        executors charge modelled reduction costs in canonical order
+        outside engine tasks (reprolint L201).
+        """
+        topo = resolve_reduce(topology)
+        slots: List[Any] = list(partials)
+        n = len(slots)
+        if n == 0:
+            raise ConfigurationError("cannot reduce zero partials")
+        if n == 1:
+            return slots[0]
+        schedule = topo.schedule(n)
+        winner = validate_schedule(schedule, n)
+        if not topo.pooled:
+            for round_ in schedule:
+                for dst, src in round_:
+                    slots[dst] = combine(slots[dst], slots[src])
+                    slots[src] = None
+            return slots[winner]
+
+        def merge(pair: Tuple[Any, Any]) -> Any:
+            return combine(pair[0], pair[1])
+
+        for round_ in schedule:
+            pairs = [(slots[dst], slots[src]) for dst, src in round_]
+            merged = self.map(merge, pairs)
+            for (dst, src), value in zip(round_, merged):
+                slots[dst] = value
+                slots[src] = None
+        return slots[winner]
+
+    def map_reduce(self, fn: Callable[[_T], Any], items: Iterable[_T],
+                   combine: CombineFn = combine_partials,
+                   topology: ReduceLike = None,
+                   return_partials: bool = False) -> Any:
+        """Map ``fn`` over ``items`` and reduce the partials in one seam.
+
+        Equivalent to ``reduce_partials(self.map(fn, items), combine,
+        topology)``; with ``return_partials=True`` the result is the pair
+        ``(reduced, partials)`` for callers whose cost model also needs
+        the individual per-block partials.  This is the canonical merge
+        path for every Assign+Accumulate call site — reprolint rule D106
+        flags hand-rolled accumulation loops over ``engine.map`` results.
+        """
+        partials = self.map(fn, items)
+        reduced = self.reduce_partials(partials, combine, topology)
+        if return_partials:
+            return reduced, partials
+        return reduced
 
     # -- host-event plumbing -------------------------------------------------
 

@@ -192,6 +192,87 @@ class TestD105:
 
 
 # ---------------------------------------------------------------------------
+# D106 manual accumulation over engine.map partials
+# ---------------------------------------------------------------------------
+
+class TestD106:
+    def test_flags_augassign_loop_over_partials(self):
+        src = """
+        def iterate(self, X, C, k, d):
+            import numpy as np
+            partials = self.engine.map(self.shard_work, range(8))
+            sums = np.zeros((k, d))
+            counts = np.zeros(k)
+            for s, c in partials:
+                sums += s
+                counts += c
+            return sums, counts
+        """
+        assert findings_for(src, CORE, "D106")
+
+    def test_flags_loop_over_derived_partials(self):
+        src = """
+        def iterate(self, plan):
+            partials = self.engine.map(self.unit_work, range(plan.units))
+            unit_sums = {u: partials[u][0] for u in range(plan.units)}
+            total = 0.0
+            for u in sorted(unit_sums):
+                total += unit_sums[u].sum()
+            return total
+        """
+        assert findings_for(src, RUNTIME, "D106")
+
+    def test_flags_sum_comprehension_over_partials(self):
+        src = """
+        def iterate(self):
+            partials = self.engine.map(self.work, range(4))
+            return sum(p[0] for p in partials)
+        """
+        assert findings_for(src, CORE, "D106")
+
+    def test_accepts_map_reduce(self):
+        src = """
+        def iterate(self, plan):
+            sums, counts = self.engine.map_reduce(
+                self.group_work, range(plan.n_groups), topology=self.reduce)
+            return sums, counts
+        """
+        assert_clean(src, CORE, "D106")
+
+    def test_accepts_non_accumulating_loop_over_partials(self):
+        src = """
+        def iterate(self):
+            partials = self.engine.map(self.work, range(4))
+            for value in partials:
+                self.ledger.charge("compute", "ok", float(value))
+            return partials
+        """
+        assert_clean(src, CORE, "D106")
+
+    def test_reduce_module_is_exempt(self):
+        src = """
+        def fold(self, engine):
+            partials = engine.map(self.work, range(4))
+            total = 0.0
+            for p in partials:
+                total += p
+            return total
+        """
+        assert_clean(src, "src/repro/runtime/reduce.py", "D106")
+
+    def test_out_of_scope_module_is_ignored(self):
+        src = """
+        def collect(self):
+            partials = self.engine.map(self.work, range(4))
+            total = 0.0
+            for p in partials:
+                total += p
+            return total
+        """
+        assert_clean(src, "benchmarks/bench_engine.py", "D106")
+
+
+# ---------------------------------------------------------------------------
 # L201 ledger charge inside an engine task
 # ---------------------------------------------------------------------------
 
@@ -482,7 +563,7 @@ def test_rule_ids_are_unique_and_stable():
     ids = [r.id for r in rules]
     assert len(ids) == len(set(ids))
     # The documented catalogue: removing a rule is an API break.
-    assert {"D101", "D102", "D103", "D104", "D105",
+    assert {"D101", "D102", "D103", "D104", "D105", "D106",
             "L201", "L202", "C301", "C302",
             "E401", "E402", "E403", "T501"} <= set(ids)
 
@@ -495,6 +576,7 @@ def test_every_rule_has_summary_and_name():
 @pytest.mark.parametrize("rule", all_rules(), ids=lambda r: r.id)
 def test_rule_scopes_use_real_path_components(rule):
     known = {"core", "runtime", "machine", "analysis", "errors", "io",
-             "repro", "experiments", "benchmarks", "examples", "envvars"}
+             "repro", "experiments", "benchmarks", "examples", "envvars",
+             "reduce"}
     assert set(rule.scopes) <= known
     assert set(rule.exempt) <= known
