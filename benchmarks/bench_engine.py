@@ -1,13 +1,18 @@
 """Benchmarks of the host execution engine and the fused hot path.
 
-Three sweeps, all standalone (no pytest-benchmark dependency):
+Four sweeps, all standalone (no pytest-benchmark dependency):
 
-* **engine** — serial vs ThreadEngine wall-clock for ``lloyd`` over an
-  {n, k, d} x kernel grid including the flagship shape (n=100k, k=256,
-  d=64, gemm), asserting bit-identical centroids between engines;
+* **engine** — serial vs ThreadEngine vs ProcessEngine wall-clock for
+  ``lloyd`` over an {n, k, d} x kernel grid including the flagship shape
+  (n=100k, k=256, d=64, gemm), asserting bit-identical centroids between
+  all engines;
 * **parity** — full ledgered executor fits (toy machine, levels 1-3)
-  serial vs thread, asserting bit-identical centroids, assignments, and
-  modelled ledger seconds;
+  serial vs thread vs process, asserting bit-identical centroids,
+  assignments, and modelled ledger seconds;
+* **chaos** — a ``worker_kill`` sweep under the process engine: workers
+  are SIGKILL'd mid-task by the hundreds and the run must still land
+  bit-identical on the fault-free serial baseline (the kill count is
+  recorded and gated);
 * **fused** — the fused ``assign_accumulate`` + inertia-from-best-d2 path
   vs the unfused ``assign_with_distances`` + ``np.add.at`` accumulate +
   separate inertia pass it replaced, per kernel backend.
@@ -17,11 +22,12 @@ Run::
     PYTHONPATH=src python benchmarks/bench_engine.py \
         [--quick] [--check] [--workers N] [--out BENCH_engine.json]
 
-``--check`` exits non-zero when any parity assertion fails or the fused
-path is slower than the unfused one on the flagship shape.  Thread
-*speedup* is recorded but not gated: it is a property of the host
-(``cpu_count`` is written into the JSON), and a single-core host cannot
-show one by construction.
+``--check`` exits non-zero when any parity assertion fails, the chaos
+sweep injects fewer than 100 kills (or drifts numerically), or the fused
+path is slower than the unfused one on the flagship shape.  Thread and
+process *speedups* are recorded always but gated only where the host can
+physically show one (``cpu_count`` is written into the JSON; a
+single-core host runs real processes, just not in parallel).
 """
 
 import argparse
@@ -40,7 +46,9 @@ from repro.core.kmeans import HierarchicalKMeans
 from repro.core.lloyd import lloyd
 from repro.data.synthetic import gaussian_blobs
 from repro.machine.machine import toy_machine
-from repro.runtime.engine import ThreadEngine
+from repro.runtime.chaos import ChaosInjector, parse_chaos_plan
+from repro.runtime.engine import SerialEngine, ThreadEngine, shutdown_pools
+from repro.runtime.process_engine import ProcessEngine
 
 FLAGSHIP = (100_000, 256, 64, "gemm")  # acceptance shape for the engine sweep
 
@@ -72,29 +80,37 @@ def _engine_sweep(shapes, kernels, workers, repeats, max_iter):
                     warnings.simplefilter("ignore")
                     return lloyd(X, C0, max_iter=max_iter, tol=0.0,
                                  kernel=kernel, engine=engine,
-                                 workers=workers if engine == "thread"
+                                 workers=workers
+                                 if engine in ("thread", "process")
                                  else None)
 
             serial = run("serial")
             threaded = run("thread")
-            identical = (
-                bool(np.array_equal(serial.centroids, threaded.centroids))
+            processed = run("process")
+            identical = all(
+                bool(np.array_equal(serial.centroids, other.centroids))
                 and bool(np.array_equal(serial.assignments,
-                                        threaded.assignments))
-                and serial.inertia == threaded.inertia)
+                                        other.assignments))
+                and serial.inertia == other.inertia
+                for other in (threaded, processed))
             t_serial = _best_of(lambda: run("serial"), repeats)
             t_thread = _best_of(lambda: run("thread"), repeats)
+            t_process = _best_of(lambda: run("process"), repeats)
             rows.append({
                 "n": n, "k": k, "d": d, "kernel": kernel,
                 "workers": workers,
                 "serial_seconds": t_serial,
                 "thread_seconds": t_thread,
+                "process_seconds": t_process,
                 "speedup": t_serial / t_thread,
+                "process_speedup": t_serial / t_process,
                 "identical_results": identical,
             })
             print(f"  lloyd n={n:7d} k={k:4d} d={d:3d} {kernel:5s}: "
                   f"serial {t_serial:8.4f}s  thread({workers}) "
-                  f"{t_thread:8.4f}s  {t_serial / t_thread:5.2f}x  "
+                  f"{t_thread:8.4f}s {t_serial / t_thread:5.2f}x  "
+                  f"process({workers}) {t_process:8.4f}s "
+                  f"{t_serial / t_process:5.2f}x  "
                   f"{'ok' if identical else 'MISMATCH'}")
     return rows
 
@@ -115,25 +131,84 @@ def _parity_sweep(workers, max_iter):
                 return HierarchicalKMeans(
                     16, machine=machine, level=level, init="first",
                     max_iter=max_iter, engine=engine,
-                    workers=workers if engine == "thread" else None).fit(X)
+                    workers=workers
+                    if engine in ("thread", "process") else None).fit(X)
 
         serial = fit("serial")
-        threaded = fit("thread")
-        identical = (
-            bool(np.array_equal(serial.centroids, threaded.centroids))
-            and bool(np.array_equal(serial.assignments,
-                                    threaded.assignments))
-            and serial.ledger.records == threaded.ledger.records)
+        identical = {}
+        for name in ("thread", "process"):
+            other = fit(name)
+            identical[name] = (
+                bool(np.array_equal(serial.centroids, other.centroids))
+                and bool(np.array_equal(serial.assignments,
+                                        other.assignments))
+                and serial.ledger.records == other.ledger.records)
         rows.append({
             "level": level, "n": X.shape[0], "k": 16, "d": 32,
             "workers": workers,
-            "identical_results": identical,
+            "identical_results": identical["thread"] and identical["process"],
+            "identical_thread": identical["thread"],
+            "identical_process": identical["process"],
             "modelled_seconds": serial.ledger.total(),
         })
-        print(f"  executor level {level}: serial vs thread({workers}) "
-              f"{'bit-identical' if identical else 'MISMATCH'} "
+        print(f"  executor level {level}: serial vs thread/process"
+              f"({workers}) "
+              f"{'bit-identical' if rows[-1]['identical_results'] else 'MISMATCH'} "
               f"(modelled {serial.ledger.total():.3f}s)")
     return rows
+
+
+# ---------------------------------------------------------------------------
+# worker-kill chaos sweep: crash tolerance, measured
+# ---------------------------------------------------------------------------
+
+def _worker_kill_sweep(workers, kill_p, max_iter):
+    """SIGKILL workers by the hundreds; the numbers must not move.
+
+    Small chunks fan one run out over thousands of tasks, so a per-task
+    kill probability injects a large absolute number of worker deaths.
+    Every death is detected by the supervisor, the slot respawned, and the
+    lost task re-executed in canonical order — the acceptance gate is
+    ``kills >= 100`` with bit-identical centroids/assignments/inertia
+    against the fault-free serial baseline at the same chunking.
+    """
+    n, k, d, chunk = 4_000, 8, 8, 64
+    X, _ = gaussian_blobs(n=n, k=k, d=d, seed=17)
+    C0 = X[:k].copy()
+
+    def run(engine):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            return lloyd(X, C0, max_iter=max_iter, tol=0.0, engine=engine,
+                         chunk_elements=chunk)
+
+    serial = run(SerialEngine())
+    plan = parse_chaos_plan(f"worker_kill:p={kill_p};seed=23")
+    engine = ProcessEngine(workers=workers, chaos=ChaosInjector(plan))
+    t0 = time.perf_counter()
+    chaotic = run(engine)
+    seconds = time.perf_counter() - t0
+
+    kills = sum(1 for e in chaotic.host_events if e.kind == "worker_lost")
+    respawns = sum(1 for e in chaotic.host_events
+                   if e.kind == "worker_respawn")
+    identical = (
+        bool(np.array_equal(serial.centroids, chaotic.centroids))
+        and bool(np.array_equal(serial.assignments, chaotic.assignments))
+        and serial.inertia == chaotic.inertia)
+    row = {
+        "n": n, "k": k, "d": d, "chunk_elements": chunk,
+        "workers": workers, "kill_probability": kill_p,
+        "max_iter": max_iter,
+        "worker_kills": kills,
+        "worker_respawns": respawns,
+        "seconds": seconds,
+        "identical_results": identical,
+    }
+    print(f"  worker_kill p={kill_p}: {kills} kills, {respawns} respawns "
+          f"in {seconds:.2f}s — "
+          f"{'bit-identical' if identical else 'MISMATCH'}")
+    return row
 
 
 # ---------------------------------------------------------------------------
@@ -221,8 +296,12 @@ def main(argv=None):
                                 repeats, max_iter)
     print("executor parity sweep:")
     parity_rows = _parity_sweep(args.workers, max_iter=10)
+    print("worker-kill chaos sweep:")
+    chaos_row = _worker_kill_sweep(args.workers, kill_p=0.08,
+                                   max_iter=3 if args.quick else 5)
     print("fused-vs-unfused ablation:")
     fused_rows = _fused_sweep(*fused_shape, ("naive", "gemm"), repeats)
+    shutdown_pools()
 
     payload = {
         "benchmark": "engine",
@@ -233,6 +312,7 @@ def main(argv=None):
         "workers": args.workers,
         "engine": engine_rows,
         "parity": parity_rows,
+        "worker_kill": chaos_row,
         "fused": fused_rows,
     }
     with open(args.out, "w") as fh:
@@ -241,10 +321,15 @@ def main(argv=None):
     print(f"wrote {args.out}")
 
     if args.check:
-        bad = [r for r in engine_rows + parity_rows + fused_rows
+        bad = [r for r in engine_rows + parity_rows + fused_rows + [chaos_row]
                if not r["identical_results"]]
         if bad:
             print(f"CHECK FAILED: engine/fused mismatch in {len(bad)} rows")
+            return 1
+        if chaos_row["worker_kills"] < 100:
+            print(f"CHECK FAILED: worker_kill sweep injected only "
+                  f"{chaos_row['worker_kills']} kills (< 100); the chaos "
+                  f"plan is not exercising the supervisor")
             return 1
         # The fused win concentrates where the sweep is cheap relative to
         # the scatter — the gemm flagship row gates strictly; the naive
@@ -258,8 +343,19 @@ def main(argv=None):
                               for r in losers))
             return 1
         best_thread = max(r["speedup"] for r in engine_rows)
-        print(f"check ok: all parity rows bit-identical; best thread "
-              f"speedup {best_thread:.2f}x on cpu_count={os.cpu_count()}")
+        best_process = max(r["process_speedup"] for r in engine_rows)
+        # The process speedup gate only makes sense where parallel
+        # hardware exists: a single-core host runs real forked workers,
+        # but physically cannot beat serial — record honestly, gate never.
+        cpus = os.cpu_count() or 1
+        if cpus > 1 and not args.quick and best_process < 2.0:
+            print(f"CHECK FAILED: best process speedup {best_process:.2f}x "
+                  f"< 2x with cpu_count={cpus}")
+            return 1
+        print(f"check ok: all parity rows bit-identical; "
+              f"{chaos_row['worker_kills']} worker kills survived; best "
+              f"thread {best_thread:.2f}x, best process {best_process:.2f}x "
+              f"on cpu_count={cpus}")
     return 0
 
 

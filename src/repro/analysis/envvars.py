@@ -32,6 +32,7 @@ __all__ = [
     "ENV_CHECKPOINT_DIR",
     "ENV_DEADLINE",
     "ENV_ENGINE",
+    "ENV_HEARTBEAT",
     "ENV_REDUCE",
     "ENV_TASK_RETRIES",
     "ENV_TASK_TIMEOUT",
@@ -84,15 +85,23 @@ class EnvVar:
 ENV_ENGINE = EnvVar(
     name="REPRO_ENGINE",
     kind="str",
-    description='Default execution engine ("serial" or "thread") when no '
-                "explicit engine= is given.",
+    description='Default execution engine ("serial", "thread", or '
+                '"process") when no explicit engine= is given.',
     consumer="repro.runtime.engine",
 )
 ENV_WORKERS = EnvVar(
     name="REPRO_WORKERS",
     kind="int",
-    description="Default worker count; > 1 implies the thread engine.",
+    description="Default worker count; > 1 implies the thread engine "
+                "when no engine is named.",
     consumer="repro.runtime.engine",
+)
+ENV_HEARTBEAT = EnvVar(
+    name="REPRO_HEARTBEAT",
+    kind="float",
+    description="Process-engine heartbeat timeout (seconds) before a "
+                "silent worker is presumed wedged and killed.",
+    consumer="repro.runtime.process_engine",
 )
 ENV_TASK_RETRIES = EnvVar(
     name="REPRO_TASK_RETRIES",
@@ -143,6 +152,7 @@ REGISTRY: Dict[str, EnvVar] = {
     for var in (
         ENV_ENGINE,
         ENV_WORKERS,
+        ENV_HEARTBEAT,
         ENV_TASK_RETRIES,
         ENV_TASK_TIMEOUT,
         ENV_DEADLINE,

@@ -234,11 +234,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="use a toy machine instead of SW26010 nodes")
     p_cl.add_argument("--kernel", choices=("naive", "gemm"), default="naive",
                       help="compute backend for the assign step")
-    p_cl.add_argument("--engine", choices=("serial", "thread"), default=None,
+    p_cl.add_argument("--engine", choices=("serial", "thread", "process"),
+                      default=None,
                       help="host execution engine for the numerics "
                            "(default: REPRO_ENGINE env var, else serial)")
     p_cl.add_argument("--workers", type=int, default=None, metavar="N",
-                      help="thread count for --engine thread "
+                      help="worker count for --engine thread/process "
                            "(default: REPRO_WORKERS env var, else CPU count)")
     p_cl.add_argument("--reduce", choices=("serial", "tree"), default=None,
                       help="partial-merge reduction topology "

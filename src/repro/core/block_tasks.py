@@ -1,0 +1,244 @@
+"""Module-level block tasks — the picklable unit of work for every engine.
+
+The executors used to hand closures to ``engine.map``: convenient
+in-process, but a closure cannot cross a process boundary (pickle refuses
+it), and writing output slices from inside a task only works when the task
+shares the caller's address space.  This module replaces the idiom with
+small picklable task records plus module-level functions over them:
+
+* operands arrive as :data:`~repro.runtime.shm.ArrayLike` — a plain
+  ndarray under the in-process engines, an
+  :class:`~repro.runtime.shm.ArrayRef` into shared memory under the
+  process engine — and every task resolves them through
+  :func:`~repro.runtime.shm.as_ndarray`, so the task body is
+  engine-agnostic;
+* results come back as :class:`~repro.runtime.reduce.BlockPartial` —
+  compact ``(sums, counts, labels)`` payloads merged under the reduction
+  topology, with the labels scattered parent-side by
+  :func:`~repro.runtime.reduce.scatter_labels` in fixed block order;
+* kernels travel by *registry name* (:func:`kernel_token`): the gemm
+  backend carries a ``threading.local`` scratch buffer that cannot
+  pickle, so workers re-resolve the name against a per-process cache
+  instead.
+
+Reprolint rule E404 enforces the discipline statically: callables passed
+to ``engine.map``/``map_reduce`` must be module-level, like the
+``*_block`` functions here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..runtime.reduce import BlockPartial
+from ..runtime.shm import ArrayLike, as_ndarray
+from ._common import accumulate, squared_distances
+from .kernels import KERNELS, KernelBackend, KernelLike, resolve_kernel
+
+__all__ = [
+    "AccumulateTask",
+    "FusedAssignTask",
+    "StrictL2Task",
+    "StrictL3Task",
+    "accumulate_block",
+    "fused_assign_block",
+    "kernel_token",
+    "strict_l2_assign",
+    "strict_l3_assign",
+    "strict_l2_block",
+    "strict_l3_block",
+]
+
+#: Per-process cache of kernel backends resolved from registry names, so a
+#: worker builds (and keeps its scratch buffers in) one backend per name
+#: rather than one per task.
+_KERNEL_CACHE: Dict[str, KernelBackend] = {}
+
+
+def kernel_token(backend: KernelBackend) -> KernelLike:
+    """The picklable form of a kernel backend for shipping inside tasks.
+
+    Registry-named backends travel as their name (a few bytes, and the
+    worker's cached instance keeps its scratch warm across tasks); an
+    unregistered custom instance passes through as-is — it works on the
+    in-process engines and fails loudly at pickle time on the process
+    engine, which is the honest outcome.
+    """
+    return backend.name if backend.name in KERNELS else backend
+
+
+def _kernel(token: KernelLike) -> KernelBackend:
+    if isinstance(token, KernelBackend):
+        return token
+    backend = _KERNEL_CACHE.get(token)
+    if backend is None:
+        backend = resolve_kernel(token)
+        _KERNEL_CACHE[token] = backend
+    return backend
+
+
+class FusedAssignTask:
+    """One block of the fused Assign+Accumulate sweep (lloyd / L1 / L2 / L3).
+
+    ``chunk_elements=None`` uses the kernel's default chunk policy — the
+    executors' path, where the block *is* one planned unit of work;
+    :func:`~repro.core.lloyd.lloyd` passes its explicit bound through.
+    """
+
+    __slots__ = ("x", "c", "lo", "hi", "kernel", "chunk_elements")
+
+    def __init__(self, x: ArrayLike, c: ArrayLike, lo: int, hi: int,
+                 kernel: KernelLike, chunk_elements: Optional[int] = None
+                 ) -> None:
+        self.x = x
+        self.c = c
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.kernel = kernel
+        self.chunk_elements = chunk_elements
+
+
+def fused_assign_block(task: FusedAssignTask) -> BlockPartial:
+    """Fused assign+accumulate over one sample block; the hot-path task."""
+    X = as_ndarray(task.x)
+    C = as_ndarray(task.c)
+    backend = _kernel(task.kernel)
+    block = X[task.lo:task.hi]
+    if task.chunk_elements is None:
+        idx, best, sums, counts = backend.assign_accumulate(block, C)
+    else:
+        idx, best, sums, counts = backend.assign_accumulate(
+            block, C, task.chunk_elements)
+    return BlockPartial(sums, counts, task.lo, task.hi, idx, best)
+
+
+def strict_l2_assign(block: np.ndarray, C: np.ndarray,
+                     centroid_slices: Sequence[Tuple[int, int]]
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """Strict Level-2 dataflow winner (index, squared distance) per sample.
+
+    Each member CPE computes distances over its centroid slice and a
+    slice-local argmin (Algorithm 2 line 9's a(i)'), then the MINLOC
+    reduction (line 10) combines the mgroup partial winners.
+    """
+    b = block.shape[0]
+    best_val = np.full(b, np.inf, dtype=np.float64)
+    best_idx = np.zeros(b, dtype=np.int64)
+    for lo, hi in centroid_slices:
+        if lo == hi:
+            continue
+        d2 = squared_distances(block, C[lo:hi])
+        local = np.argmin(d2, axis=1)
+        vals = d2[np.arange(b), local]
+        # Strict less-than keeps the lowest global index on ties, the
+        # same rule np.argmin applies (slices are visited in index order).
+        better = vals < best_val
+        best_val[better] = vals[better]
+        best_idx[better] = lo + local[better]
+    return best_idx, best_val
+
+
+def strict_l3_assign(block: np.ndarray, C: np.ndarray,
+                     centroid_slices: Sequence[Tuple[int, int]],
+                     dim_slices: Sequence[Tuple[int, int]]
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """Strict Level-3 dataflow winner (index, squared distance) per sample.
+
+    Per-CPE partial distances over each dimension slice, the register-
+    communication reduce (a plain sum over partials), a CG-local argmin,
+    then the MINLOC over the group's member CGs.
+    """
+    b = block.shape[0]
+    best_val = np.full(b, np.inf, dtype=np.float64)
+    best_idx = np.zeros(b, dtype=np.int64)
+    for lo_k, hi_k in centroid_slices:
+        if lo_k == hi_k:
+            continue
+        slice_C = C[lo_k:hi_k]
+        d2 = np.zeros((b, hi_k - lo_k), dtype=np.float64)
+        for lo_d, hi_d in dim_slices:
+            if lo_d == hi_d:
+                continue
+            diff = block[:, lo_d:hi_d, None] - slice_C.T[None, lo_d:hi_d, :]
+            d2 += np.einsum("bdc,bdc->bc", diff, diff)
+        local = np.argmin(d2, axis=1)
+        vals = d2[np.arange(b), local]
+        better = vals < best_val
+        best_val[better] = vals[better]
+        best_idx[better] = lo_k + local[better]
+    return best_idx, best_val
+
+
+class StrictL2Task:
+    """One Level-2 group's block under the strict-CPE dataflow."""
+
+    __slots__ = ("x", "c", "lo", "hi", "k", "centroid_slices")
+
+    def __init__(self, x: ArrayLike, c: ArrayLike, lo: int, hi: int,
+                 k: int, centroid_slices: Sequence[Tuple[int, int]]) -> None:
+        self.x = x
+        self.c = c
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.k = int(k)
+        self.centroid_slices = tuple(centroid_slices)
+
+
+def strict_l2_block(task: StrictL2Task) -> BlockPartial:
+    X = as_ndarray(task.x)
+    C = as_ndarray(task.c)
+    block = X[task.lo:task.hi]
+    idx, best = strict_l2_assign(block, C, task.centroid_slices)
+    sums, counts = accumulate(block, idx, task.k)
+    return BlockPartial(sums, counts, task.lo, task.hi, idx, best)
+
+
+class StrictL3Task:
+    """One Level-3 CG group's block under the strict-CPE dataflow."""
+
+    __slots__ = ("x", "c", "lo", "hi", "k", "centroid_slices", "dim_slices")
+
+    def __init__(self, x: ArrayLike, c: ArrayLike, lo: int, hi: int,
+                 k: int, centroid_slices: Sequence[Tuple[int, int]],
+                 dim_slices: Sequence[Tuple[int, int]]) -> None:
+        self.x = x
+        self.c = c
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.k = int(k)
+        self.centroid_slices = tuple(centroid_slices)
+        self.dim_slices = tuple(dim_slices)
+
+
+def strict_l3_block(task: StrictL3Task) -> BlockPartial:
+    X = as_ndarray(task.x)
+    C = as_ndarray(task.c)
+    block = X[task.lo:task.hi]
+    idx, best = strict_l3_assign(block, C, task.centroid_slices,
+                                 task.dim_slices)
+    sums, counts = accumulate(block, idx, task.k)
+    return BlockPartial(sums, counts, task.lo, task.hi, idx, best)
+
+
+class AccumulateTask:
+    """Accumulate-only block task (the bounded L3 path: labels are given)."""
+
+    __slots__ = ("x", "labels", "lo", "hi", "k")
+
+    def __init__(self, x: ArrayLike, labels: ArrayLike, lo: int, hi: int,
+                 k: int) -> None:
+        self.x = x
+        self.labels = labels
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.k = int(k)
+
+
+def accumulate_block(task: AccumulateTask) -> BlockPartial:
+    X = as_ndarray(task.x)
+    labels = as_ndarray(task.labels)
+    sums, counts = accumulate(X[task.lo:task.hi],
+                              labels[task.lo:task.hi], task.k)
+    return BlockPartial(sums, counts, task.lo, task.hi)

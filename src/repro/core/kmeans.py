@@ -92,16 +92,22 @@ class HierarchicalKMeans:
         ``|x|^2 - 2 X C^T + |c|^2`` — one BLAS matmul per block, the fast
         production path).  See :mod:`repro.core.kernels`.
     engine:
-        Host execution engine for the numerics: ``"serial"`` (default) or
-        ``"thread"`` — the latter maps per-block Assign+Accumulate work
-        across a thread pool (NumPy/BLAS release the GIL) while the
+        Host execution engine for the numerics: ``"serial"`` (default),
+        ``"thread"``, or ``"process"``.  ``"thread"`` maps per-block
+        Assign+Accumulate work across a thread pool (NumPy/BLAS release
+        the GIL); ``"process"`` runs supervised forked workers over
+        shared-memory operands, surviving worker crashes via respawn and
+        poison-task quarantine (degrading gracefully to serial where
+        ``fork`` or a second CPU is unavailable).  Either way the
         modelled cost charges stay in a fixed serial order, so centroids,
-        ledgers, and fault replays are bit-identical either way.  Unset,
-        the ``REPRO_ENGINE``/``REPRO_WORKERS`` environment variables are
-        consulted.  See :mod:`repro.runtime.engine`.
+        ledgers, and fault replays are bit-identical on every engine.
+        Unset, the ``REPRO_ENGINE``/``REPRO_WORKERS`` environment
+        variables are consulted.  See :mod:`repro.runtime.engine` and
+        :mod:`repro.runtime.process_engine`.
     workers:
-        Thread count for the thread engine (defaults to the CPU count;
-        ``workers > 1`` with ``engine`` unset implies ``"thread"``).
+        Worker count for the thread/process engines (defaults to the CPU
+        count; ``workers > 1`` with ``engine`` unset implies
+        ``"thread"``).
     reduce:
         Reduction topology merging the per-block ``(sums, counts)``
         partials: ``"serial"`` (default — the historical in-order fold,

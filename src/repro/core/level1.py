@@ -22,7 +22,9 @@ from ..machine.machine import Machine
 from ..runtime.compute import distance_flops
 from ..runtime.dma import DMAEngine
 from ..runtime.mpi import SimComm
+from ..runtime.reduce import scatter_labels
 from ..runtime.regcomm import RegisterComm
+from .block_tasks import FusedAssignTask, fused_assign_block, kernel_token
 from .executor_base import LevelExecutor
 from .partition import Level1Plan, plan_level1
 from .result import KMeansResult
@@ -95,23 +97,25 @@ class Level1Executor(LevelExecutor):
 
         # ---- Assign phase: fully parallel over active CPEs ----
         # The per-unit numerics (fused assign + accumulate) fan out over the
-        # host execution engine; every unit writes disjoint output slices
-        # and returns its partials.  The merge mirrors the hardware
-        # hierarchy: partials reduce within each CG first, then across CGs
-        # in sorted-CG order — a grouped topology whose schedule depends
-        # only on the unit layout, so the result is engine-independent.
-        def unit_work(unit: int) -> Tuple[np.ndarray, np.ndarray]:
-            lo, hi = plan.sample_blocks[unit]
-            idx, best, sums, counts = self.kernel.assign_accumulate(
-                X[lo:hi], C)
-            assignments[lo:hi] = idx
-            best_d2[lo:hi] = best
-            return sums, counts
-
+        # host execution engine as module-level block tasks (picklable, so
+        # the process engine can ship them; operands travel by share()).
+        # The merge mirrors the hardware hierarchy: partials reduce within
+        # each CG first, then across CGs in sorted-CG order — a grouped
+        # topology whose schedule depends only on the unit layout, so the
+        # result is engine-independent; labels scatter back in fixed unit
+        # order.
+        x_ref = self.engine.share("X", X)
+        c_ref = self.engine.share("C", C)
+        token = kernel_token(self.kernel)
+        tasks = [FusedAssignTask(x_ref, c_ref, lo, hi, token)
+                 for lo, hi in plan.sample_blocks]
         topology = self.reduce.for_groups(
             [self._units_by_cg[cg] for cg in sorted(self._units_by_cg)])
-        global_sums, global_counts = self.engine.map_reduce(
-            unit_work, range(plan.units), topology=topology)
+        merged, partials = self.engine.map_reduce(
+            fused_assign_block, tasks, topology=topology,
+            return_partials=True)
+        global_sums, global_counts = merged.sums, merged.counts
+        scatter_labels(partials, assignments, best_d2)
         self._iter_inertia = float(best_d2.sum() / n)
 
         # ---- cost model (fixed CG/unit order, independent of the engine) ----

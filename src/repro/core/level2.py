@@ -24,8 +24,16 @@ from ..machine.machine import Machine
 from ..runtime.compute import distance_flops
 from ..runtime.dma import DMAEngine
 from ..runtime.mpi import SimComm
+from ..runtime.reduce import scatter_labels
 from ..runtime.regcomm import RegisterComm
-from ._common import accumulate, squared_distances
+from .block_tasks import (
+    FusedAssignTask,
+    StrictL2Task,
+    fused_assign_block,
+    kernel_token,
+    strict_l2_assign,
+    strict_l2_block,
+)
 from .executor_base import LevelExecutor
 from .partition import Level2Plan, plan_level2
 from .result import KMeansResult
@@ -102,23 +110,13 @@ class Level2Executor(LevelExecutor):
 
     def _strict_assign_block(self, block: np.ndarray, C: np.ndarray
                              ) -> Tuple[np.ndarray, np.ndarray]:
-        """Strict dataflow winner (index, squared distance) per sample."""
-        plan = self.plan
-        b = block.shape[0]
-        best_val = np.full(b, np.inf, dtype=np.float64)
-        best_idx = np.zeros(b, dtype=np.int64)
-        for lo, hi in plan.centroid_slices:
-            if lo == hi:
-                continue
-            d2 = squared_distances(block, C[lo:hi])
-            local = np.argmin(d2, axis=1)
-            vals = d2[np.arange(b), local]
-            # Strict less-than keeps the lowest global index on ties, the
-            # same rule np.argmin applies (slices are visited in index order).
-            better = vals < best_val
-            best_val[better] = vals[better]
-            best_idx[better] = lo + local[better]
-        return best_idx, best_val
+        """Strict dataflow winner (index, squared distance) per sample.
+
+        The math lives in :func:`repro.core.block_tasks.strict_l2_assign`
+        (module-level so the process engine can ship it inside tasks);
+        this method binds the executor's plan.
+        """
+        return strict_l2_assign(block, C, self.plan.centroid_slices)
 
     def iterate(self, X: np.ndarray, C: np.ndarray
                 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -133,21 +131,22 @@ class Level2Executor(LevelExecutor):
         best_d2 = np.empty(n, dtype=X.dtype)
 
         # ---- Assign phase: numerics fan out over the execution engine ----
-        # Each group writes disjoint output slices and returns its partial
-        # accumulators; partials are merged in fixed group order below, so
-        # the result is engine-independent.
-        def group_work(g: int) -> Tuple[np.ndarray, np.ndarray]:
-            lo, hi = plan.sample_blocks[g]
-            block = X[lo:hi]
-            if self.strict_cpe:
-                idx, best = self._strict_assign_block(block, C)
-                sums, counts = accumulate(block, idx, k)
-            else:
-                idx, best, sums, counts = self.kernel.assign_accumulate(
-                    block, C)
-            assignments[lo:hi] = idx
-            best_d2[lo:hi] = best
-            return sums, counts
+        # Module-level block tasks (picklable for the process engine;
+        # operands travel by share()) return compact partials, merged in
+        # fixed group order below, so the result is engine-independent;
+        # labels scatter back in fixed group order.
+        x_ref = self.engine.share("X", X)
+        c_ref = self.engine.share("C", C)
+        if self.strict_cpe:
+            tasks: List[object] = [
+                StrictL2Task(x_ref, c_ref, lo, hi, k, plan.centroid_slices)
+                for lo, hi in plan.sample_blocks]
+            block_fn = strict_l2_block
+        else:
+            token = kernel_token(self.kernel)
+            tasks = [FusedAssignTask(x_ref, c_ref, lo, hi, token)
+                     for lo, hi in plan.sample_blocks]
+            block_fn = fused_assign_block
 
         # The merge mirrors the hardware hierarchy: partials reduce within
         # each CG first, then across CGs in sorted-CG order — a grouped
@@ -155,9 +154,10 @@ class Level2Executor(LevelExecutor):
         # per-group partials also feed the accumulate cost model below.
         topology = self.reduce.for_groups(
             [self._groups_by_cg[cg] for cg in sorted(self._groups_by_cg)])
-        (global_sums, global_counts), partials = self.engine.map_reduce(
-            group_work, range(plan.n_groups), topology=topology,
-            return_partials=True)
+        merged, partials = self.engine.map_reduce(
+            block_fn, tasks, topology=topology, return_partials=True)
+        global_sums, global_counts = merged.sums, merged.counts
+        scatter_labels(partials, assignments, best_d2)
         self._iter_inertia = float(best_d2.sum() / n)
 
         # ---- cost model (fixed CG/group order, independent of the engine) ----
@@ -181,7 +181,7 @@ class Level2Executor(LevelExecutor):
                         distance_flops(b, widest_slice, d), n_cpes=1))
                     # Accumulation load per member = samples assigned to its
                     # slice; the critical path is the most loaded member.
-                    counts = partials[g][1]
+                    counts = partials[g].counts
                     slice_loads = [
                         int(counts[s_lo:s_hi].sum()) * d
                         for s_lo, s_hi in plan.centroid_slices

@@ -31,8 +31,16 @@ from ..machine.machine import Machine
 from ..runtime.compute import distance_flops
 from ..runtime.dma import DMAEngine
 from ..runtime.mpi import SimComm
+from ..runtime.reduce import scatter_labels
 from ..runtime.regcomm import RegisterComm
-from ._common import accumulate
+from .block_tasks import (
+    FusedAssignTask,
+    StrictL3Task,
+    fused_assign_block,
+    kernel_token,
+    strict_l3_assign,
+    strict_l3_block,
+)
 from .executor_base import LevelExecutor
 from .partition import Level3Plan, plan_level3
 from .result import KMeansResult
@@ -120,29 +128,15 @@ class Level3Executor(LevelExecutor):
 
     def _strict_assign_block(self, block: np.ndarray, C: np.ndarray
                              ) -> Tuple[np.ndarray, np.ndarray]:
-        """Strict dataflow winner (index, squared distance) per sample."""
+        """Strict dataflow winner (index, squared distance) per sample.
+
+        The math lives in :func:`repro.core.block_tasks.strict_l3_assign`
+        (module-level so the process engine can ship it inside tasks);
+        this method binds the executor's plan.
+        """
         plan = self.plan
-        b = block.shape[0]
-        best_val = np.full(b, np.inf, dtype=np.float64)
-        best_idx = np.zeros(b, dtype=np.int64)
-        for lo_k, hi_k in plan.centroid_slices:
-            if lo_k == hi_k:
-                continue
-            slice_C = C[lo_k:hi_k]
-            # Per-CPE partial distances over each dimension slice, then the
-            # register-communication reduce (a plain sum over partials).
-            d2 = np.zeros((b, hi_k - lo_k), dtype=np.float64)
-            for lo_d, hi_d in plan.dim_slices:
-                if lo_d == hi_d:
-                    continue
-                diff = block[:, lo_d:hi_d, None] - slice_C.T[None, lo_d:hi_d, :]
-                d2 += np.einsum("bdc,bdc->bc", diff, diff)
-            local = np.argmin(d2, axis=1)
-            vals = d2[np.arange(b), local]
-            better = vals < best_val
-            best_val[better] = vals[better]
-            best_idx[better] = lo_k + local[better]
-        return best_idx, best_val
+        return strict_l3_assign(block, C, plan.centroid_slices,
+                                plan.dim_slices)
 
     # -- one iteration ------------------------------------------------------------
 
@@ -159,28 +153,31 @@ class Level3Executor(LevelExecutor):
         best_d2 = np.empty(n, dtype=X.dtype)
 
         # ---- Assign phase (CG groups fully parallel) ----
-        # Numerics fan out over the execution engine; every group writes
-        # disjoint output slices and its partials merge in fixed group order
-        # below, so the result is engine-independent.
-        def group_work(g: int) -> Tuple[np.ndarray, np.ndarray]:
-            lo, hi = plan.sample_blocks[g]
-            block = X[lo:hi]
-            if self.strict_cpe:
-                idx, best = self._strict_assign_block(block, C)
-                sums, counts = accumulate(block, idx, k)
-            else:
-                idx, best, sums, counts = self.kernel.assign_accumulate(
-                    block, C)
-            assignments[lo:hi] = idx
-            best_d2[lo:hi] = best
-            return sums, counts
+        # Module-level block tasks (picklable for the process engine;
+        # operands travel by share()) return compact partials that merge
+        # in fixed group order below, so the result is engine-independent;
+        # labels scatter back in fixed group order.
+        x_ref = self.engine.share("X", X)
+        c_ref = self.engine.share("C", C)
+        if self.strict_cpe:
+            tasks: List[object] = [
+                StrictL3Task(x_ref, c_ref, lo, hi, k,
+                             plan.centroid_slices, plan.dim_slices)
+                for lo, hi in plan.sample_blocks]
+            block_fn = strict_l3_block
+        else:
+            token = kernel_token(self.kernel)
+            tasks = [FusedAssignTask(x_ref, c_ref, lo, hi, token)
+                     for lo, hi in plan.sample_blocks]
+            block_fn = fused_assign_block
 
         # The merge runs under the executor's reduction topology (schedule
         # a pure function of the group count, so engine-independent); the
         # per-group partials also feed the accumulate cost model below.
-        (global_sums, global_counts), partials = self.engine.map_reduce(
-            group_work, range(plan.n_groups), topology=self.reduce,
-            return_partials=True)
+        merged, partials = self.engine.map_reduce(
+            block_fn, tasks, topology=self.reduce, return_partials=True)
+        global_sums, global_counts = merged.sums, merged.counts
+        scatter_labels(partials, assignments, best_d2)
         self._iter_inertia = float(best_d2.sum() / n)
 
         # ---- cost model (fixed group order, independent of the engine) ----
@@ -210,7 +207,7 @@ class Level3Executor(LevelExecutor):
                     self._group_comms[g].allreduce_time(b * 16))
                 # Accumulation is dimension-parallel over the CG's CPEs; the
                 # critical member holds the most-assigned centroid slice.
-                counts = partials[g][1]
+                counts = partials[g].counts
                 slice_loads = [
                     int(counts[s_lo:s_hi].sum()) * widest_d
                     for s_lo, s_hi in plan.centroid_slices

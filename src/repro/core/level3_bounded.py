@@ -31,7 +31,7 @@ import numpy as np
 
 from ..machine.machine import Machine
 from ..runtime.compute import distance_flops
-from ._common import accumulate
+from .block_tasks import AccumulateTask, accumulate_block
 from .level3 import Level3Executor
 from .result import KMeansResult
 
@@ -127,16 +127,22 @@ class Level3BoundedExecutor(Level3Executor):
         self.candidates_per_iteration.append(int(candidate_mask.sum()))
 
         # ---- per-group accumulation (fans out over the execution engine) ----
-        def group_work(g: int) -> Tuple[np.ndarray, np.ndarray]:
-            lo, hi = plan.sample_blocks[g]
-            return accumulate(X[lo:hi], assignments[lo:hi], k)
+        # Module-level accumulate-only tasks: labels are already known, so
+        # each block just sums its samples per centroid.  The labels array
+        # is fresh each iteration, and share() rewrites its segment in
+        # place for the process engine's workers.
+        x_ref = self.engine.share("X", X)
+        labels_ref = self.engine.share("labels", assignments)
+        tasks = [AccumulateTask(x_ref, labels_ref, lo, hi, k)
+                 for lo, hi in plan.sample_blocks]
 
         # The merge runs under the executor's reduction topology (schedule
         # a pure function of the group count, so engine-independent); the
         # per-group partials also feed the accumulate cost model below.
-        (global_sums, global_counts), partials = self.engine.map_reduce(
-            group_work, range(plan.n_groups), topology=self.reduce,
+        merged, partials = self.engine.map_reduce(
+            accumulate_block, tasks, topology=self.reduce,
             return_partials=True)
+        global_sums, global_counts = merged.sums, merged.counts
 
         # ---- cost model, scaled by surviving candidates (fixed order) ----
         if self.model_costs:
@@ -163,7 +169,7 @@ class Level3BoundedExecutor(Level3Executor):
                 # Only candidates enter the MINLOC chain.
                 minloc_times.append(
                     self._group_comms[g].allreduce_time(n_cand * 16))
-                counts = partials[g][1]
+                counts = partials[g].counts
                 slice_loads = [
                     int(counts[s_lo:s_hi].sum()) * widest_d
                     for s_lo, s_hi in plan.centroid_slices

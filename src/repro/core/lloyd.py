@@ -24,17 +24,22 @@ from ..errors import (
 )
 from ..runtime.engine import EngineLike, resolve_engine
 from ..runtime.ledger import NullLedger
-from ..runtime.reduce import ReduceLike, ReduceTopology, resolve_reduce
+from ..runtime.reduce import (
+    ReduceLike,
+    ReduceTopology,
+    resolve_reduce,
+    scatter_labels,
+)
 from ..runtime.supervisor import SupervisorLike, resolve_supervisor
 from ._common import (
     DEFAULT_CHUNK_ELEMENTS,
-    accumulate,
     chunk_ranges,
     inertia,
     max_centroid_shift,
     update_centroids,
     validate_data,
 )
+from .block_tasks import FusedAssignTask, fused_assign_block, kernel_token
 from .checkpoint import CheckpointConfig, CheckpointStore, load_checkpoint
 from .kernels import KernelBackend, KernelLike, resolve_kernel
 from .result import IterationStats, KMeansResult
@@ -55,20 +60,22 @@ def _fused_step(X: np.ndarray, C: np.ndarray, backend: KernelBackend,
     """
     n, k = X.shape[0], C.shape[0]
     rows = backend.chunk_rows(n, k, X.shape[1], chunk_elements)
-    shards = list(chunk_ranges(n, rows))
     assignments = np.empty(n, dtype=np.int64)
     best_d2 = np.empty(n, dtype=X.dtype)
 
-    def shard_work(bounds: Tuple[int, int]) -> Tuple[np.ndarray, np.ndarray]:
-        lo, hi = bounds
-        idx, best, sums, counts = backend.assign_accumulate(
-            X[lo:hi], C, chunk_elements)
-        assignments[lo:hi] = idx
-        best_d2[lo:hi] = best
-        return sums, counts
-
-    sums, counts = engine.map_reduce(shard_work, shards, topology=topology)
-    return assignments, best_d2, sums, counts
+    # Publish the operands once per call (identity makes the X re-publish
+    # free across iterations); under the in-process engines share() is the
+    # array itself and the tasks see it by reference.
+    x_ref = engine.share("X", X)
+    c_ref = engine.share("C", C)
+    token = kernel_token(backend)
+    tasks = [FusedAssignTask(x_ref, c_ref, lo, hi, token, chunk_elements)
+             for lo, hi in chunk_ranges(n, rows)]
+    merged, partials = engine.map_reduce(fused_assign_block, tasks,
+                                         topology=topology,
+                                         return_partials=True)
+    scatter_labels(partials, assignments, best_d2)
+    return assignments, best_d2, merged.sums, merged.counts
 
 
 def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,

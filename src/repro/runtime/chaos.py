@@ -20,13 +20,32 @@ so the robustness layer of PR 4 can be exercised end to end:
     cannot see this; the per-iteration numerical guard must catch the
     poisoned centroids and the recovery policy roll the iteration back.
 
+``worker_kill``
+    The OS worker process running the task SIGKILLs itself before the task
+    body runs — a real crash, not a simulated one.  Only the process
+    engine (:mod:`repro.runtime.process_engine`) has workers to kill, so
+    the kind is a no-op under the serial and thread engines; the process
+    engine's supervisor must detect the death, respawn the worker, and
+    re-run the task.  ``kills=N`` fires on the task's first N attempts —
+    ``kills >= TaskPolicy.quarantine_after`` makes a *poison task* that
+    kills every worker touching it until the engine quarantines it to
+    inline serial execution.
+
+``worker_hang``
+    The worker SIGSTOPs itself before the task body runs, stalling its
+    heartbeat thread with it; the process engine's heartbeat timeout must
+    flag the worker as hung, SIGKILL it, and take the same
+    respawn/re-run path.  ``kills`` bounds the stalls like worker_kill.
+
 Determinism: every firing decision is a pure function of
 ``(plan seed, spec index, task id)`` — task ids are assigned at submission
 time in fixed order — so a chaos plan replays bit-identically across
 engines, worker counts, and thread interleavings.  Chaos only ever fires on
 a task's *first* attempt (attempt 0): retries and speculative re-runs are
 clean, which is exactly the transient-fault model the retry ladder is built
-for.
+for.  The worker_* kinds are the one refinement: they fire while
+``attempt < kills`` (default 1), because killing a worker *is* the failed
+attempt — the re-run on a fresh worker is the clean retry.
 
 Selection: attach a :class:`ChaosInjector` to an engine (``engine.chaos``),
 or export ``REPRO_CHAOS`` with the compact grammar below and let
@@ -36,7 +55,10 @@ CI chaos leg runs the whole test suite under injected host faults.
 
 from __future__ import annotations
 
+import copy
 import json
+import os
+import signal
 import time
 from dataclasses import asdict, dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
@@ -46,8 +68,14 @@ import numpy as np
 from ..analysis.envvars import ENV_CHAOS, read_str
 from ..errors import ChaosError, ConfigurationError
 
-#: Chaos kinds a :class:`ChaosSpec` may carry.
-CHAOS_KINDS = ("task_exception", "slow_task", "nan_result")
+#: Chaos kinds a :class:`ChaosSpec` may carry.  The worker_* kinds act on
+#: real OS worker processes, so they only fire inside the process engine's
+#: workers (see :meth:`ChaosInjector.worker_before_task`).
+CHAOS_KINDS = ("task_exception", "slow_task", "nan_result",
+               "worker_kill", "worker_hang")
+
+#: Kinds that crash/stall a worker process rather than perturb a task.
+WORKER_KINDS = ("worker_kill", "worker_hang")
 
 #: Environment override: compact chaos-plan string consulted by
 #: :func:`resolve_chaos` (empty/whitespace counts as unset; declared in
@@ -71,12 +99,19 @@ class ChaosSpec:
         Per-task firing probability for specs with ``task_id=None``.
     delay:
         ``slow_task`` only: real seconds the afflicted task sleeps.
+    kills:
+        ``worker_kill``/``worker_hang`` only: the fault fires while the
+        task's attempt number is below this bound, so one task can take
+        down (or stall) up to ``kills`` workers before succeeding.  At
+        ``kills >= TaskPolicy.quarantine_after`` the task is poison: the
+        process engine must quarantine it to inline serial execution.
     """
 
     kind: str
     task_id: Optional[int] = None
     probability: float = 0.0
     delay: float = 0.05
+    kills: int = 1
 
     def __post_init__(self) -> None:
         if self.kind not in CHAOS_KINDS:
@@ -101,6 +136,10 @@ class ChaosSpec:
         if self.delay < 0:
             raise ConfigurationError(
                 f"chaos delay must be >= 0, got {self.delay}"
+            )
+        if self.kills < 1:
+            raise ConfigurationError(
+                f"chaos kills must be >= 1, got {self.kills}"
             )
 
 
@@ -158,6 +197,11 @@ def parse_chaos_plan(text: str, seed: int = 0) -> ChaosPlan:
     * ``task_exception:p=0.02`` — each task raises with probability 0.02,
     * ``slow_task:p=0.01,delay=0.2`` — stragglers sleeping 0.2 s,
     * ``nan_result@3`` — task 3's returned partial is NaN-poisoned,
+    * ``worker_kill:p=0.05`` — process-engine workers SIGKILL themselves
+      before 5% of first attempts (``kills=3`` makes the afflicted tasks
+      kill up to 3 workers each — poison at the default quarantine bound),
+    * ``worker_hang@2`` — the worker running task 2 SIGSTOPs itself (the
+      heartbeat timeout must reap it),
     * ``seed=42`` — seed the stochastic draws.
 
     ``@path.json`` loads a :meth:`ChaosPlan.to_json` file instead.
@@ -171,7 +215,7 @@ def parse_chaos_plan(text: str, seed: int = 0) -> ChaosPlan:
             raise ConfigurationError(
                 f"cannot read chaos plan {text[1:]!r}: {e}"
             ) from None
-    key_map = {"p": "probability", "delay": "delay"}
+    key_map = {"p": "probability", "delay": "delay", "kills": "kills"}
     specs: List[ChaosSpec] = []
     for event in filter(None, (e.strip() for e in text.split(";"))):
         if event.startswith("seed="):
@@ -192,10 +236,11 @@ def parse_chaos_plan(text: str, seed: int = 0) -> ChaosPlan:
             if not eq or key not in key_map:
                 raise ConfigurationError(
                     f"bad chaos option {pair!r} in {event!r} "
-                    f"(expected p=, delay=)"
+                    f"(expected p=, delay=, kills=)"
                 )
             try:
-                kwargs[key_map[key]] = float(value)
+                kwargs[key_map[key]] = (int(value) if key == "kills"
+                                        else float(value))
             except ValueError:
                 raise ConfigurationError(
                     f"bad value {value!r} for {key!r} in {event!r}"
@@ -212,9 +257,11 @@ ChaosLike = Union["ChaosInjector", ChaosPlan, str, None]
 def _poison_first_array(result):
     """Return ``result`` with a NaN written into its first float ndarray.
 
-    Engine block tasks return float partials (``(sums, counts)`` tuples or
-    a lone array); the corruption copies before writing so a retried task —
-    which recomputes from the pristine inputs — is unaffected.
+    Engine block tasks return float partials: ``(sums, counts)`` tuples, a
+    lone array, or a partial object carrying a ``sums`` array (e.g.
+    :class:`repro.runtime.reduce.BlockPartial`).  The corruption copies
+    before writing so a retried task — which recomputes from the pristine
+    inputs — is unaffected.
     """
     def poison(value: object) -> Tuple[object, bool]:
         if isinstance(value, np.ndarray) \
@@ -232,6 +279,11 @@ def _poison_first_array(result):
                 value, done = poison(value)
             out.append(value)
         return tuple(out) if done else result
+    sums, done = poison(getattr(result, "sums", None))
+    if done:
+        bad = copy.copy(result)
+        bad.sums = sums
+        return bad
     poisoned, done = poison(result)
     return poisoned if done else result
 
@@ -279,6 +331,30 @@ class ChaosInjector:
                     f"injected task_exception on task {task_id} (attempt 0)",
                     task_id=task_id, kind="task_exception",
                 )
+
+    def worker_before_task(self, task_id: int, attempt: int,
+                           record: Callable[[str, str, float], None]) -> None:
+        """Worker-process-side pre-execution hook (process engine only).
+
+        The worker_* kinds act here, on the real OS process running the
+        task: ``worker_kill`` SIGKILLs it, ``worker_hang`` SIGSTOPs it
+        (stalling the heartbeat thread with it).  A dying worker cannot
+        record anything — the parent-side supervisor records the
+        ``worker_lost``/``worker_respawn`` host events when it detects the
+        death.  Ordinary task kinds then run via :meth:`before_task`,
+        which ignores the worker_* kinds, so the same plan drives the
+        serial and thread engines with the worker faults inert.
+        """
+        for i, spec in enumerate(self.plan.specs):
+            if spec.kind not in WORKER_KINDS or attempt >= spec.kills:
+                continue
+            if not self._fires(i, spec, task_id):
+                continue
+            if spec.kind == "worker_kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            else:  # worker_hang: the parent's heartbeat timeout reaps us
+                os.kill(os.getpid(), signal.SIGSTOP)
+        self.before_task(task_id, attempt, record)
 
     def after_task(self, task_id: int, attempt: int, result: object,
                    record: Callable[[str, str, float], None]) -> object:

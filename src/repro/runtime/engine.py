@@ -8,7 +8,7 @@ whole point — so the executors hand each block to an
 :class:`ExecutionEngine` and merge the per-block ``(sums, counts)`` partials
 in fixed block order.
 
-Two engines ship:
+Three engines ship:
 
 ``serial``
     A plain in-process loop.  The reference engine.
@@ -17,6 +17,11 @@ Two engines ship:
     A shared :class:`~concurrent.futures.ThreadPoolExecutor`.  The block
     kernels are NumPy/BLAS calls that release the GIL, so block-sharded
     GEMM assignment scales on real cores without any pickling or forking.
+
+``process``
+    Forked OS workers reading shared-memory operands zero-copy, with a
+    crash supervisor (heartbeats, respawn, poison-task quarantine) — see
+    :mod:`repro.runtime.process_engine`.
 
 Determinism contract: an engine only changes *scheduling*, never results.
 Both engines run the identical per-block function over the identical block
@@ -47,7 +52,9 @@ injector (see :mod:`repro.runtime.chaos`) the same way.
 from __future__ import annotations
 
 import atexit
+import functools
 import os
+import sys
 import threading
 import time
 from abc import ABC, abstractmethod
@@ -88,7 +95,7 @@ from .reduce import (
 )
 
 #: Names accepted by :func:`resolve_engine`.
-ENGINES = ("serial", "thread")
+ENGINES = ("serial", "thread", "process")
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -189,6 +196,11 @@ class _QuarantinedSlot(Exception):
     """Internal: a quarantined pool thread refused a task (re-run elsewhere)."""
 
 
+def _combine_pair(combine: CombineFn, pair: Tuple[Any, Any]) -> Any:
+    """Module-level merge task: pooled reductions must pickle (E404)."""
+    return combine(pair[0], pair[1])
+
+
 class ExecutionEngine(ABC):
     """Maps a function over work items; subclasses choose the scheduling."""
 
@@ -215,6 +227,20 @@ class ExecutionEngine(ABC):
         Implementations must not reorder results — callers rely on the
         fixed order to merge float partials deterministically.
         """
+
+    def share(self, key: str, array: np.ndarray) -> Any:
+        """Publish a large read-only operand for the tasks of coming maps.
+
+        The in-process engines share by reference — the array itself comes
+        back and tasks receive it untouched.  The process engine overrides
+        this to publish into its :class:`~repro.runtime.shm.SharedArena`
+        and returns a compact :class:`~repro.runtime.shm.ArrayRef` instead;
+        block tasks resolve either form with
+        :func:`repro.runtime.shm.as_ndarray`.  The published array must
+        not be mutated in place while tasks may still read it (replace it
+        and re-``share`` instead).
+        """
+        return array
 
     # -- map/combine/reduce contract ----------------------------------------
 
@@ -258,9 +284,7 @@ class ExecutionEngine(ABC):
                     slots[src] = None
             return slots[winner]
 
-        def merge(pair: Tuple[Any, Any]) -> Any:
-            return combine(pair[0], pair[1])
-
+        merge = functools.partial(_combine_pair, combine)
         for round_ in schedule:
             pairs = [(slots[dst], slots[src]) for dst, src in round_]
             merged = self.map(merge, pairs)
@@ -326,9 +350,14 @@ class ExecutionEngine(ABC):
         return result
 
     def _run_serial_task(self, fn: Callable[[_T], _R], item: _T,
-                         task_id: int) -> _R:
-        """Inline execution with the bounded-retry policy (no timeout)."""
-        attempt = 0
+                         task_id: int, start_attempt: int = 0) -> _R:
+        """Inline execution with the bounded-retry policy (no timeout).
+
+        ``start_attempt`` lets the process engine continue a task's ladder
+        inline after pool-side failures: chaos hooks are attempt-gated, so
+        a re-run at attempt ``n`` sees exactly what a pool re-run would.
+        """
+        attempt = start_attempt
         while True:
             try:
                 return self._attempt(fn, item, task_id, attempt)
@@ -389,13 +418,27 @@ def shutdown_pools(wait: bool = True) -> None:
     """Shut down every shared pool (test teardown + interpreter exit).
 
     ``wait=False`` is used by the :mod:`atexit` hook so a straggler thread
-    abandoned by a task timeout can never hang interpreter exit.
+    abandoned by a task timeout can never hang interpreter exit.  Also
+    stops the process engine's worker pools and drains every live
+    :class:`~repro.runtime.shm.SharedArena`, so a normal interpreter exit
+    leaks no ``/dev/shm`` segment (a SIGKILL'd parent falls back to the
+    stdlib resource tracker — see :mod:`repro.runtime.shm`).
     """
     with _POOLS_LOCK:
         pools = list(_POOLS.values())
         _POOLS.clear()
     for pool in pools:
         pool.shutdown(wait=wait, cancel_futures=not wait)
+    # The process engine and arena modules import this module at load time,
+    # so reach them through sys.modules: importing them *here* would be
+    # pointless when they were never loaded — and impossible from the
+    # atexit hook, where fresh imports are forbidden.
+    process_engine = sys.modules.get("repro.runtime.process_engine")
+    if process_engine is not None:
+        process_engine.shutdown_process_pools(wait=wait)
+    shm = sys.modules.get("repro.runtime.shm")
+    if shm is not None:
+        shm.drain_arenas()
 
 
 # Cached pools must never outlive the interpreter's will to exit: a hung
@@ -623,6 +666,13 @@ def resolve_engine(engine: EngineLike = None,
     ``REPRO_CHAOS`` and attach a seeded host-chaos injector when it is set
     — this is how the CI chaos leg runs the whole suite under injected
     host faults.
+
+    ``engine="process"`` degrades gracefully rather than crash: on hosts
+    without the fork start method, or with a single CPU and no explicit
+    worker count, the serial engine comes back carrying an
+    ``engine_fallback`` host event.  An explicit ``workers>1`` always gets
+    a real process pool (oversubscription is how single-CPU CI exercises
+    it).
     """
     if isinstance(engine, ExecutionEngine):
         if workers is not None and workers != engine.workers:
@@ -655,6 +705,29 @@ def resolve_engine(engine: EngineLike = None,
         return SerialEngine(chaos=chaos)
     if engine == "thread":
         return ThreadEngine(workers, chaos=chaos)
+    if engine == "process":
+        # Late imports: process_engine imports this module at load time.
+        from .host import _fork_available
+        from .process_engine import ProcessEngine
+        if not _fork_available():
+            fallback = SerialEngine(chaos=chaos)
+            fallback._record(
+                "engine_fallback",
+                "REPRO_ENGINE=process needs the fork start method, which "
+                "this host lacks; degrading to the serial engine",
+            )
+            return fallback
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers <= 1:
+            fallback = SerialEngine(chaos=chaos)
+            fallback._record(
+                "engine_fallback",
+                f"engine=process with workers={workers} has no parallelism "
+                f"to offer; degrading to the serial engine",
+            )
+            return fallback
+        return ProcessEngine(workers, chaos=chaos)
     raise ConfigurationError(
         f"engine must be an ExecutionEngine instance or one of {ENGINES}, "
         f"got {engine!r}"

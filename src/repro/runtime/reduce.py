@@ -189,6 +189,65 @@ class LabelPartial:
         return f"LabelPartial([{self.lo}, {self.hi}))"
 
 
+class BlockPartial:
+    """The full Assign+Accumulate payload of one contiguous sample block.
+
+    What a block task returns when the caller needs *both* the accumulator
+    sums and the per-sample assignment labels: ``sums``/``counts`` as in
+    :class:`SumCountPartial`, plus the block's half-open sample range and
+    its ``labels`` (and optionally the winning squared distances).  The
+    whole object stays compact — labels are ``(hi - lo,)`` int32 — so it
+    is cheap to ship back from a worker process.
+
+    ``combine`` merges only the accumulator half (sums and counts add, the
+    covered range widens) and **drops the labels**: concatenating labels
+    inside a reduction would copy them once per tree level for no
+    consumer.  Callers recover the assignment vector from the *unreduced*
+    partials list instead, via :func:`scatter_labels` — a fixed-order
+    scatter into preallocated arrays.
+    """
+
+    __slots__ = ("sums", "counts", "lo", "hi", "labels", "best_d2")
+
+    def __init__(self, sums: np.ndarray, counts: np.ndarray, lo: int,
+                 hi: int, labels: Optional[np.ndarray] = None,
+                 best_d2: Optional[np.ndarray] = None) -> None:
+        self.sums = sums
+        self.counts = counts
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.labels = labels
+        self.best_d2 = best_d2
+
+    def combine(self, other: "BlockPartial") -> "BlockPartial":
+        return BlockPartial(
+            self.sums + other.sums,
+            self.counts + other.counts,
+            min(self.lo, other.lo),
+            max(self.hi, other.hi),
+        )
+
+    def __repr__(self) -> str:
+        return (f"BlockPartial([{self.lo}, {self.hi}), "
+                f"sums={self.sums.shape}, counts={self.counts.shape})")
+
+
+def scatter_labels(partials: Sequence["BlockPartial"],
+                   assignments: np.ndarray,
+                   best_d2: Optional[np.ndarray] = None) -> None:
+    """Write each block partial's labels back into the full-length arrays.
+
+    Iterates the partials in their given (submission) order and slice-
+    assigns disjoint ranges, so the result is independent of engine and
+    worker count.  ``best_d2`` is filled only where both sides carry it.
+    """
+    for p in partials:
+        if p.labels is not None:
+            assignments[p.lo:p.hi] = p.labels
+        if best_d2 is not None and p.best_d2 is not None:
+            best_d2[p.lo:p.hi] = p.best_d2
+
+
 def combine_partials(a: Any, b: Any) -> Any:
     """The default combine: merge two partials without mutating either.
 

@@ -1,0 +1,281 @@
+"""Shared-memory array publishing for the process engine.
+
+The process engine (:mod:`repro.runtime.process_engine`) must hand every
+worker the same large read-only operands — the sample matrix ``X`` each
+iteration and the current centroid matrix ``C`` — without pickling hundreds
+of megabytes per task.  This module provides the zero-copy seam:
+
+:class:`SharedArena`
+    Owns named :class:`multiprocessing.shared_memory.SharedMemory`
+    segments, one per published key.  ``publish(key, array)`` copies the
+    array into the segment **once** (re-publishing the identical array
+    object is free; re-publishing a same-shape replacement — the new
+    centroids each iteration — rewrites the segment in place) and returns
+    an :class:`ArrayRef` that pickles in a few dozen bytes.
+
+:class:`ArrayRef`
+    ``(segment name, shape, dtype)``.  Workers resolve it with
+    :func:`as_ndarray`, which attaches the segment and returns a read-only
+    ndarray view — no copy in either process.
+
+Lifetime discipline (the part that must survive crashes):
+
+* every arena registers itself in a module-wide set; ``drain_arenas()``
+  unlinks every live segment and is wired into
+  :func:`repro.runtime.engine.shutdown_pools`, which already runs from an
+  ``atexit`` hook — normal interpreter exit (including SIGINT) leaks
+  nothing;
+* each arena also carries a :func:`weakref.finalize` on itself, so an
+  engine (and its arena) collected mid-session releases its segments
+  without waiting for interpreter exit;
+* a SIGKILL'd parent cannot run either path; there the stdlib
+  ``resource_tracker`` — a separate process that outlives the parent —
+  best-effort unlinks the leaked segments (``tests/runtime/test_shm.py``
+  asserts this end to end against ``/dev/shm``).
+
+With the fork start method every process shares the *same* resource
+tracker (forked children inherit its pipe), and the tracker's registry is
+a set of names — a worker's attach-time re-registration of a segment the
+parent created is idempotent, and the parent's ``unlink()`` clears the
+single entry.  The attach path therefore deliberately does **not**
+unregister anything: removing the shared entry would disable the
+SIGKILL backstop above.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "ArrayRef",
+    "ArrayLike",
+    "SharedArena",
+    "as_ndarray",
+    "drain_arenas",
+]
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A picklable handle to an ndarray living in a shared-memory segment."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+
+#: What the block tasks accept: a plain ndarray (serial/thread engines pass
+#: operands through untouched) or an :class:`ArrayRef` (process engine).
+ArrayLike = Union[np.ndarray, ArrayRef]
+
+
+# Attached segments, keyed by name.  Shared by parent (inline fallback) and
+# workers (which inherit a fork-time copy and extend it independently).  A
+# mapping stays cached across tasks (re-attaching per task would thrash the
+# page tables) but the cache is bounded: beyond _ATTACH_CAP entries the
+# oldest mappings are closed at the next attach — views resolved by
+# :func:`as_ndarray` are only valid for the duration of the task that
+# resolved them, so eviction between tasks can never invalidate a live view.
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+_ATTACH_LOCK = threading.Lock()
+_ATTACH_CAP = 8
+
+
+def as_ndarray(ref: ArrayLike) -> np.ndarray:
+    """Resolve an :class:`ArrayRef` to a read-only ndarray view (no copy).
+
+    Plain ndarrays pass straight through, so block tasks are engine-agnostic:
+    the serial and thread engines share arrays by reference, the process
+    engine by segment name.
+    """
+    if isinstance(ref, np.ndarray):
+        return ref
+    with _ATTACH_LOCK:
+        shm = _ATTACHED.get(ref.name)
+        if shm is None:
+            while len(_ATTACHED) >= _ATTACH_CAP:
+                stale = _ATTACHED.pop(next(iter(_ATTACHED)))
+                try:
+                    stale.close()
+                except OSError:  # pragma: no cover - platform-specific
+                    pass
+            try:
+                shm = shared_memory.SharedMemory(name=ref.name)
+            except FileNotFoundError:
+                raise ConfigurationError(
+                    f"shared segment {ref.name!r} is gone (arena drained "
+                    f"while a task still referenced it)"
+                ) from None
+            # NOTE: attach re-registers the name with the (shared, fork-
+            # inherited) resource tracker; that is an idempotent set-add,
+            # and unregistering it here would delete the creator's entry
+            # and with it the SIGKILL leak backstop.
+            _ATTACHED[ref.name] = shm
+    view: np.ndarray = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype),
+                                  buffer=shm.buf)
+    view.flags.writeable = False
+    return view
+
+
+def _detach(name: str) -> None:
+    """Close this process's mapping of a segment (if any)."""
+    with _ATTACH_LOCK:
+        shm = _ATTACHED.pop(name, None)
+    if shm is not None:
+        try:
+            shm.close()
+        except OSError:  # pragma: no cover - platform-specific
+            pass
+
+
+#: Live arenas, drained by shutdown_pools() / atexit.  Weak so an arena's
+#: own finalizer (GC path) stays the primary owner of its segments.
+_ARENAS: "weakref.WeakSet[SharedArena]" = weakref.WeakSet()
+_ARENAS_LOCK = threading.Lock()
+
+
+def _release_segments(segments: Dict[str, shared_memory.SharedMemory]) -> None:
+    """Close and unlink every segment in the mapping (idempotent)."""
+    for name in sorted(segments):
+        shm = segments[name]
+        _detach(name)
+        try:
+            shm.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        except OSError:  # pragma: no cover - platform-specific
+            pass
+    segments.clear()
+
+
+class SharedArena:
+    """Named shared-memory segments for one engine's published operands.
+
+    ``publish`` is called by the engine's ``share()`` right before a map,
+    and every map completes before the next ``publish`` of the same key, so
+    rewriting a segment in place can never race a reader.  The identity
+    check makes the per-iteration re-publish of a *stable* operand (the
+    sample matrix) free; a published array must not be mutated in place
+    while tasks may still read it.
+    """
+
+    _counter = 0
+    _counter_lock = threading.Lock()
+
+    def __init__(self, tag: str = "arena") -> None:
+        with SharedArena._counter_lock:
+            SharedArena._counter += 1
+            serial = SharedArena._counter
+        #: Unique prefix: pid disambiguates processes, the serial number
+        #: disambiguates arenas within one process.
+        self._prefix = f"repro-{os.getpid()}-{serial}-{tag}"
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._views: Dict[str, np.ndarray] = {}
+        #: Strong refs to the last-published array per key, so the identity
+        #: fast path can never be fooled by id() reuse after GC.
+        self._sources: Dict[str, np.ndarray] = {}
+        with _ARENAS_LOCK:
+            _ARENAS.add(self)
+        # GC of the arena (engine teardown) releases the segments even if
+        # shutdown_pools() is never called.
+        self._finalizer = weakref.finalize(
+            self, _release_segments, self._segments)
+
+    def publish(self, key: str, array: np.ndarray) -> ArrayRef:
+        """Copy ``array`` into the segment for ``key``; return its ref."""
+        array = np.ascontiguousarray(array)
+        if self._sources.get(key) is array:
+            return ArrayRef(self._segments[key].name, array.shape,
+                            array.dtype.str)
+        shm = self._segments.get(key)
+        view = self._views.get(key)
+        if shm is None or view is None or view.nbytes < array.nbytes:
+            if shm is not None:
+                _release_segments({key: self._segments.pop(key)})
+                self._views.pop(key, None)
+            name = f"{self._prefix}-{key}"
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=max(array.nbytes, 1))
+            self._segments[key] = shm
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        self._views[key] = view
+        self._sources[key] = array
+        return ArrayRef(shm.name, array.shape, array.dtype.str)
+
+    @property
+    def segment_names(self) -> Tuple[str, ...]:
+        """Names of the live segments (for tests and diagnostics)."""
+        return tuple(sorted(self._segments[key].name
+                            for key in sorted(self._segments)))
+
+    def drain(self) -> None:
+        """Unlink every segment now (idempotent; re-publish re-creates)."""
+        self._views.clear()
+        self._sources.clear()
+        _release_segments(self._segments)
+
+
+def drain_arenas() -> None:
+    """Drain every live arena (test teardown + interpreter exit).
+
+    Wired into :func:`repro.runtime.engine.shutdown_pools`, which the
+    package registers with :mod:`atexit`.
+    """
+    with _ARENAS_LOCK:
+        arenas = list(_ARENAS)
+    for arena in arenas:
+        arena.drain()
+
+
+def _heartbeat_segment(workers: int) -> shared_memory.SharedMemory:
+    """A fresh segment sized for one float64 heartbeat slot per worker."""
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    with SharedArena._counter_lock:
+        SharedArena._counter += 1
+        serial = SharedArena._counter
+    return shared_memory.SharedMemory(
+        name=f"repro-{os.getpid()}-{serial}-hb", create=True,
+        size=8 * workers)
+
+
+def heartbeat_view(shm: shared_memory.SharedMemory,
+                   workers: int) -> np.ndarray:
+    """The float64 per-worker heartbeat slots over a heartbeat segment."""
+    view: np.ndarray = np.ndarray((workers,), dtype=np.float64,
+                                  buffer=shm.buf)
+    return view
+
+
+def make_heartbeats(workers: int
+                    ) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Create the heartbeat segment and its slot view for a worker pool.
+
+    The pool owns the segment: workers inherit the mapping through fork (no
+    attach, no tracker duplicate) and the pool unlinks it on shutdown.
+    """
+    shm = _heartbeat_segment(workers)
+    view = heartbeat_view(shm, workers)
+    view[:] = 0.0
+    return shm, view

@@ -49,7 +49,10 @@ class HostEvent:
     ``kind`` is a short tag (``"task_retry"``, ``"task_timeout"``,
     ``"quarantine"``, ``"degraded_serial"``, ``"chaos"``,
     ``"slow_iteration"``, ``"deadline_exceeded"``, ``"rollback"``,
-    ``"resume"``, ...), ``detail`` a human-readable elaboration, and
+    ``"resume"``, and from the process engine's supervisor
+    ``"worker_lost"``, ``"worker_respawn"``, ``"worker_hung"``,
+    ``"poison_quarantine"``, ``"engine_fallback"``, ...),
+    ``detail`` a human-readable elaboration, and
     ``seconds`` the measured host wall-clock time involved (0.0 when the
     event has no duration).
     """

@@ -1,0 +1,128 @@
+"""A worker SIGKILL'd mid-run never changes the numbers.
+
+Sibling of ``test_resume.py``: that file kills the whole *parent* and
+proves the durable checkpoint restores the trajectory; this one kills a
+*worker* under the process engine and proves the run does not even notice
+numerically — the supervisor respawns the slot, re-executes the lost task
+in canonical order, and the result stays bit-identical to the fault-free
+serial engine.
+
+Two kill vectors are covered: a chaos-injected SIGKILL pinned to a task
+that runs at iteration >= 1 (deterministic placement), and an external
+``os.kill`` from a watcher thread with no coordination at all (lands
+wherever it lands — parity must hold regardless).
+"""
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.init import init_centroids
+from repro.core.lloyd import lloyd
+from repro.data.synthetic import gaussian_blobs
+from repro.runtime.chaos import ChaosInjector, parse_chaos_plan
+from repro.runtime.engine import SerialEngine, shutdown_pools
+from repro.runtime.process_engine import _PROCESS_POOLS, ProcessEngine
+
+
+@pytest.fixture(scope="module")
+def workload():
+    X, _ = gaussian_blobs(n=600, k=4, d=5, seed=13)
+    C0 = init_centroids(X, 4, method="first")
+    return X, C0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_pools():
+    yield
+    shutdown_pools()
+
+
+#: Small chunks so one lloyd iteration fans out over many tasks (and a
+#: kill mid-iteration leaves genuinely in-flight work to re-execute).
+CHUNK = 64
+
+
+def _run(engine, workload, max_iter=10):
+    X, C0 = workload
+    return lloyd(X, C0, max_iter=max_iter, engine=engine,
+                 chunk_elements=CHUNK)
+
+
+def _assert_bit_identical(a, b):
+    np.testing.assert_array_equal(a.centroids, b.centroids)
+    np.testing.assert_array_equal(a.assignments, b.assignments)
+    assert a.inertia == b.inertia
+    assert a.n_iter == b.n_iter
+    assert [s.inertia for s in a.history] == [s.inertia for s in b.history]
+
+
+def test_worker_killed_at_iteration_one_is_bit_identical(workload):
+    # Task ids are issued in submission order across the whole run, so a
+    # kill pinned past one iteration's worth of tasks lands at
+    # iteration >= 1 by construction.
+    X, _ = workload
+    tasks_per_iter = -(-X.size // CHUNK)  # ceil: blocks per assign phase
+    victim = tasks_per_iter + 2
+    plan = parse_chaos_plan(f"worker_kill@{victim};seed=3")
+    engine = ProcessEngine(workers=2, chaos=ChaosInjector(plan))
+
+    serial = _run(SerialEngine(), workload)
+    crashed = _run(engine, workload)
+    _assert_bit_identical(serial, crashed)
+
+    kinds = [e.kind for e in crashed.host_events]
+    assert "worker_lost" in kinds
+    assert "worker_respawn" in kinds
+    lost = next(e for e in crashed.host_events if e.kind == "worker_lost")
+    assert lost.iteration >= 1
+
+
+def test_externally_sigkilled_worker_is_bit_identical(workload):
+    # No chaos plan at all: a watcher thread SIGKILLs a live worker while
+    # the run is in flight, exactly like an OOM killer would.
+    engine = ProcessEngine(workers=2)
+    serial = _run(SerialEngine(), workload, max_iter=30)
+
+    killed = threading.Event()
+
+    def _assassin():
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and not killed.is_set():
+            pool = _PROCESS_POOLS.get(2)
+            if pool is not None:
+                for worker in pool.slots:
+                    if worker is not None and worker.process.is_alive():
+                        try:
+                            os.kill(worker.process.pid, signal.SIGKILL)
+                        except (OSError, TypeError):
+                            continue
+                        killed.set()
+                        return
+            time.sleep(0.002)
+
+    watcher = threading.Thread(target=_assassin, daemon=True)
+    watcher.start()
+    crashed = _run(engine, workload, max_iter=30)
+    watcher.join(timeout=12.0)
+
+    _assert_bit_identical(serial, crashed)
+    if killed.is_set():
+        kinds = [e.kind for e in crashed.host_events]
+        assert "worker_lost" in kinds or "worker_respawn" in kinds
+
+
+def test_repeated_kills_across_iterations_stay_identical(workload):
+    # A flaky host: every task has a kill chance, spread over the whole
+    # run.  Deaths at any iteration must leave the trajectory untouched.
+    plan = parse_chaos_plan("worker_kill:p=0.15;seed=29")
+    engine = ProcessEngine(workers=2, chaos=ChaosInjector(plan))
+    serial = _run(SerialEngine(), workload)
+    crashed = _run(engine, workload)
+    _assert_bit_identical(serial, crashed)
+    respawns = [e for e in crashed.host_events if e.kind == "worker_respawn"]
+    assert respawns, "expected the flaky plan to kill at least one worker"
