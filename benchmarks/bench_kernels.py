@@ -10,10 +10,14 @@ Two ways to run it:
   pytest-benchmark microbenches below;
 * ``PYTHONPATH=src python benchmarks/bench_kernels.py [--quick] [--check]
   [--out BENCH_kernels.json]`` — a standalone comparison sweep: naive vs
-  gemm ``assign`` over a (k, d) grid at n = 100,000, plus full ledgered vs
-  ``model_costs=False`` fits, written as JSON.  ``--check`` exits non-zero
-  if gemm is slower than naive on the flagship shape or any backend pair
-  disagrees on assignments.
+  gemm ``assign`` over a (k, d) grid at n = 100,000, an
+  iterations-to-converge sweep of gemm vs the bounds-pruned kernel on the
+  flagship shape (per-iteration pruning rate and speedup), plus full
+  ledgered vs ``model_costs=False`` fits, written as JSON.  ``--check``
+  exits non-zero if gemm is slower than naive on the flagship shape, any
+  backend pair disagrees, the pruning rate fails to grow toward
+  convergence, or (full mode) the late-iteration pruned speedup falls
+  below 2x.
 """
 
 import numpy as np
@@ -26,7 +30,8 @@ from repro.core._common import (
     squared_distances_expanded,
     update_centroids,
 )
-from repro.core.kernels import GemmKernel, NaiveKernel
+from repro.core.bounds import centroid_drift, centroid_separation
+from repro.core.kernels import GemmKernel, NaiveKernel, PrunedKernel
 
 
 @pytest.fixture(scope="module")
@@ -128,6 +133,73 @@ def _assign_sweep(n, ks, ds, repeats):
     return rows
 
 
+def _timed_best(fn, repeats):
+    import time
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _convergence_sweep(n, k, d, iters, repeats):
+    """Iterations-to-converge comparison: gemm vs pruned, one trajectory.
+
+    The centroid trajectory is advanced by the gemm sweep (both kernels
+    produce it bit-identically — asserted per iteration); each iteration
+    times the stateless gemm ``assign_accumulate`` against the pruned
+    kernel's stateful step from the previous iteration's committed bounds.
+    Early iterations prune nothing (bounds are loose while centroids move);
+    the interesting number is the late-iteration speedup once the run
+    settles, which is what the ``--check`` gate asserts.
+    """
+    from repro.data.synthetic import gaussian_blobs
+
+    X, _ = gaussian_blobs(n=n, k=k, d=d, seed=11)
+    C = np.array(X[:k], copy=True)
+    gemm, pruned = GemmKernel(), PrunedKernel()
+    labels = d2 = lb = anchor = None
+    rows = []
+    for it in range(1, iters + 1):
+        t_gemm, g_out = _timed_best(
+            lambda: gemm.assign_accumulate(X, C), repeats)
+        g_labels, g_d2, g_sums, g_counts = g_out
+        if anchor is None:
+            t_pruned, p_out = _timed_best(
+                lambda: pruned.establish(X, C), repeats)
+        else:
+            drift = centroid_drift(anchor, C)
+            _, s = centroid_separation(C)
+            t_pruned, p_out = _timed_best(
+                lambda: pruned.assign_accumulate_pruned(
+                    X, C, labels, d2, lb, drift, s), repeats)
+        p_labels, p_d2, p_sums, p_counts, p_lb, n_dist = p_out
+        identical = (bool(np.array_equal(g_labels, p_labels))
+                     and bool(np.array_equal(g_d2, p_d2))
+                     and bool(np.array_equal(g_sums, p_sums))
+                     and bool(np.array_equal(g_counts, p_counts)))
+        pruning_rate = 1.0 - n_dist / float(n * k)
+        rows.append({
+            "iteration": it, "n": n, "k": k, "d": d,
+            "gemm_seconds": t_gemm,
+            "pruned_seconds": t_pruned,
+            "speedup": t_gemm / t_pruned,
+            "distance_evals": int(n_dist),
+            "pruning_rate": pruning_rate,
+            "identical": identical,
+        })
+        print(f"  iter {it:3d}: gemm {t_gemm:8.4f}s  "
+              f"pruned {t_pruned:8.4f}s  {t_gemm / t_pruned:5.2f}x  "
+              f"pruned {pruning_rate:6.1%} of evals  "
+              f"{'ok' if identical else 'MISMATCH'}")
+        labels, d2, lb = p_labels, p_d2, p_lb
+        anchor = np.array(C, copy=True)
+        C = update_centroids(g_sums, g_counts, C)
+    return rows
+
+
 def _ledger_sweep(repeats):
     import time
 
@@ -187,6 +259,14 @@ def main(argv=None):
     print(f"assign sweep at n={n} (best of {repeats}):")
     assign_rows = _assign_sweep(n, ks=(16, 64, 256), ds=(16, 64),
                                 repeats=repeats)
+    if args.quick:
+        conv_shape = dict(n=20_000, k=64, d=32, iters=8, repeats=1)
+    else:
+        conv_shape = dict(n=100_000, k=FLAGSHIP[0], d=FLAGSHIP[1],
+                          iters=30, repeats=2)
+    print(f"convergence sweep gemm vs pruned at "
+          f"n={conv_shape['n']} k={conv_shape['k']} d={conv_shape['d']}:")
+    convergence_rows = _convergence_sweep(**conv_shape)
     print("ledger sweep:")
     ledger_rows = _ledger_sweep(repeats=1 if args.quick else 2)
 
@@ -196,6 +276,7 @@ def main(argv=None):
         "python": platform.python_version(),
         "numpy": np.__version__,
         "assign": assign_rows,
+        "convergence": convergence_rows,
         "ledger": ledger_rows,
     }
     with open(args.out, "w") as fh:
@@ -205,6 +286,7 @@ def main(argv=None):
 
     if args.check:
         bad = [r for r in assign_rows if not r["identical_assignments"]]
+        bad += [r for r in convergence_rows if not r["identical"]]
         bad += [r for r in ledger_rows if not r["identical_numerics"]]
         if bad:
             print(f"CHECK FAILED: backend mismatch in {len(bad)} rows")
@@ -215,7 +297,25 @@ def main(argv=None):
             print(f"CHECK FAILED: gemm slower than naive on flagship shape "
                   f"({flagship['speedup']:.2f}x)")
             return 1
-        print(f"check ok: flagship speedup {flagship['speedup']:.2f}x")
+        tail = min(5, len(convergence_rows) // 2)
+        early_rate = np.mean(
+            [r["pruning_rate"] for r in convergence_rows[:tail]])
+        late_rate = np.mean(
+            [r["pruning_rate"] for r in convergence_rows[-tail:]])
+        if late_rate <= early_rate:
+            print(f"CHECK FAILED: pruning rate does not grow toward "
+                  f"convergence (early {early_rate:.1%}, late "
+                  f"{late_rate:.1%})")
+            return 1
+        late_speedup = float(np.mean(
+            [r["speedup"] for r in convergence_rows[-tail:]]))
+        if not args.quick and late_speedup < 2.0:
+            print(f"CHECK FAILED: late-iteration pruned speedup "
+                  f"{late_speedup:.2f}x < 2.0x on the flagship shape")
+            return 1
+        print(f"check ok: flagship speedup {flagship['speedup']:.2f}x, "
+              f"late pruning rate {late_rate:.1%}, "
+              f"late pruned speedup {late_speedup:.2f}x")
     return 0
 
 

@@ -33,6 +33,7 @@ __all__ = [
     "ENV_DEADLINE",
     "ENV_ENGINE",
     "ENV_HEARTBEAT",
+    "ENV_KERNEL",
     "ENV_REDUCE",
     "ENV_TASK_RETRIES",
     "ENV_TASK_TIMEOUT",
@@ -137,6 +138,13 @@ ENV_REDUCE = EnvVar(
                 "explicit reduce= is given.",
     consumer="repro.runtime.reduce",
 )
+ENV_KERNEL = EnvVar(
+    name="REPRO_KERNEL",
+    kind="str",
+    description='Default compute kernel ("naive", "gemm", or "pruned") '
+                "when no explicit kernel= is given.",
+    consumer="repro.core.kernels",
+)
 ENV_CHECKPOINT_DIR = EnvVar(
     name="REPRO_CHECKPOINT_DIR",
     kind="str",
@@ -158,6 +166,7 @@ REGISTRY: Dict[str, EnvVar] = {
         ENV_DEADLINE,
         ENV_CHAOS,
         ENV_CHECKPOINT_DIR,
+        ENV_KERNEL,
         ENV_REDUCE,
     )
 }

@@ -311,3 +311,101 @@ class ManualPartialAccumulation(Rule):
                     "sum(...) over engine.map partials bypasses the "
                     "reduction seam; merge them with engine.map_reduce "
                     "(grouped topologies cover hierarchical merges)")
+
+
+#: Calls that adopt previously persisted state (checkpoint restores).
+_RESTORE_CALLS = frozenset({"restore", "load_checkpoint", "from_checkpoint"})
+
+#: Calls that make carried bound state safe again after a restore: the
+#: in-place drop, the executors' shared reset hook, and the resume loader
+#: (which invalidates internally before touching the snapshot).
+_BOUNDS_RESET_CALLS = frozenset({
+    "_reset_state_after_replan", "_load_resume_state",
+})
+
+
+def _bounds_like(name: str) -> bool:
+    """True for dotted names that mention a bounds carrier."""
+    return any("bounds" in part for part in name.lower().split("."))
+
+
+@register_rule
+class StaleBoundsAfterRestore(Rule):
+    """D107: restored centroids never meet carried pruning bounds."""
+
+    id = "D107"
+    name = "stale-bounds-after-restore"
+    summary = ("after a checkpoint restore (`*.restore()`, "
+               "`load_checkpoint(...)`) bound state must be invalidated or "
+               "rebuilt before it is read; drifting bounds anchored to "
+               "pre-restore centroids is unsound and silently breaks "
+               "bit-identity of resumed runs")
+    scopes = _NUMERIC_SCOPES
+
+    def _statements(self, func: ast.AST) -> Iterator[ast.AST]:
+        """Nodes of the function body in source order, own scope only."""
+        stack = list(getattr(func, "body", []))
+        while stack:
+            node = stack.pop(0)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef, ast.Lambda)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, func)
+
+    def _check_function(self, ctx: LintContext,
+                        func: ast.AST) -> Iterator[Finding]:
+        # (position, kind, node) event stream in source order.  Kinds:
+        # "restore" opens a hazard window, "reset" closes it, "read" inside
+        # an open window is the violation.
+        events = []
+        func_chain_ids = set()
+        for node in self._statements(func):
+            if isinstance(node, ast.Call):
+                # Everything in callee position is exempt from "read":
+                # `bounds.invalidate()` and `BlockBounds()` mention the
+                # carrier without consuming its state.
+                callee = node.func
+                while isinstance(callee, ast.Attribute):
+                    func_chain_ids.add(id(callee))
+                    callee = callee.value
+                func_chain_ids.add(id(callee))
+        for node in self._statements(func):
+            pos = (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                last = name.rsplit(".", 1)[-1]
+                if last in _BOUNDS_RESET_CALLS \
+                        or (last == "invalidate"
+                            and _bounds_like(name.rsplit(".", 1)[0])):
+                    events.append((pos, "reset", node))
+                elif last in _RESTORE_CALLS:
+                    events.append((pos, "restore", node))
+            elif isinstance(node, ast.Assign):
+                if any(_bounds_like(dotted_name(t)) for t in node.targets):
+                    events.append((pos, "reset", node))
+            elif isinstance(node, (ast.Name, ast.Attribute)) \
+                    and isinstance(getattr(node, "ctx", None), ast.Load) \
+                    and id(node) not in func_chain_ids \
+                    and _bounds_like(dotted_name(node)):
+                events.append((pos, "read", node))
+        events.sort(key=lambda e: e[0])
+        pending = None
+        for _, kind, node in events:
+            if kind == "restore":
+                pending = node
+            elif kind == "reset":
+                pending = None
+            elif kind == "read" and pending is not None:
+                pending = None
+                yield ctx.finding(
+                    self, node,
+                    f"`{dotted_name(node)}` is read after a checkpoint "
+                    f"restore without invalidation; bounds anchored to "
+                    f"pre-restore centroids are unsound — call "
+                    f"`.invalidate()` (or rebuild the carrier) first")

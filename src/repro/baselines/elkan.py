@@ -24,6 +24,7 @@ from ..core._common import (
     update_centroids,
     validate_data,
 )
+from ..core.bounds import apply_elkan_drift, centroid_drift, centroid_separation
 from ..core.result import IterationStats, KMeansResult
 from ..errors import ConfigurationError
 from .hamerly import BoundStats
@@ -55,13 +56,7 @@ def elkan(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
     for it in range(1, max_iter + 1):
         stats.distances_naive += n * k
         # Inter-centroid half-distances.
-        if k > 1:
-            cc = np.sqrt(np.maximum(squared_distances(C, C), 0.0))
-            np.fill_diagonal(cc, np.inf)
-            s = 0.5 * cc.min(axis=1)
-        else:
-            cc = np.full((1, 1), np.inf)
-            s = np.zeros(1)
+        cc, s = centroid_separation(C)
 
         # Step 2-3: global prune, then per-centroid checks.
         active = np.flatnonzero(ub > s[assignments])
@@ -96,9 +91,7 @@ def elkan(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
         new_C = update_centroids(sums, counts, C)
 
         # Step 5-6: drift every bound by its centroid's movement.
-        drift = np.sqrt(np.maximum(((new_C - C) ** 2).sum(axis=1), 0.0))
-        lb = np.maximum(lb - drift[None, :], 0.0)
-        ub += drift[assignments]
+        lb = apply_elkan_drift(ub, lb, centroid_drift(C, new_C), assignments)
 
         shift = max_centroid_shift(C, new_C)
         history.append(IterationStats(

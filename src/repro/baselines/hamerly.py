@@ -31,6 +31,11 @@ from ..core._common import (
     update_centroids,
     validate_data,
 )
+from ..core.bounds import (
+    apply_hamerly_drift,
+    centroid_drift,
+    centroid_separation,
+)
 from ..core.result import IterationStats, KMeansResult
 from ..errors import ConfigurationError
 
@@ -85,12 +90,7 @@ def hamerly(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
     for it in range(1, max_iter + 1):
         stats.distances_naive += n * k
         # Half-distance to the nearest other centroid, per centroid.
-        if k > 1:
-            cc = np.sqrt(np.maximum(squared_distances(C, C), 0.0))
-            np.fill_diagonal(cc, np.inf)
-            s = 0.5 * cc.min(axis=1)
-        else:
-            s = np.zeros(1)
+        _, s = centroid_separation(C)
 
         threshold = np.maximum(s[assignments], lb)
         candidates = np.flatnonzero(ub > threshold)
@@ -118,10 +118,7 @@ def hamerly(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
         new_C = update_centroids(sums, counts, C)
 
         # Drift the bounds by centroid movement (triangle inequality).
-        drift = np.sqrt(np.maximum(((new_C - C) ** 2).sum(axis=1), 0.0))
-        ub += drift[assignments]
-        if k > 1:
-            lb -= drift.max()
+        apply_hamerly_drift(ub, lb, centroid_drift(C, new_C), assignments)
 
         shift = max_centroid_shift(C, new_C)
         history.append(IterationStats(

@@ -33,6 +33,7 @@ from ..core._common import (
     update_centroids,
     validate_data,
 )
+from ..core.bounds import apply_yinyang_drift, centroid_drift, group_members_of
 from ..core.result import IterationStats, KMeansResult
 from ..errors import ConfigurationError
 from .hamerly import BoundStats
@@ -85,9 +86,7 @@ def yinyang(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
     groups = _group_centroids(C, n_groups, seed=seed) if k > 1 else \
         np.zeros(1, dtype=np.int64)
     t = int(groups.max()) + 1
-    group_members: List[np.ndarray] = [
-        np.flatnonzero(groups == g) for g in range(t)
-    ]
+    group_members: List[np.ndarray] = group_members_of(groups, t)
 
     # Initial full assignment; exact bounds.
     dist = np.sqrt(np.maximum(squared_distances(X, C), 0.0))
@@ -156,13 +155,8 @@ def yinyang(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
         new_C = update_centroids(sums, counts, C)
 
         # --- drift the bounds ---
-        drift = np.sqrt(np.maximum(((new_C - C) ** 2).sum(axis=1), 0.0))
-        ub += drift[assignments]
-        group_drift = np.array([
-            drift[group_members[g]].max() if group_members[g].size else 0.0
-            for g in range(t)
-        ])
-        lb -= group_drift[None, :]
+        apply_yinyang_drift(ub, lb, centroid_drift(C, new_C), assignments,
+                            group_members)
 
         shift = max_centroid_shift(C, new_C)
         history.append(IterationStats(

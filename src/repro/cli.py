@@ -14,7 +14,9 @@ Commands
     Run the execute backend on a synthetic workload — or on your own data
     via ``--input data.npy`` / ``--input data.csv`` — and print the result
     summary and time-ledger breakdown.  ``--kernel gemm`` switches the
-    assign arithmetic to the blocked GEMM backend; ``--engine thread``
+    assign arithmetic to the blocked GEMM backend (``--kernel pruned``
+    adds carried triangle-inequality bounds, bit-identical to gemm);
+    ``--engine thread``
     (optionally with ``--workers N``) maps the numerics across a host
     thread pool with bit-identical results; ``--no-model-costs`` runs
     pure numerics without the simulated time ledger.
@@ -232,8 +234,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cl.add_argument("--max-iter", type=int, default=100)
     p_cl.add_argument("--toy", action="store_true",
                       help="use a toy machine instead of SW26010 nodes")
-    p_cl.add_argument("--kernel", choices=("naive", "gemm"), default="naive",
-                      help="compute backend for the assign step")
+    p_cl.add_argument("--kernel", choices=("naive", "gemm", "pruned"),
+                      default=None,
+                      help="compute backend for the assign step "
+                           "(default: REPRO_KERNEL env var, else naive)")
     p_cl.add_argument("--engine", choices=("serial", "thread", "process"),
                       default=None,
                       help="host execution engine for the numerics "

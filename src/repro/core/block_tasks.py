@@ -28,23 +28,36 @@ to ``engine.map``/``map_reduce`` must be module-level, like the
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..runtime.reduce import BlockPartial
+from ..runtime.reduce import BlockPartial, PrunedPartial
 from ..runtime.shm import ArrayLike, as_ndarray
 from ._common import accumulate, squared_distances
-from .kernels import KERNELS, KernelBackend, KernelLike, resolve_kernel
+from .bounds import BlockBounds, centroid_drift, centroid_separation
+from .kernels import (
+    KERNELS,
+    KernelBackend,
+    KernelLike,
+    PrunedKernel,
+    resolve_kernel,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from ..runtime.engine import ExecutionEngine
 
 __all__ = [
     "AccumulateTask",
     "FusedAssignTask",
+    "PrunedAssignTask",
     "StrictL2Task",
     "StrictL3Task",
     "accumulate_block",
+    "build_pruned_tasks",
     "fused_assign_block",
     "kernel_token",
+    "pruned_assign_block",
     "strict_l2_assign",
     "strict_l3_assign",
     "strict_l2_block",
@@ -112,6 +125,104 @@ def fused_assign_block(task: FusedAssignTask) -> BlockPartial:
         idx, best, sums, counts = backend.assign_accumulate(
             block, C, task.chunk_elements)
     return BlockPartial(sums, counts, task.lo, task.hi, idx, best)
+
+
+class PrunedAssignTask:
+    """One block of the bounds-carrying pruned sweep.
+
+    The carried per-sample state (``labels``/``d2``/``lb``) arrives as
+    *full-length* shared operands — the task slices its own ``[lo, hi)``
+    window, exactly like the samples — so the process engine ships one
+    shared-memory segment per array instead of per-block pickles.  The
+    k-sized drift and separation vectors are small enough to travel
+    inline.  ``labels is None`` marks an establishment sweep (no valid
+    carried state: first iteration, post-restore, post-replan).
+    """
+
+    __slots__ = ("x", "c", "labels", "d2", "lb", "drift", "s",
+                 "lo", "hi", "kernel", "chunk_elements")
+
+    def __init__(self, x: ArrayLike, c: ArrayLike,
+                 labels: Optional[ArrayLike], d2: Optional[ArrayLike],
+                 lb: Optional[ArrayLike], drift: Optional[np.ndarray],
+                 s: Optional[np.ndarray], lo: int, hi: int,
+                 kernel: KernelLike,
+                 chunk_elements: Optional[int] = None) -> None:
+        self.x = x
+        self.c = c
+        self.labels = labels
+        self.d2 = d2
+        self.lb = lb
+        self.drift = drift
+        self.s = s
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.kernel = kernel
+        self.chunk_elements = chunk_elements
+
+
+def pruned_assign_block(task: PrunedAssignTask) -> PrunedPartial:
+    """Bounded assign+accumulate over one sample block.
+
+    Pure: the carried state is read-only (the kernel copies before
+    updating), so an engine-level retry re-runs from unpoisoned inputs.
+    """
+    X = as_ndarray(task.x)
+    C = as_ndarray(task.c)
+    backend = _kernel(task.kernel)
+    if not isinstance(backend, PrunedKernel):
+        raise TypeError(
+            f"PrunedAssignTask needs the pruned kernel, got "
+            f"{type(backend).__name__}"
+        )
+    block = X[task.lo:task.hi]
+    kwargs: Dict[str, int] = {}
+    if task.chunk_elements is not None:
+        kwargs["chunk_elements"] = task.chunk_elements
+    if task.labels is None:
+        idx, best, sums, counts, lb, n_dist = backend.establish(
+            block, C, **kwargs)
+    else:
+        labels = as_ndarray(task.labels)[task.lo:task.hi]
+        d2 = as_ndarray(task.d2)[task.lo:task.hi]
+        lb_in = as_ndarray(task.lb)[task.lo:task.hi]
+        idx, best, sums, counts, lb, n_dist = (
+            backend.assign_accumulate_pruned(
+                block, C, labels, d2, lb_in, task.drift, task.s, **kwargs))
+    return PrunedPartial(sums, counts, task.lo, task.hi, idx, best,
+                         lb=lb, n_dist=n_dist)
+
+
+def build_pruned_tasks(engine: "ExecutionEngine", backend: KernelBackend,
+                       X: np.ndarray,
+                       C: np.ndarray, blocks: Sequence[Tuple[int, int]],
+                       bounds: BlockBounds,
+                       chunk_elements: Optional[int] = None
+                       ) -> List["PrunedAssignTask"]:
+    """The per-block task list of one pruned iteration.
+
+    Shares the operands (and, when the carried state is valid, the three
+    full-length bound arrays) through the engine, computes the drift
+    against the bounds' anchor and the centroid half-separations once
+    host-side, and returns one :class:`PrunedAssignTask` per block — the
+    same block boundaries the unpruned path would use, so the task-id
+    stream (and with it every chaos/fault replay) is unchanged.
+    """
+    x_ref = engine.share("X", X)
+    c_ref = engine.share("C", C)
+    token = kernel_token(backend)
+    if not bounds.valid:
+        return [PrunedAssignTask(x_ref, c_ref, None, None, None, None, None,
+                                 lo, hi, token, chunk_elements)
+                for lo, hi in blocks]
+    drift = centroid_drift(bounds.anchor, C)
+    _, s = centroid_separation(C)
+    labels_ref = engine.share("pruned_labels", bounds.labels)
+    d2_ref = engine.share("pruned_d2", bounds.d2)
+    lb_ref = engine.share("pruned_lb", bounds.lb)
+    return [PrunedAssignTask(x_ref, c_ref, labels_ref, d2_ref, lb_ref,
+                             drift, s, lo, hi, token, chunk_elements)
+            for lo, hi in blocks]
 
 
 def strict_l2_assign(block: np.ndarray, C: np.ndarray,

@@ -1,0 +1,188 @@
+"""Shared triangle-inequality bound mathematics for exact k-means pruning.
+
+Every bounds-accelerated path in the repo — the Elkan/Hamerly/Yinyang
+baselines, the Hamerly-filtered :class:`~repro.core.level3_bounded.
+Level3BoundedExecutor`, and the partitioned ``kernel="pruned"`` sweep —
+relies on the same two facts:
+
+* a centroid that moved by ``drift[j]`` changes any point's distance to it
+  by at most ``drift[j]`` (triangle inequality), so upper/lower bounds on
+  those distances stay valid when drifted by the movement;
+* a point whose distance to its assigned centroid is below half the
+  distance to the nearest *other* centroid (``s[j]``) provably cannot
+  change assignment [Elkan 2003, Lemma 1].
+
+The drift and separation vectors used to be computed in three nearly
+identical copies across the baselines; this module is now the single
+implementation, and the bound-drifting rules of each algorithm family are
+named helpers so their (deliberately different) semantics stay visible at
+the call sites.
+
+:class:`BlockBounds` is the persistent state carrier of the pruned kernel
+path: the per-sample labels, exact squared distances, and lower bounds of
+the previous committed iteration, anchored to the exact centroid array
+they were computed against.  The anchor is what makes invalidation
+trivial and checkpoint-resume sound — see ``docs/invariants.md``
+("Bounds invalidation").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ._common import squared_distances
+
+__all__ = [
+    "BlockBounds",
+    "apply_elkan_drift",
+    "apply_hamerly_drift",
+    "apply_yinyang_drift",
+    "centroid_drift",
+    "centroid_separation",
+    "group_members_of",
+]
+
+#: A dense squared-distance routine ``(A, B) -> (len(A), len(B))`` — the
+#: direct form by default; callers with a kernel backend pass its
+#: ``pairwise_sq`` to keep their historical formulation bit-for-bit.
+SqDistFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def centroid_drift(old_C: np.ndarray, new_C: np.ndarray) -> np.ndarray:
+    """Per-centroid Euclidean movement ``|new_C[j] - old_C[j]|``.
+
+    A centroid whose membership did not change between iterations gets a
+    bit-identical mean and therefore a drift of exactly ``0.0`` — the
+    pruned kernel leans on that to reuse stored exact distances verbatim.
+    """
+    return np.sqrt(np.maximum(((new_C - old_C) ** 2).sum(axis=1), 0.0))
+
+
+def centroid_separation(C: np.ndarray, sq: Optional[SqDistFn] = None
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+    """Inter-centroid distances ``cc`` (diagonal +inf) and half-minima ``s``.
+
+    ``s[j]`` is half the distance from centroid j to its nearest other
+    centroid: any point closer to c_j than ``s[j]`` provably keeps
+    assignment j this iteration.  With a single centroid there is nothing
+    to separate: ``s`` is all zeros and ``cc`` all +inf.
+    """
+    k = C.shape[0]
+    if k <= 1:
+        return np.full((k, k), np.inf), np.zeros(max(k, 1))
+    d2 = squared_distances(C, C) if sq is None else sq(C, C)
+    cc = np.sqrt(np.maximum(d2, 0.0))
+    np.fill_diagonal(cc, np.inf)
+    return cc, 0.5 * cc.min(axis=1)
+
+
+def apply_hamerly_drift(ub: np.ndarray, lb: np.ndarray, drift: np.ndarray,
+                        assignments: np.ndarray) -> None:
+    """Hamerly's rule, in place: per-sample ub up, one global lb down.
+
+    The single lower bound covers *every* non-assigned centroid, so it
+    must retreat by the worst-case movement ``drift.max()``; the upper
+    bound only tracks the assigned centroid's own drift.
+    """
+    ub += drift[assignments]
+    if drift.shape[0] > 1:
+        lb -= drift.max()
+
+
+def apply_elkan_drift(ub: np.ndarray, lb: np.ndarray, drift: np.ndarray,
+                      assignments: np.ndarray) -> np.ndarray:
+    """Elkan's rule: ub in place, per-centroid lb matrix returned fresh.
+
+    Elkan keeps one lower bound per (sample, centroid) pair, so each
+    column retreats by its own centroid's drift (clamped at zero — a
+    distance bound can never go negative).
+    """
+    ub += drift[assignments]
+    return np.maximum(lb - drift[None, :], 0.0)
+
+
+def apply_yinyang_drift(ub: np.ndarray, lb: np.ndarray, drift: np.ndarray,
+                        assignments: np.ndarray,
+                        group_members: Sequence[np.ndarray]) -> None:
+    """Yinyang's rule, in place: per-group lb columns retreat together.
+
+    Each group's lower bound covers only its member centroids, so it
+    retreats by the worst movement *within the group* — tighter than
+    Hamerly's global maximum, cheaper than Elkan's full matrix.
+    """
+    ub += drift[assignments]
+    group_drift = np.array([
+        drift[members].max() if members.size else 0.0
+        for members in group_members
+    ])
+    lb -= group_drift[None, :]
+
+
+class BlockBounds:
+    """Persistent bound state of the ``kernel="pruned"`` sweep.
+
+    One instance per run holds, for every sample, the committed state of
+    the last successful iteration:
+
+    ``labels``
+        the assignment (int64),
+    ``d2``
+        the *exact* squared distance to the assigned centroid — computed
+        by the row-independent winner routine, so it is bit-identical to
+        what the unpruned gemm sweep reports,
+    ``lb``
+        a lower bound on the distance to the second-closest centroid,
+    ``anchor``
+        the exact centroid array the three arrays were computed against.
+
+    The executors slice the arrays per partition block and ship them with
+    the block tasks; per-iteration drift is always measured against
+    ``anchor``, so the state stays sound no matter how the host-side loop
+    got from there to the current centroids.  ``commit`` is called only at
+    the very end of a successful iteration (after every fault-probing
+    charge), which makes a retried iteration re-run from unpoisoned
+    state; ``invalidate`` is called on every checkpoint restore, replan,
+    and rollback — stale bounds against restored centroids would be
+    unsound, so the next iteration re-establishes them from scratch
+    (reprolint rule D107 enforces the discipline statically).
+    """
+
+    __slots__ = ("labels", "d2", "lb", "anchor")
+
+    def __init__(self) -> None:
+        self.labels: Optional[np.ndarray] = None
+        self.d2: Optional[np.ndarray] = None
+        self.lb: Optional[np.ndarray] = None
+        self.anchor: Optional[np.ndarray] = None
+
+    @property
+    def valid(self) -> bool:
+        """True when the state can prune the next iteration."""
+        return self.anchor is not None
+
+    def invalidate(self) -> None:
+        """Drop all state; the next iteration runs a full establishment."""
+        self.labels = None
+        self.d2 = None
+        self.lb = None
+        self.anchor = None
+
+    def commit(self, anchor_C: np.ndarray, labels: np.ndarray,
+               d2: np.ndarray, lb: np.ndarray) -> None:
+        """Adopt one iteration's outputs as the next iteration's state.
+
+        ``anchor_C`` is copied (the caller's loop variable moves on);
+        the per-sample arrays are adopted by reference — the callers hand
+        over freshly scattered arrays they never mutate afterwards.
+        """
+        self.anchor = np.array(anchor_C, copy=True)
+        self.labels = labels
+        self.d2 = d2
+        self.lb = lb
+
+
+def group_members_of(groups: np.ndarray, n_groups: int) -> List[np.ndarray]:
+    """Member-index arrays per group id — the Yinyang grouping layout."""
+    return [np.flatnonzero(groups == g) for g in range(n_groups)]

@@ -26,7 +26,12 @@ from ..machine.machine import DegradedMachine, Machine
 from ..runtime.compute import ComputeModel
 from ..runtime.engine import EngineLike, resolve_engine
 from ..runtime.faults import FaultInjector, resolve_fault_plan
-from ..runtime.reduce import ReduceLike, resolve_reduce
+from ..runtime.reduce import (
+    ReduceLike,
+    ReduceTopology,
+    resolve_reduce,
+    scatter_bounds,
+)
 from ..runtime.ledger import NullLedger, TimeLedger
 from ..runtime.supervisor import SupervisorLike, resolve_supervisor
 from ._common import (
@@ -36,6 +41,8 @@ from ._common import (
     update_centroids,
     validate_data,
 )
+from .block_tasks import build_pruned_tasks, pruned_assign_block
+from .bounds import BlockBounds
 from .checkpoint import CheckpointConfig, CheckpointStore, load_checkpoint
 from .kernels import KernelLike, resolve_kernel
 from .recovery import RecoveryLike, resolve_recovery
@@ -66,9 +73,13 @@ class LevelExecutor(ABC):
         Sustained fraction of peak FLOP/s assumed for the distance kernel.
     kernel:
         Compute backend for the fast-path Assign arithmetic ("naive",
-        "gemm", or a :class:`~repro.core.kernels.KernelBackend` instance).
-        Strict-CPE mode requires the naive backend: its per-slice dataflow
-        *is* the direct-form arithmetic.
+        "gemm", "pruned", or a :class:`~repro.core.kernels.KernelBackend`
+        instance).  None (the default) consults the ``REPRO_KERNEL``
+        environment variable, falling back to "naive".  Strict-CPE mode
+        requires the naive backend: its per-slice dataflow *is* the
+        direct-form arithmetic — an explicit non-naive kernel raises,
+        while an environment-sourced one is silently pinned back to
+        naive (the knob is a machine-wide default, not a per-run demand).
     model_costs:
         When False the executor runs pure numerics against a
         :class:`~repro.runtime.ledger.NullLedger` — no phase is priced, no
@@ -149,7 +160,7 @@ class LevelExecutor(ABC):
     def __init__(self, machine: Machine, collective_algorithm: str = "ring",
                  strict_cpe: bool = False, overlap_dma: bool = False,
                  compute_efficiency: float | None = None,
-                 kernel: KernelLike = "naive",
+                 kernel: Optional[KernelLike] = None,
                  model_costs: bool = True,
                  faults=None,
                  recovery: RecoveryLike = "fail_fast",
@@ -174,13 +185,27 @@ class LevelExecutor(ABC):
         #: iterate() when the fused kernel already produced the winning
         #: distances; None makes run() fall back to an explicit pass.
         self._iter_inertia: Optional[float] = None
+        env_default = kernel is None
         self.kernel = resolve_kernel(kernel)
         if self.strict_cpe and self.kernel.name != "naive":
-            raise ConfigurationError(
-                f"strict_cpe fidelity mode requires the naive kernel "
-                f"(the hardware dataflow is the direct form); "
-                f"got kernel={self.kernel.name!r}"
-            )
+            if env_default:
+                # The environment knob is a machine-wide default; a
+                # fidelity run pins the backend its dataflow *is* rather
+                # than erroring on an ambient REPRO_KERNEL.
+                self.kernel = resolve_kernel("naive")
+            else:
+                raise ConfigurationError(
+                    f"strict_cpe fidelity mode requires the naive kernel "
+                    f"(the hardware dataflow is the direct form); "
+                    f"got kernel={self.kernel.name!r}"
+                )
+        #: Carried per-sample bound state of the pruned kernel path (always
+        #: constructed; permanently invalid under the other backends).
+        self._pruned_bounds = BlockBounds()
+        #: Actual distance evaluations per iteration under kernel="pruned"
+        #: (n*k on establishment sweeps; the pruning telemetry the bench
+        #: harness reads).
+        self.pruned_evals_per_iteration: List[int] = []
         self.model_costs = bool(model_costs)
         self.ledger = TimeLedger() if self.model_costs else NullLedger()
         plan = resolve_fault_plan(faults)
@@ -295,17 +320,58 @@ class LevelExecutor(ABC):
                 iteration=iteration,
             )
 
+    # -- pruned kernel plumbing ----------------------------------------------------
+
+    def _pruned_map_reduce(self, X: np.ndarray, C: np.ndarray,
+                           blocks: Sequence[Tuple[int, int]],
+                           topology: Optional[ReduceTopology] = None):
+        """Map/reduce one pruned iteration over the plan's sample blocks.
+
+        Same block boundaries and reduction topology as the unpruned
+        path — the task-id stream, and with it every chaos plan and
+        fault replay, is unchanged.  Returns ``(merged, partials)``; the
+        partials carry per-block labels, exact winning distances, fresh
+        lower bounds, and the actual distance-evaluation counts.
+        """
+        tasks = build_pruned_tasks(self.engine, self.kernel, X, C, blocks,
+                                   self._pruned_bounds)
+        return self.engine.map_reduce(
+            pruned_assign_block, tasks,
+            topology=self.reduce if topology is None else topology,
+            return_partials=True)
+
+    def _commit_pruned_state(self, C: np.ndarray, assignments: np.ndarray,
+                             best_d2: np.ndarray,
+                             partials: Sequence) -> None:
+        """Adopt one pruned iteration's outputs as the carried bound state.
+
+        Must be the *last* act of ``iterate()`` — after every fault-prone
+        charge — so an iteration that faults mid-flight never half-commits:
+        the retry re-runs against the previous iteration's (still sound)
+        state, and replans/rollbacks invalidate via
+        :meth:`_reset_state_after_replan`.
+        """
+        lb = np.empty(assignments.shape[0], dtype=np.float64)
+        scatter_bounds(partials, lb)
+        self._pruned_bounds.commit(C, assignments, best_d2, lb)
+        self.pruned_evals_per_iteration.append(
+            sum(int(p.n_dist) for p in partials))
+
     # -- fault handling ------------------------------------------------------------
 
     def _reset_state_after_replan(self) -> None:
         """Drop any executor state tied to the old partition plan.
 
-        The base executors keep no per-iteration state beyond what
-        ``setup`` rebuilds; subclasses with persistent acceleration state
-        (e.g. the Hamerly bounds of Level3Bounded) override this to
-        invalidate it, since a restored checkpoint makes stale bounds
-        unsound.
+        The base class invalidates the pruned kernel's carried bound
+        state: a restored checkpoint (replan and rollback both restore
+        one) rewinds the centroids, so bounds anchored to the poisoned
+        trajectory would be unsound — the next iteration re-establishes
+        them from scratch.  Subclasses with additional persistent
+        acceleration state (e.g. the Hamerly bounds of Level3Bounded)
+        override this — and must call ``super()`` — to invalidate theirs
+        too.
         """
+        self._pruned_bounds.invalidate()
 
     def _replan_after_failure(self, exc: FaultError,
                               X: np.ndarray) -> np.ndarray:
@@ -384,6 +450,10 @@ class LevelExecutor(ABC):
         taken at (0 when the directory holds no snapshot yet — a cold
         start).  The snapshot must match the requested problem shape.
         """
+        # A durable snapshot holds (iteration, centroids) only — any
+        # in-memory bound state predates the restore and must not leak
+        # into the resumed trajectory (invariant: bounds invalidation).
+        self._pruned_bounds.invalidate()
         snapshot = load_checkpoint(self.checkpoints.directory)
         if snapshot is None:
             self.supervisor.record(

@@ -2,7 +2,7 @@
 
 Every executor funnels its nearest-centroid arithmetic through a
 :class:`KernelBackend`, decoupling *which distance formulation runs* from
-*how the partition charges modelled cost*.  Two backends ship:
+*how the partition charges modelled cost*.  Three backends ship:
 
 ``naive``
     The direct ``sum((x - c)^2)`` form, chunked — numerically identical to
@@ -17,10 +17,23 @@ Every executor funnels its nearest-centroid arithmetic through a
     For pure assignment the ``|x|^2`` term is a per-row constant and is
     dropped from the argmin entirely.
 
+``pruned``
+    The gemm formulation plus Hamerly-style triangle-inequality bounds
+    carried across iterations (:class:`~repro.core.bounds.BlockBounds`):
+    a point whose exact distance to its assigned centroid is provably
+    below both the half-separation of that centroid and the drifted
+    lower bound to the runner-up skips the k-wide sweep entirely, and
+    only the surviving candidates pay the blocked GEMM.  Bit-identical
+    to ``gemm`` — centroids, labels, and inertia — because every reported
+    distance comes from the same row-independent winner routine and
+    skipped points provably cannot change assignment.
+
 Backends are selected with ``HierarchicalKMeans(..., kernel="gemm")`` (or
-per-executor via ``Level3Executor(machine, kernel="gemm")``) and produce
-identical assignments on non-degenerate data; only the floating-point
-rounding of near-exact ties can differ between formulations.
+per-executor via ``Level3Executor(machine, kernel="gemm")``), with the
+``REPRO_KERNEL`` environment variable as the default when no explicit
+``kernel=`` is given, and produce identical assignments on non-degenerate
+data; only the floating-point rounding of near-exact ties can differ
+between formulations.
 """
 
 from __future__ import annotations
@@ -31,6 +44,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from ..analysis.envvars import ENV_KERNEL, read_str
 from ..errors import ConfigurationError
 from ._common import (
     DEFAULT_CHUNK_ELEMENTS,
@@ -41,7 +55,10 @@ from ._common import (
 )
 
 #: Names accepted by :func:`resolve_kernel`.
-KERNELS = ("naive", "gemm")
+KERNELS = ("naive", "gemm", "pruned")
+
+#: Environment variable consulted when no explicit ``kernel=`` is given.
+KERNEL_ENV = ENV_KERNEL.name
 
 
 class KernelBackend(ABC):
@@ -254,31 +271,183 @@ class GemmKernel(KernelBackend):
         np.maximum(d2, 0.0, out=d2)
         return d2
 
+    def _winner_sq_block(self, block: np.ndarray, C: np.ndarray,
+                         local: np.ndarray, ctx: object) -> np.ndarray:
+        """Exact squared distance of each row to its chosen centroid.
+
+        Deliberately *not* gathered from the GEMM result: a BLAS matmul
+        element can depend on the whole chunk's blocking, while this
+        einsum contraction reduces each row independently — so the pruned
+        kernel reproduces the value for any subset of rows (skipped
+        points, surviving candidates) bit-for-bit.
+        """
+        c_sq, _ = ctx
+        best = c_sq[local] - 2.0 * np.einsum("bd,bd->b", block, C[local])
+        best += np.einsum("bd,bd->b", block, block)
+        np.maximum(best, 0.0, out=best)
+        return best
+
     def _argmin_best_block(self, block: np.ndarray, C: np.ndarray,
                            ctx: object) -> Tuple[np.ndarray, np.ndarray]:
         # Argmin over the same partial form assign() uses — adding the
         # per-row |x|^2 and clamping first can flip near-exact ties — then
-        # materialise the full squared distance for the winner only.
+        # materialise the exact squared distance for the winner only, via
+        # the row-independent routine the pruned kernel shares.
         g = self._partial_block(block, C, ctx)
         local = np.argmin(g, axis=1)
-        best = g[np.arange(block.shape[0]), local]
-        best += np.einsum("bd,bd->b", block, block)
-        np.maximum(best, 0.0, out=best)
-        return local, best
+        return local, self._winner_sq_block(block, C, local, ctx)
 
 
-#: Anything :func:`resolve_kernel` accepts.
+#: One pruned block sweep: (labels, best_d2, sums, counts, lb, n_dist).
+PrunedSweep = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+                    np.ndarray, int]
+
+
+class PrunedKernel(GemmKernel):
+    """Gemm formulation plus per-block triangle-inequality pruning.
+
+    The stateless public API (``assign`` / ``assign_with_distances`` /
+    ``assign_accumulate`` / ``pairwise_sq``) is inherited from
+    :class:`GemmKernel` unchanged — without carried bounds there is
+    nothing to prune.  The two extra entry points implement the stateful
+    sweep the executors drive through
+    :class:`~repro.core.bounds.BlockBounds`:
+
+    ``establish``
+        A full gemm sweep that additionally derives, per sample, the
+        exact winning squared distance (via the row-independent winner
+        routine) and a lower bound on the runner-up distance from the
+        second-smallest partial.
+
+    ``assign_accumulate_pruned``
+        The bounded iteration.  Per chunk: refresh the exact assigned
+        distance only where the assigned centroid moved (``drift > 0`` —
+        unmoved centroids are bitwise unchanged, so the stored exact
+        value still holds), drift the lower bound by the worst centroid
+        movement, and run the k-wide GEMM only for candidates whose
+        upper bound fails Hamerly's test ``ub < max(s[a], lb)``.  Skipped
+        points provably keep their assignment, and every reported
+        distance comes from the shared winner routine, so labels, sums,
+        and inertia are bit-identical to the unpruned gemm sweep.
+
+    Both return the actual number of point-centroid distance evaluations
+    (``n_dist``) so the executors can charge the ledger for work done,
+    not work avoided.
+    """
+
+    name = "pruned"
+
+    def establish(self, X: np.ndarray, C: np.ndarray,
+                  chunk_elements: int = DEFAULT_CHUNK_ELEMENTS
+                  ) -> PrunedSweep:
+        """Full sweep that also establishes the bound state for a block."""
+        X, C = validate_data(X, C)
+        n, k = X.shape[0], C.shape[0]
+        rows = self.chunk_rows(n, k, X.shape[1], chunk_elements)
+        ctx = self._prepare(C, min(rows, n))
+        labels = np.empty(n, dtype=np.int64)
+        best = np.empty(n, dtype=X.dtype)
+        lb = np.empty(n, dtype=np.float64)
+        for lo, hi in chunk_ranges(n, rows):
+            block = X[lo:hi]
+            g = self._partial_block(block, C, ctx)
+            local = np.argmin(g, axis=1)
+            labels[lo:hi] = local
+            best[lo:hi] = self._winner_sq_block(block, C, local, ctx)
+            lb[lo:hi] = self._runnerup_lb(block, g, k)
+        sums, counts = accumulate(X, labels, k)
+        return labels, best, sums, counts, lb, n * k
+
+    def assign_accumulate_pruned(self, X: np.ndarray, C: np.ndarray,
+                                 labels_in: np.ndarray, d2_in: np.ndarray,
+                                 lb_in: np.ndarray, drift: np.ndarray,
+                                 s: np.ndarray,
+                                 chunk_elements: int = DEFAULT_CHUNK_ELEMENTS
+                                 ) -> PrunedSweep:
+        """One bounded sweep over a block with carried state.
+
+        Pure with respect to its inputs: the carried arrays are read
+        only, fresh outputs are returned — an engine-level task retry
+        re-runs from unpoisoned state.
+        """
+        X, C = validate_data(X, C)
+        n, k = X.shape[0], C.shape[0]
+        rows = self.chunk_rows(n, k, X.shape[1], chunk_elements)
+        ctx = self._prepare(C, min(rows, n))
+        labels = np.array(labels_in, copy=True)
+        d2 = np.array(d2_in, copy=True)
+        lb = lb_in - (drift.max() if k > 1 else 0.0)
+        n_dist = 0
+        for lo, hi in chunk_ranges(n, rows):
+            block = X[lo:hi]
+            chunk_labels = labels[lo:hi]
+            chunk_d2 = d2[lo:hi]
+            # Refresh the exact assigned distance only where the assigned
+            # centroid actually moved; an unmoved centroid is bitwise
+            # unchanged, so the stored exact value is still the exact
+            # current value.  (An exact zero test on the drift vector is
+            # intentional: it detects bitwise-identical centroids, not
+            # numerical closeness.)
+            moved = np.flatnonzero(drift[chunk_labels] > 0.0)
+            if moved.size:
+                chunk_d2[moved] = self._winner_sq_block(
+                    block[moved], C, chunk_labels[moved], ctx)
+                n_dist += int(moved.size)
+            # Hamerly's test on exact upper bounds: strict failure only —
+            # a point tied with its runner-up always stays a candidate,
+            # so tie-breaking matches the unpruned argmin exactly.
+            ub = np.sqrt(chunk_d2)
+            cand = np.flatnonzero(
+                ub >= np.maximum(s[chunk_labels], lb[lo:hi]))
+            if cand.size:
+                sub = block[cand]
+                g = self._partial_block(sub, C, ctx)
+                local = np.argmin(g, axis=1)
+                chunk_labels[cand] = local
+                chunk_d2[cand] = self._winner_sq_block(sub, C, local, ctx)
+                lb[lo:hi][cand] = self._runnerup_lb(sub, g, k)
+                n_dist += int(cand.size) * k
+        sums, counts = accumulate(X, labels, k)
+        return labels, d2, sums, counts, lb, n_dist
+
+    def _runnerup_lb(self, block: np.ndarray, g: np.ndarray,
+                     k: int) -> np.ndarray:
+        """Lower bound on the distance to the second-closest centroid.
+
+        Derived from the second-smallest entry of the partial form ``g``
+        (the same ordering the argmin used) plus the per-row ``|x|^2``.
+        With one centroid there is no runner-up: the bound is +inf and
+        the Hamerly test can never unskip anything.
+        """
+        if k <= 1:
+            return np.full(block.shape[0], np.inf)
+        second = np.partition(g, 1, axis=1)[:, 1]
+        lb_sq = second + np.einsum("bd,bd->b", block, block)
+        np.maximum(lb_sq, 0.0, out=lb_sq)
+        return np.sqrt(lb_sq)
+
+
+#: Anything :func:`resolve_kernel` accepts (None consults ``REPRO_KERNEL``).
 KernelLike = Union[str, KernelBackend]
 
 
-def resolve_kernel(kernel: KernelLike = "naive") -> KernelBackend:
-    """Turn a backend name (or a ready instance) into a :class:`KernelBackend`."""
+def resolve_kernel(kernel: Optional[KernelLike] = None) -> KernelBackend:
+    """Turn a backend name (or a ready instance) into a :class:`KernelBackend`.
+
+    ``kernel=None`` consults ``REPRO_KERNEL`` (default ``"naive"``);
+    empty or whitespace-only values count as unset, so CI matrices can
+    export empty strings on the legs that don't use the knob.
+    """
     if isinstance(kernel, KernelBackend):
         return kernel
+    if kernel is None:
+        kernel = read_str(ENV_KERNEL) or "naive"
     if kernel == "naive":
         return NaiveKernel()
     if kernel == "gemm":
         return GemmKernel()
+    if kernel == "pruned":
+        return PrunedKernel()
     raise ConfigurationError(
         f"kernel must be a KernelBackend instance or one of {KERNELS}, "
         f"got {kernel!r}"

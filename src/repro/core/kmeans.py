@@ -88,9 +88,16 @@ class HierarchicalKMeans:
         Seed for stochastic initialisation (restarts derive child seeds).
     kernel:
         Compute backend for the Assign arithmetic: ``"naive"`` (direct-form
-        distances, the fidelity reference) or ``"gemm"`` (blocked
+        distances, the fidelity reference), ``"gemm"`` (blocked
         ``|x|^2 - 2 X C^T + |c|^2`` — one BLAS matmul per block, the fast
-        production path).  See :mod:`repro.core.kernels`.
+        production path), or ``"pruned"`` (the gemm formulation plus
+        per-block triangle-inequality bounds carried across iterations —
+        bit-identical to ``"gemm"`` while skipping provably unchanged
+        assignments; bounds are invalidated on resume/replan).  Unset, the
+        ``REPRO_KERNEL`` environment variable is consulted, falling back
+        to ``"naive"``.  An environment-sourced non-naive kernel is
+        silently pinned back to naive on ``strict_cpe`` fidelity runs.
+        See :mod:`repro.core.kernels`.
     engine:
         Host execution engine for the numerics: ``"serial"`` (default),
         ``"thread"``, or ``"process"``.  ``"thread"`` maps per-block
@@ -179,7 +186,7 @@ class HierarchicalKMeans:
     def __init__(self, n_clusters: int, machine: Optional[Machine] = None,
                  level: Union[str, int] = "auto", init: Union[str, np.ndarray] = "kmeans++",
                  max_iter: int = 100, tol: float = 0.0, n_init: int = 1,
-                 seed: RngLike = None, kernel: KernelLike = "naive",
+                 seed: RngLike = None, kernel: Optional[KernelLike] = None,
                  engine: EngineLike = None, workers: Optional[int] = None,
                  reduce: ReduceLike = None,
                  model_costs: bool = True, faults=None,
@@ -223,6 +230,12 @@ class HierarchicalKMeans:
         # backend instance (with its scratch buffers) is shared by every
         # restart, executor, and predict() call.
         self.kernel = resolve_kernel(kernel)
+        if (kernel is None and executor_kwargs.get("strict_cpe")
+                and self.kernel.name != "naive"):
+            # Mirror the executor rule: an ambient REPRO_KERNEL default
+            # yields to strict-CPE fidelity (whose dataflow *is* the naive
+            # form); only an explicit non-naive kernel is an error there.
+            self.kernel = resolve_kernel("naive")
         # Same eager rule for the execution engine: bad names (or a
         # serial/workers conflict) fail here, and one engine instance is
         # shared by every restart and executor.

@@ -104,16 +104,23 @@ class Level1Executor(LevelExecutor):
         # topology whose schedule depends only on the unit layout, so the
         # result is engine-independent; labels scatter back in fixed unit
         # order.
-        x_ref = self.engine.share("X", X)
-        c_ref = self.engine.share("C", C)
-        token = kernel_token(self.kernel)
-        tasks = [FusedAssignTask(x_ref, c_ref, lo, hi, token)
-                 for lo, hi in plan.sample_blocks]
+        pruned = self.kernel.name == "pruned"
         topology = self.reduce.for_groups(
             [self._units_by_cg[cg] for cg in sorted(self._units_by_cg)])
-        merged, partials = self.engine.map_reduce(
-            fused_assign_block, tasks, topology=topology,
-            return_partials=True)
+        if pruned:
+            # Same block boundaries and topology; the tasks additionally
+            # carry the per-sample bound state (see executor_base).
+            merged, partials = self._pruned_map_reduce(
+                X, C, plan.sample_blocks, topology)
+        else:
+            x_ref = self.engine.share("X", X)
+            c_ref = self.engine.share("C", C)
+            token = kernel_token(self.kernel)
+            tasks = [FusedAssignTask(x_ref, c_ref, lo, hi, token)
+                     for lo, hi in plan.sample_blocks]
+            merged, partials = self.engine.map_reduce(
+                fused_assign_block, tasks, topology=topology,
+                return_partials=True)
         global_sums, global_counts = merged.sums, merged.counts
         scatter_labels(partials, assignments, best_d2)
         self._iter_inertia = float(best_d2.sum() / n)
@@ -130,11 +137,20 @@ class Level1Executor(LevelExecutor):
                     # Sample stream + per-iteration centroid refresh, per
                     # paper's Tread = (n*d/m + k*d)/B.
                     cg_bytes += (b * d + k * d) * item
+                    if pruned:
+                        # Charge the distance work actually performed
+                        # (scaled by the unit's evaluation count) plus 2
+                        # flops/sample of bound tests, so the cost model
+                        # sees the pruning win.  DMA is unchanged: the
+                        # block still streams in full for the Update
+                        # accumulation.
+                        flops = (3.0 * partials[unit].n_dist * d
+                                 + 2.0 * b + b * d)
+                    else:
+                        flops = float(distance_flops(b, k, d)
+                                      + b * d)  # accumulate adds
                     compute_times.append(self.compute.time_for_flops(
-                        distance_flops(b, k, d)
-                        + b * d,  # accumulate adds
-                        n_cpes=1,
-                    ))
+                        flops, n_cpes=1))
                 dma_times.append(self._dma.transfer_time(cg_bytes))
             self.charge_stream_phases("l1.assign", dma_times, compute_times)
 
@@ -170,6 +186,10 @@ class Level1Executor(LevelExecutor):
                                self.compute.time_for_flops(k * d, n_cpes=1))
         new_C = self.update_step(global_sums, global_counts, C,
                                  X=X, best_d2=best_d2)
+        if pruned:
+            # Last act of the iteration — after every fault-prone charge —
+            # so a faulted iteration never half-commits bound state.
+            self._commit_pruned_state(C, assignments, best_d2, partials)
         return assignments, new_C
 
 

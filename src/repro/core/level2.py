@@ -135,27 +135,34 @@ class Level2Executor(LevelExecutor):
         # operands travel by share()) return compact partials, merged in
         # fixed group order below, so the result is engine-independent;
         # labels scatter back in fixed group order.
-        x_ref = self.engine.share("X", X)
-        c_ref = self.engine.share("C", C)
-        if self.strict_cpe:
-            tasks: List[object] = [
-                StrictL2Task(x_ref, c_ref, lo, hi, k, plan.centroid_slices)
-                for lo, hi in plan.sample_blocks]
-            block_fn = strict_l2_block
-        else:
-            token = kernel_token(self.kernel)
-            tasks = [FusedAssignTask(x_ref, c_ref, lo, hi, token)
-                     for lo, hi in plan.sample_blocks]
-            block_fn = fused_assign_block
-
         # The merge mirrors the hardware hierarchy: partials reduce within
         # each CG first, then across CGs in sorted-CG order — a grouped
         # topology whose schedule depends only on the group layout.  The
         # per-group partials also feed the accumulate cost model below.
         topology = self.reduce.for_groups(
             [self._groups_by_cg[cg] for cg in sorted(self._groups_by_cg)])
-        merged, partials = self.engine.map_reduce(
-            block_fn, tasks, topology=topology, return_partials=True)
+        pruned = not self.strict_cpe and self.kernel.name == "pruned"
+        if pruned:
+            # Same block boundaries and topology; the tasks additionally
+            # carry the per-sample bound state (see executor_base).
+            merged, partials = self._pruned_map_reduce(
+                X, C, plan.sample_blocks, topology)
+        else:
+            x_ref = self.engine.share("X", X)
+            c_ref = self.engine.share("C", C)
+            if self.strict_cpe:
+                tasks: List[object] = [
+                    StrictL2Task(x_ref, c_ref, lo, hi, k,
+                                 plan.centroid_slices)
+                    for lo, hi in plan.sample_blocks]
+                block_fn = strict_l2_block
+            else:
+                token = kernel_token(self.kernel)
+                tasks = [FusedAssignTask(x_ref, c_ref, lo, hi, token)
+                         for lo, hi in plan.sample_blocks]
+                block_fn = fused_assign_block
+            merged, partials = self.engine.map_reduce(
+                block_fn, tasks, topology=topology, return_partials=True)
         global_sums, global_counts = merged.sums, merged.counts
         scatter_labels(partials, assignments, best_d2)
         self._iter_inertia = float(best_d2.sum() / n)
@@ -177,8 +184,17 @@ class Level2Executor(LevelExecutor):
                     cg_bytes += (b * d * plan.mgroup) * item \
                         + plan.mgroup * plan.cent_traffic_bytes_per_cpe()
                     # Member CPEs work concurrently, each over its slice.
+                    if pruned:
+                        # The group's actual evaluations split over the
+                        # mgroup slice owners; each pays its widest-slice
+                        # share plus 2 flops/sample of bound tests.  DMA
+                        # is unchanged: the block still streams in full.
+                        flops = (3.0 * partials[g].n_dist * d
+                                 * widest_slice / k + 2.0 * b)
+                    else:
+                        flops = float(distance_flops(b, widest_slice, d))
                     compute_times.append(self.compute.time_for_flops(
-                        distance_flops(b, widest_slice, d), n_cpes=1))
+                        flops, n_cpes=1))
                     # Accumulation load per member = samples assigned to its
                     # slice; the critical path is the most loaded member.
                     counts = partials[g].counts
@@ -229,6 +245,10 @@ class Level2Executor(LevelExecutor):
                                                            n_cpes=1))
         new_C = self.update_step(global_sums, global_counts, C,
                                  X=X, best_d2=best_d2)
+        if pruned:
+            # Last act of the iteration — after every fault-prone charge —
+            # so a faulted iteration never half-commits bound state.
+            self._commit_pruned_state(C, assignments, best_d2, partials)
         return assignments, new_C
 
 

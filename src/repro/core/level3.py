@@ -157,25 +157,32 @@ class Level3Executor(LevelExecutor):
         # operands travel by share()) return compact partials that merge
         # in fixed group order below, so the result is engine-independent;
         # labels scatter back in fixed group order.
-        x_ref = self.engine.share("X", X)
-        c_ref = self.engine.share("C", C)
-        if self.strict_cpe:
-            tasks: List[object] = [
-                StrictL3Task(x_ref, c_ref, lo, hi, k,
-                             plan.centroid_slices, plan.dim_slices)
-                for lo, hi in plan.sample_blocks]
-            block_fn = strict_l3_block
+        pruned = not self.strict_cpe and self.kernel.name == "pruned"
+        if pruned:
+            # Same block boundaries and topology; the tasks additionally
+            # carry the per-sample bound state (see executor_base).
+            merged, partials = self._pruned_map_reduce(
+                X, C, plan.sample_blocks)
         else:
-            token = kernel_token(self.kernel)
-            tasks = [FusedAssignTask(x_ref, c_ref, lo, hi, token)
-                     for lo, hi in plan.sample_blocks]
-            block_fn = fused_assign_block
-
-        # The merge runs under the executor's reduction topology (schedule
-        # a pure function of the group count, so engine-independent); the
-        # per-group partials also feed the accumulate cost model below.
-        merged, partials = self.engine.map_reduce(
-            block_fn, tasks, topology=self.reduce, return_partials=True)
+            x_ref = self.engine.share("X", X)
+            c_ref = self.engine.share("C", C)
+            if self.strict_cpe:
+                tasks: List[object] = [
+                    StrictL3Task(x_ref, c_ref, lo, hi, k,
+                                 plan.centroid_slices, plan.dim_slices)
+                    for lo, hi in plan.sample_blocks]
+                block_fn = strict_l3_block
+            else:
+                token = kernel_token(self.kernel)
+                tasks = [FusedAssignTask(x_ref, c_ref, lo, hi, token)
+                         for lo, hi in plan.sample_blocks]
+                block_fn = fused_assign_block
+            # The merge runs under the executor's reduction topology
+            # (schedule a pure function of the group count, so
+            # engine-independent); the per-group partials also feed the
+            # accumulate cost model below.
+            merged, partials = self.engine.map_reduce(
+                block_fn, tasks, topology=self.reduce, return_partials=True)
         global_sums, global_counts = merged.sums, merged.counts
         scatter_labels(partials, assignments, best_d2)
         self._iter_inertia = float(best_d2.sum() / n)
@@ -199,8 +206,18 @@ class Level3Executor(LevelExecutor):
                 dma_times.append(self._dma.transfer_time(cg_bytes))
                 # Each CPE covers (its dim slice) x (the CG's centroid
                 # slice).
+                if pruned:
+                    # The group's actual evaluations split over the member
+                    # CGs' centroid slices and each CG's dimension slices;
+                    # each CPE pays its widest share plus 2 flops/sample
+                    # of bound tests.  DMA is unchanged: the block still
+                    # streams in full for the Update accumulation.
+                    flops = (3.0 * partials[g].n_dist * widest_d
+                             * widest_k / k + 2.0 * b)
+                else:
+                    flops = float(distance_flops(b, widest_k, widest_d))
                 compute_times.append(self.compute.time_for_flops(
-                    distance_flops(b, widest_k, widest_d), n_cpes=1))
+                    flops, n_cpes=1))
                 # MINLOC across the group's CGs: (distance, index) per
                 # sample.
                 minloc_times.append(
@@ -251,6 +268,10 @@ class Level3Executor(LevelExecutor):
                                    widest_k * widest_d, n_cpes=1))
         new_C = self.update_step(global_sums, global_counts, C,
                                  X=X, best_d2=best_d2)
+        if pruned:
+            # Last act of the iteration — after every fault-prone charge —
+            # so a faulted iteration never half-commits bound state.
+            self._commit_pruned_state(C, assignments, best_d2, partials)
         return assignments, new_C
 
 

@@ -32,6 +32,7 @@ import numpy as np
 from ..machine.machine import Machine
 from ..runtime.compute import distance_flops
 from .block_tasks import AccumulateTask, accumulate_block
+from .bounds import apply_hamerly_drift, centroid_drift, centroid_separation
 from .level3 import Level3Executor
 from .result import KMeansResult
 
@@ -53,7 +54,10 @@ class Level3BoundedExecutor(Level3Executor):
     def _reset_state_after_replan(self) -> None:
         # The restored checkpoint invalidates the persistent Hamerly state:
         # bounds drifted against centroids that no longer exist would be
-        # unsound, so the next iterate re-establishes them exactly.
+        # unsound, so the next iterate re-establishes them exactly.  The
+        # base class invalidates the pruned kernel's bound state the same
+        # way.
+        super()._reset_state_after_replan()
         self._ub = None
         self._lb = None
         self._assignments = None
@@ -74,13 +78,10 @@ class Level3BoundedExecutor(Level3Executor):
     def _candidate_mask(self, C: np.ndarray) -> np.ndarray:
         """Samples whose assignment might change this iteration."""
         assert self._ub is not None and self._lb is not None
-        k = C.shape[0]
-        if k > 1:
-            cc = np.sqrt(np.maximum(self.kernel.pairwise_sq(C, C), 0.0))
-            np.fill_diagonal(cc, np.inf)
-            s = 0.5 * cc.min(axis=1)
-        else:
-            s = np.zeros(1)
+        # The kernel's pairwise form keeps this executor's historical
+        # separation values bit-for-bit (the shared helper's default is
+        # the direct form).
+        _, s = centroid_separation(C, sq=self.kernel.pairwise_sq)
         threshold = np.maximum(s[self._assignments], self._lb)
         return self._ub > threshold
 
@@ -99,10 +100,9 @@ class Level3BoundedExecutor(Level3Executor):
                          if k > 1 else np.inf)
 
     def _drift_bounds(self, old_C: np.ndarray, new_C: np.ndarray) -> None:
-        drift = np.sqrt(np.maximum(((new_C - old_C) ** 2).sum(axis=1), 0.0))
-        self._ub += drift[self._assignments]
-        if new_C.shape[0] > 1:
-            self._lb -= drift.max()
+        apply_hamerly_drift(self._ub, self._lb,
+                            centroid_drift(old_C, new_C),
+                            self._assignments)
 
     # -- one iteration ------------------------------------------------------------
 

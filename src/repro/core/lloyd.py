@@ -28,6 +28,7 @@ from ..runtime.reduce import (
     ReduceLike,
     ReduceTopology,
     resolve_reduce,
+    scatter_bounds,
     scatter_labels,
 )
 from ..runtime.supervisor import SupervisorLike, resolve_supervisor
@@ -39,9 +40,16 @@ from ._common import (
     update_centroids,
     validate_data,
 )
-from .block_tasks import FusedAssignTask, fused_assign_block, kernel_token
+from .block_tasks import (
+    FusedAssignTask,
+    build_pruned_tasks,
+    fused_assign_block,
+    kernel_token,
+    pruned_assign_block,
+)
+from .bounds import BlockBounds
 from .checkpoint import CheckpointConfig, CheckpointStore, load_checkpoint
-from .kernels import KernelBackend, KernelLike, resolve_kernel
+from .kernels import KernelBackend, KernelLike, PrunedKernel, resolve_kernel
 from .result import IterationStats, KMeansResult
 
 
@@ -78,9 +86,39 @@ def _fused_step(X: np.ndarray, C: np.ndarray, backend: KernelBackend,
     return assignments, best_d2, merged.sums, merged.counts
 
 
+def _pruned_step(X: np.ndarray, C: np.ndarray, backend: PrunedKernel,
+                 chunk_elements: int, engine,
+                 topology: Optional[ReduceTopology],
+                 bounds: BlockBounds
+                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One bounds-carrying Assign+Accumulate pass (``kernel="pruned"``).
+
+    Shard boundaries, reduction topology, and scatter order are identical
+    to :func:`_fused_step`, so the outputs are bit-identical to the gemm
+    sweep; only the work per shard shrinks as the bounds tighten.  The
+    fresh per-sample state is committed before returning — level 0 has no
+    fault loop, so there is no half-commit hazard here.
+    """
+    n, k = X.shape[0], C.shape[0]
+    rows = backend.chunk_rows(n, k, X.shape[1], chunk_elements)
+    assignments = np.empty(n, dtype=np.int64)
+    best_d2 = np.empty(n, dtype=X.dtype)
+    lb = np.empty(n, dtype=np.float64)
+    tasks = build_pruned_tasks(engine, backend, X, C,
+                               list(chunk_ranges(n, rows)), bounds,
+                               chunk_elements=chunk_elements)
+    merged, partials = engine.map_reduce(pruned_assign_block, tasks,
+                                         topology=topology,
+                                         return_partials=True)
+    scatter_labels(partials, assignments, best_d2)
+    scatter_bounds(partials, lb)
+    bounds.commit(C, assignments, best_d2, lb)
+    return assignments, best_d2, merged.sums, merged.counts
+
+
 def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
           tol: float = 0.0, chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
-          kernel: KernelLike = "naive", engine: EngineLike = None,
+          kernel: Optional[KernelLike] = None, engine: EngineLike = None,
           workers: Optional[int] = None, reduce: ReduceLike = None,
           empty_action: str = "keep",
           deadline_s: Optional[float] = None,
@@ -105,8 +143,11 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
     chunk_elements:
         Bound on the transient distance-matrix working set.
     kernel:
-        Compute backend for the Assign step ("naive" or "gemm"; see
-        :mod:`repro.core.kernels`).
+        Compute backend for the Assign step ("naive", "gemm", or
+        "pruned"; see :mod:`repro.core.kernels`).  None consults
+        ``REPRO_KERNEL``.  The pruned backend carries per-sample bounds
+        across iterations (invalidated on resume) and is bit-identical
+        to "gemm".
     engine:
         Host execution engine ("serial" or "thread"; see
         :mod:`repro.runtime.engine`).  Shards the fused Assign+Accumulate
@@ -197,6 +238,11 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
             )
     if start_iteration == 0:
         checkpoints.save_initial(C)
+    # Pruned bound state is created *after* any resume restore: the carrier
+    # starts invalid, so the first (possibly resumed) iteration establishes
+    # the bounds from scratch — nothing stale survives a restart (D107).
+    pruned_bounds = (BlockBounds() if isinstance(backend, PrunedKernel)
+                     else None)
 
     run_supervisor.start()
     history: List[IterationStats] = []
@@ -206,8 +252,13 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
     shift = np.inf
     for it in range(start_iteration + 1, max_iter + 1):
         run_supervisor.begin_iteration(it)
-        new_assignments, best_d2, sums, counts = _fused_step(
-            X, C, backend, chunk_elements, exec_engine, topology)
+        if isinstance(backend, PrunedKernel) and pruned_bounds is not None:
+            new_assignments, best_d2, sums, counts = _pruned_step(
+                X, C, backend, chunk_elements, exec_engine, topology,
+                pruned_bounds)
+        else:
+            new_assignments, best_d2, sums, counts = _fused_step(
+                X, C, backend, chunk_elements, exec_engine, topology)
         new_C = update_centroids(sums, counts, C,
                                  empty_action=empty_action,
                                  X=X, best_d2=best_d2)
@@ -281,7 +332,7 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
 
 def lloyd_single_iteration(X: np.ndarray, centroids: np.ndarray,
                            chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
-                           kernel: KernelLike = "naive",
+                           kernel: Optional[KernelLike] = None,
                            ) -> tuple[np.ndarray, np.ndarray]:
     """One Assign+Update step; returns (assignments, new_centroids).
 

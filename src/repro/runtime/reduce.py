@@ -232,6 +232,56 @@ class BlockPartial:
                 f"sums={self.sums.shape}, counts={self.counts.shape})")
 
 
+class PrunedPartial(BlockPartial):
+    """A :class:`BlockPartial` extended with the pruned kernel's extras.
+
+    Adds the block's fresh lower bounds ``lb`` (scattered back to the
+    full-length array by :func:`scatter_bounds`, exactly like labels) and
+    ``n_dist`` — the actual number of point-centroid distance evaluations
+    the block performed, which survives the reduction as a plain sum so
+    the executors can charge the ledger for work *done* under pruning.
+    ``combine`` inherits the label-dropping contract of the base class and
+    drops ``lb`` for the same reason: per-sample payloads are recovered
+    from the unreduced partials list, never concatenated up the tree.
+    """
+
+    __slots__ = ("lb", "n_dist")
+
+    def __init__(self, sums: np.ndarray, counts: np.ndarray, lo: int,
+                 hi: int, labels: Optional[np.ndarray] = None,
+                 best_d2: Optional[np.ndarray] = None,
+                 lb: Optional[np.ndarray] = None,
+                 n_dist: int = 0) -> None:
+        super().__init__(sums, counts, lo, hi, labels, best_d2)
+        self.lb = lb
+        self.n_dist = int(n_dist)
+
+    def combine(self, other: "BlockPartial") -> "PrunedPartial":
+        return PrunedPartial(
+            self.sums + other.sums,
+            self.counts + other.counts,
+            min(self.lo, other.lo),
+            max(self.hi, other.hi),
+            n_dist=self.n_dist + getattr(other, "n_dist", 0),
+        )
+
+    def __repr__(self) -> str:
+        return (f"PrunedPartial([{self.lo}, {self.hi}), "
+                f"n_dist={self.n_dist})")
+
+
+def scatter_bounds(partials: Sequence["PrunedPartial"],
+                   lb: np.ndarray) -> None:
+    """Write each pruned partial's lower bounds into the full-length array.
+
+    The bounds counterpart of :func:`scatter_labels`: fixed submission
+    order, disjoint slice assignment, engine- and worker-count-independent.
+    """
+    for p in partials:
+        if p.lb is not None:
+            lb[p.lo:p.hi] = p.lb
+
+
 def scatter_labels(partials: Sequence["BlockPartial"],
                    assignments: np.ndarray,
                    best_d2: Optional[np.ndarray] = None) -> None:

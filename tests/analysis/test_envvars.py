@@ -86,6 +86,7 @@ def test_consumers_still_alias_the_registry():
     # The legacy *_ENV module constants must stay bound to the registry so
     # existing tests and scripts keep working.
     from repro.core.checkpoint import CHECKPOINT_DIR_ENV
+    from repro.core.kernels import KERNEL_ENV
     from repro.runtime.chaos import CHAOS_ENV
     from repro.runtime.engine import (
         ENGINE_ENV,
@@ -99,5 +100,5 @@ def test_consumers_still_alias_the_registry():
 
     aliased = {ENGINE_ENV, WORKERS_ENV, TASK_RETRIES_ENV, TASK_TIMEOUT_ENV,
                DEADLINE_ENV, CHAOS_ENV, CHECKPOINT_DIR_ENV, REDUCE_ENV,
-               HEARTBEAT_ENV}
+               HEARTBEAT_ENV, KERNEL_ENV}
     assert aliased == set(REGISTRY)

@@ -273,6 +273,75 @@ class TestD106:
 
 
 # ---------------------------------------------------------------------------
+# D107 stale bounds after checkpoint restore
+# ---------------------------------------------------------------------------
+
+class TestD107:
+    def test_flags_bounds_read_after_restore(self):
+        src = """
+        def recover(self, X, C):
+            checkpoint = self.checkpoints.restore()
+            return build_tasks(self.engine, X, C, self._pruned_bounds)
+        """
+        assert findings_for(src, CORE, "D107")
+
+    def test_flags_bounds_read_after_load_checkpoint(self):
+        src = """
+        def resume(self, directory, X, C):
+            snapshot = load_checkpoint(directory)
+            if self._pruned_bounds.valid:
+                return self._pruned_bounds.labels
+            return None
+        """
+        assert findings_for(src, CORE, "D107")
+
+    def test_accepts_invalidate_between_restore_and_read(self):
+        src = """
+        def recover(self, X, C):
+            checkpoint = self.checkpoints.restore()
+            self._pruned_bounds.invalidate()
+            return build_tasks(self.engine, X, C, self._pruned_bounds)
+        """
+        assert_clean(src, CORE, "D107")
+
+    def test_accepts_reset_hook_between_restore_and_read(self):
+        src = """
+        def recover(self, X, C):
+            checkpoint = self.checkpoints.restore()
+            self._reset_state_after_replan()
+            return build_tasks(self.engine, X, C, self._pruned_bounds)
+        """
+        assert_clean(src, CORE, "D107")
+
+    def test_accepts_carrier_rebuilt_after_restore(self):
+        src = """
+        def resume(self, directory, X, C):
+            snapshot = load_checkpoint(directory)
+            pruned_bounds = BlockBounds()
+            return build_tasks(self.engine, X, C, pruned_bounds)
+        """
+        assert_clean(src, CORE, "D107")
+
+    def test_accepts_read_before_restore(self):
+        src = """
+        def snapshot_then_restore(self):
+            labels = self._pruned_bounds.labels
+            checkpoint = self.checkpoints.restore()
+            self._pruned_bounds.invalidate()
+            return labels
+        """
+        assert_clean(src, CORE, "D107")
+
+    def test_out_of_scope_module_is_ignored(self):
+        src = """
+        def recover(self):
+            checkpoint = self.checkpoints.restore()
+            return self._pruned_bounds.labels
+        """
+        assert_clean(src, "benchmarks/bench_engine.py", "D107")
+
+
+# ---------------------------------------------------------------------------
 # L201 ledger charge inside an engine task
 # ---------------------------------------------------------------------------
 
@@ -650,7 +719,7 @@ def test_rule_ids_are_unique_and_stable():
     ids = [r.id for r in rules]
     assert len(ids) == len(set(ids))
     # The documented catalogue: removing a rule is an API break.
-    assert {"D101", "D102", "D103", "D104", "D105", "D106",
+    assert {"D101", "D102", "D103", "D104", "D105", "D106", "D107",
             "L201", "L202", "C301", "C302",
             "E401", "E402", "E403", "E404", "T501"} <= set(ids)
 

@@ -18,6 +18,7 @@ from repro.core.kernels import (
     GemmKernel,
     KernelBackend,
     NaiveKernel,
+    PrunedKernel,
     resolve_kernel,
 )
 from repro.core.kmeans import HierarchicalKMeans
@@ -136,15 +137,28 @@ class TestBackendParity:
     def test_resolve_kernel(self):
         assert resolve_kernel("naive").name == "naive"
         assert resolve_kernel("gemm").name == "gemm"
+        assert resolve_kernel("pruned").name == "pruned"
         inst = GemmKernel()
         assert resolve_kernel(inst) is inst
         with pytest.raises(ConfigurationError, match="kernel"):
             resolve_kernel("blas3000")
-        assert set(KERNELS) == {"naive", "gemm"}
+        assert set(KERNELS) == {"naive", "gemm", "pruned"}
+
+    def test_resolve_kernel_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert resolve_kernel(None).name == "naive"
+        monkeypatch.setenv("REPRO_KERNEL", "pruned")
+        assert resolve_kernel(None).name == "pruned"
+        # Explicit arguments win over the environment.
+        assert resolve_kernel("gemm").name == "gemm"
+        monkeypatch.setenv("REPRO_KERNEL", "blas3000")
+        with pytest.raises(ConfigurationError, match="kernel"):
+            resolve_kernel(None)
 
     def test_backends_are_kernel_backends(self):
         assert isinstance(NaiveKernel(), KernelBackend)
         assert isinstance(GemmKernel(), KernelBackend)
+        assert isinstance(PrunedKernel(), GemmKernel)
 
 
 # ---------------------------------------------------------------------------

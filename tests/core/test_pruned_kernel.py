@@ -1,0 +1,491 @@
+"""``kernel="pruned"``: exact Hamerly-bounded pruning, bit-identical to gemm.
+
+The non-negotiable contract of the pruned backend: centroids, labels,
+inertia, and fault/chaos replays are **bitwise** identical to
+``kernel="gemm"`` — across engines, worker counts, reduce topologies,
+adversarial ties, checkpoint resumes, replans, and rollbacks.  Pruning is
+allowed to change exactly one observable: how many distance evaluations
+the ledger charges for.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.bounds import BlockBounds, centroid_drift, centroid_separation
+from repro.core.checkpoint import CHECKPOINT_FILENAME
+from repro.core.kernels import GemmKernel, PrunedKernel, resolve_kernel
+from repro.core.kmeans import HierarchicalKMeans
+from repro.core.lloyd import lloyd
+from repro.core._common import update_centroids
+from repro.data.synthetic import gaussian_blobs
+from repro.errors import ConfigurationError, ConvergenceWarning
+from repro.machine.machine import toy_machine
+from repro.runtime.chaos import ChaosInjector, ChaosPlan, ChaosSpec
+from repro.runtime.engine import SerialEngine
+from repro.runtime.faults import FaultPlan, FaultSpec
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return toy_machine(n_nodes=2, cgs_per_node=2, mesh=4,
+                       ldm_bytes=16 * 1024)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    X, _ = gaussian_blobs(n=1200, k=8, d=10, seed=5)
+    C0 = np.array(X[:8], copy=True)
+    return X, C0
+
+
+def _assert_same_result(a, b):
+    np.testing.assert_array_equal(a.centroids, b.centroids)
+    np.testing.assert_array_equal(a.assignments, b.assignments)
+    assert a.inertia == b.inertia
+    assert a.n_iter == b.n_iter
+    assert a.converged == b.converged
+    assert [s.inertia for s in a.history] == [s.inertia for s in b.history]
+    assert [s.centroid_shift for s in a.history] \
+        == [s.centroid_shift for s in b.history]
+
+
+def _assert_same_final(a, b):
+    """Final-state equality only: resumed runs truncate ``history``."""
+    np.testing.assert_array_equal(a.centroids, b.centroids)
+    np.testing.assert_array_equal(a.assignments, b.assignments)
+    assert a.inertia == b.inertia
+    assert a.n_iter == b.n_iter
+    assert a.converged == b.converged
+
+
+# ---------------------------------------------------------------------------
+# Kernel primitives
+# ---------------------------------------------------------------------------
+
+class TestKernelPrimitives:
+    def test_winner_sq_block_is_row_independent(self):
+        # The whole bit-identity argument rests on this: evaluating the
+        # winner distance for a subset of rows must give bitwise the same
+        # floats as evaluating it inside the full block.
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(257, 13))
+        C = rng.normal(size=(9, 13))
+        kernel = PrunedKernel()
+        ctx = kernel._prepare(C, X.shape[0])
+        local = rng.integers(0, 9, size=257)
+        full = kernel._winner_sq_block(X, C, local, ctx)
+        subset = rng.choice(257, size=61, replace=False)
+        part = kernel._winner_sq_block(X[subset], C, local[subset], ctx)
+        np.testing.assert_array_equal(full[subset], part)
+
+    def test_establish_matches_gemm_sweep(self, workload):
+        X, C0 = workload
+        gemm, pruned = GemmKernel(), PrunedKernel()
+        g_labels, g_d2, g_sums, g_counts = gemm.assign_accumulate(X, C0)
+        p_labels, p_d2, p_sums, p_counts, lb, n_dist = pruned.establish(X, C0)
+        np.testing.assert_array_equal(g_labels, p_labels)
+        np.testing.assert_array_equal(g_d2, p_d2)
+        np.testing.assert_array_equal(g_sums, p_sums)
+        np.testing.assert_array_equal(g_counts, p_counts)
+        assert n_dist == X.shape[0] * C0.shape[0]
+        assert np.all(lb >= 0.0)
+
+    def test_pruned_steps_match_gemm_and_prune(self, workload):
+        # Walk one Lloyd trajectory with both kernels in lock-step; every
+        # iteration must agree bitwise, and the evaluation count must fall
+        # below the dense n*k once the centroids settle.
+        X, C = workload
+        n, k = X.shape[0], C.shape[0]
+        gemm, pruned = GemmKernel(), PrunedKernel()
+        labels, d2, sums, counts, lb, n_dist = pruned.establish(X, C)
+        evals = [n_dist]
+        anchor = np.array(C, copy=True)
+        C = update_centroids(sums, counts, C)
+        for _ in range(12):
+            g_labels, g_d2, g_sums, g_counts = gemm.assign_accumulate(X, C)
+            drift = centroid_drift(anchor, C)
+            _, s = centroid_separation(C)
+            labels, d2, sums, counts, lb, n_dist = \
+                pruned.assign_accumulate_pruned(X, C, labels, d2, lb,
+                                                drift, s)
+            np.testing.assert_array_equal(g_labels, labels)
+            np.testing.assert_array_equal(g_d2, d2)
+            np.testing.assert_array_equal(g_sums, sums)
+            np.testing.assert_array_equal(g_counts, counts)
+            evals.append(n_dist)
+            anchor = np.array(C, copy=True)
+            C = update_centroids(sums, counts, C)
+        assert evals[0] == n * k
+        assert evals[-1] < n * k  # bounds actually pruned work
+
+    def test_single_centroid_edge(self):
+        X = np.arange(40, dtype=np.float64).reshape(20, 2)
+        C = np.array([[3.0, 4.0]])
+        pruned = PrunedKernel()
+        labels, d2, sums, counts, lb, n_dist = pruned.establish(X, C)
+        assert np.all(labels == 0)
+        assert np.all(np.isinf(lb))  # no runner-up exists
+        drift = np.zeros(1)
+        _, s = centroid_separation(C)
+        out = pruned.assign_accumulate_pruned(X, C, labels, d2, lb, drift, s)
+        np.testing.assert_array_equal(out[0], labels)
+        np.testing.assert_array_equal(out[1], d2)
+
+
+# ---------------------------------------------------------------------------
+# lloyd (level 0) parity
+# ---------------------------------------------------------------------------
+
+class TestLloydParity:
+    @pytest.mark.parametrize("engine,workers", [
+        ("serial", None), ("thread", 4), ("process", 2),
+    ])
+    def test_bit_identical_to_gemm(self, workload, engine, workers):
+        X, C0 = workload
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            ref = lloyd(X, C0, max_iter=25, kernel="gemm")
+            out = lloyd(X, C0, max_iter=25, kernel="pruned",
+                        engine=engine, workers=workers)
+        _assert_same_result(ref, out)
+
+    def test_env_default_selects_pruned(self, workload, monkeypatch):
+        X, C0 = workload
+        monkeypatch.setenv("REPRO_KERNEL", "pruned")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            ref = lloyd(X, C0, max_iter=10, kernel="gemm")
+            out = lloyd(X, C0, max_iter=10)  # kernel=None -> env
+        _assert_same_result(ref, out)
+
+
+# ---------------------------------------------------------------------------
+# Executor (levels 1-3) parity across engines and reduce topologies
+# ---------------------------------------------------------------------------
+
+def _fit(machine, level, kernel, engine=None, workers=None, reduce=None,
+         max_iter=25, n=1200, k=8, d=10, **kwargs):
+    X, _ = gaussian_blobs(n=n, k=k, d=d, seed=5)
+    model = HierarchicalKMeans(
+        k, machine=machine, level=level, seed=3, max_iter=max_iter,
+        kernel=kernel, engine=engine, workers=workers, reduce=reduce,
+        **kwargs)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        return model.fit(X)
+
+
+class TestExecutorParity:
+    @pytest.mark.parametrize("level", [1, 2, 3])
+    @pytest.mark.parametrize("engine,workers,reduce", [
+        ("serial", None, "serial"),
+        ("thread", 4, "tree"),
+        ("process", 2, "serial"),
+    ])
+    def test_bit_identical_to_gemm(self, machine, level, engine, workers,
+                                   reduce):
+        # The reference runs under the *same* engine and reduce topology:
+        # the reduce schedule legitimately changes summation order, and
+        # the pruned kernel must be a no-op relative to gemm within any
+        # one configuration.
+        ref = _fit(machine, level, "gemm", engine=engine, workers=workers,
+                   reduce=reduce)
+        out = _fit(machine, level, "pruned", engine=engine, workers=workers,
+                   reduce=reduce)
+        _assert_same_result(ref, out)
+
+    @pytest.mark.parametrize("level", [1, 2, 3])
+    def test_ledger_charges_actual_evaluations(self, machine, level):
+        # Pruned iterations cost fewer modelled compute seconds once the
+        # bounds bite; everything non-compute is charged identically.
+        ref = _fit(machine, level, "gemm")
+        out = _fit(machine, level, "pruned")
+        ref_cats = ref.ledger.total_by_category()
+        out_cats = out.ledger.total_by_category()
+        assert out_cats["compute"] < ref_cats["compute"]
+        for category in ref_cats:
+            if category != "compute":
+                assert out_cats[category] == ref_cats[category]
+
+    def test_evals_per_iteration_shrink(self, machine):
+        X, _ = gaussian_blobs(n=1200, k=8, d=10, seed=5)
+        from repro.core.level1 import Level1Executor
+        executor = Level1Executor(machine, kernel="pruned")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            executor.run(X, np.array(X[:8], copy=True), max_iter=25, tol=0.0)
+        evals = executor.pruned_evals_per_iteration
+        assert evals[0] == 1200 * 8  # establishment sweep is dense
+        assert min(evals) < 1200 * 8
+        assert evals[-1] <= evals[0]
+
+    def test_strict_cpe_with_explicit_pruned_raises(self, machine):
+        with pytest.raises(ConfigurationError, match="strict_cpe"):
+            _fit(machine, 2, "pruned", strict_cpe=True, max_iter=3)
+
+    def test_strict_cpe_pins_env_kernel_to_naive(self, machine, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "pruned")
+        ref = _fit(machine, 2, "naive", strict_cpe=True, max_iter=5)
+        out = _fit(machine, 2, None, strict_cpe=True, max_iter=5)
+        _assert_same_result(ref, out)
+
+
+# ---------------------------------------------------------------------------
+# Adversarial ties
+# ---------------------------------------------------------------------------
+
+class TestAdversarialTies:
+    def test_equidistant_points_keep_argmin_tie_rule(self):
+        # Integer coordinates: every distance is exact in float64, so a
+        # tie is a true bitwise tie and the lowest-index rule must win in
+        # both kernels.  Points at x=1 are exactly equidistant from the
+        # centroids at x=0 and x=2; the skewed tail keeps the run moving
+        # for several iterations.
+        tied = np.array([[1.0, float(y)] for y in range(24)])
+        anchors = np.array([[0.0, float(y)] for y in range(24)])
+        far = np.array([[2.0, float(y)] for y in range(0, 48, 2)])
+        X = np.vstack([tied, anchors, far])
+        C0 = np.array([[0.0, 0.0], [2.0, 0.0], [1.0, 40.0]])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            ref = lloyd(X, C0, max_iter=20, kernel="gemm")
+            out = lloyd(X, C0, max_iter=20, kernel="pruned")
+        _assert_same_result(ref, out)
+
+    def test_duplicate_centroids_tie(self):
+        # Duplicated centroids are the hardest tie: distance differences
+        # are exactly 0.0 for every sample, and drift of the loser is 0.
+        rng = np.random.default_rng(2)
+        X = rng.integers(-8, 8, size=(300, 4)).astype(np.float64)
+        C0 = np.array(X[:5], copy=True)
+        C0[3] = C0[0]  # exact duplicate
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            ref = lloyd(X, C0, max_iter=15, kernel="gemm")
+            out = lloyd(X, C0, max_iter=15, kernel="pruned")
+        _assert_same_result(ref, out)
+
+    def test_integer_lattice_executor_parity(self, machine):
+        rng = np.random.default_rng(9)
+        X = rng.integers(0, 4, size=(600, 3)).astype(np.float64)
+        model_kwargs = dict(machine=machine, level=1, seed=1, max_iter=20)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            ref = HierarchicalKMeans(6, kernel="gemm", **model_kwargs).fit(X)
+            out = HierarchicalKMeans(6, kernel="pruned",
+                                     **model_kwargs).fit(X)
+        _assert_same_result(ref, out)
+
+
+# ---------------------------------------------------------------------------
+# Property-based bit-invariance
+# ---------------------------------------------------------------------------
+
+class TestHypothesisInvariance:
+    @given(n=st.integers(20, 300), k=st.integers(1, 12),
+           d=st.integers(1, 16), seed=st.integers(0, 2**16),
+           engine_workers=st.sampled_from([("serial", None), ("thread", 2),
+                                           ("thread", 4)]))
+    @settings(max_examples=25, deadline=None)
+    def test_lloyd_pruned_equals_gemm(self, n, k, d, seed, engine_workers):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, d))
+        C0 = np.array(X[:k], copy=True)
+        engine, workers = engine_workers
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            ref = lloyd(X, C0, max_iter=8, kernel="gemm")
+            out = lloyd(X, C0, max_iter=8, kernel="pruned",
+                        engine=engine, workers=workers)
+        np.testing.assert_array_equal(ref.centroids, out.centroids)
+        np.testing.assert_array_equal(ref.assignments, out.assignments)
+        assert ref.inertia == out.inertia
+
+
+# ---------------------------------------------------------------------------
+# Faults, chaos, and recovery: replays stay identical, bounds invalidate
+# ---------------------------------------------------------------------------
+
+class TestFaultAndChaosParity:
+    def _fault_fit(self, machine, kernel, **kwargs):
+        return _fit(machine, 1, kernel, n=420, k=4, d=6, max_iter=30,
+                    **kwargs)
+
+    def test_fault_probe_order_matches_gemm(self, machine):
+        # Probabilistic faults draw from the injector RNG once per probed
+        # charge, so identical fault_events prove the pruned path charges
+        # the identical dma/regcomm/network sequence.
+        plan = FaultPlan([
+            FaultSpec("transient_dma", iteration=2),
+            FaultSpec("collective_timeout", probability=0.02),
+            FaultSpec("degraded_link", iteration=1, bandwidth_factor=0.5,
+                      duration=2),
+        ], seed=99)
+        ref = self._fault_fit(machine, "gemm", faults=plan, recovery="retry")
+        out = self._fault_fit(machine, "pruned", faults=plan,
+                              recovery="retry")
+        _assert_same_result(ref, out)
+        assert ref.fault_events == out.fault_events
+        assert len(out.fault_events) >= 2
+
+    def test_replan_invalidates_bounds_bit_identically(self, machine):
+        # iteration=2: late enough that a checkpoint exists, early enough
+        # that the (quickly converging) run actually reaches it.
+        plan = FaultPlan([FaultSpec("cg_failure", iteration=2, cg_index=1)],
+                         seed=7)
+        ref = self._fault_fit(machine, "gemm", faults=plan,
+                              recovery="replan", checkpoint_every=1)
+        out = self._fault_fit(machine, "pruned", faults=plan,
+                              recovery="replan", checkpoint_every=1)
+        _assert_same_result(ref, out)
+        assert ref.fault_events == out.fault_events
+        assert any(e.action == "replanned" for e in out.fault_events)
+
+    def test_nan_chaos_rollback_invalidates_bounds(self, machine):
+        # A poisoned partial rolls the iteration back to the checkpoint;
+        # the carried bounds must be invalidated with it, or the re-walked
+        # trajectory would prune against pre-rollback state.
+        clean = self._fault_fit(machine, "pruned")
+        engine = SerialEngine(chaos=ChaosInjector(
+            ChaosPlan([ChaosSpec("nan_result", task_id=2)])))
+        survived = self._fault_fit(machine, "pruned", engine=engine,
+                                   recovery="replan", checkpoint_every=1)
+        assert any(e.kind == "rollback" for e in survived.host_events)
+        np.testing.assert_array_equal(clean.centroids, survived.centroids)
+        np.testing.assert_array_equal(clean.assignments,
+                                      survived.assignments)
+        assert clean.inertia == survived.inertia
+
+    def test_task_chaos_absorbed_bit_identically(self, machine,
+                                                 monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        ref = self._fault_fit(machine, "gemm")
+        monkeypatch.setenv(
+            "REPRO_CHAOS",
+            "task_exception:p=0.05;slow_task:p=0.05,delay=0.001;seed=3")
+        out = self._fault_fit(machine, "pruned", engine="thread", workers=4)
+        np.testing.assert_array_equal(ref.centroids, out.centroids)
+        np.testing.assert_array_equal(ref.assignments, out.assignments)
+        assert ref.inertia == out.inertia
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint-resume: restored runs re-establish instead of reusing bounds
+# ---------------------------------------------------------------------------
+
+class TestResumeInvalidation:
+    def test_lloyd_interrupt_and_resume(self, tmp_path, workload):
+        X, C0 = workload
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ConvergenceWarning)
+            full = lloyd(X, C0, max_iter=40, kernel="pruned")
+            lloyd(X, C0, max_iter=5, kernel="pruned", checkpoint_every=1,
+                  checkpoint_dir=str(tmp_path))
+            resumed = lloyd(X, C0, max_iter=40, kernel="pruned",
+                            checkpoint_every=1, checkpoint_dir=str(tmp_path),
+                            resume=True)
+        _assert_same_final(full, resumed)
+
+    @pytest.mark.parametrize("level", [1, 2, 3])
+    def test_executor_interrupt_and_resume(self, tmp_path, machine, level):
+        gemm_full = _fit(machine, level, "gemm", n=420, k=4, d=6,
+                         max_iter=40)
+        full = _fit(machine, level, "pruned", n=420, k=4, d=6, max_iter=40)
+        _fit(machine, level, "pruned", n=420, k=4, d=6, max_iter=4,
+             checkpoint_every=1, checkpoint_dir=str(tmp_path))
+        resumed = _fit(machine, level, "pruned", n=420, k=4, d=6,
+                       max_iter=40, checkpoint_every=1,
+                       checkpoint_dir=str(tmp_path), resume=True)
+        _assert_same_final(full, resumed)
+        _assert_same_final(gemm_full, resumed)
+
+    def test_fresh_bounds_after_manual_invalidate(self):
+        bounds = BlockBounds()
+        assert not bounds.valid
+        bounds.commit(np.zeros((2, 2)), np.zeros(4, dtype=np.int64),
+                      np.zeros(4), np.zeros(4))
+        assert bounds.valid
+        bounds.invalidate()
+        assert not bounds.valid
+        assert bounds.labels is None and bounds.anchor is None
+
+
+def _fit_like_cli(ckpt=None, resume=False):
+    """In-process run matching the CLI invocation of the kill test."""
+    X, _ = gaussian_blobs(n=420, k=4, d=6, seed=13)
+    machine = toy_machine(n_nodes=1, cgs_per_node=2, mesh=4,
+                          ldm_bytes=16 * 1024)
+    model = HierarchicalKMeans(
+        4, machine=machine, level=1, seed=13, max_iter=60,
+        kernel="pruned", checkpoint_every=1,
+        checkpoint_dir=None if ckpt is None else str(ckpt), resume=resume)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        return model.fit(X)
+
+
+class TestKillAndResume:
+    def test_sigkilled_pruned_run_resumes_bit_identical(self, tmp_path):
+        """SIGKILL a pruned clustering process mid-run, resume, compare.
+
+        The kill can land anywhere — including between a checkpoint write
+        and the bound-state commit — so the resumed process proves that
+        invalidation-on-resume reconstructs everything the crash dropped.
+        """
+        ckpt = tmp_path / "ckpt"
+        src = os.path.join(os.path.dirname(repro.__file__), os.pardir)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src) \
+            + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_CHAOS"] = "slow_task:p=1.0,delay=0.05"
+        child = subprocess.Popen(
+            [sys.executable, "-m", "repro", "cluster",
+             "--n", "420", "--k", "4", "--d", "6", "--toy",
+             "--level", "1", "--seed", "13", "--max-iter", "60",
+             "--kernel", "pruned",
+             "--checkpoint-every", "1", "--checkpoint-dir", str(ckpt)],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            deadline = time.monotonic() + 120
+            path = ckpt / CHECKPOINT_FILENAME
+            while not path.exists():
+                if time.monotonic() > deadline:  # pragma: no cover
+                    pytest.fail("child never wrote a checkpoint")
+                if child.poll() is not None:  # pragma: no cover
+                    pytest.fail("child exited before it could be killed")
+                time.sleep(0.01)
+            child.send_signal(signal.SIGKILL)
+            child.wait(timeout=60)
+        finally:
+            if child.poll() is None:  # pragma: no cover
+                child.kill()
+                child.wait(timeout=60)
+
+        full = _fit_like_cli()
+        resumed = _fit_like_cli(ckpt, resume=True)
+        _assert_same_final(full, resumed)
+
+
+# ---------------------------------------------------------------------------
+# Facade / resolution seams
+# ---------------------------------------------------------------------------
+
+class TestResolution:
+    def test_facade_accepts_instance(self, machine):
+        ref = _fit(machine, 1, "pruned", max_iter=5)
+        out = _fit(machine, 1, PrunedKernel(), max_iter=5)
+        _assert_same_result(ref, out)
+
+    def test_resolver_rejects_unknown(self):
+        with pytest.raises(ConfigurationError, match="kernel"):
+            resolve_kernel("hamerly")
