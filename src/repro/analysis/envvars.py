@@ -33,6 +33,7 @@ __all__ = [
     "ENV_DEADLINE",
     "ENV_ENGINE",
     "ENV_HEARTBEAT",
+    "ENV_INTEGRITY",
     "ENV_KERNEL",
     "ENV_REDUCE",
     "ENV_TASK_RETRIES",
@@ -145,6 +146,14 @@ ENV_KERNEL = EnvVar(
                 "when no explicit kernel= is given.",
     consumer="repro.core.kernels",
 )
+ENV_INTEGRITY = EnvVar(
+    name="REPRO_INTEGRITY",
+    kind="str",
+    description='Default integrity mode ("off", "verify", or "repair") '
+                "for engines built by resolve_engine when no explicit "
+                "integrity= is given.",
+    consumer="repro.runtime.integrity",
+)
 ENV_CHECKPOINT_DIR = EnvVar(
     name="REPRO_CHECKPOINT_DIR",
     kind="str",
@@ -165,6 +174,7 @@ REGISTRY: Dict[str, EnvVar] = {
         ENV_TASK_TIMEOUT,
         ENV_DEADLINE,
         ENV_CHAOS,
+        ENV_INTEGRITY,
         ENV_CHECKPOINT_DIR,
         ENV_KERNEL,
         ENV_REDUCE,

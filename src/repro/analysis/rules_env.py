@@ -245,3 +245,61 @@ def _assigned_names(target: ast.AST) -> Iterator[str]:
     elif isinstance(target, (ast.Tuple, ast.List)):
         for element in target.elts:
             yield from _assigned_names(element)
+
+
+_NPZ_IO_CALLS = frozenset({"np.load", "np.savez", "np.savez_compressed",
+                           "numpy.load", "numpy.savez",
+                           "numpy.savez_compressed"})
+_CHECKPOINT_HINTS = ("checkpoint", "registry")
+
+
+def _mentions_checkpoint(node: ast.AST) -> bool:
+    """True when an argument subtree names a checkpoint/registry path.
+
+    Heuristic by necessity (the path is a runtime value): a variable,
+    attribute, or string literal containing ``checkpoint``/``registry``
+    marks the call as touching durable run state.
+    """
+    for sub in ast.walk(node):
+        text = ""
+        if isinstance(sub, ast.Name):
+            text = sub.id
+        elif isinstance(sub, ast.Attribute):
+            text = sub.attr
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            text = sub.value
+        if any(hint in text.lower() for hint in _CHECKPOINT_HINTS):
+            return True
+    return False
+
+
+@register_rule
+class RawCheckpointIO(Rule):
+    """E405: checkpoint npz files go through core/checkpoint.py only."""
+
+    id = "E405"
+    name = "raw-checkpoint-io"
+    summary = ("np.load / np.savez* on checkpoint or registry paths outside "
+               "repro.core.checkpoint bypasses the schema version, the "
+               "SHA-256 integrity manifest, and the typed IntegrityError "
+               "mapping — use CheckpointStore / load_checkpoint")
+    exempt = ("checkpoint",)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if callee not in _NPZ_IO_CALLS:
+                continue
+            operands: List[ast.AST] = list(node.args)
+            operands.extend(kw.value for kw in node.keywords
+                            if kw.arg in (None, "file"))
+            if any(_mentions_checkpoint(arg) for arg in operands):
+                yield ctx.finding(
+                    self, node,
+                    f"raw {callee}() on a checkpoint/registry path; durable "
+                    f"snapshots must round-trip through "
+                    f"repro.core.checkpoint (CheckpointStore._persist / "
+                    f"load_checkpoint) so the schema version and SHA-256 "
+                    f"manifest are written and verified")

@@ -128,6 +128,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                                kernel=args.kernel,
                                engine=args.engine, workers=args.workers,
                                reduce=args.reduce,
+                               integrity=args.integrity,
                                model_costs=not args.no_model_costs,
                                faults=args.faults,
                                recovery=args.recovery,
@@ -248,6 +249,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_cl.add_argument("--reduce", choices=("serial", "tree"), default=None,
                       help="partial-merge reduction topology "
                            "(default: REPRO_REDUCE env var, else serial)")
+    p_cl.add_argument("--integrity", choices=("off", "verify", "repair"),
+                      default=None,
+                      help="silent-corruption detection/repair for "
+                           "partials, shared arrays, and checkpoints "
+                           "(default: REPRO_INTEGRITY env var, else off)")
     p_cl.add_argument("--no-model-costs", action="store_true",
                       help="run pure numerics (no time ledger, no "
                            "modelled seconds)")

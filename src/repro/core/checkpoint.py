@@ -19,14 +19,18 @@ not simulated Sunway time.
 
 from __future__ import annotations
 
+import json
 import os
+import zipfile
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from ..analysis.envvars import ENV_CHECKPOINT_DIR
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, IntegrityError
+from ..runtime.chaos import ChaosInjector
+from ..runtime.integrity import manifest_digests, resolve_integrity
 from ..runtime.ledger import LedgerProtocol
 
 #: Default modelled burst-buffer bandwidth for checkpoint I/O (bytes/s).
@@ -41,6 +45,12 @@ CHECKPOINT_DIR_ENV = ENV_CHECKPOINT_DIR.name
 
 #: Filename of the durable snapshot inside ``checkpoint_dir``.
 CHECKPOINT_FILENAME = "checkpoint.npz"
+
+#: On-disk snapshot layout version.  Bumped when the npz field set changes
+#: incompatibly; ``load_checkpoint`` accepts snapshots without the field
+#: (pre-versioning legacy) and rejects unknown versions.  Version 1 added
+#: the field itself plus the SHA-256 integrity manifest.
+CHECKPOINT_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -95,26 +105,69 @@ class Checkpoint:
         return int(self.centroids.nbytes)
 
 
-def load_checkpoint(directory: str) -> Optional[Checkpoint]:
-    """Load the durable snapshot from ``directory`` (None if absent).
+def load_checkpoint(directory: str,
+                    integrity: Optional[str] = None) -> Optional[Checkpoint]:
+    """Load and verify the durable snapshot from ``directory`` (None if absent).
 
     The atomic-rename write protocol guarantees that whatever file exists
-    is a complete snapshot — a process killed mid-write leaves only the
-    previous one (or its orphaned ``.tmp``, which is ignored).
+    is a *complete* write — a process killed mid-write leaves only the
+    previous snapshot (or its orphaned ``.tmp``, which is ignored).  It does
+    **not** guarantee the bytes are intact: disks rot and the chaos layer's
+    ``bitflip_checkpoint`` flips bits post-rename.  Every way a damaged file
+    can surface — truncated/garbage zip container, bad member CRC, missing
+    fields — maps to a typed :class:`~repro.errors.IntegrityError` carrying
+    the offending ``path``; only host-environment failures (permissions,
+    I/O errors) stay :class:`~repro.errors.ConfigurationError`.
+
+    Version-1 snapshots embed a ``schema_version`` field (absent on legacy
+    files, which are accepted; unknown versions are rejected) and a SHA-256
+    manifest over every payload array, verified unless the resolved
+    ``integrity`` mode — explicit argument beats ``REPRO_INTEGRITY`` beats
+    ``"off"`` — is ``"off"``.
     """
     path = os.path.join(directory, CHECKPOINT_FILENAME)
     if not os.path.exists(path):
         return None
+    mode = resolve_integrity(integrity)
     try:
         with np.load(path) as data:
+            if "schema_version" in data.files:
+                version = int(data["schema_version"])
+                if version > CHECKPOINT_SCHEMA_VERSION:
+                    raise ConfigurationError(
+                        f"cannot load checkpoint from {path!r}: snapshot "
+                        f"schema version {version} is newer than the "
+                        f"supported {CHECKPOINT_SCHEMA_VERSION}"
+                    )
+            arrays = {"iteration": np.asarray(data["iteration"]),
+                      "centroids": np.asarray(data["centroids"])}
+            if mode != "off" and "manifest" in data.files:
+                stored = json.loads(str(data["manifest"][()]))
+                if manifest_digests(arrays) != stored:
+                    raise IntegrityError(
+                        f"cannot load checkpoint from {path!r}: SHA-256 "
+                        f"manifest mismatch (snapshot bytes were corrupted "
+                        f"on disk after writing)",
+                        path=path, location="checkpoint",
+                    )
             return Checkpoint(
-                iteration=int(data["iteration"]),
-                centroids=np.array(data["centroids"]),
+                iteration=int(arrays["iteration"]),
+                centroids=np.array(arrays["centroids"]),
             )
-    except (OSError, KeyError, ValueError) as e:
+    except (zipfile.BadZipFile, KeyError, ValueError, EOFError) as e:
+        raise IntegrityError(
+            f"cannot load checkpoint from {path!r}: corrupted or truncated "
+            f"snapshot ({e})",
+            path=path, location="checkpoint",
+        ) from None
+    except OSError as e:
         raise ConfigurationError(
             f"cannot load checkpoint from {path!r}: {e}"
         ) from None
+
+
+def _null_record(kind: str, detail: str, seconds: float = 0.0) -> None:
+    """Event sink for stores wired to chaos but not to a host-event log."""
 
 
 class CheckpointStore:
@@ -130,10 +183,21 @@ class CheckpointStore:
 
     def __init__(self, config: CheckpointConfig,
                  ledger: LedgerProtocol,
-                 directory: Optional[str] = None) -> None:
+                 directory: Optional[str] = None,
+                 chaos: Optional[ChaosInjector] = None,
+                 integrity: str = "off",
+                 record: Optional[Callable[[str, str, float], None]] = None,
+                 ) -> None:
         self.config = config
         self.ledger = ledger
         self.directory = directory
+        #: Chaos seam: after every durable write the injector may flip one
+        #: bit of the npz on disk (``bitflip_checkpoint``), keyed by the
+        #: write counter so replays are deterministic.
+        self.chaos = chaos
+        self.integrity = resolve_integrity(integrity or "off")
+        self._record = record
+        self._writes = 0
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
         self.last: Optional[Checkpoint] = None
@@ -153,16 +217,32 @@ class CheckpointStore:
         """Atomically write the snapshot: tmp file → fsync → rename.
 
         ``os.replace`` is atomic on POSIX, so a reader (or a resumed run)
-        never sees a torn snapshot no matter when the writer dies.
+        never sees a torn snapshot no matter when the writer dies.  Every
+        snapshot carries its schema version and a SHA-256 manifest over the
+        payload arrays, so ``load_checkpoint`` can tell post-write bit rot
+        from a clean legacy file.  The chaos injector's checkpoint hook runs
+        *after* the rename — it models corruption of the durable copy, not
+        a torn write (the rename protocol already excludes those).
         """
+        assert self.directory is not None
         path = os.path.join(self.directory, CHECKPOINT_FILENAME)
         tmp = path + ".tmp"
+        arrays = {"iteration": np.asarray(np.int64(checkpoint.iteration)),
+                  "centroids": np.asarray(checkpoint.centroids)}
+        manifest = json.dumps(manifest_digests(arrays), sort_keys=True)
         with open(tmp, "wb") as fh:
-            np.savez(fh, iteration=np.int64(checkpoint.iteration),
-                     centroids=checkpoint.centroids)
+            np.savez(fh, iteration=arrays["iteration"],
+                     centroids=arrays["centroids"],
+                     schema_version=np.int64(CHECKPOINT_SCHEMA_VERSION),
+                     manifest=manifest)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        write_id = self._writes
+        self._writes += 1
+        if self.chaos is not None:
+            self.chaos.on_checkpoint_write(write_id, path,
+                                           self._record or _null_record)
 
     def save_initial(self, centroids: np.ndarray) -> None:
         """Record the free epoch-0 snapshot of the initial centroids.

@@ -20,6 +20,7 @@ from ..errors import (
     ConfigurationError,
     ConvergenceWarning,
     FaultError,
+    IntegrityError,
     NumericalFaultError,
 )
 from ..machine.machine import DegradedMachine, Machine
@@ -152,6 +153,18 @@ class LevelExecutor(ABC):
         lift the topology with
         :meth:`~repro.runtime.reduce.ReduceTopology.for_groups` so the
         within-CG stage and the cross-CG stage keep their shape.
+    integrity:
+        Data-integrity mode for every host data plane (``"off"``,
+        ``"verify"``, or ``"repair"``; see
+        :mod:`repro.runtime.integrity`).  None consults
+        ``REPRO_INTEGRITY``, falling back to ``"off"``.  ``verify`` seals
+        every reduction partial with ABFT checksums, re-verifies shared
+        arrays before dispatch, and checks the checkpoint manifest on
+        resume — silent corruption raises
+        :class:`~repro.errors.IntegrityError` instead of propagating wrong
+        numbers.  ``repair`` additionally recomputes the smallest corrupted
+        unit (and cold-starts past an unreadable snapshot), so runs under
+        bitflip chaos finish bit-identical to fault-free ones.
     """
 
     #: Partition level implemented by the subclass (1, 2 or 3).
@@ -174,12 +187,17 @@ class LevelExecutor(ABC):
                  empty_action: str = "keep",
                  engine: EngineLike = None,
                  workers: Optional[int] = None,
-                 reduce: ReduceLike = None) -> None:
+                 reduce: ReduceLike = None,
+                 integrity: Optional[str] = None) -> None:
         self.machine = machine
         self.collective_algorithm = collective_algorithm
         self.strict_cpe = bool(strict_cpe)
         self.overlap_dma = bool(overlap_dma)
-        self.engine = resolve_engine(engine, workers)
+        self.engine = resolve_engine(engine, workers, integrity=integrity)
+        #: Resolved integrity mode ("off"/"verify"/"repair"), shared with
+        #: the engine and the checkpoint store so all three data planes —
+        #: partials, shared arrays, durable snapshots — verify consistently.
+        self.integrity = self.engine.integrity
         self.reduce = resolve_reduce(reduce)
         #: Per-iteration inertia under the incoming centroids, stashed by
         #: iterate() when the fused kernel already produced the winning
@@ -220,8 +238,6 @@ class LevelExecutor(ABC):
         self.recovery = resolve_recovery(recovery)
         if checkpoint_config is None:
             checkpoint_config = CheckpointConfig(every=checkpoint_every)
-        self.checkpoints = CheckpointStore(checkpoint_config, self.ledger,
-                                           directory=checkpoint_dir)
         if resume and checkpoint_dir is None:
             raise ConfigurationError(
                 "resume=True needs checkpoint_dir= (there is no on-disk "
@@ -230,6 +246,15 @@ class LevelExecutor(ABC):
         self.resume = bool(resume)
         self.supervisor = resolve_supervisor(supervisor, deadline_s,
                                              watchdog_s)
+        # The store shares the engine's chaos injector (so
+        # bitflip_checkpoint plans reach the durable writes) and the
+        # supervisor's event log; built after the supervisor for exactly
+        # that reason.
+        self.checkpoints = CheckpointStore(checkpoint_config, self.ledger,
+                                           directory=checkpoint_dir,
+                                           chaos=self.engine.chaos,
+                                           integrity=self.integrity,
+                                           record=self.supervisor.record)
         if empty_action not in EMPTY_ACTIONS:
             raise ConfigurationError(
                 f"empty_action must be one of {EMPTY_ACTIONS}, "
@@ -454,7 +479,22 @@ class LevelExecutor(ABC):
         # in-memory bound state predates the restore and must not leak
         # into the resumed trajectory (invariant: bounds invalidation).
         self._pruned_bounds.invalidate()
-        snapshot = load_checkpoint(self.checkpoints.directory)
+        try:
+            snapshot = load_checkpoint(self.checkpoints.directory,
+                                       integrity=self.integrity)
+        except IntegrityError as exc:
+            # Under repair a rotted snapshot is survivable: fall back to a
+            # cold start from the passed centroids (the same thing an empty
+            # directory means).  verify and off surface the damage — a
+            # wrong-bytes resume would silently diverge.
+            if self.integrity != "repair":
+                raise
+            self.supervisor.record(
+                "integrity",
+                f"durable snapshot failed verification ({exc}); "
+                f"cold start",
+            )
+            return C, 0
         if snapshot is None:
             self.supervisor.record(
                 "resume",

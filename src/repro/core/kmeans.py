@@ -125,6 +125,15 @@ class HierarchicalKMeans:
         engines and worker counts for a fixed topology.  Unset, the
         ``REPRO_REDUCE`` environment variable is consulted.  See
         :mod:`repro.runtime.reduce`.
+    integrity:
+        Data-integrity mode for the host data planes: ``"off"`` (default),
+        ``"verify"`` (ABFT-checksum every reduction partial, re-verify
+        shared operands and checkpoint manifests; silent corruption raises
+        :class:`~repro.errors.IntegrityError`), or ``"repair"``
+        (additionally recompute the smallest corrupted unit, so runs under
+        bitflip chaos finish bit-identical to fault-free ones).  Unset,
+        the ``REPRO_INTEGRITY`` environment variable is consulted.  See
+        :mod:`repro.runtime.integrity`.
     model_costs:
         When False, executors run pure numerics against a
         :class:`~repro.runtime.ledger.NullLedger`: no modelled seconds are
@@ -189,6 +198,7 @@ class HierarchicalKMeans:
                  seed: RngLike = None, kernel: Optional[KernelLike] = None,
                  engine: EngineLike = None, workers: Optional[int] = None,
                  reduce: ReduceLike = None,
+                 integrity: Optional[str] = None,
                  model_costs: bool = True, faults=None,
                  recovery: RecoveryLike = "fail_fast",
                  checkpoint_every: Optional[int] = None,
@@ -238,8 +248,11 @@ class HierarchicalKMeans:
             self.kernel = resolve_kernel("naive")
         # Same eager rule for the execution engine: bad names (or a
         # serial/workers conflict) fail here, and one engine instance is
-        # shared by every restart and executor.
-        self.engine = resolve_engine(engine, workers)
+        # shared by every restart and executor.  The integrity mode rides
+        # along — resolved here (explicit > REPRO_INTEGRITY > off) and
+        # stamped onto the engine, the executors, and the checkpoint store.
+        self.engine = resolve_engine(engine, workers, integrity=integrity)
+        self.integrity = self.engine.integrity
         # ... and for the reduction topology: a bad name fails here, and
         # the same topology drives every restart's partial merges.
         self.reduce = resolve_reduce(reduce)
@@ -369,10 +382,12 @@ class HierarchicalKMeans:
                          watchdog_s=self.watchdog_s,
                          checkpoint_every=self.checkpoint_every,
                          checkpoint_dir=self.checkpoint_dir,
-                         resume=self.resume)
+                         resume=self.resume,
+                         integrity=self.integrity)
         kwargs.setdefault("kernel", self.kernel)
         kwargs.setdefault("engine", self.engine)
         kwargs.setdefault("reduce", self.reduce)
+        kwargs.setdefault("integrity", self.integrity)
         kwargs.setdefault("model_costs", self.model_costs)
         # A fresh injector is built per run (inside the executor), so every
         # restart replays the same plan from the same seed.

@@ -20,6 +20,7 @@ import numpy as np
 from ..errors import (
     ConfigurationError,
     ConvergenceWarning,
+    IntegrityError,
     NumericalFaultError,
 )
 from ..runtime.engine import EngineLike, resolve_engine
@@ -126,7 +127,8 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
           supervisor: SupervisorLike = None,
           checkpoint_every: Optional[int] = None,
           checkpoint_dir: Optional[str] = None,
-          resume: bool = False) -> KMeansResult:
+          resume: bool = False,
+          integrity: Optional[str] = None) -> KMeansResult:
     """Run serial Lloyd k-means from an explicit initial centroid set.
 
     Parameters
@@ -189,6 +191,14 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
         Restart from the snapshot in ``checkpoint_dir`` (required) instead
         of ``centroids``; the continuation is bit-identical to the
         uninterrupted run.
+    integrity:
+        Data-integrity mode (``"off"``, ``"verify"``, or ``"repair"``;
+        see :mod:`repro.runtime.integrity`).  None consults
+        ``REPRO_INTEGRITY``.  ``verify`` detects silently corrupted
+        reduction partials, shared operands, and checkpoint bytes
+        (raising :class:`~repro.errors.IntegrityError`); ``repair``
+        recomputes the corrupted unit so runs under bitflip chaos finish
+        bit-identical to fault-free ones.
 
     Returns
     -------
@@ -204,19 +214,37 @@ def lloyd(X: np.ndarray, centroids: np.ndarray, max_iter: int = 100,
             "snapshot to resume from otherwise)"
         )
     backend = resolve_kernel(kernel)
-    exec_engine = resolve_engine(engine, workers)
+    exec_engine = resolve_engine(engine, workers, integrity=integrity)
     topology = resolve_reduce(reduce)
     run_supervisor = resolve_supervisor(supervisor, deadline_s, watchdog_s)
     # Level 0 has no time ledger: the NullLedger swallows the modelled
     # checkpoint charges, leaving only the durable host-side persistence.
+    # The store shares the engine's chaos injector and integrity mode so
+    # bitflip_checkpoint plans reach the durable writes and resumes verify.
     checkpoints = CheckpointStore(CheckpointConfig(every=checkpoint_every),
-                                  NullLedger(), directory=checkpoint_dir)
+                                  NullLedger(), directory=checkpoint_dir,
+                                  chaos=exec_engine.chaos,
+                                  integrity=exec_engine.integrity,
+                                  record=run_supervisor.record)
     X, C = validate_data(X, np.array(centroids, copy=True))
     n = X.shape[0]
 
     start_iteration = 0
     if resume:
-        snapshot = load_checkpoint(checkpoint_dir)
+        try:
+            snapshot = load_checkpoint(checkpoint_dir,
+                                       integrity=exec_engine.integrity)
+        except IntegrityError as exc:
+            # repair treats a rotted snapshot like a missing one: cold
+            # start from the passed centroids.  verify/off surface it.
+            if exec_engine.integrity != "repair":
+                raise
+            snapshot = None
+            run_supervisor.record(
+                "integrity",
+                f"durable snapshot failed verification ({exc}); "
+                f"cold start",
+            )
         if snapshot is None:
             run_supervisor.record(
                 "resume", f"no snapshot in {checkpoint_dir!r}; cold start")

@@ -111,6 +111,33 @@ class NumericalFaultError(FaultError):
     """
 
 
+class IntegrityError(FaultError):
+    """Silent data corruption detected by the integrity layer.
+
+    Raised when an ABFT checksum on a reduction partial, the CRC32 of a
+    shared-arena segment, or the SHA-256 manifest of a checkpoint file
+    fails verification (see :mod:`repro.runtime.integrity`).  Transient:
+    under ``integrity="repair"`` the engine recomputes the smallest
+    corrupted subtree/block, and persistent corruption escalates through
+    the ordinary recovery policies (rollback/replan restore the last
+    verified checkpoint).
+
+    Attributes
+    ----------
+    path:
+        Offending file for on-disk corruption (checkpoint npz), else None.
+    location:
+        Short description of where verification failed (e.g.
+        ``"partial 3"``, ``"share:X"``, ``"final fold"``).
+    """
+
+    def __init__(self, message: str, *, path: str | None = None,
+                 location: str = "", iteration: int | None = None) -> None:
+        self.path = path
+        self.location = location
+        super().__init__(message, iteration=iteration)
+
+
 class HostFaultError(ReproError):
     """Base class for *host-side* failures (the real Python process).
 

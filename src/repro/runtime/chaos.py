@@ -37,6 +37,27 @@ so the robustness layer of PR 4 can be exercised end to end:
     flag the worker as hung, SIGKILL it, and take the same
     respawn/re-run path.  ``kills`` bounds the stalls like worker_kill.
 
+``bitflip_partial``
+    A single low-order mantissa bit of the task's returned partial is
+    flipped — *silently*.  Unlike ``nan_result`` the corruption stays
+    finite, so the numerical guard never trips: only the integrity
+    layer's ABFT checksums (:mod:`repro.runtime.integrity`) can see it.
+    ``kills=N`` keeps re-corrupting the task's first N attempts, so a
+    persistent-corruption escalation can be staged deterministically.
+
+``bitflip_arena``
+    One mantissa byte of a shared operand is corrupted between
+    publish and task start — in the :class:`~repro.runtime.shm.SharedArena`
+    segment under the process engine, in the in-process shared copy
+    otherwise.  Fires per *share id* (engine ``share()`` calls count from
+    0), targeted with ``@id`` or stochastic with ``p=``.
+
+``bitflip_checkpoint``
+    One bit of the checkpoint npz just written by ``CheckpointStore`` is
+    flipped on disk.  Fires per *write id* (persisted checkpoints count
+    from 0).  Detection is the npz SHA-256 manifest verified by
+    ``load_checkpoint``.
+
 Determinism: every firing decision is a pure function of
 ``(plan seed, spec index, task id)`` — task ids are assigned at submission
 time in fixed order — so a chaos plan replays bit-identically across
@@ -72,10 +93,15 @@ from ..errors import ChaosError, ConfigurationError
 #: real OS worker processes, so they only fire inside the process engine's
 #: workers (see :meth:`ChaosInjector.worker_before_task`).
 CHAOS_KINDS = ("task_exception", "slow_task", "nan_result",
-               "worker_kill", "worker_hang")
+               "worker_kill", "worker_hang",
+               "bitflip_partial", "bitflip_arena", "bitflip_checkpoint")
 
 #: Kinds that crash/stall a worker process rather than perturb a task.
 WORKER_KINDS = ("worker_kill", "worker_hang")
+
+#: Silent-data-corruption kinds: they raise nothing and keep values finite,
+#: so only the integrity layer (repro.runtime.integrity) can detect them.
+BITFLIP_KINDS = ("bitflip_partial", "bitflip_arena", "bitflip_checkpoint")
 
 #: Environment override: compact chaos-plan string consulted by
 #: :func:`resolve_chaos` (empty/whitespace counts as unset; declared in
@@ -93,18 +119,23 @@ class ChaosSpec:
         One of :data:`CHAOS_KINDS`.
     task_id:
         Fire deterministically on this exact task id (ids count engine
-        submissions from 0).  ``None`` fires stochastically per task with
-        ``probability``.
+        submissions from 0; ``bitflip_arena`` counts ``share()`` calls and
+        ``bitflip_checkpoint`` counts checkpoint writes instead).  ``None``
+        fires stochastically per task with ``probability``.
     probability:
         Per-task firing probability for specs with ``task_id=None``.
     delay:
         ``slow_task`` only: real seconds the afflicted task sleeps.
     kills:
-        ``worker_kill``/``worker_hang`` only: the fault fires while the
+        ``worker_kill``/``worker_hang``: the fault fires while the
         task's attempt number is below this bound, so one task can take
         down (or stall) up to ``kills`` workers before succeeding.  At
         ``kills >= TaskPolicy.quarantine_after`` the task is poison: the
         process engine must quarantine it to inline serial execution.
+        ``bitflip_partial`` reuses the bound the same way: the task's
+        first ``kills`` attempts each return a corrupted partial, so
+        ``kills > TaskPolicy.max_retries`` models persistent corruption
+        that must escalate past in-place repair.
     """
 
     kind: str
@@ -202,6 +233,13 @@ def parse_chaos_plan(text: str, seed: int = 0) -> ChaosPlan:
       kill up to 3 workers each — poison at the default quarantine bound),
     * ``worker_hang@2`` — the worker running task 2 SIGSTOPs itself (the
       heartbeat timeout must reap it),
+    * ``bitflip_partial:p=0.02`` — 2% of first attempts return a partial
+      with one mantissa bit silently flipped (``kills=N`` re-corrupts the
+      first N attempts),
+    * ``bitflip_arena@1`` — the second ``share()`` call's segment is
+      corrupted between publish and task start,
+    * ``bitflip_checkpoint:p=1`` — every checkpoint npz written gets one
+      bit flipped on disk,
     * ``seed=42`` — seed the stochastic draws.
 
     ``@path.json`` loads a :meth:`ChaosPlan.to_json` file instead.
@@ -288,6 +326,62 @@ def _poison_first_array(result):
     return poisoned if done else result
 
 
+def _mantissa_offset(rng: np.random.Generator, nbytes: int,
+                     itemsize: int) -> int:
+    """A byte offset that lands in an element's low-order mantissa bytes.
+
+    Little-endian IEEE floats keep the sign/exponent bits in the top two
+    bytes, so restricting the flip to bytes ``[0, itemsize - 2)`` of one
+    element keeps the corrupted value finite — *silent* corruption that
+    the NaN guard can never see, only checksums.
+    """
+    n_elems = max(1, nbytes // max(1, itemsize))
+    elem = int(rng.integers(n_elems))
+    byte = int(rng.integers(max(1, itemsize - 2)))
+    return min(elem * itemsize + byte, nbytes - 1)
+
+
+def _flip_bit_at(buffer: np.ndarray, offset: int, bit: int) -> None:
+    """XOR one bit of a writable array viewed as raw bytes."""
+    raw = buffer.reshape(-1).view(np.uint8)
+    raw[offset] ^= np.uint8(1 << bit)
+
+
+def _bitflip_first_array(result, rng: np.random.Generator):
+    """Return ``result`` with one mantissa bit of its first float array
+    flipped, or ``result`` unchanged when it carries no float array.
+
+    Like :func:`_poison_first_array` the corruption copies before writing
+    (a retried task recomputes from pristine inputs), and — crucially for
+    the integrity layer — a copied partial object keeps its now-stale
+    checksum fields, exactly like real in-transit corruption would.
+    """
+    def flip(value: object) -> Tuple[object, bool]:
+        if isinstance(value, np.ndarray) \
+                and np.issubdtype(value.dtype, np.floating) and value.size:
+            bad = value.copy()
+            offset = _mantissa_offset(rng, bad.nbytes, bad.dtype.itemsize)
+            _flip_bit_at(bad, offset, int(rng.integers(8)))
+            return bad, True
+        return value, False
+
+    if isinstance(result, tuple):
+        out = []
+        done = False
+        for value in result:
+            if not done:
+                value, done = flip(value)
+            out.append(value)
+        return tuple(out) if done else result
+    sums, done = flip(getattr(result, "sums", None))
+    if done:
+        bad = copy.copy(result)
+        bad.sums = sums
+        return bad
+    flipped, done = flip(result)
+    return flipped if done else result
+
+
 class ChaosInjector:
     """Fires a :class:`ChaosPlan` from the engine's task hooks.
 
@@ -358,18 +452,90 @@ class ChaosInjector:
 
     def after_task(self, task_id: int, attempt: int, result: object,
                    record: Callable[[str, str, float], None]) -> object:
-        """Post-execution hook: may NaN-poison the returned partial."""
-        if attempt != 0:
-            return result
+        """Post-execution hook: may NaN-poison or silently bitflip the
+        returned partial.
+
+        ``nan_result`` keeps the attempt-0-only transient model;
+        ``bitflip_partial`` fires while ``attempt < kills`` so persistent
+        corruption (corrupt on every recompute) can be staged.
+        """
         for i, spec in enumerate(self.plan.specs):
-            if spec.kind == "nan_result" and self._fires(i, spec, task_id):
+            if spec.kind == "nan_result" and attempt == 0 \
+                    and self._fires(i, spec, task_id):
                 poisoned = _poison_first_array(result)
                 if poisoned is not result:
                     record("chaos",
                            f"nan_result: task {task_id} partial poisoned",
                            0.0)
                     result = poisoned
+            elif spec.kind == "bitflip_partial" and attempt < spec.kills \
+                    and self._fires(i, spec, task_id):
+                rng = np.random.default_rng(
+                    [self.plan.seed, i, task_id, 7, attempt])
+                flipped = _bitflip_first_array(result, rng)
+                if flipped is not result:
+                    record("chaos",
+                           f"bitflip_partial: task {task_id} partial "
+                           f"corrupted (attempt {attempt})", 0.0)
+                    result = flipped
         return result
+
+    def on_share(self, share_id: int, key: str, nbytes: int, itemsize: int,
+                 record: Callable[[str, str, float], None]) -> Optional[int]:
+        """Shared-operand hook: a byte offset to corrupt, or None.
+
+        Called by ``ExecutionEngine.share`` after publishing; the engine
+        owns the corruption mechanics (in-process copy vs arena segment),
+        this hook only makes the seeded decision and picks a mantissa
+        byte so the damage stays finite and silent.
+        """
+        for i, spec in enumerate(self.plan.specs):
+            if spec.kind != "bitflip_arena":
+                continue
+            if not self._fires(i, spec, share_id):
+                continue
+            rng = np.random.default_rng([self.plan.seed, i, share_id, 11])
+            offset = _mantissa_offset(rng, nbytes, itemsize)
+            record("chaos",
+                   f"bitflip_arena: shared operand {key!r} (share "
+                   f"{share_id}) corrupted at byte {offset}", 0.0)
+            return offset
+        return None
+
+    def on_checkpoint_write(self, write_id: int, path: str,
+                            record: Callable[[str, str, float], None]) -> bool:
+        """Checkpoint hook: flip one bit of a just-written npz on disk.
+
+        Called by ``CheckpointStore`` after the atomic replace; ``write_id``
+        counts persisted checkpoints from 0.  Returns True when the file
+        was corrupted.
+        """
+        fired = False
+        for i, spec in enumerate(self.plan.specs):
+            if spec.kind != "bitflip_checkpoint":
+                continue
+            if not self._fires(i, spec, write_id):
+                continue
+            rng = np.random.default_rng([self.plan.seed, i, write_id, 13])
+            try:
+                size = os.path.getsize(path)
+                if size <= 0:
+                    continue
+                offset = int(rng.integers(size))
+                with open(path, "r+b") as fh:
+                    fh.seek(offset)
+                    byte = fh.read(1)
+                    if not byte:
+                        continue
+                    fh.seek(offset)
+                    fh.write(bytes([byte[0] ^ (1 << int(rng.integers(8)))]))
+            except OSError:
+                continue
+            record("chaos",
+                   f"bitflip_checkpoint: write {write_id} ({path}) "
+                   f"corrupted at byte offset", 0.0)
+            fired = True
+        return fired
 
 
 def resolve_chaos(chaos: ChaosLike = None) -> Optional[ChaosInjector]:

@@ -85,7 +85,19 @@ from ..analysis.envvars import (
     read_int,
     read_str,
 )
-from ..errors import ConfigurationError, FaultError, TaskTimeoutError
+from ..errors import (
+    ConfigurationError,
+    FaultError,
+    IntegrityError,
+    TaskTimeoutError,
+)
+from .integrity import (
+    crc32_array,
+    resolve_integrity,
+    seal_partial,
+    verified_combine,
+    verify_partial,
+)
 from .reduce import (
     CombineFn,
     ReduceLike,
@@ -201,6 +213,29 @@ def _combine_pair(combine: CombineFn, pair: Tuple[Any, Any]) -> Any:
     return combine(pair[0], pair[1])
 
 
+def _combine_pair_verified(combine: CombineFn, pair: Tuple[Any, Any]) -> Any:
+    """Merge task with ABFT verification at the tree-combine node.
+
+    Verifies both operands' CRCs, checks check-row preservation, and
+    seals the merged partial — inside the engine task, so under the
+    process engine the verification runs worker-side on the bytes that
+    actually crossed the pipe.  Module-level for picklability (E404).
+    """
+    return verified_combine(combine, pair[0], pair[1], where="tree combine")
+
+
+class _SharedEntry:
+    """Bookkeeping for one published shared operand (integrity mode only)."""
+
+    __slots__ = ("source", "value", "crc", "verified")
+
+    def __init__(self, source: np.ndarray, value: Any, crc: int) -> None:
+        self.source = source
+        self.value = value
+        self.crc = crc
+        self.verified = False
+
+
 class ExecutionEngine(ABC):
     """Maps a function over work items; subclasses choose the scheduling."""
 
@@ -210,15 +245,23 @@ class ExecutionEngine(ABC):
     workers: int = 1
 
     def __init__(self, policy: Optional[TaskPolicy] = None,
-                 chaos=None) -> None:
+                 chaos=None, integrity: Optional[str] = None) -> None:
         self.policy = resolve_task_policy(policy)
         #: Optional :class:`~repro.runtime.chaos.ChaosInjector` perturbing
         #: task execution at this seam (None = no chaos).
         self.chaos = chaos
+        #: Integrity mode ("off" | "verify" | "repair").  Constructors never
+        #: consult the environment — like chaos, ``REPRO_INTEGRITY`` is
+        #: applied only by :func:`resolve_engine` — so explicitly built
+        #: engines stay "off" unless told otherwise.
+        self.integrity = resolve_integrity(integrity or "off")
         self._events: List[Tuple[str, str, float]] = []
         self._events_lock = threading.Lock()
         self._task_counter = 0
         self._counter_lock = threading.Lock()
+        self._share_counter = 0
+        self._shared: Dict[str, _SharedEntry] = {}
+        self._last_map_ids: range = range(0)
 
     @abstractmethod
     def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> List[_R]:
@@ -232,15 +275,124 @@ class ExecutionEngine(ABC):
         """Publish a large read-only operand for the tasks of coming maps.
 
         The in-process engines share by reference — the array itself comes
-        back and tasks receive it untouched.  The process engine overrides
-        this to publish into its :class:`~repro.runtime.shm.SharedArena`
-        and returns a compact :class:`~repro.runtime.shm.ArrayRef` instead;
-        block tasks resolve either form with
-        :func:`repro.runtime.shm.as_ndarray`.  The published array must
-        not be mutated in place while tasks may still read it (replace it
-        and re-``share`` instead).
+        back and tasks receive it untouched.  The process engine publishes
+        into its :class:`~repro.runtime.shm.SharedArena` (via
+        :meth:`_publish`) and returns a compact
+        :class:`~repro.runtime.shm.ArrayRef` instead; block tasks resolve
+        either form with :func:`repro.runtime.shm.as_ndarray`.  The
+        published array must not be mutated in place while tasks may still
+        read it (replace it and re-``share`` instead).
+
+        This is also the silent-corruption seam: a ``bitflip_arena`` chaos
+        spec may flip one byte of the *published* value here (never of the
+        caller's source array), and under ``integrity != "off"`` the
+        engine records a CRC32 of the pristine source and re-verifies the
+        published bytes before the next :meth:`map` dispatches tasks.
         """
+        shared = self._publish(key, array)
+        share_id = self._share_counter
+        self._share_counter += 1
+        corrupted = False
+        if self.chaos is not None and isinstance(array, np.ndarray):
+            offset = self.chaos.on_share(
+                share_id, key, array.nbytes, array.dtype.itemsize,
+                self._record)
+            if offset is not None:
+                corrupted = True
+                shared = self._corrupt_shared(key, shared, int(offset))
+        if self.integrity != "off" and isinstance(array, np.ndarray):
+            prev = self._shared.get(key)
+            if prev is not None and prev.source is array:
+                # Identity re-publish (the per-iteration X): the source
+                # bytes are unchanged, so the recorded checksum carries
+                # over without another CRC pass — and when the published
+                # value is unchanged too, so does its verified state.
+                entry = _SharedEntry(array, shared, prev.crc)
+                same_value = (shared is prev.value
+                              or (not isinstance(shared, np.ndarray)
+                                  and shared == prev.value))
+                entry.verified = (prev.verified and not corrupted
+                                  and same_value)
+            else:
+                # The process engine already stamped the handle with the
+                # source checksum; reuse it rather than re-hashing.
+                crc = getattr(shared, "crc", None)
+                if crc is None:
+                    crc = crc32_array(array)
+                entry = _SharedEntry(array, shared, int(crc))
+            self._shared[key] = entry
+        return shared
+
+    def _publish(self, key: str, array: np.ndarray) -> Any:
+        """Engine-specific publication; in-process engines share by
+        reference."""
         return array
+
+    # -- shared-operand integrity --------------------------------------------
+
+    def _corrupt_shared(self, key: str, shared: Any, offset: int) -> Any:
+        """Apply an injected byte flip to the published value (chaos seam).
+
+        In-process engines corrupt a *copy* so the caller's source array
+        stays pristine (that is what repair restores from); the process
+        engine overrides this to poke the shared-memory segment instead.
+        """
+        if not isinstance(shared, np.ndarray):
+            return shared
+        bad = np.array(shared, copy=True)
+        raw = bad.reshape(-1).view(np.uint8)
+        raw[min(offset, raw.size - 1)] ^= np.uint8(1)
+        return bad
+
+    def _shared_view(self, key: str, entry: _SharedEntry) -> np.ndarray:
+        """The bytes tasks will actually read for a published operand."""
+        return entry.value
+
+    def _repair_shared(self, key: str, entry: _SharedEntry) -> None:
+        """Restore a corrupted published value from its pristine source."""
+        if isinstance(entry.value, np.ndarray) \
+                and entry.value is not entry.source:
+            np.copyto(entry.value, entry.source)
+
+    def _verify_shared(self) -> None:
+        """CRC-check every published operand before dispatching tasks.
+
+        Runs at the top of :meth:`map` under ``integrity != "off"``.  Each
+        published generation is verified once (re-sharing re-arms the
+        check).  ``verify`` raises :class:`~repro.errors.IntegrityError`;
+        ``repair`` restores the segment from the retained source array and
+        records the repair as host events.
+        """
+        if self.integrity == "off" or not self._shared:
+            return
+        for key in sorted(self._shared):
+            entry = self._shared[key]
+            if entry.verified:
+                continue
+            if crc32_array(self._shared_view(key, entry)) != entry.crc:
+                self._record(
+                    "integrity",
+                    f"CRC32 mismatch in shared operand {key!r}: published "
+                    f"bytes differ from the source array",
+                )
+                if self.integrity != "repair":
+                    raise IntegrityError(
+                        f"shared operand {key!r} failed CRC32 verification "
+                        f"before task start",
+                        location=f"share:{key}",
+                    )
+                self._repair_shared(key, entry)
+                if crc32_array(self._shared_view(key, entry)) != entry.crc:
+                    raise IntegrityError(
+                        f"shared operand {key!r} still corrupt after repair "
+                        f"from source",
+                        location=f"share:{key}",
+                    )
+                self._record(
+                    "integrity_repair",
+                    f"shared operand {key!r} restored from its source array",
+                )
+            entry.verified = True
 
     # -- map/combine/reduce contract ----------------------------------------
 
@@ -269,29 +421,80 @@ class ExecutionEngine(ABC):
         outside engine tasks (reprolint L201).
         """
         topo = resolve_reduce(topology)
+        verifying = self.integrity != "off"
         slots: List[Any] = list(partials)
         n = len(slots)
         if n == 0:
             raise ConfigurationError("cannot reduce zero partials")
         if n == 1:
+            if verifying:
+                verify_partial(slots[0], where="final fold")
             return slots[0]
         schedule = topo.schedule(n)
         winner = validate_schedule(schedule, n)
         if not topo.pooled:
             for round_ in schedule:
                 for dst, src in round_:
-                    slots[dst] = combine(slots[dst], slots[src])
+                    if verifying:
+                        # Leaves were CRC-verified at the map boundary and
+                        # intermediate results never leave this frame, so
+                        # only the per-node check row is re-validated here.
+                        slots[dst] = verified_combine(
+                            combine, slots[dst], slots[src],
+                            where="serial fold", trust_operands=True)
+                    else:
+                        slots[dst] = combine(slots[dst], slots[src])
                     slots[src] = None
+            if verifying:
+                verify_partial(slots[winner], where="final fold")
             return slots[winner]
 
-        merge = functools.partial(_combine_pair, combine)
+        merge = functools.partial(
+            _combine_pair_verified if verifying else _combine_pair, combine)
         for round_ in schedule:
             pairs = [(slots[dst], slots[src]) for dst, src in round_]
             merged = self.map(merge, pairs)
-            for (dst, src), value in zip(round_, merged):
+            merge_ids = list(self._last_map_ids)
+            for pos, ((dst, src), value) in enumerate(zip(round_, merged)):
+                if verifying:
+                    value = self._verify_merged(
+                        combine, slots[dst], slots[src], value,
+                        merge_ids[pos] if pos < len(merge_ids) else -1)
                 slots[dst] = value
                 slots[src] = None
+        if verifying:
+            verify_partial(slots[winner], where="final fold")
         return slots[winner]
+
+    def _verify_merged(self, combine: CombineFn, a: Any, b: Any, value: Any,
+                       task_id: int) -> Any:
+        """Verify one pooled merge's output; recompute inline under repair.
+
+        A tree-combine node's output can be corrupted after the merge task
+        sealed it (bitflip chaos, pickle transport).  Both operand slots
+        are still alive in the caller, so the smallest possible repair is
+        an inline recompute of exactly this subtree — no task re-runs, no
+        descent into the operands, which were themselves verified inside
+        the merge task.
+        """
+        try:
+            verify_partial(value, where=f"tree merge output (task {task_id})")
+            return value
+        except IntegrityError:
+            self._record(
+                "integrity",
+                f"corrupt merge output detected at tree-combine node "
+                f"(task {task_id})",
+            )
+            if self.integrity != "repair":
+                raise
+        value = verified_combine(combine, a, b, where="tree merge repair")
+        self._record(
+            "integrity_repair",
+            f"tree-combine node (task {task_id}) recomputed inline from "
+            f"its verified operands",
+        )
+        return value
 
     def map_reduce(self, fn: Callable[[_T], Any], items: Iterable[_T],
                    combine: CombineFn = combine_partials,
@@ -306,11 +509,76 @@ class ExecutionEngine(ABC):
         path for every Assign+Accumulate call site — reprolint rule D106
         flags hand-rolled accumulation loops over ``engine.map`` results.
         """
-        partials = self.map(fn, items)
+        work: Sequence[_T] = list(items)
+        partials = self.map(fn, work)
+        if self.integrity != "off":
+            partials = self._verify_map_partials(fn, work, partials)
         reduced = self.reduce_partials(partials, combine, topology)
         if return_partials:
             return reduced, partials
         return reduced
+
+    def _verify_map_partials(self, fn: Callable[[_T], Any],
+                             work: Sequence[_T],
+                             partials: List[Any]) -> List[Any]:
+        """Verify every sealed leaf partial; recompute corrupt ones under
+        repair.
+
+        Detection localises corruption to a single block, so repair re-runs
+        exactly that block's task — at attempt >= 1, where the attempt-
+        gated chaos kinds are clean unless the plan models *persistent*
+        corruption (``kills > 1``).  The recompute budget is the ordinary
+        ``TaskPolicy.max_retries``; exhausting it records an
+        ``integrity_quarantine`` event and escalates the (transient)
+        :class:`~repro.errors.IntegrityError` to the caller's recovery
+        policy — checkpoint rollback or replanning.
+        """
+        task_ids = list(self._last_map_ids)
+        out = list(partials)
+        for index, partial in enumerate(out):
+            try:
+                verify_partial(partial, where=f"map partial {index}")
+                continue
+            except IntegrityError:
+                task_id = task_ids[index] if index < len(task_ids) else -1
+                self._record(
+                    "integrity",
+                    f"corrupt partial detected in map output "
+                    f"(partial {index}, task {task_id})",
+                )
+                if self.integrity != "repair":
+                    raise
+            out[index] = self._repair_partial(fn, work[index], task_id, index)
+        return out
+
+    def _repair_partial(self, fn: Callable[[_T], Any], item: _T,
+                        task_id: int, index: int) -> Any:
+        """Recompute one corrupt block under the TaskPolicy budget."""
+        budget = max(1, self.policy.max_retries)
+        for attempt in range(1, budget + 1):
+            candidate = self._run_serial_task(fn, item, task_id,
+                                              start_attempt=attempt)
+            try:
+                verify_partial(candidate,
+                               where=f"recomputed partial {index}")
+            except IntegrityError:
+                continue
+            self._record(
+                "integrity_repair",
+                f"partial {index} (task {task_id}) recomputed cleanly on "
+                f"attempt {attempt}",
+            )
+            return candidate
+        self._record(
+            "integrity_quarantine",
+            f"partial {index} (task {task_id}) still corrupt after "
+            f"{budget} recomputes; escalating to the recovery policy",
+        )
+        raise IntegrityError(
+            f"persistent corruption in partial {index} (task {task_id}): "
+            f"{budget} recomputes all failed verification",
+            location=f"partial:{index}",
+        )
 
     # -- host-event plumbing -------------------------------------------------
 
@@ -340,10 +608,19 @@ class ExecutionEngine(ABC):
 
     def _attempt(self, fn: Callable[[_T], _R], item: _T, task_id: int,
                  attempt: int) -> _R:
-        """One attempt at one task, with the chaos hooks around it."""
+        """One attempt at one task, with the chaos hooks around it.
+
+        Under ``integrity != "off"`` the result is sealed (ABFT checksum
+        stamped) *between* task execution and the post-task chaos hook:
+        a ``bitflip_partial`` corruption therefore lands on an
+        already-sealed carrier, exactly like corruption in transit, and
+        the stale checksum betrays it downstream.
+        """
         if self.chaos is not None:
             self.chaos.before_task(task_id, attempt, self._record)
         result = fn(item)
+        if self.integrity != "off":
+            seal_partial(result)
         if self.chaos is not None:
             result = self.chaos.after_task(task_id, attempt, result,
                                            self._record)
@@ -391,6 +668,8 @@ class SerialEngine(ExecutionEngine):
     def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> List[_R]:
         work: Sequence[_T] = list(items)
         task_ids = self._issue_task_ids(len(work))
+        self._last_map_ids = task_ids
+        self._verify_shared()
         return [self._run_serial_task(fn, item, tid)
                 for item, tid in zip(work, task_ids)]
 
@@ -478,8 +757,9 @@ class ThreadEngine(ExecutionEngine):
     name = "thread"
 
     def __init__(self, workers: Optional[int] = None,
-                 policy: Optional[TaskPolicy] = None, chaos=None) -> None:
-        super().__init__(policy=policy, chaos=chaos)
+                 policy: Optional[TaskPolicy] = None, chaos=None,
+                 integrity: Optional[str] = None) -> None:
+        super().__init__(policy=policy, chaos=chaos, integrity=integrity)
         if workers is None:
             workers = os.cpu_count() or 1
         workers = int(workers)
@@ -629,6 +909,8 @@ class ThreadEngine(ExecutionEngine):
     def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> List[_R]:
         work: Sequence[_T] = list(items)
         task_ids = self._issue_task_ids(len(work))
+        self._last_map_ids = task_ids
+        self._verify_shared()
         if self.workers == 1 or len(work) <= 1 or self._degraded:
             return [self._run_serial_task(fn, item, tid)
                     for item, tid in zip(work, task_ids)]
@@ -651,7 +933,8 @@ WORKERS_ENV = ENV_WORKERS.name
 
 
 def resolve_engine(engine: EngineLike = None,
-                   workers: Optional[int] = None) -> ExecutionEngine:
+                   workers: Optional[int] = None,
+                   integrity: Optional[str] = None) -> ExecutionEngine:
     """Turn an engine name (or ready instance) into an :class:`ExecutionEngine`.
 
     ``engine=None`` consults ``REPRO_ENGINE`` (default ``"serial"``) and, if
@@ -665,7 +948,9 @@ def resolve_engine(engine: EngineLike = None,
     Engines built here (not instance passthrough) also consult
     ``REPRO_CHAOS`` and attach a seeded host-chaos injector when it is set
     — this is how the CI chaos leg runs the whole suite under injected
-    host faults.
+    host faults — and ``REPRO_INTEGRITY`` for the default integrity mode
+    the same way.  An explicit ``integrity=`` always wins, including over
+    a passed-through instance's current mode.
 
     ``engine="process"`` degrades gracefully rather than crash: on hosts
     without the fork start method, or with a single CPU and no explicit
@@ -680,6 +965,8 @@ def resolve_engine(engine: EngineLike = None,
                 f"workers={workers} conflicts with the provided engine "
                 f"instance ({engine.workers} workers); pass one or the other"
             )
+        if integrity is not None:
+            engine.integrity = resolve_integrity(integrity)
         return engine
     if engine is None:
         if workers is not None and workers > 1:
@@ -696,21 +983,22 @@ def resolve_engine(engine: EngineLike = None,
                 engine = "serial"
     from .chaos import resolve_chaos  # late import: chaos imports errors only
     chaos = resolve_chaos()
+    mode = resolve_integrity(integrity)
     if engine == "serial":
         if workers is not None and workers > 1:
             raise ConfigurationError(
                 f"the serial engine is single-threaded; workers={workers} "
                 f"requires engine=\"thread\""
             )
-        return SerialEngine(chaos=chaos)
+        return SerialEngine(chaos=chaos, integrity=mode)
     if engine == "thread":
-        return ThreadEngine(workers, chaos=chaos)
+        return ThreadEngine(workers, chaos=chaos, integrity=mode)
     if engine == "process":
         # Late imports: process_engine imports this module at load time.
         from .host import _fork_available
         from .process_engine import ProcessEngine
         if not _fork_available():
-            fallback = SerialEngine(chaos=chaos)
+            fallback = SerialEngine(chaos=chaos, integrity=mode)
             fallback._record(
                 "engine_fallback",
                 "REPRO_ENGINE=process needs the fork start method, which "
@@ -720,14 +1008,14 @@ def resolve_engine(engine: EngineLike = None,
         if workers is None:
             workers = os.cpu_count() or 1
         if workers <= 1:
-            fallback = SerialEngine(chaos=chaos)
+            fallback = SerialEngine(chaos=chaos, integrity=mode)
             fallback._record(
                 "engine_fallback",
                 f"engine=process with workers={workers} has no parallelism "
                 f"to offer; degrading to the serial engine",
             )
             return fallback
-        return ProcessEngine(workers, chaos=chaos)
+        return ProcessEngine(workers, chaos=chaos, integrity=mode)
     raise ConfigurationError(
         f"engine must be an ExecutionEngine instance or one of {ENGINES}, "
         f"got {engine!r}"

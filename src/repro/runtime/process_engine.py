@@ -94,12 +94,15 @@ from typing import (
 
 import numpy as np
 
+from dataclasses import replace as _dc_replace
+
 from ..analysis.envvars import ENV_HEARTBEAT, read_float
 from ..errors import ConfigurationError, FaultError
 from .chaos import ChaosInjector, ChaosPlan
-from .engine import ExecutionEngine, TaskPolicy
+from .engine import ExecutionEngine, TaskPolicy, _SharedEntry
 from .host import _fork_available
-from .shm import SharedArena, make_heartbeats
+from .integrity import crc32_array, seal_partial
+from .shm import ArrayRef, SharedArena, make_heartbeats
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -161,7 +164,7 @@ def _worker_main(slot: int, conn: Any, beats: np.ndarray,
             break
         if msg[0] == "stop":
             break
-        _, task_id, attempt, fn, item, plan = msg
+        _, task_id, attempt, fn, item, plan, integrity = msg
         events: List[Tuple[str, str, float]] = []
 
         def _record(kind: str, detail: str, seconds: float = 0.0,
@@ -175,6 +178,11 @@ def _worker_main(slot: int, conn: Any, beats: np.ndarray,
                 # very process.  The parent's supervisor sees the death.
                 injector.worker_before_task(task_id, attempt, _record)
             result = fn(item)
+            if integrity != "off":
+                # Seal before the post-task chaos seam, mirroring
+                # ExecutionEngine._attempt: a bitflip (or pickle-transport
+                # corruption on the way back) lands on a sealed carrier.
+                seal_partial(result)
             if injector is not None:
                 result = injector.after_task(task_id, attempt, result,
                                              _record)
@@ -354,8 +362,9 @@ class ProcessEngine(ExecutionEngine):
 
     def __init__(self, workers: Optional[int] = None,
                  policy: Optional[TaskPolicy] = None, chaos: Any = None,
-                 heartbeat_s: Optional[float] = None) -> None:
-        super().__init__(policy=policy, chaos=chaos)
+                 heartbeat_s: Optional[float] = None,
+                 integrity: Optional[str] = None) -> None:
+        super().__init__(policy=policy, chaos=chaos, integrity=integrity)
         if not _fork_available():
             raise ConfigurationError(
                 "the process engine needs the fork start method; "
@@ -390,24 +399,54 @@ class ProcessEngine(ExecutionEngine):
 
     # -- zero-copy operand publishing ----------------------------------------
 
-    def share(self, key: str, array: np.ndarray) -> Any:
+    def _publish(self, key: str, array: np.ndarray) -> Any:
         """Publish a large read-only operand; returns an ArrayRef handle.
 
         Tasks resolve the handle with :func:`repro.runtime.shm.as_ndarray`
         — a zero-copy attach in each worker.  Publishing the identical
         array object again is free; a same-shape replacement (the new
         centroids each iteration) rewrites the segment in place, which is
-        safe because every map completes before the next publish.
+        safe because every map completes before the next publish.  Under
+        ``integrity != "off"`` the handle carries the source's CRC32, so
+        workers verify the segment bytes on task entry (memoised per
+        ``(name, crc)`` generation — see :func:`repro.runtime.shm.as_ndarray`).
         """
         if self.workers == 1 or self._degraded:
             return array
-        return self._arena.publish(key, array)
+        ref = self._arena.publish(key, array)
+        if self.integrity != "off" and isinstance(ref, ArrayRef):
+            prev = self._shared.get(key)
+            crc = (prev.crc if prev is not None and prev.source is array
+                   else crc32_array(array))
+            ref = _dc_replace(ref, crc=crc)
+        return ref
+
+    def _corrupt_shared(self, key: str, shared: Any, offset: int) -> Any:
+        if isinstance(shared, np.ndarray):  # workers==1 / degraded inline
+            return super()._corrupt_shared(key, shared, offset)
+        self._arena.corrupt(key, offset)
+        return shared
+
+    def _shared_view(self, key: str, entry: _SharedEntry) -> np.ndarray:
+        if isinstance(entry.value, np.ndarray):
+            return entry.value
+        view = self._arena.view(key)
+        return view if view is not None else entry.source
+
+    def _repair_shared(self, key: str, entry: _SharedEntry) -> None:
+        if isinstance(entry.value, np.ndarray):
+            super()._repair_shared(key, entry)
+            return
+        self._arena.repair(key)
 
     # -- map -----------------------------------------------------------------
 
     def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> List[_R]:
         work: Sequence[_T] = list(items)
         task_ids = list(self._issue_task_ids(len(work)))
+        self._last_map_ids = range(task_ids[0], task_ids[0] + len(task_ids)) \
+            if task_ids else range(0)
+        self._verify_shared()
         if self.workers == 1 or len(work) <= 1 or self._degraded:
             return [self._run_serial_task(fn, item, tid)
                     for item, tid in zip(work, task_ids)]
@@ -525,7 +564,7 @@ class ProcessEngine(ExecutionEngine):
                 idx = queue.pop(0)
                 try:
                     worker.conn.send(("task", task_ids[idx], attempts[idx],
-                                      fn, work[idx], plan))
+                                      fn, work[idx], plan, self.integrity))
                 except OSError:
                     # Died between the liveness check and the send; requeue
                     # and let the sweep take the death path.

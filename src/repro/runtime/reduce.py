@@ -118,13 +118,26 @@ class SumCountPartial:
     The canonical payload of the Assign+Accumulate dataflow: ``sums`` is
     the (k, d) per-centroid vector sum over the block, ``counts`` the
     (k,) member tally.
+
+    ABFT fields (all carriers): ``crc`` is a CRC32 over the payload bytes
+    stamped by :func:`~repro.runtime.integrity.seal_partial` when the
+    integrity layer is on (None = unsealed, verification passes
+    vacuously), and — for the sums-bearing carriers — ``check_row`` is
+    the additive checksum row ``sums.sum(axis=0)`` whose preservation
+    every combine is checked against.  ``combine`` returns *unsealed*
+    objects; the verifying combine wrapper re-seals them.
     """
 
-    __slots__ = ("sums", "counts")
+    __slots__ = ("sums", "counts", "crc", "check_row")
 
     def __init__(self, sums: np.ndarray, counts: np.ndarray) -> None:
         self.sums = sums
         self.counts = counts
+        self.crc: Optional[int] = None
+        self.check_row: Optional[np.ndarray] = None
+
+    def _integrity_payload(self) -> Tuple[Any, ...]:
+        return (self.sums, self.counts)
 
     def combine(self, other: "SumCountPartial") -> "SumCountPartial":
         return SumCountPartial(self.sums + other.sums,
@@ -138,11 +151,15 @@ class SumCountPartial:
 class InertiaPartial:
     """Per-block partial of the objective: sum of winning d^2 and count."""
 
-    __slots__ = ("total", "n")
+    __slots__ = ("total", "n", "crc")
 
     def __init__(self, total: float, n: int) -> None:
         self.total = float(total)
         self.n = int(n)
+        self.crc: Optional[int] = None
+
+    def _integrity_payload(self) -> Tuple[Any, ...]:
+        return (self.total, self.n)
 
     def combine(self, other: "InertiaPartial") -> "InertiaPartial":
         return InertiaPartial(self.total + other.total, self.n + other.n)
@@ -164,7 +181,7 @@ class LabelPartial:
     merges always fold a later block into an earlier one.
     """
 
-    __slots__ = ("lo", "hi", "labels", "best_d2")
+    __slots__ = ("lo", "hi", "labels", "best_d2", "crc")
 
     def __init__(self, lo: int, hi: int, labels: np.ndarray,
                  best_d2: np.ndarray) -> None:
@@ -172,6 +189,10 @@ class LabelPartial:
         self.hi = int(hi)
         self.labels = labels
         self.best_d2 = best_d2
+        self.crc: Optional[int] = None
+
+    def _integrity_payload(self) -> Tuple[Any, ...]:
+        return (self.lo, self.hi, self.labels, self.best_d2)
 
     def combine(self, other: "LabelPartial") -> "LabelPartial":
         if self.hi != other.lo:
@@ -207,7 +228,8 @@ class BlockPartial:
     scatter into preallocated arrays.
     """
 
-    __slots__ = ("sums", "counts", "lo", "hi", "labels", "best_d2")
+    __slots__ = ("sums", "counts", "lo", "hi", "labels", "best_d2",
+                 "crc", "check_row")
 
     def __init__(self, sums: np.ndarray, counts: np.ndarray, lo: int,
                  hi: int, labels: Optional[np.ndarray] = None,
@@ -218,6 +240,12 @@ class BlockPartial:
         self.hi = int(hi)
         self.labels = labels
         self.best_d2 = best_d2
+        self.crc: Optional[int] = None
+        self.check_row: Optional[np.ndarray] = None
+
+    def _integrity_payload(self) -> Tuple[Any, ...]:
+        return (self.sums, self.counts, self.lo, self.hi,
+                self.labels, self.best_d2)
 
     def combine(self, other: "BlockPartial") -> "BlockPartial":
         return BlockPartial(
@@ -255,6 +283,9 @@ class PrunedPartial(BlockPartial):
         super().__init__(sums, counts, lo, hi, labels, best_d2)
         self.lb = lb
         self.n_dist = int(n_dist)
+
+    def _integrity_payload(self) -> Tuple[Any, ...]:
+        return super()._integrity_payload() + (self.lb, self.n_dist)
 
     def combine(self, other: "BlockPartial") -> "PrunedPartial":
         return PrunedPartial(

@@ -49,11 +49,11 @@ import threading
 import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Dict, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, IntegrityError
 
 __all__ = [
     "ArrayRef",
@@ -66,11 +66,19 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ArrayRef:
-    """A picklable handle to an ndarray living in a shared-memory segment."""
+    """A picklable handle to an ndarray living in a shared-memory segment.
+
+    ``crc`` is the optional integrity checksum stamped by the process
+    engine when integrity is on: workers re-verify the segment bytes
+    against it on first attach (:func:`as_ndarray`), so corruption that
+    lands between the parent's pre-dispatch verification and the task's
+    read is still caught inside the worker.
+    """
 
     name: str
     shape: Tuple[int, ...]
     dtype: str
+    crc: Optional[int] = None
 
     @property
     def nbytes(self) -> int:
@@ -96,13 +104,29 @@ _ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
 _ATTACH_LOCK = threading.Lock()
 _ATTACH_CAP = 8
 
+# Per-process memo of segment checksums already verified, keyed by segment
+# name.  A re-publish rewrites the segment *and* stamps a fresh crc on the
+# ref, so a stale memo entry can never vouch for new bytes; bounding it the
+# same way as _ATTACHED keeps the worker-side cost at one CRC pass per
+# (segment, publish) rather than per task.
+_VERIFIED: Dict[str, int] = {}
+
+
+def _segment_crc(view: np.ndarray) -> int:
+    import zlib
+
+    return zlib.crc32(np.ascontiguousarray(view))  # type: ignore[arg-type]
+
 
 def as_ndarray(ref: ArrayLike) -> np.ndarray:
     """Resolve an :class:`ArrayRef` to a read-only ndarray view (no copy).
 
     Plain ndarrays pass straight through, so block tasks are engine-agnostic:
     the serial and thread engines share arrays by reference, the process
-    engine by segment name.
+    engine by segment name.  Refs carrying an integrity ``crc`` are verified
+    against the segment bytes on first resolution (memoised per publish);
+    a mismatch raises :class:`~repro.errors.IntegrityError` inside the
+    worker, where the supervisor's ordinary fault handling picks it up.
     """
     if isinstance(ref, np.ndarray):
         return ref
@@ -130,6 +154,20 @@ def as_ndarray(ref: ArrayLike) -> np.ndarray:
     view: np.ndarray = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype),
                                   buffer=shm.buf)
     view.flags.writeable = False
+    if ref.crc is not None:
+        with _ATTACH_LOCK:
+            verified = _VERIFIED.get(ref.name) == ref.crc
+        if not verified:
+            if _segment_crc(view) != ref.crc:
+                raise IntegrityError(
+                    f"shared segment {ref.name!r} failed CRC32 verification "
+                    f"on task entry (corrupted between publish and read)",
+                    location=f"segment:{ref.name}",
+                )
+            with _ATTACH_LOCK:
+                while len(_VERIFIED) >= _ATTACH_CAP:
+                    _VERIFIED.pop(next(iter(_VERIFIED)))
+                _VERIFIED[ref.name] = ref.crc
     return view
 
 
@@ -222,6 +260,42 @@ class SharedArena:
         self._views[key] = view
         self._sources[key] = array
         return ArrayRef(shm.name, array.shape, array.dtype.str)
+
+    def view(self, key: str) -> Optional[np.ndarray]:
+        """The parent-side view over ``key``'s segment (None if unpublished).
+
+        This is what the engines' pre-dispatch integrity verification reads:
+        it sees the *segment* bytes — including any corruption injected
+        after :meth:`publish` — not the retained source array.
+        """
+        return self._views.get(key)
+
+    def corrupt(self, key: str, offset: int) -> bool:
+        """Flip one bit in ``key``'s segment at ``offset`` (chaos seam).
+
+        Silent by design: readers see the flipped byte with no error raised.
+        Returns False when the key was never published (nothing to corrupt).
+        """
+        view = self._views.get(key)
+        if view is None or view.nbytes == 0:
+            return False
+        raw = view.reshape(-1).view(np.uint8)
+        raw[min(int(offset), view.nbytes - 1)] ^= np.uint8(1)
+        return True
+
+    def repair(self, key: str) -> bool:
+        """Rewrite ``key``'s segment from its retained source array.
+
+        The arena keeps a strong ref to every published array (the identity
+        fast path needs it), which doubles as the golden copy for integrity
+        repair.  Returns False when the key was never published.
+        """
+        view = self._views.get(key)
+        source = self._sources.get(key)
+        if view is None or source is None:
+            return False
+        view[...] = source
+        return True
 
     @property
     def segment_names(self) -> Tuple[str, ...]:

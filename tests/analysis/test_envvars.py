@@ -94,11 +94,12 @@ def test_consumers_still_alias_the_registry():
         TASK_TIMEOUT_ENV,
         WORKERS_ENV,
     )
+    from repro.runtime.integrity import INTEGRITY_ENV
     from repro.runtime.process_engine import HEARTBEAT_ENV
     from repro.runtime.reduce import REDUCE_ENV
     from repro.runtime.supervisor import DEADLINE_ENV
 
     aliased = {ENGINE_ENV, WORKERS_ENV, TASK_RETRIES_ENV, TASK_TIMEOUT_ENV,
                DEADLINE_ENV, CHAOS_ENV, CHECKPOINT_DIR_ENV, REDUCE_ENV,
-               HEARTBEAT_ENV, KERNEL_ENV}
+               HEARTBEAT_ENV, KERNEL_ENV, INTEGRITY_ENV}
     assert aliased == set(REGISTRY)

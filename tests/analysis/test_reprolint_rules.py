@@ -669,6 +669,70 @@ class TestE404:
 
 
 # ---------------------------------------------------------------------------
+# E405 raw checkpoint I/O
+# ---------------------------------------------------------------------------
+
+class TestE405:
+    def test_flags_raw_load_of_checkpoint_literal(self):
+        src = """
+        import numpy as np
+
+        def peek(directory):
+            return np.load(directory + "/checkpoint.npz")
+        """
+        assert findings_for(src, CORE, "E405")
+
+    def test_flags_raw_savez_to_checkpoint_variable(self):
+        src = """
+        import numpy as np
+
+        def snapshot(checkpoint_path, C):
+            np.savez(checkpoint_path, centroids=C)
+        """
+        assert findings_for(src, RUNTIME, "E405")
+
+    def test_flags_savez_compressed_to_registry_attribute(self):
+        src = """
+        import numpy as np
+
+        def dump(store, C):
+            np.savez_compressed(store.registry_path, centroids=C)
+        """
+        assert findings_for(src, CORE, "E405")
+
+    def test_accepts_unrelated_paths(self):
+        src = """
+        import numpy as np
+
+        def load_samples(path):
+            return np.load(path)
+
+        def save_result(path, C):
+            np.savez_compressed(path, centroids=C)
+        """
+        assert_clean(src, CORE, "E405")
+
+    def test_checkpoint_module_is_exempt(self):
+        src = """
+        import numpy as np
+
+        def _persist(checkpoint_path, C):
+            np.savez(checkpoint_path, centroids=C)
+        """
+        assert_clean(src, "src/repro/core/checkpoint.py", "E405")
+
+    def test_store_methods_not_flagged(self):
+        # Going through the sanctioned seam is the disciplined variant.
+        src = """
+        from repro.core.checkpoint import load_checkpoint
+
+        def resume(checkpoint_dir):
+            return load_checkpoint(checkpoint_dir)
+        """
+        assert_clean(src, CORE, "E405")
+
+
+# ---------------------------------------------------------------------------
 # T501 missing annotations
 # ---------------------------------------------------------------------------
 
@@ -733,6 +797,6 @@ def test_every_rule_has_summary_and_name():
 def test_rule_scopes_use_real_path_components(rule):
     known = {"core", "runtime", "machine", "analysis", "errors", "io",
              "repro", "experiments", "benchmarks", "examples", "envvars",
-             "reduce"}
+             "reduce", "checkpoint"}
     assert set(rule.scopes) <= known
     assert set(rule.exempt) <= known

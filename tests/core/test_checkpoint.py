@@ -7,12 +7,13 @@ import pytest
 
 from repro.core.checkpoint import (
     CHECKPOINT_FILENAME,
+    CHECKPOINT_SCHEMA_VERSION,
     Checkpoint,
     CheckpointConfig,
     CheckpointStore,
     load_checkpoint,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, IntegrityError
 from repro.runtime.ledger import TimeLedger
 
 
@@ -128,9 +129,64 @@ class TestDurableCheckpoints:
         assert snapshot.centroids[0, 0] == 7.0
 
     def test_corrupt_snapshot_rejected(self, tmp_path):
+        # Garbage bytes are damage, not misconfiguration: the typed
+        # IntegrityError carries the offending path so callers can report
+        # (or quarantine) the exact file.
         (tmp_path / CHECKPOINT_FILENAME).write_bytes(b"not an npz")
-        with pytest.raises(ConfigurationError, match="cannot load"):
+        with pytest.raises(IntegrityError, match="cannot load") as exc:
             load_checkpoint(str(tmp_path))
+        assert exc.value.path == str(tmp_path / CHECKPOINT_FILENAME)
+
+    def test_truncated_snapshot_rejected_with_typed_error(self, tmp_path):
+        # A valid zip prefix cut short raises zipfile.BadZipFile inside
+        # numpy — historically that escaped as-is; it must map to the same
+        # typed IntegrityError as any other damaged snapshot.
+        store, _ = self.make(tmp_path)
+        store.save_initial(np.ones((4, 4)))
+        path = tmp_path / CHECKPOINT_FILENAME
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) // 2])
+        with pytest.raises(IntegrityError, match="cannot load"):
+            load_checkpoint(str(tmp_path))
+
+    def test_schema_version_embedded_and_future_rejected(self, tmp_path):
+        store, _ = self.make(tmp_path)
+        store.save_initial(np.ones((2, 2)))
+        path = tmp_path / CHECKPOINT_FILENAME
+        with np.load(path) as data:
+            assert int(data["schema_version"]) == CHECKPOINT_SCHEMA_VERSION
+        np.savez(path, iteration=np.int64(0), centroids=np.ones((2, 2)),
+                 schema_version=np.int64(CHECKPOINT_SCHEMA_VERSION + 1))
+        with pytest.raises(ConfigurationError, match="schema version"):
+            load_checkpoint(str(tmp_path))
+
+    def test_legacy_snapshot_without_version_accepted(self, tmp_path):
+        # Pre-versioning snapshots (no schema_version, no manifest) must
+        # keep loading — durability cannot be invalidated retroactively.
+        np.savez(tmp_path / CHECKPOINT_FILENAME, iteration=np.int64(5),
+                 centroids=np.full((2, 2), 9.0))
+        snapshot = load_checkpoint(str(tmp_path), integrity="verify")
+        assert snapshot.iteration == 5
+
+    def test_manifest_detects_silent_payload_corruption(self, tmp_path):
+        # Flip one payload bit behind the zip member's back: rewrite the
+        # npz with a changed centroid but the *old* manifest.
+        store, _ = self.make(tmp_path)
+        C = np.arange(16.0).reshape(4, 4)
+        store.save_initial(C)
+        path = tmp_path / CHECKPOINT_FILENAME
+        with np.load(path) as data:
+            manifest = str(data["manifest"][()])
+        bad = C.copy()
+        bad[0, 0] = np.nextafter(bad[0, 0], np.inf)
+        np.savez(path, iteration=np.int64(0), centroids=bad,
+                 schema_version=np.int64(CHECKPOINT_SCHEMA_VERSION),
+                 manifest=manifest)
+        with pytest.raises(IntegrityError, match="manifest"):
+            load_checkpoint(str(tmp_path), integrity="verify")
+        # integrity="off" skips the manifest check and loads the bad bytes.
+        snapshot = load_checkpoint(str(tmp_path), integrity="off")
+        assert snapshot.centroids[0, 0] == bad[0, 0]
 
     def test_directory_created_on_init(self, tmp_path):
         nested = tmp_path / "a" / "b"
