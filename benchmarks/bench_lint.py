@@ -1,0 +1,148 @@
+"""Benchmark of reprolint's incremental cache: cold vs warm wall time.
+
+One sweep, standalone (no pytest-benchmark dependency): lint
+``src/ benchmarks/ examples/`` three ways —
+
+* **cold** — no cache: parse every file, run every per-file rule, build
+  the call graph, run every whole-program taint fixpoint;
+* **prime** — cold with an empty cache directory (cold work + writes);
+* **warm** — the same cache directory again: unchanged files reuse their
+  stored findings/summaries, and the unchanged tree digest reuses the
+  whole-program findings outright, so nothing is re-parsed or re-tainted.
+
+The JSON also records per-rule finding counts (suppressed included), so
+a rules regression shows up next to the timing it caused.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py \
+        [--check] [--repeats N] [--out BENCH_lint.json]
+
+``--check`` gates the cache contract: the warm run must be >= 2x faster
+than the cold run, the warm findings bit-identical to the cold findings,
+and every warm per-file lookup a hit.
+"""
+
+import argparse
+import collections
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis.cache import LintCache
+from repro.analysis.reprolint import lint_paths
+
+REPO = Path(__file__).resolve().parents[1]
+LINT_PATHS = [REPO / "src", REPO / "benchmarks", REPO / "examples"]
+
+#: The gate: a warm run re-reads sources and hashes them, but skips
+#: parsing, rule evaluation, and the taint fixpoints — anything under 2x
+#: means the cache is storing the wrong things.
+MIN_WARM_SPEEDUP = 2.0
+
+
+def _best_of(fn, repeats):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _rule_counts(findings):
+    counts = collections.Counter(f.rule for f in findings)
+    return dict(sorted(counts.items()))
+
+
+def run_sweep(repeats):
+    paths = [p for p in LINT_PATHS if p.exists()]
+
+    t_cold, cold = _best_of(lambda: lint_paths(paths), repeats)
+    print(f"  cold: {t_cold * 1e3:8.1f} ms  "
+          f"({len(cold)} findings incl. suppressed)")
+
+    with tempfile.TemporaryDirectory(prefix="reprolint-bench-") as root:
+        prime_cache = LintCache(root)
+        t_prime, _ = _best_of(
+            lambda: lint_paths(paths, cache=prime_cache), 1)
+        print(f"  prime: {t_prime * 1e3:7.1f} ms  "
+              f"(cold + cache writes)")
+
+        warm_cache = LintCache(root)
+        t_warm, warm = _best_of(
+            lambda: lint_paths(paths, cache=warm_cache), repeats)
+        print(f"  warm: {t_warm * 1e3:8.1f} ms  "
+              f"({warm_cache.hits} hits, {warm_cache.misses} misses)")
+
+    speedup = t_cold / t_warm if t_warm > 0 else float("inf")
+    print(f"  warm speedup: {speedup:.2f}x")
+    return {
+        "paths": [str(p.relative_to(REPO)) for p in paths],
+        "cold_s": t_cold,
+        "prime_s": t_prime,
+        "warm_s": t_warm,
+        "warm_speedup": speedup,
+        "warm_hits": warm_cache.hits,
+        "warm_misses": warm_cache.misses,
+        "warm_project_hits": warm_cache.project_hits,
+        "identical_results": warm == cold,
+        "findings_total": len(cold),
+        "findings_active": sum(1 for f in cold if not f.suppressed),
+        "findings_by_rule": _rule_counts(cold),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="reprolint cold vs warm-cache sweep")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless warm >= 2x faster than cold, "
+                             "bit-identical findings, all-hit warm run")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of repetitions for cold/warm timings")
+    parser.add_argument("--out", default="BENCH_lint.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    print(f"reprolint cache sweep (best of {args.repeats}, "
+          f"cpu_count={os.cpu_count()}):")
+    row = run_sweep(args.repeats)
+
+    payload = {
+        "benchmark": "lint",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "min_warm_speedup": MIN_WARM_SPEEDUP,
+        **row,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        problems = []
+        if row["warm_speedup"] < MIN_WARM_SPEEDUP:
+            problems.append(
+                f"warm speedup {row['warm_speedup']:.2f}x < "
+                f"{MIN_WARM_SPEEDUP:.1f}x")
+        if not row["identical_results"]:
+            problems.append("warm findings differ from cold findings")
+        if row["warm_misses"]:
+            problems.append(
+                f"{row['warm_misses']} cache misses on an unchanged tree")
+        if problems:
+            print("CHECK FAILED: " + "; ".join(problems))
+            return 1
+        print(f"check ok: warm {row['warm_speedup']:.2f}x faster, "
+              f"bit-identical findings, all-hit warm run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,265 @@
+"""Forward interprocedural taint/dataflow over the project IR.
+
+The engine propagates "facts" (taint) from configurable seeds through
+
+* assignments and augmented assignments (``x = t``, ``x += t``),
+* loop variables (``for p in tainted: ...``),
+* call arguments (a tainted argument taints the callee's parameter),
+* return values (a tainted return taints every call site's result),
+* *transparent* callables (``list(t)``, ``sorted(t)`` — per-spec),
+* constructor *carriers* (``BlockPartial(sums=t)`` taints the object, so
+  ``bp.sums`` reads taint through the attribute), and
+* module globals (a name tainted at module level is visible to every
+  function of that module).
+
+It is a classic monotone worklist fixpoint over
+:class:`~repro.analysis.project.FuncSummary` operations: facts only grow,
+so termination is structural; a global round limit guards pathological
+inputs.  Each whole-program rule instantiates one :class:`TaintSpec`
+(seeds + propagation knobs) and reads the resulting :class:`TaintState`
+to evaluate its sinks.
+
+Precision notes: the analysis is deliberately an over-approximation in
+value space (a tainted constructor argument taints the whole object) and
+an under-approximation in name space (dynamic dispatch, ``getattr``,
+containers of callables, and cross-module globals are invisible) — see
+``docs/architecture.md``, "Whole-program analysis".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Optional, Set, Tuple
+
+from .project import (
+    TRANSPARENT_CALLS,
+    WRAPPER_CALLS,
+    CallRec,
+    FuncSummary,
+    Op,
+    Project,
+    Value,
+)
+
+__all__ = ["TaintEngine", "TaintSpec", "TaintState"]
+
+#: Upper bound on global worklist rounds; facts grow monotonically so a
+#: real fixpoint lands far below this — the cap only guards adversarial
+#: inputs (deep mutually-recursive chains in fuzzed fixtures).
+_MAX_ROUNDS = 10_000
+
+
+@dataclass
+class TaintSpec:
+    """One rule's taint configuration.
+
+    ``seed_call`` marks a call whose *result* is tainted; ``seed_ref``
+    marks a dotted reference that is tainted wherever it appears (after
+    import-alias resolution — ``environ`` from ``from os import environ``
+    reaches it as ``os.environ``); ``seed_value`` inspects a whole
+    abstract value (lambdas, order-consuming comprehensions);
+    ``seed_loop`` taints a loop's variables and accumulation targets
+    (dict-view/set iteration).
+    """
+
+    name: str
+    seed_call: Optional[Callable[[Project, FuncSummary, CallRec], bool]] = None
+    seed_ref: Optional[Callable[[Project, FuncSummary, str], bool]] = None
+    seed_value: Optional[Callable[[Project, FuncSummary, Value], bool]] = None
+    seed_loop: Optional[Callable[[Project, FuncSummary, Op], bool]] = None
+    #: Callee last-segments through which taint flows args -> result.
+    transparent: FrozenSet[str] = TRANSPARENT_CALLS
+    #: Callee last-segments behaving like ``functools.partial``: the
+    #: result carries the taint of *any* argument (partials pickle their
+    #: bound arguments, and they forward data taint on call).
+    wrappers: FrozenSet[str] = WRAPPER_CALLS
+    #: Method names that forward a tainted receiver to their result.
+    transparent_methods: FrozenSet[str] = frozenset({"copy"})
+    #: Calls resolving to a project class taint the constructed object
+    #: when any argument is tainted (attribute-carrier propagation).
+    constructors_transparent: bool = True
+
+
+@dataclass
+class TaintState:
+    """The fixpoint's output: tainted paths per function + tainted returns."""
+
+    local: Dict[str, Set[str]] = field(default_factory=dict)
+    returns: Set[str] = field(default_factory=set)
+
+    def tainted_in(self, qualname: str) -> Set[str]:
+        return self.local.setdefault(qualname, set())
+
+
+class TaintEngine:
+    """Runs one :class:`TaintSpec` to fixpoint over a :class:`Project`."""
+
+    def __init__(self, project: Project, spec: TaintSpec) -> None:
+        self.project = project
+        self.spec = spec
+        self.state = TaintState()
+        self._targets: Dict[Tuple[str, CallRec],
+                            Tuple[Optional[str], Optional[str]]] = {}
+        for edge in project.graph.edges:
+            self._targets[(edge.caller, edge.call)] = (edge.target,
+                                                       edge.target_class)
+
+    # -- public API --------------------------------------------------------
+
+    def run(self) -> TaintState:
+        pending = deque(self.project.functions.values())
+        queued = {f.qualname for f in pending}
+        rounds = 0
+        while pending and rounds < _MAX_ROUNDS:
+            rounds += 1
+            func = pending.popleft()
+            queued.discard(func.qualname)
+            for follower in self._transfer(func):
+                if follower not in queued:
+                    target = self.project.functions.get(follower)
+                    if target is not None:
+                        pending.append(target)
+                        queued.add(follower)
+        return self.state
+
+    def value_tainted(self, func: FuncSummary, value: Value) -> bool:
+        """Is this abstract value tainted under the current state?"""
+        if self.spec.seed_value is not None \
+                and self.spec.seed_value(self.project, func, value):
+            return True
+        if any(self.ref_tainted(func, ref) for ref in value.refs):
+            return True
+        return any(self.call_tainted(func, call) for call in value.calls)
+
+    def ref_tainted(self, func: FuncSummary, ref: str) -> bool:
+        """Is a dotted reference tainted (any prefix, globals, seeds)?"""
+        if self.spec.seed_ref is not None:
+            resolved = self._resolve_alias(func, ref)
+            if self.spec.seed_ref(self.project, func, resolved):
+                return True
+        scopes = [self.state.tainted_in(func.qualname)]
+        module_scope = f"{func.module}:<module>"
+        if func.qualname != module_scope:
+            scopes.append(self.state.tainted_in(module_scope))
+        segments = ref.split(".")
+        for scope in scopes:
+            if not scope:
+                continue
+            for i in range(1, len(segments) + 1):
+                if ".".join(segments[:i]) in scope:
+                    return True
+        return False
+
+    def call_tainted(self, func: FuncSummary, call: CallRec) -> bool:
+        """Is this call's result tainted?"""
+        if self.spec.seed_call is not None \
+                and self.spec.seed_call(self.project, func, call):
+            return True
+        target, target_class = self._resolve(func, call)
+        if target is not None and target in self.state.returns:
+            return True
+        attr = call.attr
+        if attr in self.spec.wrappers and self._any_operand_tainted(
+                func, call):
+            return True
+        if attr in self.spec.transparent and self._any_operand_tainted(
+                func, call):
+            return True
+        if attr in self.spec.transparent_methods and call.receiver \
+                and self.ref_tainted(func, call.receiver):
+            return True
+        if self.spec.constructors_transparent and target_class is not None \
+                and self._any_operand_tainted(func, call):
+            return True
+        return False
+
+    # -- internals ----------------------------------------------------------
+
+    def _resolve(self, func: FuncSummary,
+                 call: CallRec) -> Tuple[Optional[str], Optional[str]]:
+        key = (func.qualname, call)
+        cached = self._targets.get(key)
+        if cached is None:
+            cached = self.project.resolve_call(func, call)
+            self._targets[key] = cached
+        return cached
+
+    def _resolve_alias(self, func: FuncSummary, ref: str) -> str:
+        """Expand the leading segment through the module's import table."""
+        head, _, rest = ref.partition(".")
+        target = self.project.resolve_module_symbol(func.module, head)
+        if target is None:
+            return ref
+        return f"{target}.{rest}" if rest else target
+
+    def _any_operand_tainted(self, func: FuncSummary, call: CallRec) -> bool:
+        return (any(self.value_tainted(func, a) for a in call.args)
+                or any(self.value_tainted(func, v) for _, v in call.kwargs))
+
+    def _taint(self, qualname: str, path: str) -> bool:
+        scope = self.state.tainted_in(qualname)
+        if path in scope:
+            return False
+        scope.add(path)
+        return True
+
+    def _transfer(self, func: FuncSummary) -> Set[str]:
+        """Apply the transfer function until the local facts stabilise.
+
+        Returns the qualnames to (re-)enqueue: callees that gained a
+        tainted parameter, and callers when the return became tainted.
+        """
+        followers: Set[str] = set()
+        for _ in range(64):  # local fixpoint (ops are few per function)
+            grew = False
+            for op in func.ops:
+                if op.kind == "assign":
+                    if self.value_tainted(func, op.value):
+                        for target in op.targets:
+                            grew |= self._taint(func.qualname, target)
+                elif op.kind == "loop":
+                    seeded = self.spec.seed_loop is not None \
+                        and self.spec.seed_loop(self.project, func, op)
+                    if seeded:
+                        for target in op.targets + op.accum_targets:
+                            grew |= self._taint(func.qualname, target)
+                    elif self.value_tainted(func, op.value):
+                        for target in op.targets:
+                            grew |= self._taint(func.qualname, target)
+                elif op.kind == "return":
+                    if func.qualname not in self.state.returns \
+                            and self.value_tainted(func, op.value):
+                        self.state.returns.add(func.qualname)
+                        grew = True
+                        followers.update(
+                            e.caller for e in
+                            self.project.graph.callers(func.qualname))
+            if not grew:
+                break
+        followers.update(self._propagate_arguments(func))
+        return followers
+
+    def _propagate_arguments(self, func: FuncSummary) -> Set[str]:
+        """Taint callee parameters fed by tainted arguments."""
+        followers: Set[str] = set()
+        for call in func.calls:
+            target, _ = self._resolve(func, call)
+            if target is None:
+                continue
+            callee = self.project.functions.get(target)
+            if callee is None:
+                continue
+            params = list(callee.params)
+            offset = 1 if callee.cls is not None and call.receiver \
+                and params and params[0] == "self" else 0
+            for i, arg in enumerate(call.args):
+                slot = i + offset
+                if slot < len(params) and self.value_tainted(func, arg):
+                    if self._taint(target, params[slot]):
+                        followers.add(target)
+            for name, value in call.kwargs:
+                if name in params and self.value_tainted(func, value):
+                    if self._taint(target, name):
+                        followers.add(target)
+        return followers

@@ -35,6 +35,7 @@ __all__ = [
     "ENV_HEARTBEAT",
     "ENV_INTEGRITY",
     "ENV_KERNEL",
+    "ENV_LINT_CACHE",
     "ENV_REDUCE",
     "ENV_TASK_RETRIES",
     "ENV_TASK_TIMEOUT",
@@ -154,6 +155,13 @@ ENV_INTEGRITY = EnvVar(
                 "integrity= is given.",
     consumer="repro.runtime.integrity",
 )
+ENV_LINT_CACHE = EnvVar(
+    name="REPRO_LINT_CACHE",
+    kind="str",
+    description="Directory for reprolint's incremental cache (per-file "
+                "summaries keyed by content hash); unset disables caching.",
+    consumer="repro.analysis.cache",
+)
 ENV_CHECKPOINT_DIR = EnvVar(
     name="REPRO_CHECKPOINT_DIR",
     kind="str",
@@ -177,6 +185,7 @@ REGISTRY: Dict[str, EnvVar] = {
         ENV_INTEGRITY,
         ENV_CHECKPOINT_DIR,
         ENV_KERNEL,
+        ENV_LINT_CACHE,
         ENV_REDUCE,
     )
 }

@@ -30,21 +30,41 @@ import json
 import re
 from dataclasses import dataclass, field
 from pathlib import Path, PurePosixPath
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from .cache import LintCache
+    from .project import FileSummary, Project
 
 __all__ = [
     "Finding",
     "LintContext",
+    "ProjectRule",
     "Rule",
     "all_rules",
+    "baseline_key",
     "dotted_name",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "register_rule",
+    "render_github",
     "render_human",
     "render_json",
+    "write_baseline",
 ]
 
 #: ``# reprolint: disable=D101,D102 -- reason`` (trailing or whole-line) /
@@ -155,6 +175,34 @@ class Rule:
         raise NotImplementedError
 
 
+class ProjectRule(Rule):
+    """A whole-program rule: sees the project, not one file.
+
+    The runner builds one :class:`~repro.analysis.project.Project` (module
+    table + call graph) per invocation and hands it to every registered
+    ``ProjectRule`` via :meth:`check_project`.  Findings land in whatever
+    file the sink lives in; per-file ``scopes``/``exempt`` filtering is the
+    rule's job (use :meth:`scope_ok` on the sink file's path parts), and
+    the runner applies that file's suppression comments afterwards, so
+    ``# reprolint: disable=W601 -- reason`` works exactly like the
+    per-file series.
+    """
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        return iter(())
+
+    def scope_ok(self, parts: Tuple[str, ...]) -> bool:
+        """Does a file with these path parts fall under this rule?"""
+        if any(part in self.exempt for part in parts):
+            return False
+        if not self.scopes:
+            return True
+        return any(scope in parts for scope in self.scopes)
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 _REGISTRY: Dict[str, Rule] = {}
 
 
@@ -184,6 +232,7 @@ def _load_builtin_rules() -> None:
         rules_env,
         rules_ledger,
         rules_typing,
+        rules_wholeprogram,
     )
 
 
@@ -220,36 +269,42 @@ def _parse_suppressions(lines: Sequence[str]) -> List[_Suppression]:
     return found
 
 
-def _apply_suppressions(findings: List[Finding],
-                        suppressions: List[_Suppression],
-                        ctx: LintContext,
-                        known_ids: Iterable[str]) -> List[Finding]:
-    """Mark findings suppressed and emit the R-series meta-findings.
+def _suppression_meta(suppressions: Sequence[_Suppression], path: str,
+                      known_ids: Iterable[str]) -> List[Finding]:
+    """R-series meta-findings for one file's suppression comments.
 
     * ``R001`` — a suppression without a ``-- reason`` string,
     * ``R002`` — a suppression naming an unknown rule id.
-
-    A ``disable`` comment covers its own line, and — when it stands alone —
-    the next line (so long statements can carry the comment above them).
-    A ``disable-file`` comment covers the whole file for its rules.
     """
     known = set(known_ids)
     meta: List[Finding] = []
-    file_wide: Dict[str, _Suppression] = {}
-    by_line: Dict[int, List[_Suppression]] = {}
     for sup in suppressions:
         if sup.reason is None:
             meta.append(Finding(
-                rule="R001", path=ctx.path, line=sup.line, col=1,
+                rule="R001", path=path, line=sup.line, col=1,
                 message="suppression needs a reason: "
                         "`# reprolint: disable=ID -- why`",
             ))
         for rule_id in sup.rules:
             if rule_id not in known:
                 meta.append(Finding(
-                    rule="R002", path=ctx.path, line=sup.line, col=1,
+                    rule="R002", path=path, line=sup.line, col=1,
                     message=f"suppression names unknown rule {rule_id!r}",
                 ))
+    return meta
+
+
+def _mark_suppressed(findings: Sequence[Finding],
+                     suppressions: Sequence[_Suppression]) -> List[Finding]:
+    """Mark findings covered by suppression comments.
+
+    A ``disable`` comment covers its own line, and — when it stands alone —
+    the next line (so long statements can carry the comment above them).
+    A ``disable-file`` comment covers the whole file for its rules.
+    """
+    file_wide: Dict[str, _Suppression] = {}
+    by_line: Dict[int, List[_Suppression]] = {}
+    for sup in suppressions:
         if sup.kind == "disable-file":
             for rule_id in sup.rules:
                 file_wide.setdefault(rule_id, sup)
@@ -276,26 +331,72 @@ def _apply_suppressions(findings: List[Finding],
             ))
         else:
             out.append(finding)
-    return out + meta
+    return out
+
+
+def _apply_suppressions(findings: List[Finding],
+                        suppressions: List[_Suppression],
+                        ctx: LintContext,
+                        known_ids: Iterable[str]) -> List[Finding]:
+    return (_mark_suppressed(findings, suppressions)
+            + _suppression_meta(suppressions, ctx.path, known_ids))
 
 
 # -- runners -----------------------------------------------------------------
 
+def _split_rules(
+        rules: Sequence[Rule]) -> Tuple[List[Rule], List["ProjectRule"]]:
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    return file_rules, project_rules
+
+
+def _check_file(ctx: LintContext, file_rules: Sequence[Rule]) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in file_rules:
+        if rule.applies(ctx):
+            findings.extend(rule.check(ctx))
+    return findings
+
+
+def _project_findings(
+        summaries: Sequence["FileSummary"],
+        project_rules: Sequence["ProjectRule"],
+) -> Dict[str, List[Finding]]:
+    """Run every whole-program rule over ONE shared project, per path."""
+    by_path: Dict[str, List[Finding]] = {}
+    if not project_rules or not summaries:
+        return by_path
+    from .project import Project
+    project = Project(summaries)
+    for rule in project_rules:
+        for finding in rule.check_project(project):
+            by_path.setdefault(finding.path, []).append(finding)
+    return by_path
+
+
 def lint_source(source: str, path: str,
                 rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
-    """Lint one source string presented as ``path`` (fixtures use this)."""
+    """Lint one source string presented as ``path`` (fixtures use this).
+
+    Whole-program rules see a single-file project, so interprocedural
+    fixtures work as long as the flow stays within the snippet.
+    """
     if rules is None:
         rules = all_rules()
+    file_rules, project_rules = _split_rules(rules)
     try:
         ctx = LintContext.from_source(source, path)
     except SyntaxError as exc:
         return [Finding(rule="R003", path=path, line=exc.lineno or 1,
                         col=(exc.offset or 0) + 1,
                         message=f"file does not parse: {exc.msg}")]
-    findings: List[Finding] = []
-    for rule in rules:
-        if rule.applies(ctx):
-            findings.extend(rule.check(ctx))
+    findings = _check_file(ctx, file_rules)
+    if project_rules:
+        from .project import extract_summary
+        summary = extract_summary(ctx.tree, ctx.path, ctx.parts)
+        for per_path in _project_findings([summary], project_rules).values():
+            findings.extend(per_path)
     suppressions = _parse_suppressions(ctx.lines)
     findings = _apply_suppressions(findings, suppressions, ctx,
                                    [r.id for r in rules])
@@ -328,14 +429,89 @@ def iter_python_files(paths: Iterable["str | Path"]) -> Iterator[Path]:
 
 
 def lint_paths(paths: Iterable["str | Path"],
-               rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
-    """Lint every python file under ``paths``."""
+               rules: Optional[Sequence[Rule]] = None,
+               cache: Optional["LintCache"] = None) -> List[Finding]:
+    """Lint every python file under ``paths``.
+
+    The project (module table + call graph) is built **once** for the
+    whole invocation and shared by every whole-program rule.  With a
+    ``cache``, unchanged files reuse their stored per-file findings,
+    suppressions, and project summary (keyed by content hash), and an
+    unchanged *tree* reuses the stored whole-program findings outright.
+    """
     if rules is None:
         rules = all_rules()
-    findings: List[Finding] = []
-    for path in iter_python_files(paths):
-        findings.extend(lint_file(path, rules=rules))
-    return findings
+    file_rules, project_rules = _split_rules(rules)
+    known_ids = [r.id for r in rules]
+    rules_sig = ",".join(sorted(known_ids))
+
+    per_file: Dict[str, List[Finding]] = {}
+    suppressions_by_path: Dict[str, List[_Suppression]] = {}
+    summaries: List["FileSummary"] = []
+    file_hashes: List[Tuple[str, str]] = []
+
+    for file_path in iter_python_files(paths):
+        path = str(file_path)
+        source = file_path.read_text(encoding="utf-8")
+        if cache is not None:
+            digest = cache.content_hash(source, rules_sig)
+            file_hashes.append((path, digest))
+            entry = cache.get_file(path, digest)
+            if entry is not None:
+                per_file[path] = list(entry.findings)
+                suppressions_by_path[path] = list(entry.suppressions)
+                if entry.summary is not None:
+                    summaries.append(entry.summary)
+                continue
+        try:
+            ctx = LintContext.from_source(source, path)
+        except SyntaxError as exc:
+            findings = [Finding(rule="R003", path=path,
+                                line=exc.lineno or 1,
+                                col=(exc.offset or 0) + 1,
+                                message=f"file does not parse: {exc.msg}")]
+            per_file[path] = findings
+            suppressions_by_path[path] = []
+            if cache is not None:
+                cache.put_file(path, digest, findings, [], None)
+            continue
+        raw = _check_file(ctx, file_rules)
+        suppressions = _parse_suppressions(ctx.lines)
+        findings = (_mark_suppressed(raw, suppressions)
+                    + _suppression_meta(suppressions, path, known_ids))
+        per_file[path] = findings
+        suppressions_by_path[path] = suppressions
+        summary: Optional["FileSummary"] = None
+        if project_rules:
+            from .project import extract_summary
+            summary = extract_summary(ctx.tree, ctx.path, ctx.parts)
+            summaries.append(summary)
+        if cache is not None:
+            cache.put_file(path, digest, findings, suppressions, summary)
+
+    wp_by_path: Dict[str, List[Finding]] = {}
+    if project_rules:
+        tree_digest = None
+        if cache is not None:
+            tree_digest = cache.tree_digest(file_hashes)
+            wp_cached = cache.get_project(tree_digest)
+            if wp_cached is not None:
+                wp_by_path = wp_cached
+        if not wp_by_path:
+            wp_by_path = _project_findings(summaries, project_rules)
+            if cache is not None and tree_digest is not None:
+                cache.put_project(tree_digest, wp_by_path)
+
+    for path, wp_findings in wp_by_path.items():
+        marked = _mark_suppressed(
+            wp_findings, suppressions_by_path.get(path, []))
+        per_file.setdefault(path, []).extend(marked)
+
+    findings_all: List[Finding] = []
+    for path_findings in per_file.values():
+        findings_all.extend(path_findings)
+    findings_all.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings_all
 
 
 # -- output ------------------------------------------------------------------
@@ -361,3 +537,69 @@ def render_json(findings: Sequence[Finding]) -> str:
             "suppressed": sum(1 for f in findings if f.suppressed),
         },
     }, indent=2)
+
+
+def _gh_escape_data(text: str) -> str:
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _gh_escape_prop(text: str) -> str:
+    return (_gh_escape_data(text)
+            .replace(":", "%3A").replace(",", "%2C"))
+
+
+def render_github(findings: Sequence[Finding]) -> str:
+    """GitHub Actions workflow-command annotations, one per active finding.
+
+    ``::error file=...,line=...,col=...,title=...::message`` lines attach
+    to the PR diff in the checks UI; suppressed findings are omitted.  The
+    trailing summary line is plain text (ignored by the runner, useful in
+    raw logs).
+    """
+    lines: List[str] = []
+    active = 0
+    for finding in findings:
+        if finding.suppressed:
+            continue
+        active += 1
+        lines.append(
+            f"::error file={_gh_escape_prop(finding.path)}"
+            f",line={finding.line},col={finding.col}"
+            f",title={_gh_escape_prop('reprolint ' + finding.rule)}"
+            f"::{_gh_escape_data(finding.message)}"
+        )
+    lines.append(
+        f"reprolint: {active} finding{'s' if active != 1 else ''}")
+    return "\n".join(lines)
+
+
+# -- baselines ----------------------------------------------------------------
+
+def baseline_key(finding: Finding) -> str:
+    """Stable identity for grandfathering: rule + path + message.
+
+    Line/column are deliberately excluded so unrelated edits that shift a
+    grandfathered finding up or down the file do not break CI.
+    """
+    return f"{finding.rule}::{finding.path}::{finding.message}"
+
+
+def load_baseline(path: "str | Path") -> Set[str]:
+    """Read a baseline file written by :func:`write_baseline`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = payload.get("entries", [])
+    return {str(entry) for entry in entries}
+
+
+def write_baseline(findings: Sequence[Finding], path: "str | Path") -> None:
+    """Persist every active finding's key as the new grandfather set."""
+    keys = sorted({baseline_key(f) for f in findings if not f.suppressed})
+    payload = {
+        "comment": "reprolint grandfathered findings; regenerate with "
+                   "`python -m repro.analysis --write-baseline <this file> "
+                   "<paths>`",
+        "version": 1,
+        "entries": keys,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")

@@ -1,0 +1,108 @@
+"""The incremental lint cache: warm-skip, invalidation, degradation."""
+
+import textwrap
+
+from repro.analysis.cache import LintCache, default_cache_dir
+from repro.analysis.envvars import ENV_LINT_CACHE
+from repro.analysis.reprolint import lint_paths
+
+DIRTY = """
+    import random
+
+    def merge(partials):
+        for k, v in partials.items():
+            consume(k, v)
+"""
+
+CLEAN = """
+    import numpy as np
+
+    def assign(X: np.ndarray, C: np.ndarray) -> np.ndarray:
+        return X @ C
+"""
+
+
+def write_tree(tmp_path, files):
+    target = tmp_path / "src" / "repro" / "core"
+    target.mkdir(parents=True, exist_ok=True)
+    for name, source in files.items():
+        (target / name).write_text(textwrap.dedent(source),
+                                   encoding="utf-8")
+    return tmp_path / "src"
+
+
+def test_warm_run_skips_unchanged_files(tmp_path):
+    root = write_tree(tmp_path, {"a.py": DIRTY, "b.py": CLEAN})
+    cache_dir = tmp_path / "cache"
+
+    cold_cache = LintCache(cache_dir)
+    cold = lint_paths([root], cache=cold_cache)
+    assert cold_cache.hits == 0 and cold_cache.misses == 2
+
+    warm_cache = LintCache(cache_dir)
+    warm = lint_paths([root], cache=warm_cache)
+    assert warm_cache.hits == 2 and warm_cache.misses == 0
+    assert warm == cold
+
+
+def test_whole_program_findings_cached_per_tree(tmp_path):
+    root = write_tree(tmp_path, {"a.py": DIRTY})
+    cache_dir = tmp_path / "cache"
+
+    cold_cache = LintCache(cache_dir)
+    lint_paths([root], cache=cold_cache)
+    assert cold_cache.project_misses == 1
+
+    warm_cache = LintCache(cache_dir)
+    lint_paths([root], cache=warm_cache)
+    assert warm_cache.project_hits == 1 and warm_cache.project_misses == 0
+
+
+def test_edit_invalidates_only_the_changed_file(tmp_path):
+    root = write_tree(tmp_path, {"a.py": CLEAN, "b.py": CLEAN})
+    cache_dir = tmp_path / "cache"
+    lint_paths([root], cache=LintCache(cache_dir))
+
+    write_tree(tmp_path, {"a.py": DIRTY})  # b.py untouched
+    warm_cache = LintCache(cache_dir)
+    findings = lint_paths([root], cache=warm_cache)
+    assert warm_cache.hits == 1 and warm_cache.misses == 1
+    # The edited file's new findings are visible (no stale reuse) ...
+    dirty_rules = {f.rule for f in findings
+                   if f.path.endswith("a.py") and not f.suppressed}
+    assert "D101" in dirty_rules
+    # ... and the tree digest changed, so whole-program rules re-ran.
+    assert warm_cache.project_hits == 0
+
+
+def test_cached_and_cold_results_agree_on_edited_tree(tmp_path):
+    root = write_tree(tmp_path, {"a.py": CLEAN, "b.py": DIRTY})
+    cache_dir = tmp_path / "cache"
+    lint_paths([root], cache=LintCache(cache_dir))
+
+    write_tree(tmp_path, {"b.py": CLEAN})
+    warm = lint_paths([root], cache=LintCache(cache_dir))
+    cold = lint_paths([root])
+    assert warm == cold
+
+
+def test_corrupt_entry_degrades_to_miss(tmp_path):
+    root = write_tree(tmp_path, {"a.py": CLEAN})
+    cache_dir = tmp_path / "cache"
+    lint_paths([root], cache=LintCache(cache_dir))
+
+    for entry in cache_dir.iterdir():
+        entry.write_bytes(b"not a pickle")
+    warm_cache = LintCache(cache_dir)
+    warm = lint_paths([root], cache=warm_cache)
+    assert warm_cache.hits == 0 and warm_cache.misses == 1
+    assert warm == lint_paths([root])
+
+
+def test_default_cache_dir_reads_registered_knob(monkeypatch, tmp_path):
+    monkeypatch.setenv(ENV_LINT_CACHE.name, str(tmp_path / "lintcache"))
+    assert default_cache_dir() == tmp_path / "lintcache"
+    monkeypatch.setenv(ENV_LINT_CACHE.name, "   ")
+    assert default_cache_dir() is None
+    monkeypatch.delenv(ENV_LINT_CACHE.name)
+    assert default_cache_dir() is None

@@ -1,0 +1,231 @@
+"""The whole-program project model: summaries, resolution, call graph."""
+
+import ast
+import textwrap
+
+from repro.analysis.dataflow import TaintEngine, TaintSpec
+from repro.analysis.project import (
+    Project,
+    extract_summary,
+    module_name_for,
+)
+
+
+def summarize(source, path):
+    parts = tuple(path.replace("\\", "/").split("/"))
+    parts = parts[:-1] + (parts[-1].rsplit(".", 1)[0],)
+    return extract_summary(ast.parse(textwrap.dedent(source)), path, parts)
+
+
+def project_of(*files):
+    return Project([summarize(src, path) for path, src in files])
+
+
+# ---------------------------------------------------------------------------
+# module naming + extraction
+# ---------------------------------------------------------------------------
+
+def test_module_name_for_roots_at_repro_and_tests():
+    assert module_name_for("src/repro/core/lloyd.py") == "repro.core.lloyd"
+    assert module_name_for("tests/analysis/test_x.py") \
+        == "tests.analysis.test_x"
+    assert module_name_for("benchmarks/bench_engine.py") == "bench_engine"
+
+
+def test_extract_summary_captures_functions_classes_and_module_scope():
+    summary = summarize(
+        """
+        import numpy as np
+
+        CONSTANT = 3
+
+        def helper(x):
+            return x + CONSTANT
+
+        class Runner:
+            def run(self, items):
+                return helper(items)
+        """,
+        "src/repro/core/mod.py",
+    )
+    names = {f.qualname for f in summary.functions}
+    assert names == {"repro.core.mod:helper", "repro.core.mod:Runner.run",
+                     "repro.core.mod:<module>"}
+    (runner,) = [c for c in summary.classes if c.name == "Runner"]
+    assert runner.methods == ("run",)
+
+
+def test_summaries_are_picklable():
+    import pickle
+
+    summary = summarize(
+        """
+        def fn(a, b=1):
+            return [x for x in a]
+        """,
+        "src/repro/core/mod.py",
+    )
+    clone = pickle.loads(pickle.dumps(summary))
+    assert clone == summary
+
+
+# ---------------------------------------------------------------------------
+# resolution
+# ---------------------------------------------------------------------------
+
+def test_cross_module_import_resolution():
+    project = project_of(
+        ("src/repro/core/util.py", """
+            def helper(x):
+                return x
+        """),
+        ("src/repro/core/main.py", """
+            from repro.core.util import helper
+
+            def run(x):
+                return helper(x)
+        """),
+    )
+    run = project.functions["repro.core.main:run"]
+    (call,) = run.calls
+    target, _ = project.resolve_call(run, call)
+    assert target == "repro.core.util:helper"
+
+
+def test_method_resolution_via_annotated_receiver():
+    project = project_of(
+        ("src/repro/core/mod.py", """
+            class Worker:
+                def step(self):
+                    return 1
+
+            def drive(w: Worker):
+                return w.step()
+        """),
+    )
+    drive = project.functions["repro.core.mod:drive"]
+    (call,) = drive.calls
+    target, _ = project.resolve_call(drive, call)
+    assert target == "repro.core.mod:Worker.step"
+
+
+def test_engine_sites_detected_for_engine_receivers_only():
+    project = project_of(
+        ("src/repro/core/mod.py", """
+            def run(engine, pool, items, fn):
+                pool.map(fn, items)          # not an engine
+                return engine.map_reduce(fn, items)
+        """),
+    )
+    sites = project.graph.engine_sites
+    assert [(s.method, s.line) for s in sites] == [("map_reduce", 4)]
+
+
+def test_self_receiver_in_engine_class_is_engine_site():
+    project = project_of(
+        ("src/repro/runtime/mod.py", """
+            class ThingEngine:
+                def map(self, fn, items):
+                    return [fn(i) for i in items]
+
+                def map_reduce(self, fn, items, combine):
+                    partials = self.map(fn, items)
+                    return partials
+        """),
+    )
+    methods = {s.method for s in project.graph.engine_sites}
+    assert methods == {"map"}
+
+
+def test_reachability_is_transitive():
+    project = project_of(
+        ("src/repro/core/mod.py", """
+            def a():
+                return b()
+
+            def b():
+                return c()
+
+            def c():
+                return 1
+
+            def unrelated():
+                return 2
+        """),
+    )
+    reached = project.graph.reachable_from(["repro.core.mod:a"])
+    assert "repro.core.mod:c" in reached
+    assert "repro.core.mod:unrelated" not in reached
+
+
+def test_resolve_callable_value_follows_partials_and_locals():
+    project = project_of(
+        ("src/repro/core/mod.py", """
+            import functools
+
+            def task(block, scale):
+                return block * scale
+
+            def run(engine, blocks):
+                fn = functools.partial(task, scale=2.0)
+                bound = fn
+                return engine.map(bound, blocks)
+        """),
+    )
+    run = project.functions["repro.core.mod:run"]
+    (site,) = project.graph.engine_sites
+    resolved = project.resolve_callable_value(run, site.call.args[0])
+    assert resolved == ["repro.core.mod:task"]
+
+
+# ---------------------------------------------------------------------------
+# taint engine basics
+# ---------------------------------------------------------------------------
+
+def test_taint_flows_through_returns_and_arguments():
+    project = project_of(
+        ("src/repro/core/mod.py", """
+            def source(engine, items, fn):
+                return engine.map(fn, items)
+
+            def consume(parts):
+                out = parts
+                return out
+
+            def run(engine, items, fn):
+                data = source(engine, items, fn)
+                final = consume(data)
+                return final
+        """),
+    )
+
+    def seed(prj, func, call):
+        return call.attr == "map" and prj.is_engine_receiver(
+            func, call.receiver)
+
+    engine = TaintEngine(project, TaintSpec(name="t", seed_call=seed))
+    state = engine.run()
+    assert "data" in state.tainted_in("repro.core.mod:run")
+    assert "final" in state.tainted_in("repro.core.mod:run")
+    assert "parts" in state.tainted_in("repro.core.mod:consume")
+    assert "repro.core.mod:consume" in state.returns
+
+
+def test_taint_does_not_leak_to_unrelated_functions():
+    project = project_of(
+        ("src/repro/core/mod.py", """
+            def source(engine, items, fn):
+                return engine.map(fn, items)
+
+            def clean(x):
+                y = x + 1
+                return y
+        """),
+    )
+
+    def seed(prj, func, call):
+        return call.attr == "map" and prj.is_engine_receiver(
+            func, call.receiver)
+
+    state = TaintEngine(project, TaintSpec(name="t", seed_call=seed)).run()
+    assert state.tainted_in("repro.core.mod:clean") == set()

@@ -92,3 +92,113 @@ def test_module_entrypoint_runs():
     )
     assert proc.returncode == 0, proc.stderr
     assert "D101" in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# output formats
+# ---------------------------------------------------------------------------
+
+def test_github_format_emits_workflow_commands(tmp_path, capsys):
+    root = write_tree(tmp_path, DIRTY)
+    assert main(["--check", "--format", "github", str(root)]) == 1
+    out = capsys.readouterr().out
+    annotations = [line for line in out.splitlines()
+                   if line.startswith("::error ")]
+    assert annotations, out
+    first = annotations[0]
+    assert "file=" in first and "line=" in first and "col=" in first
+    assert "title=reprolint D" in first
+
+
+def test_github_format_escapes_newlines_and_commas(capsys):
+    from repro.analysis.reprolint import Finding, render_github
+
+    finding = Finding(rule="D101", path="a,b.py", line=1, col=1,
+                      message="multi\nline % message")
+    out = render_github([finding])
+    assert "%0A" in out and "%25" in out
+    assert "file=a%2Cb.py" in out
+    assert "multi\nline" not in out
+
+
+def test_format_json_matches_json_flag(tmp_path, capsys):
+    root = write_tree(tmp_path, DIRTY)
+    main(["--check", "--format", "json", str(root)])
+    via_format = capsys.readouterr().out
+    main(["--check", "--json", str(root)])
+    via_flag = capsys.readouterr().out
+    assert json.loads(via_format) == json.loads(via_flag)
+
+
+# ---------------------------------------------------------------------------
+# baselines
+# ---------------------------------------------------------------------------
+
+def test_baseline_grandfathers_existing_findings(tmp_path, capsys):
+    root = write_tree(tmp_path, DIRTY)
+    baseline = tmp_path / "baseline.json"
+    assert main(["--write-baseline", str(baseline), str(root)]) == 0
+    capsys.readouterr()
+    # Everything is grandfathered: the gate passes.
+    assert main(["--check", "--baseline", str(baseline), str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "baselined finding" in out
+
+
+def test_new_finding_fails_despite_baseline(tmp_path, capsys):
+    root = write_tree(tmp_path, DIRTY)
+    baseline = tmp_path / "baseline.json"
+    assert main(["--write-baseline", str(baseline), str(root)]) == 0
+    capsys.readouterr()
+    # A new violation lands next to the grandfathered ones.
+    snippet = tmp_path / "src" / "repro" / "core" / "snippet.py"
+    snippet.write_text(snippet.read_text(encoding="utf-8")
+                       + "\nimport time\nNOW = time.time()\n",
+                       encoding="utf-8")
+    assert main(["--check", "--baseline", str(baseline), str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "D102" in out
+
+
+def test_baseline_survives_line_shifts(tmp_path, capsys):
+    root = write_tree(tmp_path, DIRTY)
+    baseline = tmp_path / "baseline.json"
+    assert main(["--write-baseline", str(baseline), str(root)]) == 0
+    capsys.readouterr()
+    # Prepend a harmless line: every finding moves down one line.
+    snippet = tmp_path / "src" / "repro" / "core" / "snippet.py"
+    snippet.write_text('"""docstring."""\n'
+                       + snippet.read_text(encoding="utf-8"),
+                       encoding="utf-8")
+    assert main(["--check", "--baseline", str(baseline), str(root)]) == 0
+
+
+def test_missing_baseline_is_usage_error(tmp_path, capsys):
+    root = write_tree(tmp_path, CLEAN)
+    missing = tmp_path / "nope.json"
+    assert main(["--check", "--baseline", str(missing), str(root)]) == 2
+    assert "baseline" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# cache flags
+# ---------------------------------------------------------------------------
+
+def test_cache_flag_creates_and_reuses_entries(tmp_path, capsys):
+    root = write_tree(tmp_path, CLEAN)
+    cache_dir = tmp_path / "lintcache"
+    assert main(["--check", "--cache", str(cache_dir), str(root)]) == 0
+    entries = list(cache_dir.iterdir())
+    assert entries
+    capsys.readouterr()
+    assert main(["--check", "--cache", str(cache_dir), str(root)]) == 0
+
+
+def test_no_cache_flag_ignores_env(tmp_path, monkeypatch, capsys):
+    from repro.analysis.envvars import ENV_LINT_CACHE
+
+    root = write_tree(tmp_path, CLEAN)
+    cache_dir = tmp_path / "lintcache"
+    monkeypatch.setenv(ENV_LINT_CACHE.name, str(cache_dir))
+    assert main(["--check", "--no-cache", str(root)]) == 0
+    assert not cache_dir.exists()

@@ -102,4 +102,7 @@ def test_consumers_still_alias_the_registry():
     aliased = {ENGINE_ENV, WORKERS_ENV, TASK_RETRIES_ENV, TASK_TIMEOUT_ENV,
                DEADLINE_ENV, CHAOS_ENV, CHECKPOINT_DIR_ENV, REDUCE_ENV,
                HEARTBEAT_ENV, KERNEL_ENV, INTEGRITY_ENV}
-    assert aliased == set(REGISTRY)
+    # Newer knobs are consumed through the typed accessors directly and
+    # never grew a legacy *_ENV alias; they are exempt on purpose.
+    modern = {envvars.ENV_LINT_CACHE.name}
+    assert aliased == set(REGISTRY) - modern
